@@ -1,0 +1,847 @@
+//! Symbolic expressions, values, and assertions.
+//!
+//! Following §3.1 of the paper: a *symbolic expression* is a sum of named
+//! terms, each with an integer coefficient, plus a constant. A *symbolic
+//! value* is either an expression or a *range* (start/end expressions and
+//! an integer skip). An *assertion* is a disjunction of conjunctions of
+//! inequalities; branch conditions are converted to assertions and
+//! propagated through the control-flow graph.
+//!
+//! Term keys are plain strings. The analysis pipeline uses SSA-name
+//! spellings (`"n#1"`); the descriptor layer uses source variable names
+//! of unresolved constants (`"n"`, `"a"`, induction variables).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A linear integer symbolic expression: `Σ coeffᵢ·nameᵢ + constant`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct SymExpr {
+    terms: BTreeMap<String, i64>,
+    konst: i64,
+}
+
+impl SymExpr {
+    /// The constant expression `c`.
+    pub fn constant(c: i64) -> Self {
+        SymExpr { terms: BTreeMap::new(), konst: c }
+    }
+
+    /// The expression consisting of a single name with coefficient 1.
+    pub fn name(n: impl Into<String>) -> Self {
+        let mut terms = BTreeMap::new();
+        terms.insert(n.into(), 1);
+        SymExpr { terms, konst: 0 }
+    }
+
+    /// Builds an expression from term pairs and a constant.
+    pub fn from_terms(pairs: impl IntoIterator<Item = (String, i64)>, konst: i64) -> Self {
+        let mut e = SymExpr { terms: BTreeMap::new(), konst };
+        for (n, c) in pairs {
+            if c != 0 {
+                *e.terms.entry(n).or_insert(0) += c;
+            }
+        }
+        e.normalize();
+        e
+    }
+
+    fn normalize(&mut self) {
+        self.terms.retain(|_, c| *c != 0);
+    }
+
+    /// The constant part.
+    pub fn constant_part(&self) -> i64 {
+        self.konst
+    }
+
+    /// Iterates over `(name, coefficient)` term pairs.
+    pub fn terms(&self) -> impl Iterator<Item = (&str, i64)> {
+        self.terms.iter().map(|(n, c)| (n.as_str(), *c))
+    }
+
+    /// True if the expression is a plain constant.
+    pub fn is_constant(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Returns the constant value if this expression has no terms.
+    pub fn as_constant(&self) -> Option<i64> {
+        if self.is_constant() {
+            Some(self.konst)
+        } else {
+            None
+        }
+    }
+
+    /// Returns `Some(name)` if the expression is exactly `1·name + 0`.
+    pub fn as_name(&self) -> Option<&str> {
+        if self.konst == 0 && self.terms.len() == 1 {
+            let (n, c) = self.terms.iter().next().unwrap();
+            if *c == 1 {
+                return Some(n);
+            }
+        }
+        None
+    }
+
+    /// Whether the expression mentions `name`.
+    pub fn mentions(&self, name: &str) -> bool {
+        self.terms.contains_key(name)
+    }
+
+    /// The coefficient of `name` (zero if absent).
+    pub fn coeff(&self, name: &str) -> i64 {
+        self.terms.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sum of two expressions.
+    pub fn add(&self, other: &SymExpr) -> SymExpr {
+        let mut out = self.clone();
+        out.konst += other.konst;
+        for (n, c) in &other.terms {
+            *out.terms.entry(n.clone()).or_insert(0) += c;
+        }
+        out.normalize();
+        out
+    }
+
+    /// Difference of two expressions.
+    pub fn sub(&self, other: &SymExpr) -> SymExpr {
+        self.add(&other.scale(-1))
+    }
+
+    /// Adds a constant.
+    pub fn offset(&self, c: i64) -> SymExpr {
+        let mut out = self.clone();
+        out.konst += c;
+        out
+    }
+
+    /// Multiplies by an integer constant.
+    pub fn scale(&self, k: i64) -> SymExpr {
+        if k == 0 {
+            return SymExpr::constant(0);
+        }
+        let mut out = self.clone();
+        out.konst *= k;
+        for c in out.terms.values_mut() {
+            *c *= k;
+        }
+        out
+    }
+
+    /// Product, defined only when at least one side is constant.
+    pub fn mul(&self, other: &SymExpr) -> Option<SymExpr> {
+        if let Some(k) = other.as_constant() {
+            Some(self.scale(k))
+        } else {
+            self.as_constant().map(|k| other.scale(k))
+        }
+    }
+
+    /// Substitutes `name := repl` throughout.
+    pub fn subst(&self, name: &str, repl: &SymExpr) -> SymExpr {
+        let c = self.coeff(name);
+        if c == 0 {
+            return self.clone();
+        }
+        let mut base = self.clone();
+        base.terms.remove(name);
+        base.add(&repl.scale(c))
+    }
+
+    /// Compares two expressions when their difference is constant.
+    ///
+    /// Returns `Some(ordering of self vs other)` only when provable.
+    pub fn compare(&self, other: &SymExpr) -> Option<std::cmp::Ordering> {
+        self.sub(other).as_constant().map(|d| d.cmp(&0))
+    }
+
+    /// Proves `self <= other` (conservatively: `None` means unknown).
+    pub fn le(&self, other: &SymExpr) -> Option<bool> {
+        self.compare(other).map(|o| o != std::cmp::Ordering::Greater)
+    }
+
+    /// Proves `self < other`.
+    pub fn lt(&self, other: &SymExpr) -> Option<bool> {
+        self.compare(other).map(|o| o == std::cmp::Ordering::Less)
+    }
+
+    /// Proves syntactic/arithmetic equality.
+    pub fn eq_expr(&self, other: &SymExpr) -> Option<bool> {
+        self.compare(other).map(|o| o == std::cmp::Ordering::Equal)
+    }
+}
+
+impl fmt::Display for SymExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (n, c) in &self.terms {
+            if first {
+                match *c {
+                    1 => write!(f, "{n}")?,
+                    -1 => write!(f, "-{n}")?,
+                    c => write!(f, "{c}*{n}")?,
+                }
+                first = false;
+            } else if *c < 0 {
+                if *c == -1 {
+                    write!(f, " - {n}")?;
+                } else {
+                    write!(f, " - {}*{n}", -c)?;
+                }
+            } else if *c == 1 {
+                write!(f, " + {n}")?;
+            } else {
+                write!(f, " + {c}*{n}")?;
+            }
+        }
+        if first {
+            write!(f, "{}", self.konst)?;
+        } else if self.konst > 0 {
+            write!(f, " + {}", self.konst)?;
+        } else if self.konst < 0 {
+            write!(f, " - {}", -self.konst)?;
+        }
+        Ok(())
+    }
+}
+
+/// A symbolic iteration/index range `start..end` with an integer skip.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SymRange {
+    /// First value (inclusive).
+    pub start: SymExpr,
+    /// Last value (inclusive).
+    pub end: SymExpr,
+    /// Stride (non-zero; 1 for dense ranges).
+    pub skip: i64,
+}
+
+impl SymRange {
+    /// Unit-skip range.
+    pub fn new(start: SymExpr, end: SymExpr) -> Self {
+        SymRange { start, end, skip: 1 }
+    }
+
+    /// Constant unit range.
+    pub fn constant(lo: i64, hi: i64) -> Self {
+        SymRange::new(SymExpr::constant(lo), SymExpr::constant(hi))
+    }
+
+    /// A range holding the single value of `e`.
+    pub fn point(e: SymExpr) -> Self {
+        SymRange { start: e.clone(), end: e, skip: 1 }
+    }
+
+    /// True when this range is provably a single point.
+    pub fn is_point(&self) -> bool {
+        self.start.eq_expr(&self.end) == Some(true)
+    }
+
+    /// Proves the range empty (`end < start`).
+    pub fn is_empty(&self) -> Option<bool> {
+        self.end.lt(&self.start)
+    }
+
+    /// Proves two ranges disjoint. `None`/`false` both mean "may overlap";
+    /// callers must treat unknown as overlapping (conservative).
+    pub fn disjoint(&self, other: &SymRange) -> bool {
+        // Provably empty ranges are disjoint from everything.
+        if self.is_empty() == Some(true) || other.is_empty() == Some(true) {
+            return true;
+        }
+        if self.end.lt(&other.start) == Some(true) || other.end.lt(&self.start) == Some(true) {
+            return true;
+        }
+        // Same stride, both points reduced: unequal constants on
+        // congruence classes (e.g. skip 2 starting at 0 vs 1).
+        if self.skip == other.skip && self.skip > 1 {
+            if let (Some(a), Some(b)) = (self.start.as_constant(), other.start.as_constant()) {
+                if (a - b).rem_euclid(self.skip) != 0 {
+                    // Only sound if both ranges stay on their lattice:
+                    // true by construction of skip-ranges.
+                    return true;
+                }
+            }
+        }
+        // Two points with provably different values.
+        if self.is_point() && other.is_point() {
+            if let Some(ord) = self.start.compare(&other.start) {
+                return ord != std::cmp::Ordering::Equal;
+            }
+        }
+        false
+    }
+
+    /// Substitutes a name in both bounds.
+    pub fn subst(&self, name: &str, repl: &SymExpr) -> SymRange {
+        SymRange {
+            start: self.start.subst(name, repl),
+            end: self.end.subst(name, repl),
+            skip: self.skip,
+        }
+    }
+
+    /// Whether either bound mentions `name`.
+    pub fn mentions(&self, name: &str) -> bool {
+        self.start.mentions(name) || self.end.mentions(name)
+    }
+
+    /// Proves this range contains `other` (start ≤ other.start and
+    /// other.end ≤ end). Unknown ⇒ `false`.
+    pub fn contains_range(&self, other: &SymRange) -> bool {
+        self.start.le(&other.start) == Some(true) && other.end.le(&self.end) == Some(true)
+    }
+
+    /// Number of values, when bounds are constant.
+    pub fn len_const(&self) -> Option<i64> {
+        let (a, b) = (self.start.as_constant()?, self.end.as_constant()?);
+        if b < a {
+            Some(0)
+        } else {
+            Some((b - a) / self.skip + 1)
+        }
+    }
+}
+
+impl fmt::Display for SymRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)?;
+        if self.skip != 1 {
+            write!(f, " by {}", self.skip)?;
+        }
+        Ok(())
+    }
+}
+
+/// A symbolic value: a single expression or a range of values.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum SymValue {
+    /// A single (possibly symbolic) integer value.
+    Expr(SymExpr),
+    /// A range of values.
+    Range(SymRange),
+    /// A floating-point constant (the paper permits float constants in
+    /// symbolic values; they never appear in index arithmetic).
+    FloatConst(ordered::OrderedF64),
+    /// Nothing provable.
+    Unknown,
+}
+
+impl SymValue {
+    /// Convenience constructor for a constant integer value.
+    pub fn int(v: i64) -> Self {
+        SymValue::Expr(SymExpr::constant(v))
+    }
+
+    /// The expression if this is a single-expression value.
+    pub fn as_expr(&self) -> Option<&SymExpr> {
+        match self {
+            SymValue::Expr(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// The value as a range (a single expression becomes a point range).
+    pub fn to_range(&self) -> Option<SymRange> {
+        match self {
+            SymValue::Expr(e) => Some(SymRange::point(e.clone())),
+            SymValue::Range(r) => Some(r.clone()),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for SymValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SymValue::Expr(e) => write!(f, "{e}"),
+            SymValue::Range(r) => write!(f, "[{r}]"),
+            SymValue::FloatConst(v) => write!(f, "{}", v.0),
+            SymValue::Unknown => write!(f, "?"),
+        }
+    }
+}
+
+/// Total-ordered `f64` wrapper so symbolic values can be hashed.
+pub mod ordered {
+    /// An `f64` with `Eq`/`Ord`/`Hash` via total ordering.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub struct OrderedF64(pub f64);
+
+    impl Eq for OrderedF64 {}
+    impl std::hash::Hash for OrderedF64 {
+        fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+            self.0.to_bits().hash(state);
+        }
+    }
+    impl PartialOrd for OrderedF64 {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for OrderedF64 {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.0.total_cmp(&other.0)
+        }
+    }
+}
+
+/// Relational operators in normalized inequalities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rel {
+    /// `expr = 0`
+    EqZero,
+    /// `expr <> 0`
+    NeZero,
+    /// `expr <= 0`
+    LeZero,
+}
+
+/// A normalized inequality `expr REL 0`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Ineq {
+    /// Left-hand side.
+    pub expr: SymExpr,
+    /// Relation to zero.
+    pub rel: Rel,
+}
+
+impl Ineq {
+    /// `a = b` as `a-b = 0`.
+    pub fn eq(a: &SymExpr, b: &SymExpr) -> Self {
+        Ineq { expr: a.sub(b), rel: Rel::EqZero }
+    }
+
+    /// `a <> b` as `a-b <> 0`.
+    pub fn ne(a: &SymExpr, b: &SymExpr) -> Self {
+        Ineq { expr: a.sub(b), rel: Rel::NeZero }
+    }
+
+    /// `a <= b` as `a-b <= 0`.
+    pub fn le(a: &SymExpr, b: &SymExpr) -> Self {
+        Ineq { expr: a.sub(b), rel: Rel::LeZero }
+    }
+
+    /// `a < b` as `a-b+1 <= 0`.
+    pub fn lt(a: &SymExpr, b: &SymExpr) -> Self {
+        Ineq { expr: a.sub(b).offset(1), rel: Rel::LeZero }
+    }
+
+    /// Evaluates the inequality when the expression is constant.
+    pub fn eval_const(&self) -> Option<bool> {
+        let c = self.expr.as_constant()?;
+        Some(match self.rel {
+            Rel::EqZero => c == 0,
+            Rel::NeZero => c != 0,
+            Rel::LeZero => c <= 0,
+        })
+    }
+
+    /// The logical negation. `LeZero` negates to `expr-1 >= 0`, i.e.
+    /// `-(expr)+1 <= 0`.
+    pub fn negate(&self) -> Ineq {
+        match self.rel {
+            Rel::EqZero => Ineq { expr: self.expr.clone(), rel: Rel::NeZero },
+            Rel::NeZero => Ineq { expr: self.expr.clone(), rel: Rel::EqZero },
+            Rel::LeZero => Ineq { expr: self.expr.scale(-1).offset(1), rel: Rel::LeZero },
+        }
+    }
+
+    /// Substitutes a name.
+    pub fn subst(&self, name: &str, repl: &SymExpr) -> Ineq {
+        Ineq { expr: self.expr.subst(name, repl), rel: self.rel }
+    }
+}
+
+impl fmt::Display for Ineq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let op = match self.rel {
+            Rel::EqZero => "=",
+            Rel::NeZero => "<>",
+            Rel::LeZero => "<=",
+        };
+        write!(f, "{} {op} 0", self.expr)
+    }
+}
+
+/// A conjunction of inequalities.
+pub type Conj = Vec<Ineq>;
+
+/// An assertion: a disjunction of conjunctions of inequalities (§3.1).
+///
+/// The empty disjunction is *false*; a disjunction containing an empty
+/// conjunction is *true*.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Assertion {
+    /// The DNF clauses.
+    pub clauses: Vec<Conj>,
+}
+
+impl Assertion {
+    /// The trivially true assertion.
+    pub fn truth() -> Self {
+        Assertion { clauses: vec![Vec::new()] }
+    }
+
+    /// The trivially false assertion.
+    pub fn falsity() -> Self {
+        Assertion { clauses: Vec::new() }
+    }
+
+    /// A single-inequality assertion.
+    pub fn atom(i: Ineq) -> Self {
+        Assertion { clauses: vec![vec![i]] }
+    }
+
+    /// True when this assertion is the constant *true*.
+    pub fn is_truth(&self) -> bool {
+        self.clauses.iter().any(|c| c.is_empty())
+    }
+
+    /// True when this assertion is the constant *false*.
+    pub fn is_falsity(&self) -> bool {
+        self.clauses.is_empty()
+    }
+
+    /// Conjunction (distributes over the DNF clauses).
+    pub fn and(&self, other: &Assertion) -> Assertion {
+        let mut clauses = Vec::new();
+        for a in &self.clauses {
+            for b in &other.clauses {
+                let mut c = a.clone();
+                c.extend(b.iter().cloned());
+                if !conj_contradictory(&c) {
+                    clauses.push(c);
+                }
+            }
+        }
+        Assertion { clauses }.simplified()
+    }
+
+    /// Disjunction.
+    pub fn or(&self, other: &Assertion) -> Assertion {
+        let mut clauses = self.clauses.clone();
+        clauses.extend(other.clauses.iter().cloned());
+        Assertion { clauses }.simplified()
+    }
+
+    /// Negation. Exact for single-clause assertions; conservative
+    /// (weaker, i.e. *true*) when the DNF negation would explode.
+    pub fn negate(&self) -> Assertion {
+        if self.is_falsity() {
+            return Assertion::truth();
+        }
+        if self.is_truth() {
+            return Assertion::falsity();
+        }
+        // ¬(C1 ∨ C2 ∨ …) = ¬C1 ∧ ¬C2 ∧ …; ¬(i1 ∧ i2 …) = ¬i1 ∨ ¬i2 ∨ …
+        let mut acc = Assertion::truth();
+        for clause in &self.clauses {
+            if clause.len() > 4 {
+                return Assertion::truth(); // conservative give-up
+            }
+            let mut neg = Assertion::falsity();
+            for ineq in clause {
+                neg = neg.or(&Assertion::atom(ineq.negate()));
+            }
+            acc = acc.and(&neg);
+            if acc.clauses.len() > 16 {
+                return Assertion::truth();
+            }
+        }
+        acc
+    }
+
+    /// Proves this assertion unsatisfiable (conservative).
+    pub fn contradictory(&self) -> bool {
+        self.clauses.iter().all(conj_contradictory)
+    }
+
+    /// Substitutes a name throughout.
+    pub fn subst(&self, name: &str, repl: &SymExpr) -> Assertion {
+        Assertion {
+            clauses: self
+                .clauses
+                .iter()
+                .map(|c| c.iter().map(|i| i.subst(name, repl)).collect())
+                .collect(),
+        }
+        .simplified()
+    }
+
+    fn simplified(mut self) -> Assertion {
+        for clause in &mut self.clauses {
+            clause.retain(|i| i.eval_const() != Some(true));
+            clause.dedup();
+        }
+        self.clauses.retain(|c| !conj_contradictory(c));
+        if self.clauses.iter().any(|c| c.is_empty()) {
+            return Assertion::truth();
+        }
+        self.clauses.dedup();
+        self
+    }
+}
+
+impl fmt::Display for Assertion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_truth() {
+            return write!(f, "true");
+        }
+        if self.is_falsity() {
+            return write!(f, "false");
+        }
+        for (i, clause) in self.clauses.iter().enumerate() {
+            if i > 0 {
+                write!(f, " or ")?;
+            }
+            write!(f, "(")?;
+            for (j, ineq) in clause.iter().enumerate() {
+                if j > 0 {
+                    write!(f, " and ")?;
+                }
+                write!(f, "{ineq}")?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+/// Conservative contradiction test for a conjunction.
+fn conj_contradictory(c: &Conj) -> bool {
+    for (k, i) in c.iter().enumerate() {
+        if i.eval_const() == Some(false) {
+            return true;
+        }
+        for j in &c[k + 1..] {
+            // e = 0 together with e <> 0.
+            if i.expr == j.expr {
+                let pair = (i.rel, j.rel);
+                if matches!(pair, (Rel::EqZero, Rel::NeZero) | (Rel::NeZero, Rel::EqZero)) {
+                    return true;
+                }
+            }
+            // a = 0 and b = 0 with a - b a non-zero constant.
+            if i.rel == Rel::EqZero && j.rel == Rel::EqZero {
+                if let Some(d) = i.expr.sub(&j.expr).as_constant() {
+                    if d != 0 {
+                        return true;
+                    }
+                }
+            }
+            // a <= 0 and b <= 0 with a + b a positive constant.
+            if i.rel == Rel::LeZero && j.rel == Rel::LeZero {
+                if let Some(s) = i.expr.add(&j.expr).as_constant() {
+                    if s > 0 {
+                        return true;
+                    }
+                }
+            }
+            // e = 0 and f <= 0 where f - k*e is a positive constant
+            // (just check f + e and f - e quickly).
+            if i.rel == Rel::EqZero && j.rel == Rel::LeZero {
+                for probe in [j.expr.sub(&i.expr), j.expr.add(&i.expr)] {
+                    if let Some(cst) = probe.as_constant() {
+                        if cst > 0 {
+                            return true;
+                        }
+                    }
+                }
+            }
+            if j.rel == Rel::EqZero && i.rel == Rel::LeZero {
+                for probe in [i.expr.sub(&j.expr), i.expr.add(&j.expr)] {
+                    if let Some(cst) = probe.as_constant() {
+                        if cst > 0 {
+                            return true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n() -> SymExpr {
+        SymExpr::name("n")
+    }
+
+    #[test]
+    fn add_and_cancel() {
+        let e = n().add(&n().scale(-1));
+        assert_eq!(e, SymExpr::constant(0));
+    }
+
+    #[test]
+    fn display_formats() {
+        let e = SymExpr::from_terms([("a".into(), 2), ("b".into(), -1)], 3);
+        assert_eq!(e.to_string(), "2*a - b + 3");
+        assert_eq!(SymExpr::constant(0).to_string(), "0");
+    }
+
+    #[test]
+    fn subst_linear() {
+        // 2*i + 1 with i := n - 1  →  2*n - 1
+        let e = SymExpr::name("i").scale(2).offset(1);
+        let r = e.subst("i", &n().offset(-1));
+        assert_eq!(r, n().scale(2).offset(-1));
+    }
+
+    #[test]
+    fn compare_constant_difference() {
+        let a = n().offset(1);
+        let b = n().offset(3);
+        assert_eq!(a.lt(&b), Some(true));
+        assert_eq!(b.le(&a), Some(false));
+        // n vs m: unknown.
+        assert_eq!(n().lt(&SymExpr::name("m")), None);
+    }
+
+    #[test]
+    fn mul_requires_constant_side() {
+        assert_eq!(n().mul(&SymExpr::constant(3)), Some(n().scale(3)));
+        assert_eq!(n().mul(&SymExpr::name("m")), None);
+    }
+
+    #[test]
+    fn range_disjointness_constant() {
+        let a = SymRange::constant(1, 5);
+        let b = SymRange::constant(6, 9);
+        assert!(a.disjoint(&b));
+        let c = SymRange::constant(5, 7);
+        assert!(!a.disjoint(&c));
+    }
+
+    #[test]
+    fn range_disjointness_symbolic() {
+        // 1..a-1 vs a..a (point) are disjoint.
+        let a_expr = SymExpr::name("a");
+        let r1 = SymRange::new(SymExpr::constant(1), a_expr.offset(-1));
+        let point = SymRange::point(a_expr.clone());
+        assert!(r1.disjoint(&point));
+        // a+1..n vs a..a disjoint.
+        let r2 = SymRange::new(a_expr.offset(1), SymExpr::name("n"));
+        assert!(r2.disjoint(&point));
+        // 1..n vs a..a unknown → not disjoint.
+        let whole = SymRange::new(SymExpr::constant(1), SymExpr::name("n"));
+        assert!(!whole.disjoint(&point));
+    }
+
+    #[test]
+    fn point_ranges_with_known_difference() {
+        let p1 = SymRange::point(SymExpr::name("i"));
+        let p2 = SymRange::point(SymExpr::name("i").offset(-1));
+        assert!(p1.disjoint(&p2), "iteration i vs i-1 write sets");
+        let p3 = SymRange::point(SymExpr::name("i"));
+        assert!(!p1.disjoint(&p3));
+    }
+
+    #[test]
+    fn empty_range_disjoint_from_all() {
+        let empty = SymRange::constant(5, 2);
+        assert_eq!(empty.is_empty(), Some(true));
+        assert!(empty.disjoint(&SymRange::constant(1, 10)));
+    }
+
+    #[test]
+    fn contains_range_symbolic() {
+        let whole = SymRange::new(SymExpr::constant(1), n());
+        let sub = SymRange::new(SymExpr::constant(2), n().offset(-1));
+        assert!(whole.contains_range(&sub));
+        assert!(!sub.contains_range(&whole));
+    }
+
+    #[test]
+    fn skip_congruence_disjoint() {
+        let evens = SymRange { start: SymExpr::constant(0), end: SymExpr::constant(100), skip: 2 };
+        let odds = SymRange { start: SymExpr::constant(1), end: SymExpr::constant(101), skip: 2 };
+        assert!(evens.disjoint(&odds));
+    }
+
+    #[test]
+    fn ineq_negation() {
+        let i = Ineq::le(&n(), &SymExpr::constant(5)); // n - 5 <= 0
+        let neg = i.negate(); // 5 - n + 1 <= 0  ⇔  n >= 6
+        assert_eq!(neg.rel, Rel::LeZero);
+        assert_eq!(neg.expr, n().scale(-1).offset(6));
+    }
+
+    #[test]
+    fn assertion_and_or() {
+        let a = Assertion::atom(Ineq::eq(&n(), &SymExpr::constant(1)));
+        let b = Assertion::atom(Ineq::eq(&n(), &SymExpr::constant(2)));
+        let both = a.and(&b);
+        assert!(both.contradictory(), "n=1 and n=2 is unsatisfiable");
+        let either = a.or(&b);
+        assert_eq!(either.clauses.len(), 2);
+        assert!(!either.contradictory());
+    }
+
+    #[test]
+    fn assertion_negation_roundtrip() {
+        let a = Assertion::atom(Ineq::ne(&SymExpr::name("m"), &SymExpr::constant(0)));
+        let na = a.negate();
+        assert!(a.and(&na).contradictory());
+    }
+
+    #[test]
+    fn truth_falsity_laws() {
+        let t = Assertion::truth();
+        let f = Assertion::falsity();
+        let a = Assertion::atom(Ineq::le(&n(), &SymExpr::constant(0)));
+        assert_eq!(t.and(&a), a);
+        assert!(f.and(&a).is_falsity());
+        assert!(t.or(&a).is_truth());
+        assert_eq!(f.or(&a), a);
+    }
+
+    #[test]
+    fn contradiction_via_le_pair() {
+        // n <= 0 and n >= 1 (as -n+1 <= 0).
+        let c = vec![
+            Ineq::le(&n(), &SymExpr::constant(0)),
+            Ineq { expr: n().scale(-1).offset(1), rel: Rel::LeZero },
+        ];
+        assert!(conj_contradictory(&c));
+    }
+
+    #[test]
+    fn eq_and_le_contradiction() {
+        // i - a = 0  together with  a - i + 1 <= 0 (i.e. i >= a + 1).
+        let i = SymExpr::name("i");
+        let a = SymExpr::name("a");
+        let c = vec![Ineq::eq(&i, &a), Ineq::lt(&a, &i).negate().negate()];
+        // lt(a, i): a - i + 1 <= 0; double negation is identity here.
+        assert!(conj_contradictory(&c));
+    }
+
+    #[test]
+    fn display_assertion() {
+        let a = Assertion::atom(Ineq::ne(&SymExpr::name("mask"), &SymExpr::constant(0)));
+        assert_eq!(a.to_string(), "(mask <> 0)");
+        assert_eq!(Assertion::truth().to_string(), "true");
+    }
+
+    #[test]
+    fn sym_value_to_range() {
+        let v = SymValue::Expr(n());
+        let r = v.to_range().unwrap();
+        assert!(r.is_point());
+        assert_eq!(SymValue::Unknown.to_range(), None);
+    }
+
+    #[test]
+    fn range_len_const() {
+        assert_eq!(SymRange::constant(1, 10).len_const(), Some(10));
+        let stepped = SymRange { start: SymExpr::constant(1), end: SymExpr::constant(9), skip: 2 };
+        assert_eq!(stepped.len_const(), Some(5));
+    }
+}

@@ -1,0 +1,124 @@
+//! UCLA General Circulation Model (climate modeling).
+//!
+//! §5: "we could run the UCLA climate model on 512 processors … at 87%
+//! efficiency. When we modified the climate model using split wherever
+//! applicable, we were able to run the same input data set (about 3200
+//! latitude-longitude grid cells) at 83% efficiency on 1024 processors.
+//! Hence the total speedup increased from 445 to 850. Without this
+//! modification, the climate model's speedup on 1024 processors is only
+//! 581 (57% efficiency) because of the irregular task execution times
+//! found in the cloud physics section of the code."
+//!
+//! Each timestep runs regular dynamics over all grid cells and then
+//! irregular cloud physics over the convectively active cells; split
+//! pipelines the next step's dynamics against the current step's cloud
+//! physics.
+
+use crate::common::{phased_app, AppWorkload, PhasedParams, Scale};
+use orchestra_lang::ast::Program;
+use orchestra_lang::parse_program;
+
+/// Phase parameters for the GCM.
+pub fn params(scale: &Scale) -> PhasedParams {
+    let cells = scale.n.max(64);
+    PhasedParams {
+        iters: 24,
+        // Dynamics: every grid cell × vertical columns, regular.
+        ind_tasks: cells * 2,
+        ind_mean: 125.0,
+        ind_cv: 0.15,
+        // Cloud physics: ≈ 35% of cells convecting, costly and skewed
+        // (split per vertical level into finer tasks).
+        dep_tasks: cells * 7 / 5,
+        dep_mean: 150.0,
+        dep_cv: 1.1,
+        merge_cost: 150.0,
+        // Radiation/output post-pass.
+        post_tasks: cells,
+        post_mean: 120.0,
+        post_cv: 0.1,
+        carried_elems: cells as u64 * 6,
+    }
+}
+
+/// Builds the climate workload.
+pub fn workload(scale: &Scale) -> AppWorkload {
+    phased_app(
+        "climate",
+        "UCLA general circulation model, ~3200 lat-lon grid cells (§5)",
+        &params(scale),
+        kernel(),
+    )
+}
+
+/// The paper's input: about 3200 latitude-longitude grid cells.
+pub fn paper_scale() -> Scale {
+    Scale { n: 3200, seed: 1993 }
+}
+
+/// MF kernel: dynamics sweep over the grid, then masked cloud physics
+/// on convecting cells — the interaction split exploits.
+pub fn kernel() -> Program {
+    parse_program(
+        r#"
+program climate_kernel
+  integer n = 20
+  integer convect[1..n]
+  float field[1..n, 1..n], tend[1..n], flux[1..n, 1..n]
+
+  physics: do cell = 1, n where (convect[cell] <> 0) {
+    do k = 1, n {
+      tend[k] = field[cell, k] * 0.5 + field[k, k]
+    }
+    do k = 1, n {
+      field[k, cell] = tend[k]
+    }
+  }
+  radiation: do i = 1, n {
+    do j = 1, n {
+      flux[j, i] = f(field[j, i])
+    }
+  }
+end
+"#,
+    )
+    .expect("kernel parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_is_well_formed() {
+        let w = workload(&Scale::test());
+        w.validate();
+        assert!(w.pipeline_iters.values().all(|&i| i == 24));
+    }
+
+    #[test]
+    fn cloud_physics_is_the_irregular_part() {
+        let p = params(&paper_scale());
+        assert!(p.dep_cv > p.ind_cv * 3.0);
+        assert!(p.dep_mean > p.ind_mean);
+    }
+
+    #[test]
+    fn paper_scale_has_3200_cells() {
+        assert_eq!(paper_scale().n, 3200);
+        let p = params(&paper_scale());
+        assert_eq!(p.ind_tasks, 6400, "two dynamics tasks per cell");
+        assert_eq!(p.dep_tasks, 4480, "35% of cells, four physics sub-tasks each");
+    }
+
+    #[test]
+    fn kernel_splits_under_the_compiler() {
+        use orchestra_descriptors::{descriptor_of_stmt, SymCtx};
+        use orchestra_split::{split_computation, SplitOptions};
+        let k = kernel();
+        let ctx = SymCtx::from_program(&k);
+        let d = descriptor_of_stmt(&k.body[0], &ctx);
+        let result = split_computation(&k, &k.body[1..], &d, &SplitOptions::default());
+        assert_eq!(result.loop_splits, vec!["radiation"]);
+    }
+}

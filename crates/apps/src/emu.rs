@@ -1,0 +1,107 @@
+//! EMU/CEMU: parallel circuit simulation \[1\].
+//!
+//! Event-driven gate-level simulation: per timestep, active gates are
+//! re-evaluated (highly irregular — activity follows circuit structure
+//! and input vectors, with a heavy tail from high-fanout nets) and the
+//! event queues are rebuilt (regular). Split pipelines the next step's
+//! independent gate evaluations against the current step's propagation.
+
+use crate::common::{phased_app, AppWorkload, PhasedParams, Scale};
+use orchestra_lang::ast::Program;
+use orchestra_lang::parse_program;
+
+/// Phase parameters for the circuit simulator.
+pub fn params(scale: &Scale) -> PhasedParams {
+    let gates = scale.n.max(64);
+    PhasedParams {
+        iters: 32,
+        // Independent gate evaluations.
+        ind_tasks: gates * 3 / 2,
+        ind_mean: 60.0,
+        ind_cv: 0.5,
+        // Gates on the critical propagation path (depend on the
+        // previous step's outputs), heavy-tailed fanout costs.
+        dep_tasks: gates / 2,
+        dep_mean: 140.0,
+        dep_cv: 1.3,
+        merge_cost: 80.0,
+        // Event-queue rebuild / trace output.
+        post_tasks: gates,
+        post_mean: 60.0,
+        post_cv: 0.1,
+        carried_elems: gates as u64 * 2,
+    }
+}
+
+/// Builds the EMU workload.
+pub fn workload(scale: &Scale) -> AppWorkload {
+    phased_app(
+        "emu",
+        "EMU parallel circuit simulator, event-driven gate evaluation",
+        &params(scale),
+        kernel(),
+    )
+}
+
+/// A representative circuit size.
+pub fn paper_scale() -> Scale {
+    Scale { n: 4096, seed: 1986 }
+}
+
+/// MF kernel: masked gate-evaluation loop followed by a regular
+/// state-commit pass.
+pub fn kernel() -> Program {
+    parse_program(
+        r#"
+program emu_kernel
+  integer n = 16
+  integer active[1..n]
+  float state[1..n, 1..n], inval[1..n], nextst[1..n, 1..n]
+
+  eval: do g = 1, n where (active[g] <> 0) {
+    do i = 1, n {
+      inval[i] = state[g, i] * 0.5 + state[i, i]
+    }
+    do i = 1, n {
+      state[i, g] = inval[i]
+    }
+  }
+  commit: do i = 1, n {
+    do j = 1, n {
+      nextst[j, i] = f(state[j, i])
+    }
+  }
+end
+"#,
+    )
+    .expect("kernel parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_is_well_formed() {
+        let w = workload(&Scale::test());
+        w.validate();
+        assert_eq!(w.name, "emu");
+    }
+
+    #[test]
+    fn gate_eval_is_heavy_tailed() {
+        let p = params(&paper_scale());
+        assert!(p.dep_cv >= 1.0, "fanout tail");
+    }
+
+    #[test]
+    fn kernel_splits_under_the_compiler() {
+        use orchestra_descriptors::{descriptor_of_stmt, SymCtx};
+        use orchestra_split::{split_computation, SplitOptions};
+        let k = kernel();
+        let ctx = SymCtx::from_program(&k);
+        let d = descriptor_of_stmt(&k.body[0], &ctx);
+        let result = split_computation(&k, &k.body[1..], &d, &SplitOptions::default());
+        assert_eq!(result.loop_splits, vec!["commit"]);
+    }
+}

@@ -1,0 +1,150 @@
+//! Psirrfan: x-ray tomography image reconstruction.
+//!
+//! The paper's headline application (Figure 6). Reconstruction iterates
+//! over projection phases; within a phase, most column updates are
+//! regular, but a mask-dependent subset (rays intersecting dense
+//! regions) is expensive and depends on the previous phase's image.
+//! Split exposes (a) the independent column updates of phase *k+1*
+//! pipelined against phase *k* and (b) the filter post-pass's
+//! independent piece running concurrently with reconstruction — the
+//! "additional coarse-grained parallelism and two opportunities for
+//! pipelining" of §5.
+
+use crate::common::{phased_app, AppWorkload, PhasedParams, Scale};
+use orchestra_lang::ast::Program;
+use orchestra_lang::parse_program;
+
+/// The phase parameters used by the Figure 6 reproduction.
+pub fn params(scale: &Scale) -> PhasedParams {
+    let n = scale.n.max(64);
+    PhasedParams {
+        iters: 16,
+        ind_tasks: n * 4,
+        ind_mean: 75.0,
+        ind_cv: 0.35,
+        dep_tasks: n * 2,
+        dep_mean: 56.0,
+        dep_cv: 1.2,
+        merge_cost: 120.0,
+        post_tasks: n * 4,
+        post_mean: 75.0,
+        post_cv: 0.1,
+        carried_elems: n as u64 * 8,
+    }
+}
+
+/// Builds the Psirrfan workload at the given scale.
+///
+/// The paper's input corresponds to `Scale { n: 2048, .. }` (≈ 2048
+/// column tasks per projection phase, 16 phases).
+pub fn workload(scale: &Scale) -> AppWorkload {
+    phased_app(
+        "psirrfan",
+        "x-ray tomography image reconstruction (Figure 6)",
+        &params(scale),
+        kernel(),
+    )
+}
+
+/// The paper-scale instance used for Figure 6.
+pub fn paper_scale() -> Scale {
+    Scale { n: 2048, seed: 1993 }
+}
+
+/// An MF kernel with Psirrfan's interaction structure: a masked
+/// column-update loop (the reconstruction phase) followed by a filter
+/// pass over the image — the same shape as the paper's Figure 1, so
+/// the compiler path (analysis → descriptors → split) applies directly.
+pub fn kernel() -> Program {
+    parse_program(
+        r#"
+program psirrfan_kernel
+  integer n = 24
+  integer dense[1..n]
+  float image[1..n, 1..n], proj[1..n], filtered[1..n, 1..n]
+
+  recon: do col = 1, n where (dense[col] <> 0) {
+    do i = 1, n {
+      proj[i] = image[col, i] * 0.5 + image[i, i]
+    }
+    do i = 1, n {
+      image[i, col] = proj[i]
+    }
+  }
+  filter: do i = 1, n {
+    do j = 1, n {
+      filtered[j, i] = f(image[j, i])
+    }
+  }
+end
+"#,
+    )
+    .expect("kernel parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_is_well_formed() {
+        let w = workload(&Scale::test());
+        w.validate();
+        assert_eq!(w.name, "psirrfan");
+        assert!(w.serial_work() > 0.0);
+    }
+
+    #[test]
+    fn split_preserves_phase_work() {
+        // The split graph's phase work (I + D pieces) equals the
+        // baseline's combined op, modulo added merge overhead.
+        let w = workload(&Scale::test());
+        let base_phase: f64 = w
+            .baseline
+            .nodes
+            .iter()
+            .filter(|n| n.group.is_some())
+            .map(|n| n.kind.total_work())
+            .sum();
+        let split_phase: f64 = w
+            .split
+            .nodes
+            .iter()
+            .filter(|n| {
+                n.group.is_some() && !matches!(n.kind, orchestra_delirium::NodeKind::Merge { .. })
+            })
+            .map(|n| n.kind.total_work())
+            .sum();
+        assert!(
+            (base_phase - split_phase).abs() / base_phase < 0.01,
+            "baseline {base_phase} vs split {split_phase}"
+        );
+    }
+
+    #[test]
+    fn kernel_splits_under_the_compiler() {
+        use orchestra_descriptors::{descriptor_of_stmt, SymCtx};
+        use orchestra_split::{split_computation, SplitOptions};
+        let k = kernel();
+        let ctx = SymCtx::from_program(&k);
+        let d_recon = descriptor_of_stmt(&k.body[0], &ctx);
+        let result = split_computation(&k, &k.body[1..], &d_recon, &SplitOptions::default());
+        assert_eq!(result.loop_splits, vec!["filter"], "filter splits against recon");
+        assert!(result.has_independent_work());
+    }
+
+    #[test]
+    fn kernel_pipelines() {
+        use orchestra_split::{pipeline_loop, SplitOptions};
+        let k = kernel();
+        let r = pipeline_loop(&k, &k.body[0], 1, &SplitOptions::default());
+        assert!(r.is_some_and(|r| r.exposed_concurrency()), "recon loop pipelines");
+    }
+
+    #[test]
+    fn paper_scale_is_larger_than_test() {
+        let test = workload(&Scale::test());
+        let paper = workload(&paper_scale());
+        assert!(paper.serial_work() > test.serial_work());
+    }
+}

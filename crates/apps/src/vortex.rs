@@ -1,0 +1,106 @@
+//! Adaptive vortex method for turbulent fluid flow.
+//!
+//! Per timestep, vortex-element interactions are evaluated (irregular —
+//! clustered elements in turbulent regions cost far more) and element
+//! positions are advected (regular). The adaptive refinement couples
+//! steps: refined regions depend on the previous step's vorticity,
+//! which split isolates into the dependent piece.
+
+use crate::common::{phased_app, AppWorkload, PhasedParams, Scale};
+use orchestra_lang::ast::Program;
+use orchestra_lang::parse_program;
+
+/// Phase parameters for the vortex method.
+pub fn params(scale: &Scale) -> PhasedParams {
+    let elems = scale.n.max(64);
+    PhasedParams {
+        iters: 12,
+        // Far-field interactions: independent, moderately variable.
+        ind_tasks: elems * 7 / 2,
+        ind_mean: 112.5,
+        ind_cv: 0.45,
+        // Near-field clustered interactions in refined regions.
+        dep_tasks: elems / 2,
+        dep_mean: 225.0,
+        dep_cv: 1.0,
+        merge_cost: 180.0,
+        // Advection/update pass.
+        post_tasks: elems,
+        post_mean: 100.0,
+        post_cv: 0.05,
+        carried_elems: elems as u64 * 4,
+    }
+}
+
+/// Builds the vortex workload.
+pub fn workload(scale: &Scale) -> AppWorkload {
+    phased_app(
+        "vortex",
+        "adaptive vortex method for turbulent flow modeling",
+        &params(scale),
+        kernel(),
+    )
+}
+
+/// A representative element count.
+pub fn paper_scale() -> Scale {
+    Scale { n: 2560, seed: 1992 }
+}
+
+/// MF kernel: masked near-field interaction loop plus a regular
+/// advection pass.
+pub fn kernel() -> Program {
+    parse_program(
+        r#"
+program vortex_kernel
+  integer n = 16
+  integer refined[1..n]
+  float vort[1..n, 1..n], acc[1..n], pos[1..n, 1..n]
+
+  interact: do e = 1, n where (refined[e] <> 0) {
+    do i = 1, n {
+      acc[i] = vort[e, i] * 0.5 + vort[i, i]
+    }
+    do i = 1, n {
+      vort[i, e] = acc[i]
+    }
+  }
+  advect: do i = 1, n {
+    do j = 1, n {
+      pos[j, i] = f(vort[j, i])
+    }
+  }
+end
+"#,
+    )
+    .expect("kernel parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_is_well_formed() {
+        let w = workload(&Scale::test());
+        w.validate();
+        assert_eq!(w.name, "vortex");
+    }
+
+    #[test]
+    fn near_field_is_expensive() {
+        let p = params(&paper_scale());
+        assert!(p.dep_mean >= 2.0 * p.ind_mean);
+    }
+
+    #[test]
+    fn kernel_splits_under_the_compiler() {
+        use orchestra_descriptors::{descriptor_of_stmt, SymCtx};
+        use orchestra_split::{split_computation, SplitOptions};
+        let k = kernel();
+        let ctx = SymCtx::from_program(&k);
+        let d = descriptor_of_stmt(&k.body[0], &ctx);
+        let result = split_computation(&k, &k.body[1..], &d, &SplitOptions::default());
+        assert_eq!(result.loop_splits, vec!["advect"]);
+    }
+}

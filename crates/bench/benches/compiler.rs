@@ -1,0 +1,76 @@
+//! Micro-benchmarks of the compiler passes: parsing, symbolic analysis,
+//! descriptor construction, split, and pipelining on the paper's
+//! Figure 1 program at several sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use orchestra_analysis::analyze_program;
+use orchestra_core::compile;
+use orchestra_descriptors::{descriptor_of_stmt, SymCtx};
+use orchestra_lang::builder::figure1_program;
+use orchestra_lang::{parse_program, pretty::pretty_print};
+use orchestra_split::{pipeline_loop, split_computation, SplitOptions};
+
+fn bench_parse(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parse");
+    for n in [16, 64, 256] {
+        let src = pretty_print(&figure1_program(n));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &src, |b, src| {
+            b.iter(|| parse_program(std::hint::black_box(src)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let mut g = c.benchmark_group("analysis");
+    for n in [16, 64, 256] {
+        let prog = figure1_program(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &prog, |b, p| {
+            b.iter(|| analyze_program(std::hint::black_box(p)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_descriptors(c: &mut Criterion) {
+    let prog = figure1_program(64);
+    let ctx = SymCtx::from_program(&prog);
+    c.bench_function("descriptor_of_A", |b| {
+        b.iter(|| descriptor_of_stmt(std::hint::black_box(&prog.body[0]), &ctx))
+    });
+    let da = descriptor_of_stmt(&prog.body[0], &ctx);
+    let db = descriptor_of_stmt(&prog.body[1], &ctx);
+    c.bench_function("interference_test", |b| {
+        b.iter(|| std::hint::black_box(&da).interferes(std::hint::black_box(&db)))
+    });
+}
+
+fn bench_split(c: &mut Criterion) {
+    let prog = figure1_program(64);
+    let ctx = SymCtx::from_program(&prog);
+    let da = descriptor_of_stmt(&prog.body[0], &ctx);
+    let opts = SplitOptions::default();
+    c.bench_function("split_B_vs_A", |b| {
+        b.iter(|| split_computation(&prog, &prog.body[1..], std::hint::black_box(&da), &opts))
+    });
+    c.bench_function("pipeline_A", |b| {
+        b.iter(|| pipeline_loop(&prog, std::hint::black_box(&prog.body[0]), 1, &opts))
+    });
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let opts = SplitOptions::default();
+    c.bench_function("compile_figure1_64", |b| {
+        b.iter(|| compile(std::hint::black_box(figure1_program(64)), &opts))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_parse,
+    bench_analysis,
+    bench_descriptors,
+    bench_split,
+    bench_compile
+);
+criterion_main!(benches);

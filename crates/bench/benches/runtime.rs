@@ -1,0 +1,74 @@
+//! Micro-benchmarks of the runtime algorithms: chunk policies,
+//! distributed TAPER, the allocation equalizer, and finishing-time
+//! estimation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use orchestra_machine::{CostDistribution, MachineConfig};
+use orchestra_runtime::{
+    allocate_pair, finish_estimate, simulate_dist_taper, simulate_policy, AllocParams,
+    OpOptions, OpSpec, PolicyKind,
+};
+
+fn pool(n: usize) -> Vec<f64> {
+    CostDistribution::Bimodal { mean: 100.0, heavy_frac: 0.2, heavy_mult: 4.0 }.sample(n, 9)
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let costs = pool(4096);
+    let cfg = MachineConfig::ncube2(256);
+    let mut g = c.benchmark_group("chunk_policy");
+    for kind in [
+        PolicyKind::Static,
+        PolicyKind::Gss,
+        PolicyKind::Factoring,
+        PolicyKind::Taper,
+        PolicyKind::TaperCostFn,
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &k| {
+            b.iter(|| simulate_policy(&cfg, 256, &costs, k, &OpOptions::default()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_dist_taper(c: &mut Criterion) {
+    let costs = pool(4096);
+    let mut g = c.benchmark_group("dist_taper");
+    for p in [64usize, 256] {
+        let cfg = MachineConfig::ncube2(p);
+        g.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            b.iter(|| simulate_dist_taper(&cfg, p, &costs, 64))
+        });
+    }
+    g.finish();
+}
+
+fn bench_alloc(c: &mut Criterion) {
+    let cfg = MachineConfig::ncube2(1024);
+    let a = OpSpec {
+        tasks: 8192,
+        mean: 200.0,
+        std_dev: 120.0,
+        bytes_in: 8192 * 64,
+        bytes_out: 8192 * 64,
+        policy: PolicyKind::Taper,
+    };
+    let b_spec = OpSpec { tasks: 1024, mean: 50.0, std_dev: 10.0, ..a };
+    c.bench_function("allocate_pair", |bch| {
+        bch.iter(|| {
+            allocate_pair(
+                std::hint::black_box(&a),
+                std::hint::black_box(&b_spec),
+                1024,
+                &cfg,
+                &AllocParams::default(),
+            )
+        })
+    });
+    c.bench_function("finish_estimate", |bch| {
+        bch.iter(|| finish_estimate(std::hint::black_box(&a), 512, &cfg))
+    });
+}
+
+criterion_group!(benches, bench_policies, bench_dist_taper, bench_alloc);
+criterion_main!(benches);

@@ -1,0 +1,366 @@
+//! Regenerates every table and figure of the paper's evaluation (§5).
+//!
+//! ```text
+//! figures fig6           Figure 6: Psirrfan speedup vs processors
+//! figures r1             climate-model efficiencies (512/1024, ±split)
+//! figures r2             doubling processors with split, all four apps
+//! figures ablate-alloc   allocation equalizer vs even split
+//! figures ablate-costfn  TAPER cost-function scaling on/off
+//! figures ablate-pipeline  pipeline overlap on/off
+//! figures ablate-iters   equalizer iteration budget sweep
+//! figures ablate-batch   pipelined communication batch-size curve
+//! figures ablate-dist    centralized vs distributed TAPER
+//! figures intro-fusion   loop fusion vs split (§1's motivating example)
+//! figures all            everything above
+//! ```
+
+use orchestra_apps::{all_paper_workloads, climate, psirrfan};
+use orchestra_bench::{fig6_processor_counts, measure, Config, Measurement};
+use orchestra_machine::MachineConfig;
+use orchestra_runtime::{
+    allocate_pair, execute_graph, finish_estimate, AllocParams, ExecutorOptions, OpSpec,
+    PolicyKind,
+};
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    match arg.as_str() {
+        "fig6" => fig6(),
+        "r1" => r1(),
+        "r2" => r2(),
+        "ablate-alloc" => ablate_alloc(),
+        "ablate-costfn" => ablate_costfn(),
+        "ablate-pipeline" => ablate_pipeline(),
+        "ablate-iters" => ablate_iters(),
+        "intro-fusion" => intro_fusion(),
+        "ablate-batch" => ablate_batch(),
+        "ablate-dist" => ablate_dist(),
+        "all" => {
+            fig6();
+            r1();
+            r2();
+            ablate_alloc();
+            ablate_costfn();
+            ablate_pipeline();
+            ablate_iters();
+            intro_fusion();
+            ablate_batch();
+            ablate_dist();
+        }
+        other => {
+            eprintln!("unknown experiment `{other}`");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn header(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Figure 6: Psirrfan speedup vs number of processors for the three
+/// configurations. Paper shape: static worst; TAPER efficient to ~512
+/// then flattening; TAPER-with-split sustaining > 80% efficiency
+/// through 1024 processors.
+fn fig6() {
+    header("Figure 6 — Psirrfan performance (speedup vs processors)");
+    let w = psirrfan::workload(&psirrfan::paper_scale());
+    println!(
+        "{:>6} {:>10} {:>8} {:>10} {:>8} {:>16} {:>8}",
+        "procs", "static", "eff", "TAPER", "eff", "TAPER w/ split", "eff"
+    );
+    for p in fig6_processor_counts() {
+        let st = measure(&w, Config::Static, p);
+        let tp = measure(&w, Config::Taper, p);
+        let sp = measure(&w, Config::TaperSplit, p);
+        println!(
+            "{:>6} {:>10.0} {:>7.0}% {:>10.0} {:>7.0}% {:>16.0} {:>7.0}%",
+            p,
+            st.speedup,
+            st.efficiency * 100.0,
+            tp.speedup,
+            tp.efficiency * 100.0,
+            sp.speedup,
+            sp.efficiency * 100.0
+        );
+    }
+}
+
+/// R1: the climate-model numbers from §5's text. Paper: TAPER-only on
+/// 512 → 87% efficiency (speedup 445); with split on 1024 → 83%
+/// (speedup 850); without split on 1024 → 57% (speedup 581).
+fn r1() {
+    header("R1 — UCLA climate model (§5 text)");
+    let w = climate::workload(&climate::paper_scale());
+    let rows: [(&str, Measurement, f64, f64); 3] = [
+        ("TAPER only, 512 procs", measure(&w, Config::Taper, 512), 445.0, 0.87),
+        ("split, 1024 procs", measure(&w, Config::TaperSplit, 1024), 850.0, 0.83),
+        ("no split, 1024 procs", measure(&w, Config::Taper, 1024), 581.0, 0.57),
+    ];
+    println!(
+        "{:<24} {:>9} {:>6}   {:>12} {:>9}",
+        "configuration", "speedup", "eff", "paper speedup", "paper eff"
+    );
+    for (name, m, paper_speedup, paper_eff) in rows {
+        println!(
+            "{:<24} {:>9.0} {:>5.0}%   {:>12.0} {:>8.0}%",
+            name,
+            m.speedup,
+            m.efficiency * 100.0,
+            paper_speedup,
+            paper_eff * 100.0
+        );
+    }
+}
+
+/// R2: "we were able to double the number of processors used for each
+/// application, with a loss of only five to fifteen percent in
+/// efficiency" — split configuration, 512 → 1024 processors.
+fn r2() {
+    header("R2 — doubling processors with split (all four applications)");
+    println!(
+        "{:<10} {:>10} {:>10} {:>12}  paper: 5–15% loss",
+        "app", "eff@512", "eff@1024", "loss"
+    );
+    for w in all_paper_workloads() {
+        let e512 = measure(&w, Config::TaperSplit, 512).efficiency;
+        let e1024 = measure(&w, Config::TaperSplit, 1024).efficiency;
+        let loss = (e512 - e1024) / e512 * 100.0;
+        println!(
+            "{:<10} {:>9.0}% {:>9.0}% {:>11.1}%",
+            w.name,
+            e512 * 100.0,
+            e1024 * 100.0,
+            loss
+        );
+    }
+}
+
+/// The introduction's motivating comparison: "One possible remedy is to
+/// use loop fusion … However, the resulting parallelization is
+/// incomplete, since fusion discards information about the more regular
+/// component of the new loop." Fusing a phase's regular and irregular
+/// loops yields one mixed operation — better than the barrier between
+/// them, but without the split structure the runtime can neither
+/// pipeline the phases nor overlap the post-pass.
+fn intro_fusion() {
+    use orchestra_delirium::{DataAnno, DelirGraph, NodeKind, Population};
+    header("Intro — loop fusion vs split (Psirrfan)");
+    let scale = psirrfan::paper_scale();
+    let params = psirrfan::params(&scale);
+    let w = psirrfan::workload(&scale);
+
+    // The fused graph: one mixed operation per phase.
+    let mut fused = DelirGraph::new();
+    let a = fused.add_node(
+        "A_fused",
+        NodeKind::Mixture {
+            populations: vec![
+                Population {
+                    tasks: params.ind_tasks,
+                    mean_cost: params.ind_mean,
+                    cv: params.ind_cv,
+                },
+                Population {
+                    tasks: params.dep_tasks,
+                    mean_cost: params.dep_mean,
+                    cv: params.dep_cv,
+                },
+            ],
+        },
+        Some("phase".into()),
+    );
+    fused.add_carried_edge(a, a, DataAnno::array("carried", params.carried_elems));
+    let b = fused.add_node(
+        "B",
+        NodeKind::DataParallel {
+            tasks: params.post_tasks,
+            mean_cost: params.post_mean,
+            cv: params.post_cv,
+        },
+        None,
+    );
+    fused.add_edge(a, b, DataAnno::array("q", params.carried_elems));
+
+    println!(
+        "{:>6} {:>12} {:>12} {:>12}",
+        "procs", "barriers", "fused", "split"
+    );
+    for p in [256usize, 512, 1024] {
+        let cfg = MachineConfig::ncube2(p);
+        let serial = w.serial_work();
+        let mut opts = ExecutorOptions {
+            policy: PolicyKind::TaperCostFn,
+            pipeline_overlap: false,
+            use_allocation: false,
+            ..ExecutorOptions::default()
+        };
+        opts.pipeline_iters.extend(w.pipeline_iters.clone());
+        let t_base = execute_graph(&w.baseline, &cfg, &opts).expect("valid").finish;
+        let t_fused = execute_graph(&fused, &cfg, &opts).expect("valid").finish;
+        let sp = measure(&w, Config::TaperSplit, p);
+        println!(
+            "{:>6} {:>12.0} {:>12.0} {:>12.0}   (speedups)",
+            p,
+            serial / t_base,
+            serial / t_fused,
+            sp.speedup
+        );
+    }
+    println!("fusion removes the intra-phase barrier but cannot pipeline phases");
+    println!("or overlap the post-pass: the resulting parallelization is");
+    println!("incomplete (§1).");
+}
+
+/// Ablation: the §4.1.2 finishing-time equalizer vs a naive even split
+/// of processors among concurrent operations.
+fn ablate_alloc() {
+    header("Ablation — processor allocation (equalizer vs even split)");
+    let w = psirrfan::workload(&psirrfan::paper_scale());
+    println!("{:>6} {:>14} {:>14} {:>8}", "procs", "equalizer", "even split", "gain");
+    for p in [256, 512, 1024] {
+        let cfg = MachineConfig::ncube2(p);
+        let mut with = ExecutorOptions {
+            policy: PolicyKind::TaperCostFn,
+            ..ExecutorOptions::default()
+        };
+        with.pipeline_iters.extend(w.pipeline_iters.clone());
+        let mut without = with.clone();
+        without.use_allocation = false;
+        let t_with = execute_graph(&w.split, &cfg, &with).expect("valid").finish;
+        let t_without = execute_graph(&w.split, &cfg, &without).expect("valid").finish;
+        println!(
+            "{:>6} {:>14.0} {:>14.0} {:>7.2}x",
+            p,
+            t_with,
+            t_without,
+            t_without / t_with
+        );
+    }
+}
+
+/// Ablation: TAPER's positional cost-function scaling on/off on the
+/// baseline graph.
+fn ablate_costfn() {
+    header("Ablation — TAPER cost-function scaling");
+    let w = psirrfan::workload(&psirrfan::paper_scale());
+    println!("{:>6} {:>14} {:>14}", "procs", "TAPER+costfn", "TAPER");
+    for p in [256, 512, 1024] {
+        let cfg = MachineConfig::ncube2(p);
+        let mut a = ExecutorOptions {
+            policy: PolicyKind::TaperCostFn,
+            pipeline_overlap: false,
+            ..ExecutorOptions::default()
+        };
+        a.pipeline_iters.extend(w.pipeline_iters.clone());
+        let mut b = a.clone();
+        b.policy = PolicyKind::Taper;
+        let ta = execute_graph(&w.baseline, &cfg, &a).expect("valid").finish;
+        let tb = execute_graph(&w.baseline, &cfg, &b).expect("valid").finish;
+        println!("{:>6} {:>14.0} {:>14.0}", p, ta, tb);
+    }
+}
+
+/// Ablation: pipeline overlap on/off on the split graph.
+fn ablate_pipeline() {
+    header("Ablation — pipeline overlap (split graph)");
+    let w = psirrfan::workload(&psirrfan::paper_scale());
+    println!("{:>6} {:>12} {:>12} {:>8}", "procs", "overlap", "barrier", "gain");
+    for p in [256, 512, 1024] {
+        let cfg = MachineConfig::ncube2(p);
+        let mut over = ExecutorOptions {
+            policy: PolicyKind::TaperCostFn,
+            ..ExecutorOptions::default()
+        };
+        over.pipeline_iters.extend(w.pipeline_iters.clone());
+        let mut barrier = over.clone();
+        barrier.pipeline_overlap = false;
+        let t_over = execute_graph(&w.split, &cfg, &over).expect("valid").finish;
+        let t_barrier = execute_graph(&w.split, &cfg, &barrier).expect("valid").finish;
+        println!(
+            "{:>6} {:>12.0} {:>12.0} {:>7.2}x",
+            p,
+            t_over,
+            t_barrier,
+            t_barrier / t_over
+        );
+    }
+}
+
+/// Ablation: the distributed TAPER epoch/token scheme (§4.1.1) vs the
+/// centralized chunk queue on the split graph — the decentralization
+/// trades scheduling-bottleneck freedom for token latency, and is
+/// designed to preserve owner-computes locality.
+fn ablate_dist() {
+    header("Ablation — centralized vs distributed TAPER (split graph)");
+    let w = psirrfan::workload(&psirrfan::paper_scale());
+    println!("{:>6} {:>14} {:>14}", "procs", "centralized", "distributed");
+    for p in [256usize, 512, 1024] {
+        let cfg = MachineConfig::ncube2(p);
+        let mut central = ExecutorOptions {
+            policy: PolicyKind::TaperCostFn,
+            ..ExecutorOptions::default()
+        };
+        central.pipeline_iters.extend(w.pipeline_iters.clone());
+        let dist = ExecutorOptions { distributed: true, ..central.clone() };
+        let tc = execute_graph(&w.split, &cfg, &central).expect("valid").finish;
+        let td = execute_graph(&w.split, &cfg, &dist).expect("valid").finish;
+        println!("{:>6} {:>14.0} {:>14.0}", p, tc, td);
+    }
+}
+
+/// Ablation: communication granularity for a pipelined pair (§4.1) —
+/// the batch-size cost curve and the size the runtime picks.
+fn ablate_batch() {
+    use orchestra_runtime::{batch_cost, choose_batch};
+    header("Ablation — pipelined communication granularity");
+    let cfg = MachineConfig::ncube2(512);
+    let n = 1024; // items streamed per iteration
+    let item_bytes = 64;
+    let chosen = choose_batch(n, item_bytes, &cfg);
+    println!("streaming {n} items of {item_bytes} B (α={} µs, β={} µs/B):", cfg.alpha, cfg.beta);
+    println!("{:>8} {:>14}", "batch", "latency+fill µs");
+    for b in [1usize, 4, 16, 64, 256, 1024] {
+        let marker = if b == chosen { "  ← chosen" } else { "" };
+        println!("{:>8} {:>14.0}{marker}", b, batch_cost(n, item_bytes, b, &cfg));
+    }
+    if ![1usize, 4, 16, 64, 256, 1024].contains(&chosen) {
+        println!("{:>8} {:>14.0}  ← chosen", chosen, batch_cost(n, item_bytes, chosen, &cfg));
+    }
+}
+
+/// Ablation: the equalizer's iteration budget (`max_count`), checked on
+/// the estimate imbalance it leaves behind.
+fn ablate_iters() {
+    header("Ablation — allocation equalizer iterations (max_count)");
+    let cfg = MachineConfig::ncube2(1024);
+    let big = OpSpec {
+        tasks: 8192,
+        mean: 400.0,
+        std_dev: 200.0,
+        bytes_in: 8192 * 256,
+        bytes_out: 8192 * 256,
+        policy: PolicyKind::Taper,
+    };
+    let small = OpSpec {
+        tasks: 1024,
+        mean: 80.0,
+        std_dev: 20.0,
+        bytes_in: 1024 * 256,
+        bytes_out: 1024 * 256,
+        policy: PolicyKind::Taper,
+    };
+    println!("{:>9} {:>6} {:>6} {:>12}", "max_count", "p1", "p2", "imbalance");
+    for max_count in [0u32, 1, 2, 4, 8] {
+        let r = allocate_pair(
+            &big,
+            &small,
+            1024,
+            &cfg,
+            &AllocParams { epsilon: 0.0, max_count },
+        );
+        let imb = (r.est_a - r.est_b).abs() / r.est_a.max(r.est_b);
+        println!("{:>9} {:>6} {:>6} {:>11.1}%", max_count, r.p1, r.p2, imb * 100.0);
+    }
+    let _ = finish_estimate(&big, 512, &cfg);
+}

@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+//! # orchestra-delirium
+//!
+//! The coarse-grained dataflow intermediate form (§3.4 of
+//! *Orchestrating Interactions Among Parallel Computations*, PLDI 1993).
+//!
+//! The compiler emits three artifacts: transformed source, a dataflow
+//! graph in the coordination language Delirium, and size/type
+//! annotations per argument. This crate is the graph: [`graph`] defines
+//! nodes (sequential tasks, data-parallel operations, merges), annotated
+//! edges, validation, concurrency levels, and the Sarkar–Hennessy
+//! runtime communication-cost estimate; [`mod@text`] is a round-tripping
+//! textual notation used for golden tests and interchange.
+//!
+//! ```
+//! use orchestra_delirium::{DataAnno, DelirGraph, NodeKind};
+//!
+//! let mut g = DelirGraph::new();
+//! let a = g.add_node("A", NodeKind::DataParallel { tasks: 128, mean_cost: 4.0, cv: 1.1 }, None);
+//! let b = g.add_node("B_I", NodeKind::DataParallel { tasks: 128, mean_cost: 2.0, cv: 0.1 }, None);
+//! let m = g.add_node("B_M", NodeKind::Merge { cost: 1.0 }, None);
+//! g.add_edge(a, m, DataAnno::array("q", 1024));
+//! g.add_edge(b, m, DataAnno::array("output1", 1024));
+//! g.validate().unwrap();
+//! assert_eq!(g.levels().unwrap()[0].len(), 2, "A and B_I are concurrent");
+//! ```
+
+pub mod graph;
+pub mod text;
+
+pub use graph::{DataAnno, DelirGraph, Edge, GraphError, Node, NodeId, NodeKind, Population};
+pub use text::{parse, print, ParseError};

@@ -1,0 +1,630 @@
+//! Abstract syntax of the MF language.
+//!
+//! The AST mirrors the loop-nest-level subset of FORTRAN the paper's
+//! examples use, plus the two extensions the paper introduces in its
+//! notation: masked loops (`do i = lo, hi where (e)`) and discontinuous
+//! ranges (`do i = 1, a-1 and a+1, n`).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Scalar element types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE float.
+    Float,
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Int => write!(f, "integer"),
+            Type::Float => write!(f, "float"),
+        }
+    }
+}
+
+/// A complete MF program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// The program name from the `program` header.
+    pub name: String,
+    /// Variable declarations (scalars and arrays).
+    pub decls: Vec<Decl>,
+    /// Procedure definitions.
+    pub procs: Vec<ProcDef>,
+    /// Top-level statements.
+    pub body: Vec<Stmt>,
+}
+
+impl Program {
+    /// Creates an empty program with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Program { name: name.into(), decls: Vec::new(), procs: Vec::new(), body: Vec::new() }
+    }
+
+    /// Looks up a declaration by variable name.
+    pub fn decl(&self, name: &str) -> Option<&Decl> {
+        self.decls.iter().find(|d| d.name == name)
+    }
+
+    /// Looks up a procedure definition by name.
+    pub fn proc(&self, name: &str) -> Option<&ProcDef> {
+        self.procs.iter().find(|p| p.name == name)
+    }
+}
+
+/// A variable declaration. `dims` is empty for scalars.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decl {
+    /// Variable name.
+    pub name: String,
+    /// Element type.
+    pub ty: Type,
+    /// Declared index range per dimension; empty for a scalar.
+    pub dims: Vec<Range>,
+    /// Optional scalar initializer (evaluated at program start).
+    pub init: Option<Expr>,
+}
+
+impl Decl {
+    /// Creates a scalar declaration without initializer.
+    pub fn scalar(name: impl Into<String>, ty: Type) -> Self {
+        Decl { name: name.into(), ty, dims: Vec::new(), init: None }
+    }
+
+    /// Creates a scalar declaration with an initializer.
+    pub fn scalar_init(name: impl Into<String>, ty: Type, init: Expr) -> Self {
+        Decl { name: name.into(), ty, dims: Vec::new(), init: Some(init) }
+    }
+
+    /// Creates an array declaration.
+    pub fn array(name: impl Into<String>, ty: Type, dims: Vec<Range>) -> Self {
+        Decl { name: name.into(), ty, dims, init: None }
+    }
+
+    /// Returns true if this declares an array.
+    pub fn is_array(&self) -> bool {
+        !self.dims.is_empty()
+    }
+}
+
+/// A procedure definition. Procedures are call-by-reference, like
+/// FORTRAN subroutines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcDef {
+    /// Procedure name.
+    pub name: String,
+    /// Formal parameters (declarations without initializers).
+    pub params: Vec<Decl>,
+    /// Local declarations.
+    pub locals: Vec<Decl>,
+    /// Procedure body.
+    pub body: Vec<Stmt>,
+}
+
+/// An index range `lo .. hi` with an optional skip (stride), default 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Range {
+    /// First value (inclusive).
+    pub lo: Expr,
+    /// Last value (inclusive).
+    pub hi: Expr,
+    /// Stride; `None` means 1.
+    pub step: Option<Expr>,
+}
+
+impl Range {
+    /// A unit-stride range.
+    pub fn new(lo: Expr, hi: Expr) -> Self {
+        Range { lo, hi, step: None }
+    }
+
+    /// A constant unit-stride range.
+    pub fn constant(lo: i64, hi: i64) -> Self {
+        Range::new(Expr::IntLit(lo), Expr::IntLit(hi))
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `=` (comparison in expression position)
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `and`
+    And,
+    /// `or`
+    Or,
+}
+
+impl BinOp {
+    /// Whether this operator yields a boolean (0/1) result.
+    pub fn is_comparison(&self) -> bool {
+        matches!(self, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge)
+    }
+
+    /// Whether this is a logical connective.
+    pub fn is_logical(&self) -> bool {
+        matches!(self, BinOp::And | BinOp::Or)
+    }
+
+    /// The comparison with swapped operands (`a < b` ⇔ `b > a`), if any.
+    pub fn swap(&self) -> Option<BinOp> {
+        Some(match self {
+            BinOp::Eq => BinOp::Eq,
+            BinOp::Ne => BinOp::Ne,
+            BinOp::Lt => BinOp::Gt,
+            BinOp::Le => BinOp::Ge,
+            BinOp::Gt => BinOp::Lt,
+            BinOp::Ge => BinOp::Le,
+            _ => return None,
+        })
+    }
+
+    /// The logical negation of a comparison (`<` ⇔ `>=`), if any.
+    pub fn negate(&self) -> Option<BinOp> {
+        Some(match self {
+            BinOp::Eq => BinOp::Ne,
+            BinOp::Ne => BinOp::Eq,
+            BinOp::Lt => BinOp::Ge,
+            BinOp::Le => BinOp::Gt,
+            BinOp::Gt => BinOp::Le,
+            BinOp::Ge => BinOp::Lt,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+            BinOp::Eq => "=",
+            BinOp::Ne => "<>",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical negation.
+    Not,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    IntLit(i64),
+    /// Float literal.
+    FloatLit(f64),
+    /// Scalar variable reference.
+    Var(String),
+    /// Array element reference `a[i, j]`.
+    Index(String, Vec<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary operation.
+    Un(UnOp, Box<Expr>),
+    /// Call to a pure intrinsic function.
+    Call(String, Vec<Expr>),
+}
+
+impl Expr {
+    /// Shorthand for a variable reference.
+    pub fn var(name: impl Into<String>) -> Self {
+        Expr::Var(name.into())
+    }
+
+    /// Shorthand for a binary operation.
+    pub fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Self {
+        Expr::Bin(op, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Shorthand for an array index expression.
+    pub fn index(name: impl Into<String>, idx: Vec<Expr>) -> Self {
+        Expr::Index(name.into(), idx)
+    }
+
+    /// Collects the names of all scalar variables read by this expression
+    /// (array index variables included; array names excluded).
+    pub fn scalar_reads(&self, out: &mut BTreeSet<String>) {
+        match self {
+            Expr::IntLit(_) | Expr::FloatLit(_) => {}
+            Expr::Var(v) => {
+                out.insert(v.clone());
+            }
+            Expr::Index(_, idx) => {
+                for e in idx {
+                    e.scalar_reads(out);
+                }
+            }
+            Expr::Bin(_, a, b) => {
+                a.scalar_reads(out);
+                b.scalar_reads(out);
+            }
+            Expr::Un(_, a) => a.scalar_reads(out),
+            Expr::Call(_, args) => {
+                for a in args {
+                    a.scalar_reads(out);
+                }
+            }
+        }
+    }
+
+    /// Collects the names of all arrays referenced by this expression.
+    pub fn array_reads(&self, out: &mut BTreeSet<String>) {
+        match self {
+            Expr::IntLit(_) | Expr::FloatLit(_) | Expr::Var(_) => {}
+            Expr::Index(name, idx) => {
+                out.insert(name.clone());
+                for e in idx {
+                    e.array_reads(out);
+                }
+            }
+            Expr::Bin(_, a, b) => {
+                a.array_reads(out);
+                b.array_reads(out);
+            }
+            Expr::Un(_, a) => a.array_reads(out),
+            Expr::Call(_, args) => {
+                for a in args {
+                    a.array_reads(out);
+                }
+            }
+        }
+    }
+
+    /// Substitutes every occurrence of scalar variable `name` with `repl`.
+    pub fn subst(&self, name: &str, repl: &Expr) -> Expr {
+        match self {
+            Expr::IntLit(_) | Expr::FloatLit(_) => self.clone(),
+            Expr::Var(v) => {
+                if v == name {
+                    repl.clone()
+                } else {
+                    self.clone()
+                }
+            }
+            Expr::Index(a, idx) => {
+                Expr::Index(a.clone(), idx.iter().map(|e| e.subst(name, repl)).collect())
+            }
+            Expr::Bin(op, l, r) => Expr::bin(*op, l.subst(name, repl), r.subst(name, repl)),
+            Expr::Un(op, e) => Expr::Un(*op, Box::new(e.subst(name, repl))),
+            Expr::Call(f, args) => {
+                Expr::Call(f.clone(), args.iter().map(|e| e.subst(name, repl)).collect())
+            }
+        }
+    }
+
+    /// Returns the constant integer value of this expression if it is a
+    /// literal (possibly negated).
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Expr::IntLit(v) => Some(*v),
+            Expr::Un(UnOp::Neg, e) => e.as_int().map(|v| -v),
+            _ => None,
+        }
+    }
+}
+
+/// The target of an assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    /// Scalar variable.
+    Var(String),
+    /// Array element.
+    Index(String, Vec<Expr>),
+}
+
+impl LValue {
+    /// The name of the variable or array being written.
+    pub fn name(&self) -> &str {
+        match self {
+            LValue::Var(n) => n,
+            LValue::Index(n, _) => n,
+        }
+    }
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `target = value`
+    Assign {
+        /// The location written.
+        target: LValue,
+        /// The value expression.
+        value: Expr,
+    },
+    /// A `do` loop, possibly masked, possibly over a discontinuous range.
+    Do {
+        /// Optional label (used by split to name generated pieces).
+        label: Option<String>,
+        /// Induction variable name.
+        var: String,
+        /// One or more ranges, iterated in order (`do i = r1 and r2`).
+        ranges: Vec<Range>,
+        /// Optional `where` mask; iterations with a false mask are skipped.
+        mask: Option<Expr>,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `if (cond) { ... } else { ... }`
+    If {
+        /// Branch condition.
+        cond: Expr,
+        /// Taken when `cond` is non-zero.
+        then_body: Vec<Stmt>,
+        /// Taken when `cond` is zero. May be empty.
+        else_body: Vec<Stmt>,
+    },
+    /// `call p(args)` — procedure invocation (by-reference).
+    Call {
+        /// Procedure name.
+        name: String,
+        /// Actual arguments.
+        args: Vec<Expr>,
+    },
+}
+
+impl Stmt {
+    /// Creates a simple (unlabeled, unmasked, single-range) `do` loop.
+    pub fn simple_do(var: impl Into<String>, lo: Expr, hi: Expr, body: Vec<Stmt>) -> Self {
+        Stmt::Do {
+            label: None,
+            var: var.into(),
+            ranges: vec![Range::new(lo, hi)],
+            mask: None,
+            body,
+        }
+    }
+
+    /// Creates an assignment statement.
+    pub fn assign(target: LValue, value: Expr) -> Self {
+        Stmt::Assign { target, value }
+    }
+
+    /// The label of this statement, if it is a labeled loop.
+    pub fn label(&self) -> Option<&str> {
+        match self {
+            Stmt::Do { label, .. } => label.as_deref(),
+            _ => None,
+        }
+    }
+
+    /// Collects scalar variables written by this statement (transitively).
+    pub fn scalar_writes(&self, out: &mut BTreeSet<String>) {
+        match self {
+            Stmt::Assign { target: LValue::Var(v), .. } => {
+                out.insert(v.clone());
+            }
+            Stmt::Assign { .. } => {}
+            Stmt::Do { var, body, .. } => {
+                out.insert(var.clone());
+                for s in body {
+                    s.scalar_writes(out);
+                }
+            }
+            Stmt::If { then_body, else_body, .. } => {
+                for s in then_body.iter().chain(else_body) {
+                    s.scalar_writes(out);
+                }
+            }
+            Stmt::Call { .. } => {}
+        }
+    }
+
+    /// Collects array names written by this statement (transitively;
+    /// calls are treated as writing every array argument, conservatively).
+    pub fn array_writes(&self, out: &mut BTreeSet<String>) {
+        match self {
+            Stmt::Assign { target: LValue::Index(a, _), .. } => {
+                out.insert(a.clone());
+            }
+            Stmt::Assign { .. } => {}
+            Stmt::Do { body, .. } => {
+                for s in body {
+                    s.array_writes(out);
+                }
+            }
+            Stmt::If { then_body, else_body, .. } => {
+                for s in then_body.iter().chain(else_body) {
+                    s.array_writes(out);
+                }
+            }
+            Stmt::Call { args, .. } => {
+                for a in args {
+                    if let Expr::Var(name) = a {
+                        out.insert(name.clone());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Visits every expression in this statement, outermost first.
+    pub fn visit_exprs<'a>(&'a self, f: &mut dyn FnMut(&'a Expr)) {
+        match self {
+            Stmt::Assign { target, value } => {
+                if let LValue::Index(_, idx) = target {
+                    for e in idx {
+                        f(e);
+                    }
+                }
+                f(value);
+            }
+            Stmt::Do { ranges, mask, body, .. } => {
+                for r in ranges {
+                    f(&r.lo);
+                    f(&r.hi);
+                    if let Some(s) = &r.step {
+                        f(s);
+                    }
+                }
+                if let Some(m) = mask {
+                    f(m);
+                }
+                for s in body {
+                    s.visit_exprs(f);
+                }
+            }
+            Stmt::If { cond, then_body, else_body } => {
+                f(cond);
+                for s in then_body.iter().chain(else_body) {
+                    s.visit_exprs(f);
+                }
+            }
+            Stmt::Call { args, .. } => {
+                for a in args {
+                    f(a);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_loop() -> Stmt {
+        // do i = 1, n { q[i, col] = result[i] }
+        Stmt::simple_do(
+            "i",
+            Expr::IntLit(1),
+            Expr::var("n"),
+            vec![Stmt::assign(
+                LValue::Index("q".into(), vec![Expr::var("i"), Expr::var("col")]),
+                Expr::index("result", vec![Expr::var("i")]),
+            )],
+        )
+    }
+
+    #[test]
+    fn scalar_reads_collects_index_vars() {
+        let e = Expr::index("q", vec![Expr::var("i"), Expr::var("col")]);
+        let mut s = BTreeSet::new();
+        e.scalar_reads(&mut s);
+        assert!(s.contains("i") && s.contains("col"));
+        assert!(!s.contains("q"), "array names are not scalar reads");
+    }
+
+    #[test]
+    fn array_reads_collects_names() {
+        let e = Expr::bin(
+            BinOp::Add,
+            Expr::index("q", vec![Expr::var("i")]),
+            Expr::index("x", vec![Expr::IntLit(3)]),
+        );
+        let mut s = BTreeSet::new();
+        e.array_reads(&mut s);
+        assert_eq!(s.into_iter().collect::<Vec<_>>(), vec!["q", "x"]);
+    }
+
+    #[test]
+    fn stmt_array_writes() {
+        let mut s = BTreeSet::new();
+        sample_loop().array_writes(&mut s);
+        assert_eq!(s.into_iter().collect::<Vec<_>>(), vec!["q"]);
+    }
+
+    #[test]
+    fn stmt_scalar_writes_include_induction_var() {
+        let mut s = BTreeSet::new();
+        sample_loop().scalar_writes(&mut s);
+        assert!(s.contains("i"));
+    }
+
+    #[test]
+    fn subst_replaces_only_target() {
+        let e = Expr::bin(BinOp::Add, Expr::var("i"), Expr::var("j"));
+        let r = e.subst("i", &Expr::IntLit(5));
+        assert_eq!(r, Expr::bin(BinOp::Add, Expr::IntLit(5), Expr::var("j")));
+    }
+
+    #[test]
+    fn subst_reaches_into_indices() {
+        let e = Expr::index("q", vec![Expr::var("i")]);
+        let r = e.subst("i", &Expr::bin(BinOp::Sub, Expr::var("i"), Expr::IntLit(1)));
+        assert_eq!(
+            r,
+            Expr::index("q", vec![Expr::bin(BinOp::Sub, Expr::var("i"), Expr::IntLit(1))])
+        );
+    }
+
+    #[test]
+    fn negate_comparison() {
+        assert_eq!(BinOp::Lt.negate(), Some(BinOp::Ge));
+        assert_eq!(BinOp::Eq.negate(), Some(BinOp::Ne));
+        assert_eq!(BinOp::Add.negate(), None);
+    }
+
+    #[test]
+    fn as_int_handles_negation() {
+        let e = Expr::Un(UnOp::Neg, Box::new(Expr::IntLit(7)));
+        assert_eq!(e.as_int(), Some(-7));
+    }
+
+    #[test]
+    fn program_lookup() {
+        let mut p = Program::new("t");
+        p.decls.push(Decl::scalar("n", Type::Int));
+        assert!(p.decl("n").is_some());
+        assert!(p.decl("m").is_none());
+    }
+
+    #[test]
+    fn visit_exprs_sees_mask_and_bounds() {
+        let s = Stmt::Do {
+            label: None,
+            var: "i".into(),
+            ranges: vec![Range::new(Expr::IntLit(1), Expr::var("n"))],
+            mask: Some(Expr::bin(
+                BinOp::Ne,
+                Expr::index("mask", vec![Expr::var("i")]),
+                Expr::IntLit(0),
+            )),
+            body: vec![],
+        };
+        let mut count = 0;
+        s.visit_exprs(&mut |_| count += 1);
+        assert_eq!(count, 3, "lo, hi, mask");
+    }
+}

@@ -1,0 +1,100 @@
+//! Processor bookkeeping: busy time, task counts, utilization.
+
+/// Per-processor execution statistics.
+#[derive(Debug, Clone, Default)]
+pub struct ProcStats {
+    /// Accumulated busy time (µs).
+    pub busy: f64,
+    /// Tasks executed.
+    pub tasks: u64,
+    /// Chunks (scheduling events) processed.
+    pub chunks: u64,
+    /// Time the processor last became free.
+    pub free_at: f64,
+}
+
+/// Statistics for a whole simulated machine run.
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// Per-processor stats.
+    pub procs: Vec<ProcStats>,
+    /// Simulated completion time (µs).
+    pub makespan: f64,
+}
+
+impl RunStats {
+    /// Creates stats for `p` processors.
+    pub fn new(p: usize) -> Self {
+        RunStats { procs: vec![ProcStats::default(); p], makespan: 0.0 }
+    }
+
+    /// Records that processor `p` executed `tasks` tasks of total
+    /// duration `busy`, finishing at `end`.
+    pub fn record_chunk(&mut self, p: usize, tasks: u64, busy: f64, end: f64) {
+        let s = &mut self.procs[p];
+        s.busy += busy;
+        s.tasks += tasks;
+        s.chunks += 1;
+        s.free_at = s.free_at.max(end);
+        self.makespan = self.makespan.max(end);
+    }
+
+    /// Total busy time across processors.
+    pub fn total_busy(&self) -> f64 {
+        self.procs.iter().map(|s| s.busy).sum()
+    }
+
+    /// Total tasks executed.
+    pub fn total_tasks(&self) -> u64 {
+        self.procs.iter().map(|s| s.tasks).sum()
+    }
+
+    /// Machine utilization: busy time / (p · makespan).
+    pub fn utilization(&self) -> f64 {
+        if self.makespan <= 0.0 {
+            return 0.0;
+        }
+        self.total_busy() / (self.procs.len() as f64 * self.makespan)
+    }
+
+    /// Load imbalance: max over processors of busy / mean busy.
+    pub fn imbalance(&self) -> f64 {
+        let mean = self.total_busy() / self.procs.len() as f64;
+        if mean <= 0.0 {
+            return 1.0;
+        }
+        self.procs.iter().map(|s| s.busy).fold(0.0f64, f64::max) / mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate() {
+        let mut r = RunStats::new(2);
+        r.record_chunk(0, 5, 50.0, 50.0);
+        r.record_chunk(1, 5, 30.0, 30.0);
+        r.record_chunk(1, 2, 20.0, 50.0);
+        assert_eq!(r.total_tasks(), 12);
+        assert_eq!(r.total_busy(), 100.0);
+        assert_eq!(r.makespan, 50.0);
+        assert!((r.utilization() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilization_reflects_idle_time() {
+        let mut r = RunStats::new(2);
+        r.record_chunk(0, 1, 100.0, 100.0);
+        // proc 1 idle the whole time.
+        assert!((r.utilization() - 0.5).abs() < 1e-9);
+        assert!((r.imbalance() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_run_is_zero_utilization() {
+        let r = RunStats::new(4);
+        assert_eq!(r.utilization(), 0.0);
+    }
+}

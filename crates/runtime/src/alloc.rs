@@ -1,0 +1,238 @@
+//! Runtime processor allocation (§4.1.2).
+//!
+//! When two parallel operations execute concurrently, the runtime
+//! rations processors between them by iteratively equalizing their
+//! finishing-time estimates — the paper's pseudocode verbatim:
+//!
+//! ```text
+//! epsilon = 5%
+//! p1 = p/2, p2 = p − p1, count = 0
+//! eA = finish_estimate(A, p1), eB = finish_estimate(B, p2)
+//! while (count < max_count) and (|eA − eB| > epsilon):
+//!     if eA > eB:  p1 = p1 + p2/2;  p2 = p − p1
+//!     else:        p2 = p2 + p1/2;  p1 = p − p2
+//!     eA = finish_estimate(A, p1);  eB = finish_estimate(B, p2)
+//!     count = count + 1
+//! ```
+//!
+//! "In practice, using a max_count of four has been sufficient."
+
+use crate::finish::{finish_estimate, OpSpec};
+use orchestra_machine::MachineConfig;
+
+/// Parameters of the iterative equalizer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AllocParams {
+    /// Relative imbalance tolerance (the paper's 5%).
+    pub epsilon: f64,
+    /// Maximum iterations (the paper's 4).
+    pub max_count: u32,
+}
+
+impl Default for AllocParams {
+    fn default() -> Self {
+        AllocParams { epsilon: 0.05, max_count: 4 }
+    }
+}
+
+/// The chosen allocation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Allocation {
+    /// Processors given to operation A.
+    pub p1: usize,
+    /// Processors given to operation B.
+    pub p2: usize,
+    /// Final finishing-time estimate for A.
+    pub est_a: f64,
+    /// Final finishing-time estimate for B.
+    pub est_b: f64,
+    /// Iterations used.
+    pub iterations: u32,
+}
+
+/// Rations `p` processors between two concurrently executing parallel
+/// operations, equalizing their estimated finishing times.
+///
+/// # Panics
+///
+/// Panics if `p < 2` (each operation needs at least one processor).
+pub fn allocate_pair(
+    a: &OpSpec,
+    b: &OpSpec,
+    p: usize,
+    cfg: &MachineConfig,
+    params: &AllocParams,
+) -> Allocation {
+    assert!(p >= 2, "allocation needs at least two processors");
+    let mut p1 = p / 2;
+    let mut p2 = p - p1;
+    let mut count = 0;
+    let mut ea = finish_estimate(a, p1, cfg).total();
+    let mut eb = finish_estimate(b, p2, cfg).total();
+    while count < params.max_count
+        && (ea - eb).abs() > params.epsilon * ea.max(eb).max(f64::EPSILON)
+    {
+        if ea > eb {
+            p1 = (p1 + p2 / 2).min(p - 1);
+        } else {
+            let p2_grown = (p2 + p1 / 2).min(p - 1);
+            p1 = p - p2_grown;
+        }
+        p1 = p1.clamp(1, p - 1);
+        p2 = p - p1;
+        ea = finish_estimate(a, p1, cfg).total();
+        eb = finish_estimate(b, p2, cfg).total();
+        count += 1;
+    }
+    Allocation { p1, p2, est_a: ea, est_b: eb, iterations: count }
+}
+
+/// Generalization to `k ≥ 1` concurrent operations: start from an even
+/// split and repeatedly move processors from the earliest-finishing
+/// operation to the latest-finishing one (pairwise equalization steps),
+/// bounded by `max_count · k` moves.
+pub fn allocate_many(
+    ops: &[OpSpec],
+    p: usize,
+    cfg: &MachineConfig,
+    params: &AllocParams,
+) -> Vec<usize> {
+    let k = ops.len();
+    assert!(k >= 1, "need at least one operation");
+    assert!(p >= k, "need at least one processor per operation");
+    if k == 1 {
+        return vec![p];
+    }
+    let mut alloc = vec![p / k; k];
+    let mut extra = p - p / k * k;
+    for a in alloc.iter_mut() {
+        if extra == 0 {
+            break;
+        }
+        *a += 1;
+        extra -= 1;
+    }
+    let est = |ops: &[OpSpec], alloc: &[usize], i: usize| -> f64 {
+        finish_estimate(&ops[i], alloc[i].max(1), cfg).total()
+    };
+    for _ in 0..params.max_count * k as u32 {
+        let (mut hi, mut lo) = (0, 0);
+        let (mut hi_e, mut lo_e) = (f64::MIN, f64::MAX);
+        for i in 0..k {
+            let e = est(ops, &alloc, i);
+            if e > hi_e {
+                hi_e = e;
+                hi = i;
+            }
+            if e < lo_e {
+                lo_e = e;
+                lo = i;
+            }
+        }
+        if hi == lo || (hi_e - lo_e) <= params.epsilon * hi_e || alloc[lo] <= 1 {
+            break;
+        }
+        // Move half of the donor's surplus (at least one processor).
+        let transfer = (alloc[lo] / 4).max(1).min(alloc[lo] - 1);
+        alloc[lo] -= transfer;
+        alloc[hi] += transfer;
+    }
+    alloc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunking::PolicyKind;
+
+    fn spec(n: usize, mean: f64, cv: f64) -> OpSpec {
+        OpSpec {
+            tasks: n,
+            mean,
+            std_dev: mean * cv,
+            bytes_in: n as u64 * 128,
+            bytes_out: n as u64 * 128,
+            policy: PolicyKind::Taper,
+        }
+    }
+
+    #[test]
+    fn equal_ops_get_equal_processors() {
+        let a = spec(2048, 50.0, 0.3);
+        let cfg = MachineConfig::ncube2(64);
+        let r = allocate_pair(&a, &a.clone(), 64, &cfg, &AllocParams::default());
+        assert_eq!(r.p1, 32);
+        assert_eq!(r.p2, 32);
+        assert_eq!(r.iterations, 0, "already balanced");
+    }
+
+    #[test]
+    fn bigger_op_gets_more_processors() {
+        let big = spec(8192, 100.0, 0.3);
+        let small = spec(512, 20.0, 0.3);
+        let cfg = MachineConfig::ncube2(128);
+        let r = allocate_pair(&big, &small, 128, &cfg, &AllocParams::default());
+        assert!(r.p1 > r.p2, "A has 80× the work: p1={} p2={}", r.p1, r.p2);
+        assert_eq!(r.p1 + r.p2, 128);
+    }
+
+    #[test]
+    fn allocation_reduces_imbalance() {
+        let big = spec(8192, 100.0, 0.5);
+        let small = spec(1024, 10.0, 0.1);
+        let cfg = MachineConfig::ncube2(256);
+        let even_a = finish_estimate(&big, 128, &cfg).total();
+        let even_b = finish_estimate(&small, 128, &cfg).total();
+        let r = allocate_pair(&big, &small, 256, &cfg, &AllocParams::default());
+        let before = (even_a - even_b).abs();
+        let after = (r.est_a - r.est_b).abs();
+        assert!(after < before, "imbalance must shrink: {before} → {after}");
+    }
+
+    #[test]
+    fn iterations_bounded_by_max_count() {
+        let big = spec(1_000_000, 100.0, 0.0);
+        let small = spec(1, 1.0, 0.0);
+        let cfg = MachineConfig::ncube2(1024);
+        let r = allocate_pair(&big, &small, 1024, &cfg, &AllocParams::default());
+        assert!(r.iterations <= 4);
+        assert!(r.p1 >= 1 && r.p2 >= 1);
+    }
+
+    #[test]
+    fn many_degenerates_to_all_for_single_op() {
+        let cfg = MachineConfig::ncube2(64);
+        let alloc = allocate_many(&[spec(100, 1.0, 0.0)], 64, &cfg, &AllocParams::default());
+        assert_eq!(alloc, vec![64]);
+    }
+
+    #[test]
+    fn many_allocates_all_processors() {
+        let cfg = MachineConfig::ncube2(96);
+        let ops = vec![spec(4096, 50.0, 0.2), spec(1024, 10.0, 1.0), spec(2048, 30.0, 0.5)];
+        let alloc = allocate_many(&ops, 96, &cfg, &AllocParams::default());
+        assert_eq!(alloc.iter().sum::<usize>(), 96);
+        assert!(alloc.iter().all(|&a| a >= 1));
+        // The heaviest op receives the most processors.
+        assert!(alloc[0] >= alloc[1] && alloc[0] >= alloc[2]);
+    }
+
+    #[test]
+    fn pair_and_many_agree_roughly() {
+        let a = spec(8192, 100.0, 0.3);
+        let b = spec(512, 20.0, 0.3);
+        let cfg = MachineConfig::ncube2(128);
+        let pair = allocate_pair(&a, &b, 128, &cfg, &AllocParams::default());
+        let many = allocate_many(&[a, b], 128, &cfg, &AllocParams::default());
+        // Same direction of skew.
+        assert!(many[0] > many[1]);
+        assert!(pair.p1 > pair.p2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two processors")]
+    fn pair_rejects_single_processor() {
+        let cfg = MachineConfig::ncube2(1);
+        allocate_pair(&spec(1, 1.0, 0.0), &spec(1, 1.0, 0.0), 1, &cfg, &AllocParams::default());
+    }
+}

@@ -1,0 +1,336 @@
+//! Chunk-size (grain-size) selection policies.
+//!
+//! The paper's runtime uses **TAPER** \[14\]: "large chunks at the
+//! beginning of a parallel operation and successively smaller chunks as
+//! the computation proceeds", with chunk sizes shrunk in proportion to
+//! the sampled task-time variability and scaled by the positional cost
+//! function. The baselines it cites are also implemented:
+//! chunk self-scheduling (one task at a time), guided self-scheduling
+//! \[17\], and factoring \[10\]; static block decomposition is the
+//! no-runtime-decisions baseline.
+
+use crate::stats::{CostFn, OnlineStats};
+
+/// A chunk-size policy: asked for the next chunk when a processor goes
+/// idle, given the remaining task count and processor count.
+pub trait ChunkPolicy {
+    /// Chooses the size of the next chunk starting at task index
+    /// `next_index`, with `remaining` tasks left and `p` processors.
+    /// Must return `1..=remaining` when `remaining > 0`.
+    fn next_chunk(&mut self, next_index: usize, remaining: usize, p: usize) -> usize;
+
+    /// Observes a completed task's execution time (for adaptive
+    /// policies).
+    fn observe(&mut self, index: usize, cost: f64) {
+        let _ = (index, cost);
+    }
+
+    /// Display name of the policy.
+    fn name(&self) -> &'static str;
+}
+
+/// One task per scheduling event (pure self-scheduling).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SelfSched;
+
+impl ChunkPolicy for SelfSched {
+    fn next_chunk(&mut self, _next: usize, remaining: usize, _p: usize) -> usize {
+        remaining.min(1)
+    }
+
+    fn name(&self) -> &'static str {
+        "self-scheduling"
+    }
+}
+
+/// Guided self-scheduling: `K = ⌈R/p⌉` (Polychronopoulos & Kuck).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Gss;
+
+impl ChunkPolicy for Gss {
+    fn next_chunk(&mut self, _next: usize, remaining: usize, p: usize) -> usize {
+        remaining.min(remaining.div_ceil(p).max(1))
+    }
+
+    fn name(&self) -> &'static str {
+        "guided self-scheduling"
+    }
+}
+
+/// Factoring (Hummel, Schonberg & Flynn): batches of `p` equal chunks,
+/// each batch covering half the remaining work.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Factoring {
+    in_batch: usize,
+    batch_chunk: usize,
+}
+
+impl ChunkPolicy for Factoring {
+    fn next_chunk(&mut self, _next: usize, remaining: usize, p: usize) -> usize {
+        if self.in_batch == 0 {
+            self.batch_chunk = (remaining.div_ceil(2 * p)).max(1);
+            self.in_batch = p;
+        }
+        self.in_batch -= 1;
+        remaining.min(self.batch_chunk)
+    }
+
+    fn name(&self) -> &'static str {
+        "factoring"
+    }
+}
+
+/// TAPER: variance-adaptive decreasing chunks with cost-function
+/// scaling.
+///
+/// At each scheduling event with `R` tasks remaining the base chunk is
+///
+/// ```text
+/// K = ⌈ R / (p · (1 + cv·√(2·ln p))) ⌉
+/// ```
+///
+/// where `cv = σ/µ` is the sampled coefficient of variation — regular
+/// operations (`cv ≈ 0`) get GSS-like large chunks, irregular ones get
+/// proportionally smaller chunks so the expected chunk-time spread
+/// stays bounded (this is the quantitative µ/σ relationship of \[14\]).
+/// The chunk is then scaled by `s = µg/µc` from the positional cost
+/// function, shrinking chunks in expensive regions of the iteration
+/// space.
+#[derive(Debug, Clone)]
+pub struct Taper {
+    stats: OnlineStats,
+    cost_fn: Option<CostFn>,
+    min_chunk: usize,
+}
+
+impl Taper {
+    /// TAPER without a positional cost function.
+    pub fn new() -> Self {
+        Taper { stats: OnlineStats::new(), cost_fn: None, min_chunk: 1 }
+    }
+
+    /// TAPER with a positional cost function over `total_tasks`.
+    pub fn with_cost_fn(total_tasks: usize) -> Self {
+        Taper {
+            stats: OnlineStats::new(),
+            cost_fn: Some(CostFn::new(16, total_tasks)),
+            min_chunk: 1,
+        }
+    }
+
+    /// The sampled coefficient of variation so far.
+    pub fn cv(&self) -> f64 {
+        self.stats.cv()
+    }
+
+    /// Number of task-time samples observed so far.
+    pub fn samples(&self) -> u64 {
+        self.stats.count()
+    }
+}
+
+impl Default for Taper {
+    fn default() -> Self {
+        Taper::new()
+    }
+}
+
+impl ChunkPolicy for Taper {
+    fn next_chunk(&mut self, next_index: usize, remaining: usize, p: usize) -> usize {
+        if remaining == 0 {
+            return 0;
+        }
+        let cv = self.stats.cv();
+        let spread = 1.0 + cv * (2.0 * (p.max(2) as f64).ln()).sqrt();
+        let mut k = (remaining as f64 / (p as f64 * spread)).ceil();
+        if let Some(f) = &self.cost_fn {
+            let s = f.chunk_scale(next_index, k.max(1.0) as usize);
+            k = (k * s.clamp(0.1, 10.0)).ceil();
+        }
+        (k as usize).clamp(self.min_chunk, remaining)
+    }
+
+    fn observe(&mut self, index: usize, cost: f64) {
+        self.stats.observe(cost);
+        if let Some(f) = &mut self.cost_fn {
+            f.observe(index, cost);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "TAPER"
+    }
+}
+
+/// The set of built-in policies, for sweeps and reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// Static block decomposition (no dynamic scheduling).
+    Static,
+    /// One task per event.
+    SelfSched,
+    /// Guided self-scheduling.
+    Gss,
+    /// Factoring.
+    Factoring,
+    /// TAPER without cost function.
+    Taper,
+    /// TAPER with positional cost function.
+    TaperCostFn,
+}
+
+impl PolicyKind {
+    /// Instantiates the policy (for dynamic kinds; `Static` has its own
+    /// simulation path and yields GSS here as a harmless default).
+    pub fn instantiate(&self, total_tasks: usize) -> Box<dyn ChunkPolicy> {
+        match self {
+            PolicyKind::SelfSched => Box::new(SelfSched),
+            PolicyKind::Gss | PolicyKind::Static => Box::<Gss>::default(),
+            PolicyKind::Factoring => Box::<Factoring>::default(),
+            PolicyKind::Taper => Box::new(Taper::new()),
+            PolicyKind::TaperCostFn => Box::new(Taper::with_cost_fn(total_tasks)),
+        }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PolicyKind::Static => "static",
+            PolicyKind::SelfSched => "self-scheduling",
+            PolicyKind::Gss => "GSS",
+            PolicyKind::Factoring => "factoring",
+            PolicyKind::Taper => "TAPER",
+            PolicyKind::TaperCostFn => "TAPER+costfn",
+        }
+    }
+}
+
+/// Expected number of scheduling events (chunks) for an operation of
+/// `n` tasks on `p` processors under each policy — the paper predicts
+/// this count at runtime to estimate scheduling overhead (`sched` in
+/// the finishing-time expression).
+pub fn predicted_chunks(kind: PolicyKind, n: usize, p: usize, cv: f64) -> f64 {
+    let n_f = n as f64;
+    let p_f = p as f64;
+    match kind {
+        PolicyKind::Static => p_f.min(n_f),
+        PolicyKind::SelfSched => n_f,
+        // Decreasing-chunk schemes schedule ≈ p·ln(n/p) chunks.
+        PolicyKind::Gss | PolicyKind::Factoring => {
+            (p_f * (n_f / p_f).max(1.0).ln()).max(p_f.min(n_f))
+        }
+        PolicyKind::Taper | PolicyKind::TaperCostFn => {
+            let spread = 1.0 + cv * (2.0 * p_f.max(2.0).ln()).sqrt();
+            (spread * p_f * (n_f / p_f).max(1.0).ln()).max(p_f.min(n_f))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn self_sched_always_one() {
+        let mut s = SelfSched;
+        assert_eq!(s.next_chunk(0, 100, 8), 1);
+        assert_eq!(s.next_chunk(99, 1, 8), 1);
+        assert_eq!(s.next_chunk(100, 0, 8), 0);
+    }
+
+    #[test]
+    fn gss_halves_geometrically() {
+        let mut g = Gss;
+        let mut remaining = 64usize;
+        let mut sizes = Vec::new();
+        while remaining > 0 {
+            let k = g.next_chunk(64 - remaining, remaining, 4);
+            sizes.push(k);
+            remaining -= k;
+        }
+        assert_eq!(sizes[0], 16);
+        assert!(sizes.windows(2).all(|w| w[1] <= w[0]));
+        assert_eq!(sizes.iter().sum::<usize>(), 64);
+    }
+
+    #[test]
+    fn factoring_issues_equal_batches() {
+        let mut f = Factoring::default();
+        let p = 4;
+        let mut remaining = 80usize;
+        let mut first_batch = Vec::new();
+        for _ in 0..p {
+            let k = f.next_chunk(0, remaining, p);
+            first_batch.push(k);
+            remaining -= k;
+        }
+        assert!(first_batch.iter().all(|&k| k == first_batch[0]));
+        assert_eq!(first_batch[0], 10, "80/(2·4)");
+    }
+
+    #[test]
+    fn taper_matches_gss_for_regular_work() {
+        let mut t = Taper::new();
+        for _ in 0..50 {
+            t.observe(0, 5.0); // constant costs → cv = 0
+        }
+        let k = t.next_chunk(0, 64, 4);
+        assert_eq!(k, 16, "cv=0 behaves like GSS");
+    }
+
+    #[test]
+    fn taper_shrinks_chunks_under_variance() {
+        let mut t = Taper::new();
+        for i in 0..60 {
+            t.observe(0, if i % 10 == 0 { 50.0 } else { 1.0 });
+        }
+        assert!(t.cv() > 1.0);
+        let k = t.next_chunk(0, 64, 4);
+        assert!(k < 16, "irregular work gets smaller chunks, got {k}");
+        assert!(k >= 1);
+    }
+
+    #[test]
+    fn taper_cost_fn_shrinks_in_expensive_region() {
+        let mut t = Taper::with_cost_fn(100);
+        for i in 0..50 {
+            t.observe(i, 1.0);
+        }
+        for i in 50..100 {
+            t.observe(i, 9.0);
+        }
+        let cheap = t.next_chunk(5, 40, 4);
+        let pricey = t.next_chunk(90, 40, 4);
+        assert!(pricey < cheap, "expensive region chunk {pricey} !< cheap {cheap}");
+    }
+
+    #[test]
+    fn chunks_always_within_bounds() {
+        let mut policies: Vec<Box<dyn ChunkPolicy>> = vec![
+            Box::new(SelfSched),
+            Box::<Gss>::default(),
+            Box::<Factoring>::default(),
+            Box::new(Taper::new()),
+        ];
+        for pol in &mut policies {
+            let mut remaining = 1000usize;
+            while remaining > 0 {
+                let k = pol.next_chunk(1000 - remaining, remaining, 16);
+                assert!(k >= 1 && k <= remaining, "{}: k={k}", pol.name());
+                remaining -= k;
+            }
+        }
+    }
+
+    #[test]
+    fn predicted_chunks_ordering() {
+        // static ≤ guided ≤ taper(irregular) ≤ self-sched
+        let n = 4096;
+        let p = 64;
+        let st = predicted_chunks(PolicyKind::Static, n, p, 0.0);
+        let gss = predicted_chunks(PolicyKind::Gss, n, p, 0.0);
+        let tp = predicted_chunks(PolicyKind::Taper, n, p, 1.5);
+        let ss = predicted_chunks(PolicyKind::SelfSched, n, p, 0.0);
+        assert!(st <= gss && gss <= tp && tp <= ss);
+    }
+}

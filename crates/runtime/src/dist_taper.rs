@@ -1,0 +1,319 @@
+//! Distributed TAPER (§4.1.1).
+//!
+//! "In the distributed TAPER algorithm the p processors are logically
+//! connected as a binary tree with p leaves. All processors start in
+//! epoch 0. When a processor begins executing a chunk it sends its
+//! current epoch value (called a token) to its parent … When the root
+//! receives p tokens from the same epoch, it increments the global
+//! epoch value and broadcasts … Processors compete for the p chunks of
+//! each epoch. If processor a can get two tokens of value i to the root
+//! before processor b can send one token of value i, then the root will
+//! re-assign processor b's chunk of size K_i to processor a. … If task
+//! costs are independent then we expect most tasks to remain on the
+//! processor owning them at the beginning of the parallel operation;
+//! thus, the algorithm reduces task transfer costs and maintains
+//! communication locality."
+
+use crate::chunking::{ChunkPolicy, Taper};
+use orchestra_machine::{EventQueue, MachineConfig, RunStats};
+use std::collections::VecDeque;
+
+/// Result of a distributed-TAPER run.
+#[derive(Debug, Clone)]
+pub struct DistResult {
+    /// Completion time (µs).
+    pub finish: f64,
+    /// Per-processor stats.
+    pub stats: RunStats,
+    /// Tasks that executed away from their home processor.
+    pub migrated_tasks: u64,
+    /// Chunk re-assignments performed by the root.
+    pub reassignments: u64,
+    /// Fraction of tasks that stayed on their home processor.
+    pub locality: f64,
+}
+
+#[derive(Debug)]
+enum Ev {
+    /// Processor became idle and looks for its next chunk.
+    Idle(usize),
+    /// A token (proc, epoch) reached the root.
+    Token(usize, u64),
+    /// Stolen tasks arrive at a processor.
+    Delivery(usize, Vec<usize>),
+    /// The root's epoch-increment broadcast reached a processor.
+    Broadcast(usize, u64),
+}
+
+/// Per-hop cost of a control message. Tokens are 8-byte values that the
+/// tree nodes *combine* ("possibly combining messages from both
+/// children"), piggybacked on the regular traffic — far cheaper than a
+/// full software-latency data message.
+fn token_hop_cost(cfg: &MachineConfig) -> f64 {
+    cfg.alpha * 0.1 + cfg.hop
+}
+
+/// Latency for a token to climb the binary tree from leaf `q` to the
+/// root: one combined control hop per tree level traversed.
+fn token_latency(cfg: &MachineConfig, q: usize) -> f64 {
+    let mut lat = 0.0;
+    let mut node = q;
+    while node != 0 {
+        node /= 2;
+        lat += token_hop_cost(cfg);
+    }
+    lat
+}
+
+/// Root-to-leaves epoch broadcast: one combined control hop per level.
+fn broadcast_latency(cfg: &MachineConfig, p: usize) -> f64 {
+    (p.max(2) as f64).log2().ceil() * token_hop_cost(cfg)
+}
+
+/// Simulates one parallel operation under distributed TAPER.
+///
+/// Tasks start block-decomposed onto their home processors
+/// (owner-computes); each processor draws decreasing-size chunks from
+/// its *local* queue; the root re-assigns work from laggards to
+/// fast processors when their epoch tokens race ahead.
+pub fn simulate_dist_taper(
+    cfg: &MachineConfig,
+    p: usize,
+    costs: &[f64],
+    bytes_per_task: u64,
+) -> DistResult {
+    simulate_dist_taper_at(cfg, p, costs, bytes_per_task, 0.0)
+}
+
+/// Like [`simulate_dist_taper`], starting at an absolute time (used by
+/// the dataflow executor when the operation waits on its inputs).
+pub fn simulate_dist_taper_at(
+    cfg: &MachineConfig,
+    p: usize,
+    costs: &[f64],
+    bytes_per_task: u64,
+    start_time: f64,
+) -> DistResult {
+    let p = p.max(1);
+    let n = costs.len();
+    let mut stats = RunStats::new(p);
+    let mut queues: Vec<VecDeque<usize>> = vec![VecDeque::new(); p];
+    for i in 0..n {
+        queues[crate::par_op::owner_of(i, n, p)].push_back(i);
+    }
+    let mut policy = Taper::new();
+    let mut remaining_global = n;
+
+    // The paper's protocol: a *global* epoch maintained by the root.
+    // Every chunk start (and every starving work request) sends a token
+    // carrying the processor's current epoch. A second token of epoch e
+    // from one processor before another's first lets the root re-assign
+    // work from the laggard; once every processor has sent an epoch-e
+    // token the root increments the epoch and broadcasts.
+    let mut global_epoch: usize = 0;
+    let mut counts: Vec<Vec<u32>> = vec![vec![0; p]]; // counts[e][proc]
+    let mut local_epoch: Vec<usize> = vec![0; p];
+    let mut starving: Vec<bool> = vec![false; p];
+    let mut busy: Vec<bool> = vec![false; p];
+
+    let mut migrated = 0u64;
+    let mut reassignments = 0u64;
+    let mut finish: f64 = start_time;
+
+    let mut q: EventQueue<Ev> = EventQueue::new();
+    for proc in 0..p {
+        q.push(start_time, Ev::Idle(proc));
+    }
+
+    while let Some((t, ev)) = q.pop() {
+        match ev {
+            Ev::Idle(me) => {
+                busy[me] = false;
+                let epoch = local_epoch[me];
+                if queues[me].is_empty() {
+                    // Work request: keep tokening the current epoch so
+                    // the root can feed us (but only while work exists).
+                    if remaining_global > 0 && !starving[me] {
+                        starving[me] = true;
+                        q.push(t + token_latency(cfg, me), Ev::Token(me, epoch as u64));
+                    }
+                    continue;
+                }
+                starving[me] = false;
+                // Draw the epoch's chunk from the local queue. Chunk
+                // sizes follow the *global* TAPER sequence, so every
+                // processor's epoch-e chunk has comparable size — that
+                // is what makes token frequency a speed signal ("the
+                // processors compete for the p chunks of each epoch").
+                // During the initial sampling phase (no µ/σ estimates
+                // yet) chunks stay at half the local queue so a
+                // mis-sized first draw cannot swallow an entire block
+                // of expensive tasks.
+                let cap = if policy.samples() < 2 * p as u64 {
+                    queues[me].len().div_ceil(2)
+                } else {
+                    queues[me].len()
+                };
+                let k = policy
+                    .next_chunk(n - remaining_global, remaining_global.max(1), p)
+                    .clamp(1, cap);
+                let mut work = 0.0;
+                let mut moved = 0u64;
+                for _ in 0..k {
+                    let task = queues[me].pop_front().expect("nonempty");
+                    work += costs[task];
+                    policy.observe(task, costs[task]);
+                    if crate::par_op::owner_of(task, n, p) != me {
+                        moved += 1;
+                    }
+                }
+                migrated += moved;
+                remaining_global -= k;
+                busy[me] = true;
+                q.push(t + token_latency(cfg, me), Ev::Token(me, epoch as u64));
+                let end = t + cfg.sched_overhead + work;
+                stats.record_chunk(me, k as u64, work, end);
+                finish = finish.max(end);
+                q.push(end, Ev::Idle(me));
+            }
+            Ev::Token(from, epoch) => {
+                let e = epoch as usize;
+                if counts.len() <= e {
+                    counts.resize(e + 1, vec![0; p]);
+                }
+                counts[e][from] += 1;
+                // Re-assignment: `from` has tokened epoch e twice before
+                // some processor's first — the laggard's pending work
+                // moves to `from`.
+                if counts[e][from] >= 2 {
+                    let laggard = (0..p)
+                        .filter(|&b| b != from && counts[e][b] == 0 && !queues[b].is_empty())
+                        .max_by_key(|&b| queues[b].len());
+                    if let Some(b) = laggard {
+                        let steal = queues[b].len().div_ceil(2);
+                        let tasks: Vec<usize> = (0..steal)
+                            .map(|_| queues[b].pop_back().expect("len checked"))
+                            .collect();
+                        reassignments += 1;
+                        let bytes = tasks.len() as u64 * bytes_per_task;
+                        let delay = cfg.msg_time(b, from, bytes);
+                        q.push(t + delay, Ev::Delivery(from, tasks));
+                    }
+                }
+                // Epoch completion: every processor has tokened e.
+                if e == global_epoch && counts[e].iter().all(|&c| c > 0) {
+                    global_epoch += 1;
+                    if counts.len() <= global_epoch {
+                        counts.resize(global_epoch + 1, vec![0; p]);
+                    }
+                    let bcast = broadcast_latency(cfg, p);
+                    for proc in 0..p {
+                        q.push(t + bcast, Ev::Broadcast(proc, global_epoch as u64));
+                    }
+                }
+            }
+            Ev::Broadcast(proc, epoch) => {
+                let e = epoch as usize;
+                if e > local_epoch[proc] {
+                    local_epoch[proc] = e;
+                    // Starving processors renew their work request in
+                    // the new epoch.
+                    if starving[proc] && !busy[proc] && remaining_global > 0 {
+                        q.push(
+                            q.now() + token_latency(cfg, proc),
+                            Ev::Token(proc, e as u64),
+                        );
+                    }
+                }
+            }
+            Ev::Delivery(to, tasks) => {
+                for task in tasks {
+                    queues[to].push_back(task);
+                }
+                if !busy[to] {
+                    starving[to] = false;
+                    q.push_after(0.0, Ev::Idle(to));
+                }
+            }
+        }
+    }
+
+    let locality = if n == 0 { 1.0 } else { 1.0 - migrated as f64 / n as f64 };
+    DistResult { finish, stats, migrated_tasks: migrated, reassignments, locality }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orchestra_machine::CostDistribution;
+
+    #[test]
+    fn all_tasks_execute_exactly_once() {
+        let costs = CostDistribution::HeavyTail { mean: 10.0, sigma: 1.2 }.sample(800, 5);
+        let r = simulate_dist_taper(&MachineConfig::ncube2(16), 16, &costs, 128);
+        assert_eq!(r.stats.total_tasks(), 800);
+        let total: f64 = costs.iter().sum();
+        assert!((r.stats.total_busy() - total).abs() < 1e-6);
+    }
+
+    #[test]
+    fn independent_costs_keep_locality() {
+        // "If task costs are independent then we expect most tasks to
+        // remain on the processor owning them."
+        let costs = CostDistribution::Uniform { mean: 20.0, spread: 0.2 }.sample(2048, 9);
+        let r = simulate_dist_taper(&MachineConfig::ncube2(32), 32, &costs, 128);
+        assert!(
+            r.locality > 0.8,
+            "locality {} too low for near-uniform costs",
+            r.locality
+        );
+    }
+
+    #[test]
+    fn concentrated_cost_triggers_reassignment() {
+        // All the cost sits on processor 0's block: the scheme must
+        // move work (degenerating toward centralized TAPER).
+        let p = 8;
+        let n = 512;
+        let mut costs = vec![1.0; n];
+        for c in costs.iter_mut().take(n / p) {
+            *c = 200.0;
+        }
+        let cfg = MachineConfig::ncube2(p);
+        let r = simulate_dist_taper(&cfg, p, &costs, 64);
+        assert!(r.reassignments > 0, "laggard's chunks must be re-assigned");
+        // Compare with no-stealing: proc 0 alone does 64×200.
+        let local_only: f64 = 64.0 * 200.0;
+        assert!(
+            r.finish < local_only,
+            "stealing must beat local-only ({} !< {local_only})",
+            r.finish
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let costs = CostDistribution::Bimodal { mean: 5.0, heavy_frac: 0.2, heavy_mult: 10.0 }
+            .sample(300, 21);
+        let a = simulate_dist_taper(&MachineConfig::ncube2(8), 8, &costs, 64);
+        let b = simulate_dist_taper(&MachineConfig::ncube2(8), 8, &costs, 64);
+        assert_eq!(a.finish, b.finish);
+        assert_eq!(a.reassignments, b.reassignments);
+    }
+
+    #[test]
+    fn single_processor_degenerates() {
+        let costs = vec![3.0; 30];
+        let r = simulate_dist_taper(&MachineConfig::ncube2(1), 1, &costs, 64);
+        assert_eq!(r.migrated_tasks, 0);
+        assert_eq!(r.reassignments, 0);
+        assert!((r.stats.total_busy() - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn token_latency_grows_with_depth() {
+        let cfg = MachineConfig::ncube2(64);
+        assert_eq!(token_latency(&cfg, 0), 0.0, "root pays nothing");
+        assert!(token_latency(&cfg, 63) > token_latency(&cfg, 1));
+    }
+}

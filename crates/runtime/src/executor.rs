@@ -1,0 +1,783 @@
+//! Executing a Delirium dataflow graph on the simulated machine.
+//!
+//! The executor realizes the paper's runtime scenario: the graph's
+//! concurrency levels determine which parallel operations execute
+//! simultaneously; the processor-allocation equalizer (§4.1.2) rations
+//! processors among them; each operation is scheduled by a chunk policy
+//! (§4.1.1); pipeline groups overlap the independent piece of iteration
+//! `i` with the dependent piece of iteration `i−1` (§3.3.2) using the
+//! communication-granularity model (§4.1).
+//!
+//! Sequentially dependent levels synchronize — exactly the "processor
+//! synchronization barrier between sub-computations" the paper's
+//! baseline imposes — so running a non-split graph reproduces the
+//! traditional compiler, and a split graph reproduces the orchestrated
+//! one.
+
+use crate::alloc::{allocate_many, AllocParams};
+use crate::chunking::PolicyKind;
+use crate::finish::OpSpec;
+use crate::granularity::{choose_batch, pipelined_stage_time};
+use crate::par_op::{simulate_policy, OpOptions};
+use orchestra_delirium::{DelirGraph, NodeId, NodeKind};
+use orchestra_machine::{CostDistribution, MachineConfig};
+use std::collections::HashMap;
+
+/// Executor configuration.
+#[derive(Debug, Clone)]
+pub struct ExecutorOptions {
+    /// Chunk policy for data-parallel nodes.
+    pub policy: PolicyKind,
+    /// Use the finishing-time equalizer for concurrent operations
+    /// (false = naive even split).
+    pub use_allocation: bool,
+    /// Overlap pipeline groups (false = barrier between every piece,
+    /// i.e. the unpipelined baseline).
+    pub pipeline_overlap: bool,
+    /// Schedule data-parallel nodes with the *distributed* TAPER
+    /// epoch/token tree (§4.1.1) instead of the centralized simulator.
+    pub distributed: bool,
+    /// Bytes per task for owner-computes transfers.
+    pub bytes_per_task: u64,
+    /// Iteration counts per pipeline group name.
+    pub pipeline_iters: HashMap<String, usize>,
+    /// RNG seed for task-cost sampling.
+    pub seed: u64,
+}
+
+impl Default for ExecutorOptions {
+    fn default() -> Self {
+        ExecutorOptions {
+            policy: PolicyKind::Taper,
+            use_allocation: true,
+            pipeline_overlap: true,
+            distributed: false,
+            bytes_per_task: 32,
+            pipeline_iters: HashMap::new(),
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// Per-node execution record.
+#[derive(Debug, Clone)]
+pub struct NodeReport {
+    /// Node name.
+    pub name: String,
+    /// Start time (µs).
+    pub start: f64,
+    /// Finish time (µs).
+    pub finish: f64,
+    /// Processors assigned.
+    pub procs: usize,
+}
+
+/// The result of executing a graph.
+#[derive(Debug, Clone)]
+pub struct ExecutionReport {
+    /// Simulated completion time (µs).
+    pub finish: f64,
+    /// Per-node records.
+    pub nodes: Vec<NodeReport>,
+    /// Total sequential work (µs), including pipeline iterations.
+    pub serial_work: f64,
+    /// Processor count used.
+    pub processors: usize,
+}
+
+impl ExecutionReport {
+    /// Speedup over one processor executing the serial work.
+    pub fn speedup(&self) -> f64 {
+        if self.finish <= 0.0 {
+            return 1.0;
+        }
+        self.serial_work / self.finish
+    }
+
+    /// Efficiency: speedup / p.
+    pub fn efficiency(&self) -> f64 {
+        self.speedup() / self.processors as f64
+    }
+}
+
+/// Samples a deterministic cost vector for a data-parallel node.
+///
+/// Small cv → uniform jitter; moderate cv → a bounded two-population
+/// mixture (the shape of masked/conditional irregularity, whose maximum
+/// task is a few× the mean); very high cv → log-normal heavy tail.
+fn node_costs(tasks: usize, mean: f64, cv: f64, seed: u64) -> Vec<f64> {
+    if cv <= 1e-9 {
+        return vec![mean; tasks];
+    }
+    if cv <= 0.3 {
+        let spread = (cv * 3.0f64.sqrt()).min(0.95);
+        return CostDistribution::Uniform { mean, spread }.sample(tasks, seed);
+    }
+    if cv < 1.6 {
+        // Two-point mixture with heavy fraction 1/4: solve the heavy
+        // multiplier m from cv² = f(1−f)(m−1)²/(1+f(m−1))². Heavy tasks
+        // cluster spatially (≈ tasks/32-long runs), as real masked
+        // irregularity does.
+        let f: f64 = 0.25;
+        let s = (f * (1.0 - f)).sqrt(); // ≈ 0.433
+        let m = 1.0 + cv / (s - f * cv).max(0.05);
+        let base = mean / (1.0 + f * (m - 1.0));
+        return CostDistribution::ClusteredBimodal {
+            mean: base,
+            heavy_frac: f,
+            heavy_mult: m,
+            cluster: (tasks / 64).max(4),
+        }
+        .sample(tasks, seed);
+    }
+    let sigma = (1.0 + cv * cv).ln().sqrt();
+    CostDistribution::HeavyTail { mean, sigma }.sample(tasks, seed)
+}
+
+fn op_spec(kind: &NodeKind, policy: PolicyKind, bytes_per_task: u64) -> OpSpec {
+    match kind {
+        NodeKind::Task { cost } | NodeKind::Merge { cost } => OpSpec {
+            tasks: 1,
+            mean: *cost,
+            std_dev: 0.0,
+            bytes_in: bytes_per_task,
+            bytes_out: bytes_per_task,
+            policy,
+        },
+        NodeKind::DataParallel { tasks, mean_cost, cv } => OpSpec {
+            tasks: *tasks,
+            mean: *mean_cost,
+            std_dev: mean_cost * cv,
+            bytes_in: *tasks as u64 * bytes_per_task,
+            bytes_out: *tasks as u64 * bytes_per_task,
+            policy,
+        },
+        NodeKind::Mixture { .. } => {
+            let tasks = kind.task_count();
+            let (mean, cv) = kind.aggregate_stats();
+            OpSpec {
+                tasks,
+                mean,
+                std_dev: mean * cv,
+                bytes_in: tasks as u64 * bytes_per_task,
+                bytes_out: tasks as u64 * bytes_per_task,
+                policy,
+            }
+        }
+    }
+}
+
+/// Samples the cost vector for any node kind. Mixture populations are
+/// sampled separately (with per-population sub-seeds) and interleaved
+/// round-robin, matching a masked loop's distribution of heavy
+/// iterations across the index space.
+fn costs_of_node(node: &orchestra_delirium::Node, seed: u64) -> Vec<f64> {
+    match &node.kind {
+        NodeKind::Task { cost } | NodeKind::Merge { cost } => vec![*cost],
+        NodeKind::DataParallel { tasks, mean_cost, cv } => {
+            node_costs(*tasks, *mean_cost, *cv, seed ^ node.id as u64)
+        }
+        NodeKind::Mixture { populations } => {
+            let pools: Vec<Vec<f64>> = populations
+                .iter()
+                .enumerate()
+                .map(|(i, p)| {
+                    node_costs(p.tasks, p.mean_cost, p.cv, seed ^ node.id as u64 ^ (i as u64) << 17)
+                })
+                .collect();
+            let total: usize = pools.iter().map(Vec::len).sum();
+            let mut iters: Vec<std::vec::IntoIter<f64>> =
+                pools.into_iter().map(Vec::into_iter).collect();
+            let mut out = Vec::with_capacity(total);
+            let k = iters.len();
+            let mut i = 0;
+            while out.len() < total {
+                if let Some(c) = iters[i % k].next() {
+                    out.push(c);
+                }
+                i += 1;
+            }
+            out
+        }
+    }
+}
+
+/// Simulates one node on `p` processors starting at `start`; returns
+/// its finish time.
+fn run_node(
+    node: &orchestra_delirium::Node,
+    p: usize,
+    start: f64,
+    proc_offset: usize,
+    cfg: &MachineConfig,
+    opts: &ExecutorOptions,
+) -> f64 {
+    match &node.kind {
+        NodeKind::Task { cost } | NodeKind::Merge { cost } => start + cost,
+        _ => {
+            let costs = costs_of_node(node, opts.seed);
+            if opts.distributed {
+                return crate::dist_taper::simulate_dist_taper_at(
+                    cfg,
+                    p.max(1),
+                    &costs,
+                    opts.bytes_per_task,
+                    start,
+                )
+                .finish;
+            }
+            let op_opts = OpOptions {
+                bytes_per_task: opts.bytes_per_task,
+                start_time: start,
+                proc_offset,
+            };
+            simulate_policy(cfg, p.max(1), &costs, opts.policy, &op_opts).finish
+        }
+    }
+}
+
+/// Executes a graph on the machine.
+///
+/// # Errors
+///
+/// Returns the graph's validation error when it is malformed.
+pub fn execute_graph(
+    g: &DelirGraph,
+    cfg: &MachineConfig,
+    opts: &ExecutorOptions,
+) -> Result<ExecutionReport, orchestra_delirium::GraphError> {
+    g.validate()?;
+    let levels = g.levels()?;
+    let p_total = cfg.processors;
+    let mut node_finish: Vec<f64> = vec![0.0; g.nodes.len()];
+    let mut reports: Vec<NodeReport> = Vec::new();
+    let mut serial_work = 0.0;
+    let mut clock = 0.0f64;
+
+    // Pipeline groups span levels (A_I/A_D at one level, A_M below):
+    // gather members globally and schedule each group as one unit at the
+    // level of its earliest member.
+    let mut group_members: HashMap<String, Vec<NodeId>> = HashMap::new();
+    for n in &g.nodes {
+        if let Some(gr) = &n.group {
+            group_members.entry(gr.clone()).or_default().push(n.id);
+        }
+    }
+    let mut node_level = vec![0usize; g.nodes.len()];
+    for (li, lv) in levels.iter().enumerate() {
+        for &v in lv {
+            node_level[v] = li;
+        }
+    }
+    let group_home: HashMap<String, usize> = group_members
+        .iter()
+        .map(|(k, vs)| {
+            let home = vs.iter().map(|&v| node_level[v]).min().expect("nonempty group");
+            (k.clone(), home)
+        })
+        .collect();
+
+    for (li, level) in levels.iter().enumerate() {
+        // This level's singles, plus every pipeline group homed here.
+        let mut singles: Vec<NodeId> = Vec::new();
+        let mut groups: HashMap<String, Vec<NodeId>> = HashMap::new();
+        for &v in level {
+            match &g.nodes[v].group {
+                Some(gr) => {
+                    if group_home[gr] == li && !groups.contains_key(gr) {
+                        groups.insert(gr.clone(), group_members[gr].clone());
+                    }
+                    // Members homed at earlier levels were already run.
+                }
+                None => singles.push(v),
+            }
+        }
+
+        // Each single node and each pipeline group is one allocation
+        // unit.
+        #[derive(Debug)]
+        enum Unit {
+            Single(NodeId),
+            Pipeline(String, Vec<NodeId>),
+        }
+        let mut units: Vec<Unit> = singles.into_iter().map(Unit::Single).collect();
+        for (name, nodes) in groups {
+            units.push(Unit::Pipeline(name, nodes));
+        }
+        // Deterministic order.
+        units.sort_by_key(|u| match u {
+            Unit::Single(v) => (0, *v),
+            Unit::Pipeline(_, vs) => (1, vs[0]),
+        });
+        if units.is_empty() {
+            continue; // level held only already-run pipeline members
+        }
+
+        // Ready time of each unit: preds' finishes plus edge transfer.
+        fn unit_ready(
+            vs: &[NodeId],
+            clock: f64,
+            g: &DelirGraph,
+            cfg: &MachineConfig,
+            node_finish: &[f64],
+        ) -> f64 {
+            let mut t = clock;
+            for &v in vs {
+                for e in g.edges.iter().filter(|e| e.to == v && !e.carried) {
+                    if vs.contains(&e.from) {
+                        continue;
+                    }
+                    // Distributed transfer: each processor moves its
+                    // 1/p share; the message rounds pipeline with the
+                    // data, so one latency plus the routed volume.
+                    let p = cfg.processors.max(1) as f64;
+                    let comm = cfg.alpha
+                        + cfg.beta * e.data.bytes() as f64 / p
+                        + cfg.hop * cfg.diameter() as f64;
+                    t = t.max(node_finish[e.from] + comm);
+                }
+            }
+            t
+        }
+
+        // Allocate processors across units.
+        let specs: Vec<OpSpec> = units
+            .iter()
+            .map(|u| match u {
+                Unit::Single(v) => op_spec(&g.nodes[*v].kind, opts.policy, opts.bytes_per_task),
+                Unit::Pipeline(name, vs) => {
+                    // Aggregate spec: piece work per iteration × the
+                    // group's iteration count, so the allocator sees the
+                    // pipeline's true total load.
+                    let iters = opts.pipeline_iters.get(name).copied().unwrap_or(1).max(1);
+                    let mut total_tasks = 0usize;
+                    let mut work = 0.0;
+                    let mut var = 0.0;
+                    for &v in vs {
+                        let s = op_spec(&g.nodes[v].kind, opts.policy, opts.bytes_per_task);
+                        total_tasks += s.tasks;
+                        work += s.total_work();
+                        var += (s.std_dev * s.std_dev) * s.tasks as f64;
+                    }
+                    let mean = work / total_tasks.max(1) as f64;
+                    total_tasks *= iters;
+                    OpSpec {
+                        tasks: total_tasks,
+                        mean,
+                        std_dev: (var / (total_tasks.max(1) / iters) as f64).sqrt(),
+                        bytes_in: total_tasks as u64 * opts.bytes_per_task,
+                        bytes_out: total_tasks as u64 * opts.bytes_per_task,
+                        policy: opts.policy,
+                    }
+                }
+            })
+            .collect();
+        // Candidate allocations: the paper's finishing-time equalizer
+        // and a work-proportional split. The runtime "uses runtime
+        // information to improve the scheduling efficiency": we simulate
+        // the level under each candidate and keep the better one.
+        let even_split = |k: usize| -> Vec<usize> {
+            let base = p_total / k;
+            let mut v = vec![base.max(1); k];
+            let used: usize = v.iter().sum();
+            if used < p_total {
+                v[0] += p_total - used;
+            }
+            v
+        };
+        let proportional = |specs: &[OpSpec]| -> Vec<usize> {
+            let total: f64 = specs.iter().map(|s| s.total_work()).sum();
+            if total <= 0.0 {
+                return even_split(specs.len());
+            }
+            let mut v: Vec<usize> = specs
+                .iter()
+                .map(|s| ((s.total_work() / total) * p_total as f64).floor() as usize)
+                .map(|x| x.max(1))
+                .collect();
+            let mut used: usize = v.iter().sum();
+            // Distribute remainder to the largest op; trim overshoot.
+            while used < p_total {
+                let i = (0..v.len())
+                    .max_by(|&a, &b| {
+                        specs[a].total_work().total_cmp(&specs[b].total_work())
+                    })
+                    .expect("nonempty");
+                v[i] += 1;
+                used += 1;
+            }
+            while used > p_total {
+                let i = (0..v.len()).max_by_key(|&i| v[i]).expect("nonempty");
+                if v[i] > 1 {
+                    v[i] -= 1;
+                    used -= 1;
+                } else {
+                    break;
+                }
+            }
+            v
+        };
+        let candidates: Vec<Vec<usize>> = if units.len() == 1 {
+            vec![vec![p_total]]
+        } else if opts.use_allocation {
+            vec![
+                allocate_many(&specs, p_total, cfg, &AllocParams::default()),
+                proportional(&specs),
+            ]
+        } else {
+            vec![even_split(units.len())]
+        };
+
+        // Simulate the level under one allocation without committing.
+        let simulate_level = |alloc: &[usize],
+                              node_finish: &[f64]|
+         -> (f64, Vec<NodeReport>, Vec<(NodeId, f64)>) {
+            let mut level_end = clock;
+            let mut local_reports = Vec::new();
+            let mut finishes = Vec::new();
+            let mut offset = 0usize;
+            for (u, &p_u) in units.iter().zip(alloc) {
+                match u {
+                    Unit::Single(v) => {
+                        let start =
+                            unit_ready(std::slice::from_ref(v), clock, g, cfg, node_finish);
+                        let end = run_node(&g.nodes[*v], p_u, start, offset, cfg, opts);
+                        finishes.push((*v, end));
+                        local_reports.push(NodeReport {
+                            name: g.nodes[*v].name.clone(),
+                            start,
+                            finish: end,
+                            procs: p_u,
+                        });
+                        level_end = level_end.max(end);
+                    }
+                    Unit::Pipeline(name, vs) => {
+                        let start = unit_ready(vs, clock, g, cfg, node_finish);
+                        let iters = opts.pipeline_iters.get(name).copied().unwrap_or(1);
+                        let end = run_pipeline(g, vs, iters, p_u, start, offset, cfg, opts);
+                        for &v in vs {
+                            finishes.push((v, end));
+                        }
+                        local_reports.push(NodeReport {
+                            name: format!("pipeline:{name}"),
+                            start,
+                            finish: end,
+                            procs: p_u,
+                        });
+                        level_end = level_end.max(end);
+                    }
+                }
+                offset += p_u;
+            }
+            (level_end, local_reports, finishes)
+        };
+
+        let best = candidates
+            .iter()
+            .map(|alloc| simulate_level(alloc, &node_finish))
+            .min_by(|a, b| a.0.total_cmp(&b.0))
+            .expect("at least one candidate");
+        let (level_end, local_reports, finishes) = best;
+        for (v, end) in finishes {
+            node_finish[v] = end;
+        }
+        for u in &units {
+            match u {
+                Unit::Single(v) => serial_work += g.nodes[*v].kind.total_work(),
+                Unit::Pipeline(name, vs) => {
+                    let iters = opts.pipeline_iters.get(name).copied().unwrap_or(1);
+                    for &v in vs {
+                        serial_work += g.nodes[v].kind.total_work() * iters as f64;
+                    }
+                }
+            }
+        }
+        reports.extend(local_reports);
+        clock = level_end;
+    }
+
+    Ok(ExecutionReport {
+        finish: clock,
+        nodes: reports,
+        serial_work,
+        processors: p_total,
+    })
+}
+
+/// Simulates a pipelined loop: nodes with carried edges (plus merges)
+/// form the dependent stage; the rest is the independent stage. With
+/// overlap enabled, the two stages run concurrently on partitions
+/// chosen by the allocation equalizer; otherwise every piece
+/// synchronizes, reproducing the unpipelined baseline.
+#[allow(clippy::too_many_arguments)]
+fn run_pipeline(
+    g: &DelirGraph,
+    vs: &[NodeId],
+    iters: usize,
+    p: usize,
+    start: f64,
+    offset: usize,
+    cfg: &MachineConfig,
+    opts: &ExecutorOptions,
+) -> f64 {
+    let iters = iters.max(1);
+    // Dependent pieces: targets or sources of carried edges, and merges.
+    let carried: Vec<&orchestra_delirium::Edge> =
+        g.edges.iter().filter(|e| e.carried && vs.contains(&e.from)).collect();
+    let seed_dependent = |v: NodeId| -> bool {
+        carried.iter().any(|e| e.from == v || e.to == v)
+            || matches!(g.nodes[v].kind, NodeKind::Merge { .. })
+    };
+    // Close the dependent set under in-group dataflow successors: a
+    // piece reading a merge's output belongs to the dependent chain.
+    let mut dep_set: Vec<NodeId> = vs.iter().copied().filter(|&v| seed_dependent(v)).collect();
+    loop {
+        let mut grew = false;
+        for e in g.edges.iter().filter(|e| !e.carried) {
+            if dep_set.contains(&e.from)
+                && vs.contains(&e.to)
+                && !dep_set.contains(&e.to)
+            {
+                dep_set.push(e.to);
+                grew = true;
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    let dep: Vec<NodeId> = vs.iter().copied().filter(|&v| dep_set.contains(&v)).collect();
+    let ind: Vec<NodeId> = vs.iter().copied().filter(|&v| !dep_set.contains(&v)).collect();
+
+    let stage_time = |nodes: &[NodeId], p_stage: usize, t0: f64| -> f64 {
+        let mut t = t0;
+        for &v in nodes {
+            t = run_node(&g.nodes[v], p_stage.max(1), t, offset, cfg, opts);
+        }
+        t - t0
+    };
+
+    // The carried data crosses iterations either way. Under
+    // owner-computes placement it stays distributed: each processor
+    // exchanges only its 1/p share, so the per-iteration volume divides
+    // by the partition size.
+    let carried_bytes: u64 =
+        (carried.iter().map(|e| e.data.bytes()).sum::<u64>() / p.max(1) as u64).max(8);
+
+    if !opts.pipeline_overlap || dep.is_empty() || ind.is_empty() || p < 2 {
+        // Barrier per iteration over all pieces in order.
+        let per_iter = stage_time(vs, p, start)
+            + cfg.alpha
+            + carried_bytes as f64 * cfg.beta;
+        return start + per_iter * iters as f64;
+    }
+
+    // Steady state: iteration i's independent pieces overlap iteration
+    // i−1's dependent chain, and the whole pool of processors serves
+    // both — "the runtime scheduler can use the additional parallelism
+    // of one sub-computation to compensate for … load imbalance in the
+    // other" (§1). Adjacent iterations' independent work absorbs each
+    // iteration's straggler tail, so the pipeline's completion time is
+    // the *joint* schedule of every iteration's tasks on all p
+    // processors, bounded below by the dependent chain's serial latency
+    // (one chain traversal per iteration) and by the carried-data
+    // stream, plus the first iteration's fill.
+    let mut iter_costs: Vec<f64> = Vec::new();
+    for &v in ind.iter().chain(&dep) {
+        iter_costs.extend(costs_of_node(&g.nodes[v], opts.seed));
+    }
+    // All iterations' tasks in one pool (each iteration re-draws the
+    // same populations; replicating the vector models that).
+    let mut joint_costs = Vec::with_capacity(iter_costs.len() * iters);
+    for k in 0..iters {
+        // Rotate so heavy tasks land at different pool positions.
+        let rot = (k * 131) % iter_costs.len().max(1);
+        joint_costs.extend_from_slice(&iter_costs[rot..]);
+        joint_costs.extend_from_slice(&iter_costs[..rot]);
+    }
+    let mut policy = opts.policy.instantiate(joint_costs.len());
+    let op_opts = OpOptions {
+        bytes_per_task: opts.bytes_per_task,
+        start_time: start,
+        proc_offset: offset,
+    };
+    let joint_all =
+        crate::par_op::simulate_dynamic(cfg, p, &joint_costs, policy.as_mut(), &op_opts)
+            .finish
+            - start;
+    let dep_chain = stage_time(&dep, p, start);
+
+    let items = carried.len().max(1) * 16;
+    let item_bytes = (carried_bytes / items as u64).max(1);
+    let b = choose_batch(items, item_bytes, cfg);
+    let per_iter_floor = pipelined_stage_time(0.0, dep_chain, items, item_bytes, b, cfg);
+    let fill = stage_time(&ind, p, start);
+    start + fill + joint_all.max(per_iter_floor * iters as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orchestra_delirium::DataAnno;
+
+    fn irregular_then_regular(split: bool) -> (DelirGraph, ExecutorOptions) {
+        // The paper's running scenario: irregular A, then regular B.
+        // Split version exposes B_I concurrent with A.
+        let mut g = DelirGraph::new();
+        let a = g.add_node(
+            "A",
+            NodeKind::DataParallel { tasks: 512, mean_cost: 80.0, cv: 1.6 },
+            None,
+        );
+        if split {
+            let bi = g.add_node(
+                "B_I",
+                NodeKind::DataParallel { tasks: 12288, mean_cost: 20.0, cv: 0.1 },
+                None,
+            );
+            let bd = g.add_node(
+                "B_D",
+                NodeKind::DataParallel { tasks: 4096, mean_cost: 20.0, cv: 0.1 },
+                None,
+            );
+            let bm = g.add_node("B_M", NodeKind::Merge { cost: 50.0 }, None);
+            g.add_edge(a, bd, DataAnno::array("q", 512));
+            g.add_edge(bi, bm, DataAnno::array("out1", 12288));
+            g.add_edge(bd, bm, DataAnno::array("out2", 4096));
+        } else {
+            let b = g.add_node(
+                "B",
+                NodeKind::DataParallel { tasks: 16384, mean_cost: 20.0, cv: 0.1 },
+                None,
+            );
+            g.add_edge(a, b, DataAnno::array("q", 16384));
+        }
+        (g, ExecutorOptions::default())
+    }
+
+    #[test]
+    fn report_accounts_all_nodes() {
+        let (g, opts) = irregular_then_regular(false);
+        let cfg = MachineConfig::ncube2(64);
+        let r = execute_graph(&g, &cfg, &opts).unwrap();
+        assert_eq!(r.nodes.len(), 2);
+        assert!(r.finish > 0.0);
+        assert!((r.serial_work - g.total_work()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn split_graph_beats_barrier_graph_at_scale() {
+        let cfg = MachineConfig::ncube2(512);
+        let (g0, opts) = irregular_then_regular(false);
+        let (g1, _) = irregular_then_regular(true);
+        let r0 = execute_graph(&g0, &cfg, &opts).unwrap();
+        let r1 = execute_graph(&g1, &cfg, &opts).unwrap();
+        assert!(
+            r1.finish < r0.finish,
+            "split {} should beat barrier {}",
+            r1.finish,
+            r0.finish
+        );
+    }
+
+    #[test]
+    fn efficiency_degrades_with_more_processors() {
+        let (g, opts) = irregular_then_regular(false);
+        let e64 = execute_graph(&g, &MachineConfig::ncube2(64), &opts).unwrap().efficiency();
+        let e1024 =
+            execute_graph(&g, &MachineConfig::ncube2(1024), &opts).unwrap().efficiency();
+        assert!(e64 > e1024, "e64={e64} e1024={e1024}");
+    }
+
+    #[test]
+    fn allocation_beats_even_split_for_unequal_ops() {
+        let mut g = DelirGraph::new();
+        g.add_node("big", NodeKind::DataParallel { tasks: 4096, mean_cost: 50.0, cv: 0.3 }, None);
+        g.add_node("small", NodeKind::DataParallel { tasks: 128, mean_cost: 10.0, cv: 0.3 }, None);
+        let cfg = MachineConfig::ncube2(256);
+        let with = execute_graph(
+            &g,
+            &cfg,
+            &ExecutorOptions { use_allocation: true, ..ExecutorOptions::default() },
+        )
+        .unwrap();
+        let without = execute_graph(
+            &g,
+            &cfg,
+            &ExecutorOptions { use_allocation: false, ..ExecutorOptions::default() },
+        )
+        .unwrap();
+        assert!(
+            with.finish <= without.finish,
+            "equalizer {} should not lose to even split {}",
+            with.finish,
+            without.finish
+        );
+    }
+
+    #[test]
+    fn pipeline_overlap_beats_barrier() {
+        let mut g = DelirGraph::new();
+        let ai = g.add_node(
+            "A_I",
+            NodeKind::DataParallel { tasks: 256, mean_cost: 30.0, cv: 0.2 },
+            Some("A".into()),
+        );
+        let ad = g.add_node(
+            "A_D",
+            NodeKind::DataParallel { tasks: 32, mean_cost: 30.0, cv: 0.2 },
+            Some("A".into()),
+        );
+        let am = g.add_node("A_M", NodeKind::Merge { cost: 20.0 }, Some("A".into()));
+        g.add_edge(ai, am, DataAnno::array("r1", 256));
+        g.add_edge(ad, am, DataAnno::array("r2", 32));
+        g.add_carried_edge(am, ad, DataAnno::array("q", 256));
+        let cfg = MachineConfig::ncube2(128);
+        let mut opts = ExecutorOptions::default();
+        opts.pipeline_iters.insert("A".into(), 64);
+        let over = execute_graph(&g, &cfg, &opts).unwrap();
+        let barrier = execute_graph(
+            &g,
+            &cfg,
+            &ExecutorOptions { pipeline_overlap: false, ..opts.clone() },
+        )
+        .unwrap();
+        assert!(
+            over.finish < barrier.finish,
+            "overlap {} should beat barrier {}",
+            over.finish,
+            barrier.finish
+        );
+    }
+
+    #[test]
+    fn speedup_and_efficiency_consistent() {
+        let (g, opts) = irregular_then_regular(true);
+        let cfg = MachineConfig::ncube2(128);
+        let r = execute_graph(&g, &cfg, &opts).unwrap();
+        assert!((r.speedup() / 128.0 - r.efficiency()).abs() < 1e-12);
+        assert!(r.efficiency() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn distributed_scheduling_runs_and_stays_close() {
+        let (g, opts) = irregular_then_regular(true);
+        let cfg = MachineConfig::ncube2(128);
+        let central = execute_graph(&g, &cfg, &opts).unwrap();
+        let dist_opts = ExecutorOptions { distributed: true, ..opts };
+        let dist = execute_graph(&g, &cfg, &dist_opts).unwrap();
+        assert!(dist.finish > 0.0);
+        // The decentralized scheme pays token latency but must stay in
+        // the same regime (within 2× either way).
+        let ratio = dist.finish / central.finish;
+        assert!((0.5..2.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn invalid_graph_rejected() {
+        let mut g = DelirGraph::new();
+        let a = g.add_node("A", NodeKind::Task { cost: 1.0 }, None);
+        g.add_edge(a, a, DataAnno::scalar("self"));
+        assert!(execute_graph(&g, &MachineConfig::ncube2(4), &ExecutorOptions::default()).is_err());
+    }
+}

@@ -1,0 +1,229 @@
+//! Finishing-time estimation (§4.1.2, equation 1).
+//!
+//! ```text
+//! finish = setup + compute + lag + comm + sched
+//! ```
+//!
+//! * `setup` — the maximum of the time to contract one operation's data
+//!   onto its partition and expand the other's (modeled as a
+//!   logarithmic redistribution of the operation's input bytes);
+//! * `compute` — expected mean time `N·µ/p`;
+//! * `lag` — expected *maximum* finishing time in excess of the mean,
+//!   driven by the task-time distribution `(µ, σ)` \[11, 14\]: the
+//!   expected maximum of `min(p, N)` samples, `σ·√(2·ln m)`;
+//! * `comm` — the runtime communication estimate (Sarkar–Hennessy
+//!   weighted crossing edges, evaluated with runtime values of `N`
+//!   and `p`);
+//! * `sched` — predicted scheduling events × per-event overhead,
+//!   divided across processors.
+
+use crate::chunking::{predicted_chunks, PolicyKind};
+use orchestra_machine::MachineConfig;
+
+/// The runtime profile of one parallel operation, as known when the
+/// allocation decision is made.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpSpec {
+    /// Number of tasks `N`.
+    pub tasks: usize,
+    /// Sampled mean task time µ (µs).
+    pub mean: f64,
+    /// Sampled task-time standard deviation σ (µs).
+    pub std_dev: f64,
+    /// Input bytes that must be contracted/expanded onto the partition.
+    pub bytes_in: u64,
+    /// Output bytes produced.
+    pub bytes_out: u64,
+    /// The chunk policy scheduling this operation.
+    pub policy: PolicyKind,
+}
+
+impl OpSpec {
+    /// A spec from sampled costs.
+    pub fn from_costs(costs: &[f64], bytes_per_task: u64, policy: PolicyKind) -> Self {
+        let s = orchestra_machine::summarize(costs);
+        OpSpec {
+            tasks: costs.len(),
+            mean: s.mean,
+            std_dev: s.std_dev,
+            bytes_in: costs.len() as u64 * bytes_per_task,
+            bytes_out: costs.len() as u64 * bytes_per_task,
+            policy,
+        }
+    }
+
+    /// Coefficient of variation.
+    pub fn cv(&self) -> f64 {
+        if self.mean <= 0.0 {
+            0.0
+        } else {
+            self.std_dev / self.mean
+        }
+    }
+
+    /// Total sequential work (µs).
+    pub fn total_work(&self) -> f64 {
+        self.tasks as f64 * self.mean
+    }
+}
+
+/// The terms of the finishing-time estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FinishEstimate {
+    /// Data contraction/expansion.
+    pub setup: f64,
+    /// `N·µ/p`.
+    pub compute: f64,
+    /// Expected straggler excess.
+    pub lag: f64,
+    /// Communication overhead.
+    pub comm: f64,
+    /// Scheduling overhead.
+    pub sched: f64,
+}
+
+impl FinishEstimate {
+    /// The total estimate.
+    pub fn total(&self) -> f64 {
+        self.setup + self.compute + self.lag + self.comm + self.sched
+    }
+}
+
+/// Fraction of an operation's data assumed to actually move during
+/// contraction/expansion and result communication. Owner-computes
+/// placement keeps most task data on its home processor; only
+/// partition-boundary and re-balanced data travels.
+const MIGRATED_FRACTION: f64 = 0.1;
+
+/// Estimates the finishing time of `op` on `p` processors of `cfg`.
+///
+/// # Panics
+///
+/// Panics if `p` is zero.
+pub fn finish_estimate(op: &OpSpec, p: usize, cfg: &MachineConfig) -> FinishEstimate {
+    assert!(p > 0, "estimate needs at least one processor");
+    let p_f = p as f64;
+    let n_f = op.tasks as f64;
+
+    // setup: contract/expand the migrated share of the input onto the
+    // partition along a binomial tree.
+    let setup = if p == 1 {
+        0.0
+    } else {
+        let rounds = p_f.log2().ceil();
+        rounds * cfg.alpha + cfg.beta * MIGRATED_FRACTION * op.bytes_in as f64 / p_f
+    };
+
+    let compute = n_f * op.mean / p_f;
+
+    // lag: expected max of m ≈ min(p, N) per-processor deviations.
+    let m = p.min(op.tasks.max(1)) as f64;
+    let lag = if m <= 1.0 { 0.0 } else { op.std_dev * (2.0 * m.ln()).sqrt() };
+
+    // comm: per-processor share of migrated output plus latency.
+    let comm = if p == 1 {
+        0.0
+    } else {
+        2.0 * cfg.alpha
+            + cfg.beta * MIGRATED_FRACTION * (op.bytes_out as f64) / p_f
+            + cfg.hop * cfg.diameter() as f64
+    };
+
+    // sched: predicted chunk count × overhead, shared across processors.
+    let chunks = predicted_chunks(op.policy, op.tasks, p, op.cv());
+    let sched = chunks * cfg.sched_overhead / p_f;
+
+    FinishEstimate { setup, compute, lag, comm, sched }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::par_op::{simulate_policy, OpOptions};
+    use orchestra_machine::CostDistribution;
+
+    fn spec(n: usize, mean: f64, cv: f64, policy: PolicyKind) -> OpSpec {
+        OpSpec {
+            tasks: n,
+            mean,
+            std_dev: mean * cv,
+            bytes_in: (n as u64) * 256,
+            bytes_out: (n as u64) * 256,
+            policy,
+        }
+    }
+
+    #[test]
+    fn compute_dominates_at_small_p() {
+        let s = spec(4096, 100.0, 0.1, PolicyKind::Taper);
+        let e = finish_estimate(&s, 4, &MachineConfig::ncube2(4));
+        assert!(e.compute > e.setup + e.lag + e.comm + e.sched);
+    }
+
+    #[test]
+    fn estimate_decreases_then_flattens_with_p() {
+        let s = spec(4096, 100.0, 0.5, PolicyKind::Taper);
+        let e64 = finish_estimate(&s, 64, &MachineConfig::ncube2(64)).total();
+        let e512 = finish_estimate(&s, 512, &MachineConfig::ncube2(512)).total();
+        assert!(e512 < e64);
+        // Diminishing returns: the ratio is far from linear.
+        let speedup = e64 / e512;
+        assert!(speedup < 8.0, "speedup {speedup} should be sublinear");
+    }
+
+    #[test]
+    fn lag_grows_with_variance() {
+        let regular = spec(1024, 50.0, 0.05, PolicyKind::Taper);
+        let irregular = spec(1024, 50.0, 2.0, PolicyKind::Taper);
+        let cfg = MachineConfig::ncube2(128);
+        let el = finish_estimate(&regular, 128, &cfg);
+        let eh = finish_estimate(&irregular, 128, &cfg);
+        assert!(eh.lag > 10.0 * el.lag);
+        assert!(eh.total() > el.total());
+    }
+
+    #[test]
+    fn single_processor_is_pure_compute_plus_sched() {
+        let s = spec(100, 10.0, 0.3, PolicyKind::Gss);
+        let e = finish_estimate(&s, 1, &MachineConfig::ncube2(1));
+        assert_eq!(e.setup, 0.0);
+        assert_eq!(e.comm, 0.0);
+        assert!((e.compute - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn self_sched_pays_most_sched_overhead() {
+        let cfg = MachineConfig::ncube2(64);
+        let ss = finish_estimate(&spec(4096, 10.0, 0.1, PolicyKind::SelfSched), 64, &cfg);
+        let tp = finish_estimate(&spec(4096, 10.0, 0.1, PolicyKind::Taper), 64, &cfg);
+        assert!(ss.sched > tp.sched);
+    }
+
+    #[test]
+    fn estimate_tracks_simulation_within_factor_two() {
+        // The estimate guides allocation; it should be in the right
+        // ballpark of the simulator on a plain TAPER run.
+        let costs = CostDistribution::Bimodal { mean: 50.0, heavy_frac: 0.2, heavy_mult: 5.0 }
+            .sample(2048, 33);
+        let cfg = MachineConfig::ncube2(64);
+        let s = OpSpec::from_costs(&costs, 256, PolicyKind::Taper);
+        let est = finish_estimate(&s, 64, &cfg).total();
+        let sim =
+            simulate_policy(&cfg, 64, &costs, PolicyKind::Taper, &OpOptions::default()).finish;
+        let ratio = est / sim;
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "estimate {est} vs simulated {sim} (ratio {ratio})"
+        );
+    }
+
+    #[test]
+    fn from_costs_matches_summary() {
+        let costs = vec![2.0, 4.0, 6.0];
+        let s = OpSpec::from_costs(&costs, 100, PolicyKind::Gss);
+        assert_eq!(s.tasks, 3);
+        assert!((s.mean - 4.0).abs() < 1e-12);
+        assert_eq!(s.bytes_in, 300);
+        assert!((s.total_work() - 12.0).abs() < 1e-12);
+    }
+}

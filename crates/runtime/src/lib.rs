@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+//! # orchestra-runtime
+//!
+//! The adaptive runtime system (§4 of *Orchestrating Interactions Among
+//! Parallel Computations*, PLDI 1993), executing Delirium dataflow
+//! graphs on the simulated machine:
+//!
+//! * [`stats`] — online µ/σ sampling and positional cost functions;
+//! * [`chunking`] — grain-size policies: **TAPER** (variance-adaptive
+//!   decreasing chunks with `s = µg/µc` cost-function scaling) and the
+//!   baselines it is compared against (static block, self-scheduling,
+//!   guided self-scheduling, factoring);
+//! * [`par_op`] — simulation of a single parallel operation under
+//!   owner-computes data placement;
+//! * [`dist_taper`] — the distributed TAPER epoch/token binary tree
+//!   with root-driven chunk re-assignment;
+//! * [`finish`] — the finishing-time estimate
+//!   `finish = setup + compute + lag + comm + sched` (equation 1);
+//! * [`alloc`] — the iterative processor-allocation equalizer
+//!   (ε = 5%, max_count = 4);
+//! * [`granularity`] — communication batch-size choice for pipelined
+//!   operation pairs;
+//! * [`executor`] — level-structured graph execution combining all of
+//!   the above.
+
+pub mod alloc;
+pub mod chunking;
+pub mod dist_taper;
+pub mod executor;
+pub mod finish;
+pub mod granularity;
+pub mod par_op;
+pub mod stats;
+
+pub use alloc::{allocate_many, allocate_pair, AllocParams, Allocation};
+pub use chunking::{ChunkPolicy, Factoring, Gss, PolicyKind, SelfSched, Taper};
+pub use dist_taper::{simulate_dist_taper, simulate_dist_taper_at, DistResult};
+pub use executor::{execute_graph, ExecutionReport, ExecutorOptions, NodeReport};
+pub use finish::{finish_estimate, FinishEstimate, OpSpec};
+pub use granularity::{batch_cost, choose_batch, pipelined_stage_time};
+pub use par_op::{owner_of, simulate_dynamic, simulate_policy, simulate_static, OpOptions, OpResult};
+pub use stats::{CostFn, OnlineStats};

@@ -1,0 +1,207 @@
+//! Online task-time statistics and cost functions (§4.1.1).
+//!
+//! "The runtime system samples task execution times to compute their
+//! statistical mean (µ) and variance (σ²)." A further sampling pass
+//! builds a *cost function* estimating task time as a function of
+//! iteration number; TAPER scales chunk sizes by `s = µg/µc`, the ratio
+//! of the global mean to the mean of the tasks in the current chunk.
+
+/// Welford online mean/variance accumulator.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl OnlineStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats::default()
+    }
+
+    /// Observes one sample.
+    pub fn observe(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 before any observation).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance.
+    pub fn variance(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Coefficient of variation σ/µ (0 when the mean is 0).
+    pub fn cv(&self) -> f64 {
+        if self.mean.abs() < f64::EPSILON {
+            0.0
+        } else {
+            self.std_dev() / self.mean
+        }
+    }
+}
+
+/// A positional cost function: mean task cost per bucket of the
+/// iteration space, built from samples.
+#[derive(Debug, Clone)]
+pub struct CostFn {
+    buckets: Vec<OnlineStats>,
+    total_tasks: usize,
+}
+
+impl CostFn {
+    /// A cost function with `buckets` buckets over `total_tasks`
+    /// iterations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets` is zero.
+    pub fn new(buckets: usize, total_tasks: usize) -> Self {
+        assert!(buckets > 0, "cost function needs at least one bucket");
+        CostFn { buckets: vec![OnlineStats::new(); buckets], total_tasks: total_tasks.max(1) }
+    }
+
+    fn bucket_of(&self, index: usize) -> usize {
+        (index * self.buckets.len() / self.total_tasks).min(self.buckets.len() - 1)
+    }
+
+    /// Records a sampled task time at the given iteration index.
+    pub fn observe(&mut self, index: usize, cost: f64) {
+        let b = self.bucket_of(index);
+        self.buckets[b].observe(cost);
+    }
+
+    /// Estimated cost of the task at `index`: its bucket's mean, the
+    /// global mean when the bucket is unsampled, or 0 with no samples.
+    pub fn estimate(&self, index: usize) -> f64 {
+        let b = &self.buckets[self.bucket_of(index)];
+        if b.count() > 0 {
+            b.mean()
+        } else {
+            self.global_mean()
+        }
+    }
+
+    /// Mean over all samples.
+    pub fn global_mean(&self) -> f64 {
+        let (mut total, mut n) = (0.0, 0u64);
+        for b in &self.buckets {
+            total += b.mean() * b.count() as f64;
+            n += b.count();
+        }
+        if n == 0 {
+            0.0
+        } else {
+            total / n as f64
+        }
+    }
+
+    /// The chunk scaling factor `s = µg/µc` for a chunk covering
+    /// `[start, start+len)` (1.0 with no data).
+    pub fn chunk_scale(&self, start: usize, len: usize) -> f64 {
+        let g = self.global_mean();
+        if g <= 0.0 || len == 0 {
+            return 1.0;
+        }
+        let mut c = 0.0;
+        for i in start..start + len {
+            c += self.estimate(i.min(self.total_tasks - 1));
+        }
+        c /= len as f64;
+        if c <= 0.0 {
+            1.0
+        } else {
+            g / c
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_direct() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut s = OnlineStats::new();
+        for &x in &xs {
+            s.observe(x);
+        }
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert!((s.cv() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.cv(), 0.0);
+    }
+
+    #[test]
+    fn cost_fn_buckets_positionally() {
+        let mut f = CostFn::new(4, 100);
+        // First half cheap, second half expensive.
+        for i in 0..50 {
+            f.observe(i, 1.0);
+        }
+        for i in 50..100 {
+            f.observe(i, 9.0);
+        }
+        assert!((f.estimate(10) - 1.0).abs() < 1e-9);
+        assert!((f.estimate(90) - 9.0).abs() < 1e-9);
+        assert!((f.global_mean() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chunk_scale_shrinks_expensive_regions() {
+        let mut f = CostFn::new(4, 100);
+        for i in 0..50 {
+            f.observe(i, 1.0);
+        }
+        for i in 50..100 {
+            f.observe(i, 9.0);
+        }
+        // Expensive region: scale < 1 (schedule smaller chunks).
+        assert!(f.chunk_scale(75, 10) < 1.0);
+        // Cheap region: scale > 1.
+        assert!(f.chunk_scale(10, 10) > 1.0);
+    }
+
+    #[test]
+    fn unsampled_bucket_falls_back_to_global() {
+        let mut f = CostFn::new(10, 100);
+        f.observe(0, 4.0);
+        assert!((f.estimate(95) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_samples_scale_is_one() {
+        let f = CostFn::new(4, 100);
+        assert_eq!(f.chunk_scale(0, 10), 1.0);
+    }
+}

@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+//! # orchestration
+//!
+//! Umbrella crate for the reproduction of Graham, Lucco & Sharp,
+//! *"Orchestrating Interactions Among Parallel Computations"* (PLDI 1993).
+//!
+//! This crate simply re-exports the workspace members under short names;
+//! see the individual crates for the actual functionality:
+//!
+//! * [`lang`] — the MF mini-Fortran front end (lexer, parser, interpreter)
+//! * [`analysis`] — CFG/SSA construction and symbolic analysis
+//! * [`descriptors`] — symbolic data descriptors and interference
+//! * [`split`] — the split and pipelining transformations
+//! * [`delirium`] — the coarse-grained dataflow (coordination) graph
+//! * [`machine`] — the distributed-memory machine simulator
+//! * [`runtime`] — TAPER, distributed TAPER, and processor allocation
+//! * [`apps`] — Psirrfan / climate / EMU / vortex workload generators
+//! * [`core`] — the end-to-end orchestration pipeline
+
+pub use orchestra_analysis as analysis;
+pub use orchestra_apps as apps;
+pub use orchestra_core as core;
+pub use orchestra_delirium as delirium;
+pub use orchestra_descriptors as descriptors;
+pub use orchestra_lang as lang;
+pub use orchestra_machine as machine;
+pub use orchestra_runtime as runtime;
+pub use orchestra_split as split;

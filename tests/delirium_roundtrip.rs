@@ -1,0 +1,125 @@
+//! Property test: random well-formed Delirium graphs survive the
+//! text-format round trip and satisfy the structural invariants
+//! (validation, topological order, level consistency, work accounting).
+
+use orchestra_delirium::{DataAnno, DelirGraph, NodeKind, Population};
+use proptest::prelude::*;
+
+fn gen_kind() -> impl Strategy<Value = NodeKind> {
+    prop_oneof![
+        (1.0f64..1000.0).prop_map(|cost| NodeKind::Task { cost }),
+        (1.0f64..500.0).prop_map(|cost| NodeKind::Merge { cost }),
+        (1usize..5000, 0.5f64..200.0, 0.0f64..2.0)
+            .prop_map(|(tasks, mean_cost, cv)| NodeKind::DataParallel { tasks, mean_cost, cv }),
+        proptest::collection::vec((1usize..1000, 1.0f64..100.0, 0.0f64..1.5), 1..4).prop_map(
+            |pops| NodeKind::Mixture {
+                populations: pops
+                    .into_iter()
+                    .map(|(tasks, mean_cost, cv)| Population { tasks, mean_cost, cv })
+                    .collect(),
+            }
+        ),
+    ]
+}
+
+/// A random DAG: nodes n0..nk, forward edges only (guaranteed acyclic),
+/// plus optional carried back-edges inside a group.
+fn gen_graph() -> impl Strategy<Value = DelirGraph> {
+    (2usize..9).prop_flat_map(|n| {
+        let kinds = proptest::collection::vec(gen_kind(), n);
+        let edges = proptest::collection::vec(
+            (0usize..n, 0usize..n, 1u64..100_000),
+            0..(n * 2),
+        );
+        let groups = proptest::collection::vec(proptest::bool::ANY, n);
+        (kinds, edges, groups).prop_map(move |(kinds, edges, groups)| {
+            let mut g = DelirGraph::new();
+            for (i, kind) in kinds.into_iter().enumerate() {
+                let group = groups[i].then(|| "grp".to_string());
+                g.add_node(format!("n{i}"), kind, group);
+            }
+            for (a, b, count) in edges {
+                let (from, to) = (a.min(b), a.max(b));
+                if from == to {
+                    continue;
+                }
+                g.add_edge(from, to, DataAnno::array(format!("d{from}_{to}"), count));
+            }
+            // One carried edge between grouped nodes, if any exist.
+            let grouped: Vec<usize> =
+                g.nodes.iter().filter(|x| x.group.is_some()).map(|x| x.id).collect();
+            if grouped.len() >= 2 {
+                let (x, y) = (grouped[grouped.len() - 1], grouped[0]);
+                g.add_carried_edge(x, y, DataAnno::scalar("carried"));
+            }
+            g
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn random_graphs_validate_and_round_trip(g in gen_graph()) {
+        g.validate().expect("forward-edge graphs are valid");
+        let text = orchestra_delirium::print(&g, "rand");
+        let (name, parsed) = orchestra_delirium::parse(&text)
+            .unwrap_or_else(|e| panic!("{e}\n{text}"));
+        prop_assert_eq!(name, "rand");
+        prop_assert_eq!(&parsed, &g);
+    }
+
+    #[test]
+    fn topo_order_respects_edges(g in gen_graph()) {
+        let order = g.topo_order().expect("acyclic");
+        let pos: std::collections::HashMap<usize, usize> =
+            order.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+        for e in g.edges.iter().filter(|e| !e.carried) {
+            prop_assert!(pos[&e.from] < pos[&e.to]);
+        }
+    }
+
+    #[test]
+    fn levels_partition_the_nodes(g in gen_graph()) {
+        let levels = g.levels().expect("acyclic");
+        let mut seen = std::collections::BTreeSet::new();
+        for level in &levels {
+            for &v in level {
+                prop_assert!(seen.insert(v), "node {v} in two levels");
+            }
+        }
+        prop_assert_eq!(seen.len(), g.nodes.len());
+        // A node's predecessors sit in strictly earlier levels.
+        let level_of: std::collections::HashMap<usize, usize> = levels
+            .iter()
+            .enumerate()
+            .flat_map(|(li, vs)| vs.iter().map(move |&v| (v, li)))
+            .collect();
+        for e in g.edges.iter().filter(|e| !e.carried) {
+            prop_assert!(level_of[&e.from] < level_of[&e.to]);
+        }
+    }
+
+    #[test]
+    fn work_is_nonnegative_and_additive(g in gen_graph()) {
+        let total = g.total_work();
+        prop_assert!(total >= 0.0);
+        let sum: f64 = g.nodes.iter().map(|n| n.kind.total_work()).sum();
+        prop_assert!((total - sum).abs() < 1e-9);
+        // Critical path never exceeds total work (weights are per-node
+        // lower bounds) and is positive when any node has work.
+        let cp = g.critical_path().expect("acyclic");
+        prop_assert!(cp >= 0.0);
+    }
+
+    #[test]
+    fn comm_cost_monotone_in_partitioning(g in gen_graph()) {
+        // All nodes on one processor: zero; any split: ≥ 0 and equal to
+        // the sum over crossing edges.
+        let same = vec![0usize; g.nodes.len()];
+        prop_assert_eq!(g.comm_cost(&same, 10.0, 0.1), 0.0);
+        let alternating: Vec<usize> = (0..g.nodes.len()).map(|i| i % 2).collect();
+        prop_assert!(g.comm_cost(&alternating, 10.0, 0.1) >= 0.0);
+    }
+}

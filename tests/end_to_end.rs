@@ -1,0 +1,116 @@
+//! End-to-end integration: every application kernel flows through the
+//! whole pipeline (parse → analyze → split/pipeline → Delirium graph →
+//! simulated execution), and the evaluation-level orderings hold.
+
+use orchestra_apps::{all_paper_workloads, psirrfan, Scale};
+use orchestra_bench::{measure, Config};
+use orchestra_core::{graph_of_compiled, Orchestrator};
+
+#[test]
+fn every_app_kernel_compiles_and_runs() {
+    let orch = Orchestrator::ncube2(128);
+    for kernel in [
+        orchestra_apps::psirrfan::kernel(),
+        orchestra_apps::climate::kernel(),
+        orchestra_apps::emu::kernel(),
+        orchestra_apps::vortex::kernel(),
+    ] {
+        let name = kernel.name.clone();
+        let compiled = orch.compile(kernel);
+        assert!(compiled.exposed_concurrency(), "{name}: no concurrency exposed");
+        let (g, iters) = graph_of_compiled(&compiled);
+        g.validate().unwrap_or_else(|e| panic!("{name}: invalid graph: {e}"));
+        assert!(!iters.is_empty(), "{name}: no pipeline");
+        let report = orch.run(&compiled);
+        assert!(report.finish > 0.0, "{name}");
+        let baseline = orch.run_baseline(&compiled.original);
+        assert!(baseline.finish > 0.0, "{name}");
+    }
+}
+
+#[test]
+fn split_beats_taper_on_every_app_at_scale() {
+    // The paper's headline: the orchestrated configuration outperforms
+    // the barriered TAPER configuration at high processor counts.
+    for w in all_paper_workloads() {
+        let tp = measure(&w, Config::Taper, 1024);
+        let sp = measure(&w, Config::TaperSplit, 1024);
+        assert!(
+            sp.speedup > tp.speedup,
+            "{}: split {} must beat TAPER {} at 1024 procs",
+            w.name,
+            sp.speedup,
+            tp.speedup
+        );
+    }
+}
+
+#[test]
+fn taper_beats_static_at_scale() {
+    for w in all_paper_workloads() {
+        let st = measure(&w, Config::Static, 512);
+        let tp = measure(&w, Config::Taper, 512);
+        assert!(
+            tp.speedup >= st.speedup * 0.95,
+            "{}: TAPER {} should not lose to static {} at 512 procs",
+            w.name,
+            tp.speedup,
+            st.speedup
+        );
+    }
+}
+
+#[test]
+fn fig6_divergence_grows_with_processors() {
+    // The gap between split and TAPER-only widens from 128 to 1024
+    // processors (the shape of Figure 6).
+    let w = psirrfan::workload(&psirrfan::paper_scale());
+    let gap = |p: usize| {
+        measure(&w, Config::TaperSplit, p).speedup / measure(&w, Config::Taper, p).speedup
+    };
+    let g128 = gap(128);
+    let g1024 = gap(1024);
+    assert!(
+        g1024 >= g128 * 0.9,
+        "divergence must not collapse: {g128:.2} at 128 vs {g1024:.2} at 1024"
+    );
+    assert!(g1024 > 1.1, "split must clearly win at 1024 ({g1024:.2}×)");
+}
+
+#[test]
+fn split_efficiency_sustained_through_1024() {
+    // "…sustained efficiency … using up to 1024 processors": doubling
+    // 512 → 1024 with split loses far less than half the efficiency.
+    let w = psirrfan::workload(&psirrfan::paper_scale());
+    let e512 = measure(&w, Config::TaperSplit, 512).efficiency;
+    let e1024 = measure(&w, Config::TaperSplit, 1024).efficiency;
+    assert!(
+        e1024 > 0.6 * e512,
+        "efficiency collapse: {e512:.2} → {e1024:.2}"
+    );
+    assert!(e1024 > 0.4, "absolute efficiency too low: {e1024:.2}");
+}
+
+#[test]
+fn small_scale_apps_still_ordered() {
+    // The orderings also hold away from the calibrated paper scale.
+    let w = psirrfan::workload(&Scale { n: 1024, seed: 3 });
+    let tp = measure(&w, Config::Taper, 512);
+    let sp = measure(&w, Config::TaperSplit, 512);
+    assert!(sp.speedup > tp.speedup);
+}
+
+#[test]
+fn delirium_text_round_trips_app_graphs() {
+    for w in all_paper_workloads() {
+        for (label, g) in [("baseline", &w.baseline), ("split", &w.split)] {
+            let text = orchestra_delirium::print(g, w.name);
+            let (name, parsed) =
+                orchestra_delirium::parse(&text).unwrap_or_else(|e| {
+                    panic!("{} {label}: {e}\n{text}", w.name)
+                });
+            assert_eq!(name, w.name);
+            assert_eq!(&parsed, g, "{} {label}", w.name);
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Golden tests pinning the paper's Figures 1–5 to the implementation.
+
+use orchestra_descriptors::{descriptor_of_stmt, SymCtx};
+use orchestra_lang::builder::{figure1_program, figure4_program};
+use orchestra_lang::parse_program;
+use orchestra_lang::pretty::stmt_to_string;
+use orchestra_split::{
+    categorize, pipeline_loop, primitives_of, split_computation, PieceClass, SplitOptions,
+};
+
+#[test]
+fn figure1_descriptor_matches_paper_notation() {
+    let prog = figure1_program(8);
+    let ctx = SymCtx::from_program(&prog);
+    let d_a = descriptor_of_stmt(&prog.body[0], &ctx);
+    // A writes the masked columns of q: q[1..8, 1..8/(mask[*] <> 0)].
+    let writes: Vec<String> = d_a.writes.iter().map(|t| t.to_string()).collect();
+    assert!(
+        writes.iter().any(|w| w == "q[1..8, 1..8/(mask[*] <> 0)]"),
+        "missing masked write: {writes:?}"
+    );
+}
+
+#[test]
+fn figure2_split_shape() {
+    let prog = figure1_program(8);
+    let ctx = SymCtx::from_program(&prog);
+    let d_a = descriptor_of_stmt(&prog.body[0], &ctx);
+    let result = split_computation(&prog, &prog.body[1..], &d_a, &SplitOptions::default());
+
+    let names: Vec<&str> = result.pieces.iter().map(|p| p.name.as_str()).collect();
+    assert_eq!(names, vec!["B_I", "B_D", "B_M"]);
+
+    // B_I runs where the mask is zero, B_D where it is non-zero.
+    let bi = stmt_to_string(&result.pieces[0].stmts[0]);
+    assert!(bi.contains("where (mask[i] = 0)"), "{bi}");
+    let bd = stmt_to_string(&result.pieces[1].stmts[0]);
+    assert!(bd.contains("where (mask[i] <> 0)"), "{bd}");
+    // The merge selects per-element by the same mask.
+    let bm = stmt_to_string(&result.pieces[2].stmts[0]);
+    assert!(bm.contains("if (mask[i] <> 0)"), "{bm}");
+}
+
+#[test]
+fn figure3_pipeline_shape() {
+    let prog = figure1_program(8);
+    let r = pipeline_loop(&prog, &prog.body[0], 1, &SplitOptions::default())
+        .expect("A pipelines");
+    assert!(r.exposed_concurrency());
+    let text = stmt_to_string(&r.transformed);
+    // The paper's discontinuous range: do i = 1, col-2 and col, n.
+    assert!(
+        text.contains("do i = 1, col - 2 and col, n"),
+        "independent piece must skip iteration col-1:\n{text}"
+    );
+}
+
+#[test]
+fn figure4_split_replicates_reduction() {
+    let prog = figure4_program(8, 3);
+    let ctx = SymCtx::from_program(&prog);
+    let d_g = descriptor_of_stmt(&prog.body[0], &ctx);
+    let result = split_computation(&prog, &prog.body[1..], &d_g, &SplitOptions::default());
+    assert_eq!(result.loop_splits, vec!["H"]);
+    // sum is replicated into per-piece accumulators, combined in H_M.
+    assert!(result.new_decls.iter().any(|d| d.name == "sum__i"));
+    assert!(result.new_decls.iter().any(|d| d.name == "sum__d"));
+    let merge = result
+        .pieces
+        .iter()
+        .find(|p| p.class == PieceClass::Merge)
+        .expect("merge piece");
+    let text: String = merge.stmts.iter().map(stmt_to_string).collect();
+    assert!(text.contains("sum = sum + sum__i + sum__d"), "{text}");
+}
+
+#[test]
+fn figure5_categories() {
+    let src = r#"
+program figure5
+  integer n = 4
+  float x[1..n], y[1..n], z[1..n], r[1..n], v[1..n], sum
+  W: do i = 1, n { x[i] = 1.0 }
+  A: do i = 1, n { y[i] = 2.0 }
+  B: do i = 1, n { sum = sum + x[i] * y[i] }
+  C: do i = 1, n { z[i] = y[i] }
+  D: do i = 1, n { r[i] = sum }
+  E: do i = 1, n { v[i] = 3.0 }
+end
+"#;
+    let prog = parse_program(src).unwrap();
+    let ctx = SymCtx::from_program(&prog);
+    let d_w = descriptor_of_stmt(&prog.body[0], &ctx);
+    let prims = primitives_of(&prog.body[1..], &ctx);
+    let cats = categorize(&prims, &d_w);
+    let by_name: std::collections::BTreeMap<&str, &str> =
+        prims.iter().map(|p| (p.name.as_str(), cats.category_of(p.id))).collect();
+    assert_eq!(by_name["A"], "GenerateLinked");
+    assert_eq!(by_name["B"], "Bound");
+    assert_eq!(by_name["C"], "ReadLinked");
+    assert_eq!(by_name["D"], "NeedsBound");
+    assert_eq!(by_name["E"], "Free");
+}
+
+#[test]
+fn paper_section32_example_descriptor() {
+    // §3.2's running example with the miss[] guard.
+    let src = r#"
+program ex
+  integer miss[1..10]
+  float q[1..10, 1..10], x[1..10]
+  L: do i = 1, 10 {
+    if (miss[i] <> 1) {
+      do j = 1, 10 {
+        q[i, j] = q[i, j] + x[j]
+      }
+    }
+  }
+end
+"#;
+    let prog = parse_program(src).unwrap();
+    let ctx = SymCtx::from_program(&prog);
+    let d = descriptor_of_stmt(&prog.body[0], &ctx);
+    let writes: Vec<String> = d.writes.iter().map(|t| t.to_string()).collect();
+    assert_eq!(writes, vec!["q[1..10/(miss[*] <> 1), 1..10]"]);
+}

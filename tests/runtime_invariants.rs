@@ -1,0 +1,125 @@
+//! Property tests on the runtime's scheduling invariants: every policy
+//! executes every task exactly once, conserves work, and respects the
+//! trivial lower bounds; distributed TAPER additionally preserves
+//! locality on regular work.
+
+use orchestra_machine::{CostDistribution, MachineConfig};
+use orchestra_runtime::{
+    simulate_dist_taper, simulate_policy, OpOptions, PolicyKind,
+};
+use proptest::prelude::*;
+
+fn any_policy() -> impl Strategy<Value = PolicyKind> {
+    prop_oneof![
+        Just(PolicyKind::Static),
+        Just(PolicyKind::SelfSched),
+        Just(PolicyKind::Gss),
+        Just(PolicyKind::Factoring),
+        Just(PolicyKind::Taper),
+        Just(PolicyKind::TaperCostFn),
+    ]
+}
+
+fn any_distribution() -> impl Strategy<Value = CostDistribution> {
+    prop_oneof![
+        (1.0f64..100.0).prop_map(|mean| CostDistribution::Constant { mean }),
+        (1.0f64..100.0, 0.0f64..0.9)
+            .prop_map(|(mean, spread)| CostDistribution::Uniform { mean, spread }),
+        (1.0f64..50.0, 0.05f64..0.5, 2.0f64..10.0).prop_map(|(mean, f, m)| {
+            CostDistribution::Bimodal { mean, heavy_frac: f, heavy_mult: m }
+        }),
+        (1.0f64..50.0, 0.05f64..0.4, 2.0f64..8.0, 4usize..64).prop_map(
+            |(mean, f, m, cl)| CostDistribution::ClusteredBimodal {
+                mean,
+                heavy_frac: f,
+                heavy_mult: m,
+                cluster: cl,
+            }
+        ),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_policy_conserves_tasks_and_work(
+        kind in any_policy(),
+        dist in any_distribution(),
+        n in 1usize..600,
+        p_exp in 0u32..8,
+        seed in 0u64..1000,
+    ) {
+        let p = 1usize << p_exp;
+        let costs = dist.sample(n, seed);
+        let total: f64 = costs.iter().sum();
+        let cfg = MachineConfig::ncube2(p);
+        let r = simulate_policy(&cfg, p, &costs, kind, &OpOptions::default());
+
+        // Every task ran exactly once; busy time is conserved.
+        prop_assert_eq!(r.stats.total_tasks(), n as u64);
+        prop_assert!((r.stats.total_busy() - total).abs() < 1e-6 * total.max(1.0));
+
+        // Trivial lower bounds.
+        let max_task = costs.iter().fold(0.0f64, |a, &b| a.max(b));
+        prop_assert!(r.finish + 1e-9 >= total / p as f64);
+        prop_assert!(r.finish + 1e-9 >= max_task);
+
+        // Upper bound: even serial execution plus all overheads cannot
+        // exceed total + per-chunk overhead + transfers, generously.
+        let bound = total
+            + r.chunks as f64 * cfg.sched_overhead
+            + r.migrated_tasks as f64 * cfg.msg_time(0, p - 1, 10_000)
+            + 1.0;
+        prop_assert!(r.finish <= bound, "finish {} > bound {}", r.finish, bound);
+    }
+
+    #[test]
+    fn simulation_is_deterministic(
+        kind in any_policy(),
+        n in 1usize..300,
+        seed in 0u64..100,
+    ) {
+        let costs =
+            CostDistribution::HeavyTail { mean: 20.0, sigma: 1.0 }.sample(n, seed);
+        let cfg = MachineConfig::ncube2(32);
+        let a = simulate_policy(&cfg, 32, &costs, kind, &OpOptions::default());
+        let b = simulate_policy(&cfg, 32, &costs, kind, &OpOptions::default());
+        prop_assert_eq!(a.finish, b.finish);
+        prop_assert_eq!(a.chunks, b.chunks);
+    }
+
+    #[test]
+    fn dist_taper_conserves_and_bounds(
+        dist in any_distribution(),
+        n in 1usize..600,
+        p_exp in 0u32..7,
+        seed in 0u64..500,
+    ) {
+        let p = 1usize << p_exp;
+        let costs = dist.sample(n, seed);
+        let total: f64 = costs.iter().sum();
+        let cfg = MachineConfig::ncube2(p);
+        let r = simulate_dist_taper(&cfg, p, &costs, 64);
+        prop_assert_eq!(r.stats.total_tasks(), n as u64);
+        prop_assert!((r.stats.total_busy() - total).abs() < 1e-6 * total.max(1.0));
+        prop_assert!(r.finish + 1e-9 >= total / p as f64);
+        prop_assert!((0.0..=1.0).contains(&r.locality));
+    }
+
+    #[test]
+    fn constant_work_stays_local_in_dist_taper(
+        n in 64usize..400,
+        p_exp in 2u32..6,
+    ) {
+        let p = 1usize << p_exp;
+        let costs = vec![10.0; n];
+        let cfg = MachineConfig::ncube2(p);
+        let r = simulate_dist_taper(&cfg, p, &costs, 64);
+        prop_assert!(
+            r.locality >= 0.95,
+            "uniform work must stay on its owners, locality {}",
+            r.locality
+        );
+    }
+}
