@@ -58,9 +58,7 @@ fn forward_block(stmts: &mut [SimpleStmt]) -> usize {
                         // names are single-assignment, so nothing to do
                         // unless the name is reused (non-SSA input).
                         let name = name.clone();
-                        known.retain(|k, val| {
-                            !k.contains(&name) && !expr_mentions(val, &name)
-                        });
+                        known.retain(|k, val| !k.contains(&name) && !expr_mentions(val, &name));
                     }
                     LValue::Index(array, idx) => {
                         let mut new_idx = idx.clone();
@@ -189,9 +187,8 @@ mod tests {
 
     #[test]
     fn different_index_not_forwarded() {
-        let mut cfg = cfg_of(
-            "program p\n integer n = 4, v, w\n integer a[1..n]\n a[2] = v\n w = a[3]\nend",
-        );
+        let mut cfg =
+            cfg_of("program p\n integer n = 4, v, w\n integer a[1..n]\n a[2] = v\n w = a[3]\nend");
         assert_eq!(forward_aggregates(&mut cfg), 0);
     }
 
@@ -230,9 +227,8 @@ mod tests {
 
     #[test]
     fn call_values_not_forwarded() {
-        let mut cfg = cfg_of(
-            "program p\n integer n = 4\n float a[1..n], w\n a[1] = f(1.0)\n w = a[1]\nend",
-        );
+        let mut cfg =
+            cfg_of("program p\n integer n = 4\n float a[1..n], w\n a[1] = f(1.0)\n w = a[1]\nend");
         assert_eq!(forward_aggregates(&mut cfg), 0, "call results are not duplicated");
     }
 }

@@ -32,9 +32,8 @@ impl CallSite {
         let mut alias_pattern = vec![None; args.len()];
         for i in 0..args.len() {
             if let Expr::Var(vi) = &args[i] {
-                alias_pattern[i] = args[..i]
-                    .iter()
-                    .position(|a| matches!(a, Expr::Var(vj) if vj == vi));
+                alias_pattern[i] =
+                    args[..i].iter().position(|a| matches!(a, Expr::Var(vj) if vj == vi));
             }
         }
         let const_args = args.iter().map(|a| a.as_int()).collect();
@@ -89,12 +88,7 @@ impl Default for ClassifyConfig {
 /// weight by a per-level factor of 100 as a static estimate.
 pub fn collect_call_sites(prog: &Program, profile: &BTreeMap<usize, f64>) -> Vec<CallSite> {
     let mut sites = Vec::new();
-    fn walk(
-        stmts: &[Stmt],
-        depth: u32,
-        sites: &mut Vec<CallSite>,
-        profile: &BTreeMap<usize, f64>,
-    ) {
+    fn walk(stmts: &[Stmt], depth: u32, sites: &mut Vec<CallSite>, profile: &BTreeMap<usize, f64>) {
         for s in stmts {
             match s {
                 Stmt::Call { name, args } => {
@@ -207,10 +201,8 @@ end
     fn cold_sites_merge_per_proc() {
         let p = prog(SRC);
         let sites = collect_call_sites(&p, &BTreeMap::new());
-        let groups = classify(
-            &sites,
-            &ClassifyConfig { hot_threshold: 1e9, separate_cold_aliases: false },
-        );
+        let groups =
+            classify(&sites, &ClassifyConfig { hot_threshold: 1e9, separate_cold_aliases: false });
         assert_eq!(groups.len(), 1, "all cold sites of `work` merge");
         assert_eq!(groups[0].sites.len(), 3);
     }
@@ -219,10 +211,8 @@ end
     fn cold_alias_separation_heuristic() {
         let p = prog(SRC);
         let sites = collect_call_sites(&p, &BTreeMap::new());
-        let groups = classify(
-            &sites,
-            &ClassifyConfig { hot_threshold: 1e9, separate_cold_aliases: true },
-        );
+        let groups =
+            classify(&sites, &ClassifyConfig { hot_threshold: 1e9, separate_cold_aliases: true });
         assert_eq!(groups.len(), 2, "aliased and non-aliased patterns separate");
     }
 

@@ -349,10 +349,9 @@ impl Builder {
     fn lower_stmt(&mut self, s: &Stmt, cur: BlockId) -> BlockId {
         match s {
             Stmt::Assign { target, value } => {
-                self.blocks[cur].stmts.push(SimpleStmt::Assign {
-                    target: target.clone(),
-                    value: value.clone(),
-                });
+                self.blocks[cur]
+                    .stmts
+                    .push(SimpleStmt::Assign { target: target.clone(), value: value.clone() });
                 cur
             }
             Stmt::Call { name, args } => {
@@ -400,10 +399,9 @@ impl Builder {
         let exit = self.new_block(BlockRole::Exit);
 
         // preheader: var = lo
-        self.blocks[preheader].stmts.push(SimpleStmt::Assign {
-            target: LValue::Var(var.to_string()),
-            value: r.lo.clone(),
-        });
+        self.blocks[preheader]
+            .stmts
+            .push(SimpleStmt::Assign { target: LValue::Var(var.to_string()), value: r.lo.clone() });
         self.blocks[preheader].term = Terminator::Jump(header);
         if self.blocks[preheader].role == BlockRole::Plain {
             self.blocks[preheader].role = BlockRole::Preheader;
@@ -426,8 +424,7 @@ impl Builder {
             body_head
         } else {
             let body_head = self.new_block(BlockRole::Plain);
-            self.blocks[header].term =
-                Terminator::Branch { cond, then_b: body_head, else_b: exit };
+            self.blocks[header].term = Terminator::Branch { cond, then_b: body_head, else_b: exit };
             body_head
         };
 
@@ -487,9 +484,8 @@ mod tests {
 
     #[test]
     fn loop_produces_back_edge() {
-        let cfg = cfg_of(
-            "program p\n integer n = 3\n integer x[1..n]\n do i = 1, n { x[i] = i }\nend",
-        );
+        let cfg =
+            cfg_of("program p\n integer n = 3\n integer x[1..n]\n do i = 1, n { x[i] = i }\nend");
         assert_eq!(cfg.loops.len(), 1);
         let l = &cfg.loops[0];
         // The increment jumps back to the header.
@@ -517,9 +513,8 @@ mod tests {
 
     #[test]
     fn rpo_starts_at_entry_and_visits_all() {
-        let cfg = cfg_of(
-            "program p\n integer n = 3\n integer x[1..n]\n do i = 1, n { x[i] = i }\nend",
-        );
+        let cfg =
+            cfg_of("program p\n integer n = 3\n integer x[1..n]\n do i = 1, n { x[i] = i }\nend");
         let rpo = cfg.reverse_postorder();
         assert_eq!(rpo[0], cfg.entry);
         assert_eq!(rpo.len(), cfg.len(), "all blocks reachable");
@@ -535,9 +530,9 @@ mod tests {
             .iter()
             .find(|b| {
                 b.role == BlockRole::Plain
-                    && b.stmts
-                        .iter()
-                        .any(|s| matches!(s, SimpleStmt::Assign { target: LValue::Index(_, _), .. }))
+                    && b.stmts.iter().any(|s| {
+                        matches!(s, SimpleStmt::Assign { target: LValue::Index(_, _), .. })
+                    })
             })
             .expect("body block");
         assert!(body.array_defs().contains("x"));

@@ -246,18 +246,16 @@ mod tests {
 
     #[test]
     fn keeps_scalars_feeding_array_writes() {
-        let (p, stats) = dce(
-            "program t\n integer n = 2, a\n integer x[1..n]\n a = 7\n x[1] = a\nend",
-        );
+        let (p, stats) =
+            dce("program t\n integer n = 2, a\n integer x[1..n]\n a = 7\n x[1] = a\nend");
         assert_eq!(stats.assignments_removed, 0);
         assert_eq!(p.body.len(), 2);
     }
 
     #[test]
     fn removes_overwritten_def() {
-        let (p, stats) = dce(
-            "program t\n integer n = 2, a\n integer x[1..n]\n a = 1\n a = 2\n x[1] = a\nend",
-        );
+        let (p, stats) =
+            dce("program t\n integer n = 2, a\n integer x[1..n]\n a = 1\n a = 2\n x[1] = a\nend");
         assert_eq!(stats.assignments_removed, 1, "a = 1 is dead");
         assert_eq!(p.body.len(), 2);
     }
@@ -274,9 +272,7 @@ mod tests {
 
     #[test]
     fn removes_empty_loop() {
-        let (p, stats) = dce(
-            "program t\n integer n = 4, dead\n do i = 1, n { dead = i }\nend",
-        );
+        let (p, stats) = dce("program t\n integer n = 4, dead\n do i = 1, n { dead = i }\nend");
         assert!(stats.loops_removed >= 1);
         assert!(p.body.is_empty());
     }

@@ -150,7 +150,8 @@ mod tests {
 
     #[test]
     fn diamond_dominators() {
-        let cfg = cfg_of("program p\n integer a, b\n if (a = 0) { b = 1 } else { b = 2 }\n a = 3\nend");
+        let cfg =
+            cfg_of("program p\n integer a, b\n if (a = 0) { b = 1 } else { b = 2 }\n a = 3\nend");
         let dom = DomTree::compute(&cfg);
         // Entry dominates everything.
         for b in 0..cfg.len() {
@@ -169,7 +170,8 @@ mod tests {
 
     #[test]
     fn join_in_frontier_of_both_arms() {
-        let cfg = cfg_of("program p\n integer a, b\n if (a = 0) { b = 1 } else { b = 2 }\n a = 3\nend");
+        let cfg =
+            cfg_of("program p\n integer a, b\n if (a = 0) { b = 1 } else { b = 2 }\n a = 3\nend");
         let dom = DomTree::compute(&cfg);
         let crate::cfg::Terminator::Branch { then_b, else_b, .. } = &cfg.blocks[0].term else {
             panic!()
@@ -182,9 +184,8 @@ mod tests {
 
     #[test]
     fn loop_header_in_own_frontier() {
-        let cfg = cfg_of(
-            "program p\n integer n = 3\n integer x[1..n]\n do i = 1, n { x[i] = i }\nend",
-        );
+        let cfg =
+            cfg_of("program p\n integer n = 3\n integer x[1..n]\n do i = 1, n { x[i] = i }\nend");
         let dom = DomTree::compute(&cfg);
         let header = cfg.loops[0].header;
         // The header has a back edge into itself, so it appears in its
@@ -195,9 +196,8 @@ mod tests {
 
     #[test]
     fn header_dominates_body_and_exit() {
-        let cfg = cfg_of(
-            "program p\n integer n = 3\n integer x[1..n]\n do i = 1, n { x[i] = i }\nend",
-        );
+        let cfg =
+            cfg_of("program p\n integer n = 3\n integer x[1..n]\n do i = 1, n { x[i] = i }\nend");
         let dom = DomTree::compute(&cfg);
         let l = &cfg.loops[0];
         assert!(dom.dominates(l.header, l.increment));

@@ -146,11 +146,7 @@ fn phi_value(
                             }
                             let hi = lin_expr(rhs, values)?;
                             let (start, end) = if k > 0 { (init, hi) } else { (hi, init) };
-                            return Some(SymValue::Range(SymRange {
-                                start,
-                                end,
-                                skip: k.abs(),
-                            }));
+                            return Some(SymValue::Range(SymRange { start, end, skip: k.abs() }));
                         }
                     }
                 }
@@ -161,10 +157,7 @@ fn phi_value(
     equal_args_value(phi, values)
 }
 
-fn equal_args_value(
-    phi: &crate::ssa::Phi,
-    values: &HashMap<String, SymValue>,
-) -> Option<SymValue> {
+fn equal_args_value(phi: &crate::ssa::Phi, values: &HashMap<String, SymValue>) -> Option<SymValue> {
     let mut resolved: Vec<SymExpr> = Vec::new();
     for (_, arg) in &phi.args {
         resolved.push(resolve_expr(arg, values)?);
@@ -271,8 +264,7 @@ pub fn to_assertion(cond: &Expr, positive: bool, values: &HashMap<String, SymVal
             let (Some(a), Some(b)) = (lin_expr_raw(l, values), lin_expr_raw(r, values)) else {
                 return Assertion::truth();
             };
-            let eff_op =
-                if positive { *op } else { op.negate().expect("comparisons negate") };
+            let eff_op = if positive { *op } else { op.negate().expect("comparisons negate") };
             Assertion::atom(match eff_op {
                 BinOp::Eq => Ineq::eq(&a, &b),
                 BinOp::Ne => Ineq::ne(&a, &b),
@@ -352,7 +344,8 @@ mod tests {
 
     #[test]
     fn constants_fold_through_chains() {
-        let (_, prop) = analyzed("program p\n integer a, b, c\n a = 2\n b = a + 3\n c = b * 2\nend");
+        let (_, prop) =
+            analyzed("program p\n integer a, b, c\n a = 2\n b = a + 3\n c = b * 2\nend");
         assert_eq!(prop.values["a#1"], SymValue::int(2));
         assert_eq!(prop.values["b#1"], SymValue::int(5));
         assert_eq!(prop.values["c#1"], SymValue::int(10));
@@ -376,9 +369,8 @@ mod tests {
 
     #[test]
     fn symbolic_upper_bound_stays_symbolic() {
-        let (ssa, prop) = analyzed(
-            "program p\n integer n\n integer x[1..100]\n do i = 1, n { x[i] = i }\nend",
-        );
+        let (ssa, prop) =
+            analyzed("program p\n integer n\n integer x[1..100]\n do i = 1, n { x[i] = i }\nend");
         let header = ssa.cfg.loops[0].header;
         let phi = ssa.phis[header].iter().find(|p| p.var == "i").unwrap();
         let SymValue::Range(r) = &prop.values[&phi.dest] else { panic!() };
@@ -398,9 +390,8 @@ mod tests {
 
     #[test]
     fn branch_assertions_flow_to_arms() {
-        let (ssa, prop) = analyzed(
-            "program p\n integer a, b\n if (a = 0) { b = 1 } else { b = 2 }\nend",
-        );
+        let (ssa, prop) =
+            analyzed("program p\n integer a, b\n if (a = 0) { b = 1 } else { b = 2 }\nend");
         let Terminator::Branch { then_b, else_b, .. } = ssa.cfg.blocks[0].term.clone() else {
             panic!()
         };
@@ -420,12 +411,7 @@ mod tests {
         // The mask-test block's outgoing assertions are `true` (the
         // analysis cannot express array-element predicates; those are
         // handled structurally by the descriptor layer).
-        let mask_block = ssa
-            .cfg
-            .blocks
-            .iter()
-            .position(|b| b.role == BlockRole::MaskTest)
-            .unwrap();
+        let mask_block = ssa.cfg.blocks.iter().position(|b| b.role == BlockRole::MaskTest).unwrap();
         let Terminator::Branch { then_b, .. } = ssa.cfg.blocks[mask_block].term.clone() else {
             panic!()
         };

@@ -99,11 +99,8 @@ pub fn to_ssa(cfg: &Cfg, scalar_names: &BTreeSet<String>) -> SsaProgram {
     }
 
     // Renaming.
-    let mut renamer = Renamer {
-        counters: HashMap::new(),
-        stacks: HashMap::new(),
-        def_block: HashMap::new(),
-    };
+    let mut renamer =
+        Renamer { counters: HashMap::new(), stacks: HashMap::new(), def_block: HashMap::new() };
     for v in scalar_names {
         // Version 0 is the implicit entry definition.
         renamer.counters.insert(v.clone(), 0);
@@ -132,11 +129,7 @@ impl Renamer {
     }
 
     fn top(&self, var: &str) -> String {
-        self.stacks
-            .get(var)
-            .and_then(|s| s.last())
-            .cloned()
-            .unwrap_or_else(|| ssa_name(var, 0))
+        self.stacks.get(var).and_then(|s| s.last()).cloned().unwrap_or_else(|| ssa_name(var, 0))
     }
 }
 
@@ -153,11 +146,9 @@ fn rename_expr(e: &Expr, r: &Renamer, scalars: &BTreeSet<String>) -> Expr {
         Expr::Index(a, idx) => {
             Expr::Index(a.clone(), idx.iter().map(|i| rename_expr(i, r, scalars)).collect())
         }
-        Expr::Bin(op, l, rr) => Expr::bin(
-            *op,
-            rename_expr(l, r, scalars),
-            rename_expr(rr, r, scalars),
-        ),
+        Expr::Bin(op, l, rr) => {
+            Expr::bin(*op, rename_expr(l, r, scalars), rename_expr(rr, r, scalars))
+        }
         Expr::Un(op, inner) => Expr::Un(*op, Box::new(rename_expr(inner, r, scalars))),
         Expr::Call(f, args) => {
             Expr::Call(f.clone(), args.iter().map(|a| rename_expr(a, r, scalars)).collect())
@@ -197,10 +188,9 @@ fn rename_block(
                         LValue::Var(name)
                     }
                     LValue::Var(v) => LValue::Var(v),
-                    LValue::Index(a, idx) => LValue::Index(
-                        a,
-                        idx.iter().map(|i| rename_expr(i, r, scalars)).collect(),
-                    ),
+                    LValue::Index(a, idx) => {
+                        LValue::Index(a, idx.iter().map(|i| rename_expr(i, r, scalars)).collect())
+                    }
                 };
                 new_stmts.push(SimpleStmt::Assign { target, value });
             }
@@ -241,12 +231,8 @@ mod tests {
 
     fn ssa_of(src: &str) -> SsaProgram {
         let p = parse_program(src).unwrap();
-        let mut scalars: BTreeSet<String> = p
-            .decls
-            .iter()
-            .filter(|d| !d.is_array())
-            .map(|d| d.name.clone())
-            .collect();
+        let mut scalars: BTreeSet<String> =
+            p.decls.iter().filter(|d| !d.is_array()).map(|d| d.name.clone()).collect();
         // Induction variables are scalars too.
         fn collect_ivs(stmts: &[orchestra_lang::ast::Stmt], out: &mut BTreeSet<String>) {
             for s in stmts {
@@ -286,7 +272,8 @@ mod tests {
 
     #[test]
     fn if_join_gets_phi() {
-        let ssa = ssa_of("program p\n integer a, b\n if (a = 0) { b = 1 } else { b = 2 }\n a = b\nend");
+        let ssa =
+            ssa_of("program p\n integer a, b\n if (a = 0) { b = 1 } else { b = 2 }\n a = b\nend");
         let join = ssa
             .phis
             .iter()
@@ -304,9 +291,8 @@ mod tests {
 
     #[test]
     fn loop_header_phi_for_induction_var() {
-        let ssa = ssa_of(
-            "program p\n integer n = 3\n integer x[1..n]\n do i = 1, n { x[i] = i }\nend",
-        );
+        let ssa =
+            ssa_of("program p\n integer n = 3\n integer x[1..n]\n do i = 1, n { x[i] = i }\nend");
         let header = ssa.cfg.loops[0].header;
         let phi = ssa.phis[header].iter().find(|p| p.var == "i").expect("phi for i");
         assert_eq!(phi.args.len(), 2, "preheader + back edge");
@@ -319,18 +305,15 @@ mod tests {
 
     #[test]
     fn reduction_gets_phi_in_header() {
-        let ssa = ssa_of(
-            "program p\n integer n = 3, s\n do i = 1, n { s = s + i }\nend",
-        );
+        let ssa = ssa_of("program p\n integer n = 3, s\n do i = 1, n { s = s + i }\nend");
         let header = ssa.cfg.loops[0].header;
         assert!(ssa.phis[header].iter().any(|p| p.var == "s"));
     }
 
     #[test]
     fn arrays_are_not_renamed() {
-        let ssa = ssa_of(
-            "program p\n integer n = 3\n integer x[1..n]\n do i = 1, n { x[i] = i }\nend",
-        );
+        let ssa =
+            ssa_of("program p\n integer n = 3\n integer x[1..n]\n do i = 1, n { x[i] = i }\nend");
         for b in &ssa.cfg.blocks {
             for s in &b.stmts {
                 if let SimpleStmt::Assign { target: LValue::Index(a, _), .. } = s {

@@ -87,8 +87,7 @@ pub fn verify_ssa(ssa: &SsaProgram) -> Vec<SsaViolation> {
             if let SimpleStmt::Assign { target: LValue::Var(name), .. } = s {
                 if split_ssa_name(name).is_some() {
                     if !seen.insert(name) {
-                        violations
-                            .push(SsaViolation::MultipleDefinitions { name: name.clone() });
+                        violations.push(SsaViolation::MultipleDefinitions { name: name.clone() });
                     }
                     def_block.insert(name, bi);
                 }
@@ -101,10 +100,8 @@ pub fn verify_ssa(ssa: &SsaProgram) -> Vec<SsaViolation> {
         let preds = &ssa.cfg.blocks[bi].preds;
         for phi in phis {
             if phi.args.len() != preds.len() {
-                violations.push(SsaViolation::PhiArityMismatch {
-                    dest: phi.dest.clone(),
-                    block: bi,
-                });
+                violations
+                    .push(SsaViolation::PhiArityMismatch { dest: phi.dest.clone(), block: bi });
             }
             for (pred, _) in &phi.args {
                 if !preds.contains(pred) {
@@ -130,10 +127,8 @@ pub fn verify_ssa(ssa: &SsaProgram) -> Vec<SsaViolation> {
     let check_expr = |e: &Expr, bi: usize, violations: &mut Vec<SsaViolation>| {
         collect_ssa_uses(e, &mut |name| {
             if !dominated(name, bi) {
-                violations.push(SsaViolation::UseNotDominated {
-                    name: name.to_string(),
-                    use_block: bi,
-                });
+                violations
+                    .push(SsaViolation::UseNotDominated { name: name.to_string(), use_block: bi });
             }
         });
     };
@@ -177,10 +172,9 @@ pub fn verify_ssa(ssa: &SsaProgram) -> Vec<SsaViolation> {
 
 fn collect_ssa_uses<'a>(e: &'a Expr, f: &mut dyn FnMut(&'a str)) {
     match e {
-        Expr::Var(v)
-            if split_ssa_name(v).is_some() => {
-                f(v);
-            }
+        Expr::Var(v) if split_ssa_name(v).is_some() => {
+            f(v);
+        }
         Expr::Index(_, idx) => {
             for i in idx {
                 collect_ssa_uses(i, f);
@@ -253,9 +247,8 @@ mod tests {
 
     #[test]
     fn detects_phi_arity_mismatch() {
-        let mut ssa = ssa_of(
-            "program t\n integer a, b\n if (a = 0) { b = 1 } else { b = 2 }\n a = b\nend",
-        );
+        let mut ssa =
+            ssa_of("program t\n integer a, b\n if (a = 0) { b = 1 } else { b = 2 }\n a = b\nend");
         // Corrupt: drop one φ argument.
         for phis in ssa.phis.iter_mut() {
             for phi in phis.iter_mut() {
@@ -277,7 +270,9 @@ mod tests {
         let branch_def = ssa
             .def_block
             .iter()
-            .find(|(n, &b)| b != ssa.cfg.entry && split_ssa_name(n).is_some_and(|(base, _)| base == "b"))
+            .find(|(n, &b)| {
+                b != ssa.cfg.entry && split_ssa_name(n).is_some_and(|(base, _)| base == "b")
+            })
             .map(|(n, _)| n.clone())
             .expect("branch def of b exists");
         if let Terminator::Branch { cond, .. } = &mut ssa.cfg.blocks[0].term {

@@ -1,0 +1,70 @@
+//! Benchmarks the two execution backends on the same Delirium graph:
+//! the discrete-event simulator (cost of *predicting* a schedule) and
+//! the real-thread backend (cost of *executing* one), across chunk
+//! policies.
+//!
+//! ```sh
+//! cargo bench -p orchestra-bench --bench backends
+//! ```
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use orchestra_delirium::{DataAnno, DelirGraph, NodeKind};
+use orchestra_machine::MachineConfig;
+use orchestra_runtime::executor::{execute_graph, ExecutorOptions};
+use orchestra_runtime::threaded::{execute_threaded, SpinKernel};
+use orchestra_runtime::PolicyKind;
+
+fn sample_graph() -> DelirGraph {
+    let mut g = DelirGraph::new();
+    let a = g.add_node("A", NodeKind::DataParallel { tasks: 256, mean_cost: 20.0, cv: 1.0 }, None);
+    let b = g.add_node("B", NodeKind::DataParallel { tasks: 512, mean_cost: 10.0, cv: 0.1 }, None);
+    let m = g.add_node("M", NodeKind::Merge { cost: 10.0 }, None);
+    g.add_edge(a, m, DataAnno::array("ra", 256));
+    g.add_edge(b, m, DataAnno::array("rb", 512));
+    g
+}
+
+const POLICIES: [PolicyKind; 4] =
+    [PolicyKind::SelfSched, PolicyKind::Gss, PolicyKind::Factoring, PolicyKind::Taper];
+
+fn bench_simulated(c: &mut Criterion) {
+    let g = sample_graph();
+    let cfg = MachineConfig::ncube2(64);
+    let mut group = c.benchmark_group("backend_simulated");
+    for policy in POLICIES {
+        let opts = ExecutorOptions { policy, ..ExecutorOptions::default() };
+        group.bench_with_input(
+            BenchmarkId::new("execute_graph", policy.name()),
+            &opts,
+            |bench, opts| {
+                bench.iter(|| black_box(execute_graph(black_box(&g), &cfg, opts).unwrap().finish));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_threaded(c: &mut Criterion) {
+    let g = sample_graph();
+    // 2 workers and a light kernel keep the bench fast and
+    // core-count-independent.
+    let kernel = SpinKernel::with_scale(4.0);
+    let mut group = c.benchmark_group("backend_threaded");
+    group.sample_size(10);
+    for policy in POLICIES {
+        let opts = ExecutorOptions { policy, threads: 2, ..ExecutorOptions::default() };
+        group.bench_with_input(
+            BenchmarkId::new("execute_threaded", policy.name()),
+            &opts,
+            |bench, opts| {
+                bench.iter(|| {
+                    black_box(execute_threaded(black_box(&g), opts, &kernel).unwrap().wall_us)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulated, bench_threaded);
+criterion_main!(benches);

@@ -5,8 +5,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use orchestra_machine::{CostDistribution, MachineConfig};
 use orchestra_runtime::{
-    allocate_pair, finish_estimate, simulate_dist_taper, simulate_policy, AllocParams,
-    OpOptions, OpSpec, PolicyKind,
+    allocate_pair, finish_estimate, simulate_dist_taper, simulate_policy, AllocParams, OpOptions,
+    OpSpec, PolicyKind,
 };
 
 fn pool(n: usize) -> Vec<f64> {

@@ -18,8 +18,7 @@ use orchestra_apps::{all_paper_workloads, climate, psirrfan};
 use orchestra_bench::{fig6_processor_counts, measure, Config, Measurement};
 use orchestra_machine::MachineConfig;
 use orchestra_runtime::{
-    allocate_pair, execute_graph, finish_estimate, AllocParams, ExecutorOptions, OpSpec,
-    PolicyKind,
+    allocate_pair, execute_graph, finish_estimate, AllocParams, ExecutorOptions, OpSpec, PolicyKind,
 };
 
 fn main() {
@@ -126,13 +125,7 @@ fn r2() {
         let e512 = measure(&w, Config::TaperSplit, 512).efficiency;
         let e1024 = measure(&w, Config::TaperSplit, 1024).efficiency;
         let loss = (e512 - e1024) / e512 * 100.0;
-        println!(
-            "{:<10} {:>9.0}% {:>9.0}% {:>11.1}%",
-            w.name,
-            e512 * 100.0,
-            e1024 * 100.0,
-            loss
-        );
+        println!("{:<10} {:>9.0}% {:>9.0}% {:>11.1}%", w.name, e512 * 100.0, e1024 * 100.0, loss);
     }
 }
 
@@ -182,10 +175,7 @@ fn intro_fusion() {
     );
     fused.add_edge(a, b, DataAnno::array("q", params.carried_elems));
 
-    println!(
-        "{:>6} {:>12} {:>12} {:>12}",
-        "procs", "barriers", "fused", "split"
-    );
+    println!("{:>6} {:>12} {:>12} {:>12}", "procs", "barriers", "fused", "split");
     for p in [256usize, 512, 1024] {
         let cfg = MachineConfig::ncube2(p);
         let serial = w.serial_work();
@@ -220,22 +210,14 @@ fn ablate_alloc() {
     println!("{:>6} {:>14} {:>14} {:>8}", "procs", "equalizer", "even split", "gain");
     for p in [256, 512, 1024] {
         let cfg = MachineConfig::ncube2(p);
-        let mut with = ExecutorOptions {
-            policy: PolicyKind::TaperCostFn,
-            ..ExecutorOptions::default()
-        };
+        let mut with =
+            ExecutorOptions { policy: PolicyKind::TaperCostFn, ..ExecutorOptions::default() };
         with.pipeline_iters.extend(w.pipeline_iters.clone());
         let mut without = with.clone();
         without.use_allocation = false;
         let t_with = execute_graph(&w.split, &cfg, &with).expect("valid").finish;
         let t_without = execute_graph(&w.split, &cfg, &without).expect("valid").finish;
-        println!(
-            "{:>6} {:>14.0} {:>14.0} {:>7.2}x",
-            p,
-            t_with,
-            t_without,
-            t_without / t_with
-        );
+        println!("{:>6} {:>14.0} {:>14.0} {:>7.2}x", p, t_with, t_without, t_without / t_with);
     }
 }
 
@@ -268,22 +250,14 @@ fn ablate_pipeline() {
     println!("{:>6} {:>12} {:>12} {:>8}", "procs", "overlap", "barrier", "gain");
     for p in [256, 512, 1024] {
         let cfg = MachineConfig::ncube2(p);
-        let mut over = ExecutorOptions {
-            policy: PolicyKind::TaperCostFn,
-            ..ExecutorOptions::default()
-        };
+        let mut over =
+            ExecutorOptions { policy: PolicyKind::TaperCostFn, ..ExecutorOptions::default() };
         over.pipeline_iters.extend(w.pipeline_iters.clone());
         let mut barrier = over.clone();
         barrier.pipeline_overlap = false;
         let t_over = execute_graph(&w.split, &cfg, &over).expect("valid").finish;
         let t_barrier = execute_graph(&w.split, &cfg, &barrier).expect("valid").finish;
-        println!(
-            "{:>6} {:>12.0} {:>12.0} {:>7.2}x",
-            p,
-            t_over,
-            t_barrier,
-            t_barrier / t_over
-        );
+        println!("{:>6} {:>12.0} {:>12.0} {:>7.2}x", p, t_over, t_barrier, t_barrier / t_over);
     }
 }
 
@@ -297,10 +271,8 @@ fn ablate_dist() {
     println!("{:>6} {:>14} {:>14}", "procs", "centralized", "distributed");
     for p in [256usize, 512, 1024] {
         let cfg = MachineConfig::ncube2(p);
-        let mut central = ExecutorOptions {
-            policy: PolicyKind::TaperCostFn,
-            ..ExecutorOptions::default()
-        };
+        let mut central =
+            ExecutorOptions { policy: PolicyKind::TaperCostFn, ..ExecutorOptions::default() };
         central.pipeline_iters.extend(w.pipeline_iters.clone());
         let dist = ExecutorOptions { distributed: true, ..central.clone() };
         let tc = execute_graph(&w.split, &cfg, &central).expect("valid").finish;
@@ -352,13 +324,7 @@ fn ablate_iters() {
     };
     println!("{:>9} {:>6} {:>6} {:>12}", "max_count", "p1", "p2", "imbalance");
     for max_count in [0u32, 1, 2, 4, 8] {
-        let r = allocate_pair(
-            &big,
-            &small,
-            1024,
-            &cfg,
-            &AllocParams { epsilon: 0.0, max_count },
-        );
+        let r = allocate_pair(&big, &small, 1024, &cfg, &AllocParams { epsilon: 0.0, max_count });
         let imb = (r.est_a - r.est_b).abs() / r.est_a.max(r.est_b);
         println!("{:>9} {:>6} {:>6} {:>11.1}%", max_count, r.p1, r.p2, imb * 100.0);
     }

@@ -118,11 +118,6 @@ mod tests {
         let w = psirrfan::workload(&Scale { n: 512, seed: 7 });
         let st = measure(&w, Config::Static, 256);
         let tp = measure(&w, Config::Taper, 256);
-        assert!(
-            tp.speedup > st.speedup,
-            "TAPER {} must beat static {}",
-            tp.speedup,
-            st.speedup
-        );
+        assert!(tp.speedup > st.speedup, "TAPER {} must beat static {}", tp.speedup, st.speedup);
     }
 }

@@ -118,10 +118,7 @@ pub fn compile(original: Program, opts: &SplitOptions) -> Compiled {
     let ctx = SymCtx::from_program(&original);
 
     // Find the reference computation: the first labeled top-level loop.
-    let ref_idx = original
-        .body
-        .iter()
-        .position(|s| matches!(s, Stmt::Do { label: Some(_), .. }));
+    let ref_idx = original.body.iter().position(|s| matches!(s, Stmt::Do { label: Some(_), .. }));
 
     let Some(ref_idx) = ref_idx else {
         return Compiled {
@@ -137,16 +134,12 @@ pub fn compile(original: Program, opts: &SplitOptions) -> Compiled {
     let d_ref = descriptor_of_stmt(ref_stmt, &ctx);
 
     // Pipeline the reference loop against its own previous iteration.
-    let pipeline = pipeline_loop(&original, ref_stmt, 1, opts)
-        .filter(|p| p.exposed_concurrency());
+    let pipeline = pipeline_loop(&original, ref_stmt, 1, opts).filter(|p| p.exposed_concurrency());
 
     // Split everything after the reference loop against its descriptor.
     let tail = &original.body[ref_idx + 1..];
-    let split = if tail.is_empty() {
-        None
-    } else {
-        Some(split_computation(&original, tail, &d_ref, opts))
-    };
+    let split =
+        if tail.is_empty() { None } else { Some(split_computation(&original, tail, &d_ref, opts)) };
 
     // Assemble the transformed program.
     let mut transformed = original.clone();
@@ -247,9 +240,8 @@ mod tests {
 
     #[test]
     fn semantic_error_propagates() {
-        let err =
-            compile_source("program p\n integer a\n a = b\nend", &SplitOptions::default())
-                .unwrap_err();
+        let err = compile_source("program p\n integer a\n a = b\nend", &SplitOptions::default())
+            .unwrap_err();
         assert!(matches!(err, CompileError::Semantic(_)));
         assert!(err.to_string().contains("not declared"));
     }

@@ -52,11 +52,8 @@ fn const_trips(ranges: &[Range], ctx: &SymCtx) -> Option<i64> {
         if step == 0 {
             return None;
         }
-        trips += if step > 0 {
-            ((hi - lo) / step + 1).max(0)
-        } else {
-            ((lo - hi) / (-step) + 1).max(0)
-        };
+        trips +=
+            if step > 0 { ((hi - lo) / step + 1).max(0) } else { ((lo - hi) / (-step) + 1).max(0) };
     }
     Some(trips)
 }
@@ -76,13 +73,11 @@ fn piece_shape(piece: &Piece, ctx: &SymCtx, density: f64) -> NodeKind {
     // A merge runs implicitly during data communication: its nominal
     // copy cost shrinks to the residual factor, and it distributes like
     // any other data-parallel operation when it has a loop.
-    let merge_factor =
-        if piece.class == PieceClass::Merge { IMPLICIT_MERGE_FACTOR } else { 1.0 };
+    let merge_factor = if piece.class == PieceClass::Merge { IMPLICIT_MERGE_FACTOR } else { 1.0 };
     if let (Some(Stmt::Do { ranges, .. }), Some(ops)) = (main_loop, total_ops) {
         if let Some(trips) = const_trips(ranges, ctx) {
             if trips > 0 {
-                let mean =
-                    ops as f64 * OP_MICROSECONDS * density * merge_factor / trips as f64;
+                let mean = ops as f64 * OP_MICROSECONDS * density * merge_factor / trips as f64;
                 // A data-dependent mask selects a fraction of the
                 // iterations (fewer tasks, same per-task cost, mildly
                 // irregular); bounds-clipping masks select all of them.
@@ -181,12 +176,7 @@ fn midpoint_ctx(base: &SymCtx, loop_stmt: &Stmt) -> SymCtx {
 /// iterations: the declared size of the first array the dependent
 /// pieces read, divided by the iteration count (one column per
 /// iteration in the Figure 1 shape), floor 16 elements.
-fn carried_elems(
-    pieces: &[&Piece],
-    prog: &Program,
-    ctx: &SymCtx,
-    iters: usize,
-) -> u64 {
+fn carried_elems(pieces: &[&Piece], prog: &Program, ctx: &SymCtx, iters: usize) -> u64 {
     for piece in pieces {
         for t in &piece.descriptor.reads {
             if prog.decl(&t.block).is_some_and(|d| d.is_array()) {
@@ -221,7 +211,11 @@ pub fn graph_of_compiled(c: &Compiled) -> (DelirGraph, HashMap<String, usize>) {
             Stmt::Do { mask: Some(m), .. } => {
                 let mut arrays = std::collections::BTreeSet::new();
                 m.array_reads(&mut arrays);
-                if arrays.is_empty() { 1.0 } else { MASK_DENSITY }
+                if arrays.is_empty() {
+                    1.0
+                } else {
+                    MASK_DENSITY
+                }
             }
             _ => 1.0,
         };
@@ -230,11 +224,8 @@ pub fn graph_of_compiled(c: &Compiled) -> (DelirGraph, HashMap<String, usize>) {
         let pipe_ctx = midpoint_ctx(&ctx, &p.transformed);
         for piece in &p.split.pieces {
             let kind = piece_shape(piece, &pipe_ctx, 1.0);
-            let id = g.add_node(
-                format!("{}::{}", p.loop_name, piece.name),
-                kind,
-                Some(group.clone()),
-            );
+            let id =
+                g.add_node(format!("{}::{}", p.loop_name, piece.name), kind, Some(group.clone()));
             pipeline_pieces.push((id, piece));
         }
         // Edges inside the group: flow interference in program order.
@@ -328,9 +319,7 @@ pub fn baseline_graph(prog: &Program) -> (DelirGraph, HashMap<String, usize>) {
         let id = if let Stmt::Do { var, ranges, body, .. } = s {
             let dependent_iterations = loop_iteration_descriptor(s, &ctx)
                 .map(|iter| {
-                    let shifted = iter
-                        .descriptor
-                        .subst(var, &SymExpr::name(var).offset(1));
+                    let shifted = iter.descriptor.subst(var, &SymExpr::name(var).offset(1));
                     iter.descriptor.interferes(&shifted)
                 })
                 .unwrap_or(true);
@@ -347,8 +336,7 @@ pub fn baseline_graph(prog: &Program) -> (DelirGraph, HashMap<String, usize>) {
                     .unwrap_or(1)
                     .max(1);
                 let per_iter_ops = static_op_count(body, &pipe_ctx).unwrap_or(1000);
-                let mean =
-                    per_iter_ops as f64 * OP_MICROSECONDS / inner_tasks as f64;
+                let mean = per_iter_ops as f64 * OP_MICROSECONDS / inner_tasks as f64;
                 let masked = matches!(s, Stmt::Do { mask: Some(_), .. });
                 let cv = if masked { MASKED_CV } else { 0.1 };
                 let effective_iters = if masked {
@@ -359,11 +347,7 @@ pub fn baseline_graph(prog: &Program) -> (DelirGraph, HashMap<String, usize>) {
                 let group = format!("seq_{name}");
                 let id = g.add_node(
                     name,
-                    NodeKind::DataParallel {
-                        tasks: inner_tasks as usize,
-                        mean_cost: mean,
-                        cv,
-                    },
+                    NodeKind::DataParallel { tasks: inner_tasks as usize, mean_cost: mean, cv },
                     Some(group.clone()),
                 );
                 let carried = (inner_tasks as u64).max(16);
@@ -380,11 +364,7 @@ pub fn baseline_graph(prog: &Program) -> (DelirGraph, HashMap<String, usize>) {
                     outer_trips as usize
                 };
                 let cv = if masked { MASKED_CV } else { 0.1 };
-                g.add_node(
-                    name,
-                    NodeKind::DataParallel { tasks, mean_cost: mean, cv },
-                    None,
-                )
+                g.add_node(name, NodeKind::DataParallel { tasks, mean_cost: mean, cv }, None)
             }
         } else {
             let ops = static_op_count(std::slice::from_ref(s), &ctx).unwrap_or(100);
@@ -411,7 +391,11 @@ mod tests {
         let (g, iters) = graph_of_compiled(&c);
         g.validate().unwrap();
         assert!(!g.nodes.is_empty());
-        assert_eq!(iters.values().copied().max(), Some(8), "A executes ≈ density·n = 8 masked iterations");
+        assert_eq!(
+            iters.values().copied().max(),
+            Some(8),
+            "A executes ≈ density·n = 8 masked iterations"
+        );
     }
 
     #[test]
@@ -443,7 +427,7 @@ mod tests {
         let NodeKind::DataParallel { tasks, mean_cost, .. } = ai.kind else {
             panic!("A_I should be data-parallel, got {:?}", ai.kind)
         };
-        assert!(tasks >= 28 && tasks <= 32, "≈ n-1 iterations, got {tasks}");
+        assert!((28..=32).contains(&tasks), "≈ n-1 iterations, got {tasks}");
         assert!(mean_cost > 0.0 && mean_cost < 50.0, "per-element cost, got {mean_cost}");
     }
 

@@ -21,6 +21,6 @@ pub mod compile;
 pub mod graph;
 pub mod orchestrate;
 
-pub use compile::{compile, compile_source, summarize_pieces, Compiled, CompileError};
+pub use compile::{compile, compile_source, summarize_pieces, CompileError, Compiled};
 pub use graph::{baseline_graph, graph_of_compiled, OP_MICROSECONDS};
 pub use orchestrate::{Comparison, Orchestrator};

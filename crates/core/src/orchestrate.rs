@@ -1,6 +1,6 @@
 //! The one-stop orchestration API: compile → graph → execute.
 
-use crate::compile::{compile, compile_source, Compiled, CompileError};
+use crate::compile::{compile, compile_source, CompileError, Compiled};
 use crate::graph::{baseline_graph, graph_of_compiled};
 use orchestra_lang::ast::Program;
 use orchestra_machine::MachineConfig;
@@ -125,8 +125,7 @@ mod tests {
         let (c, cmp) = orch.compare(figure1_program(96));
         let (g, _) = crate::graph::graph_of_compiled(&c);
         let levels = g.levels().unwrap();
-        let level0_names: Vec<&str> =
-            levels[0].iter().map(|&v| g.nodes[v].name.as_str()).collect();
+        let level0_names: Vec<&str> = levels[0].iter().map(|&v| g.nodes[v].name.as_str()).collect();
         assert!(level0_names.contains(&"B_I"), "B_I concurrent with the pipeline");
         assert!(
             level0_names.iter().any(|n| n.contains("_I") && n.contains("::")),
@@ -177,11 +176,8 @@ end
         // B_I and the pipeline overlap in time.
         let report = &cmp.orchestrated;
         let bi = report.nodes.iter().find(|n| n.name == "B_I").expect("B_I ran");
-        let pipe = report
-            .nodes
-            .iter()
-            .find(|n| n.name.starts_with("pipeline:"))
-            .expect("pipeline ran");
+        let pipe =
+            report.nodes.iter().find(|n| n.name.starts_with("pipeline:")).expect("pipeline ran");
         assert!(
             bi.start < pipe.finish && pipe.start < bi.finish,
             "B_I [{}, {}] must overlap the pipeline [{}, {}]",

@@ -240,20 +240,12 @@ impl DelirGraph {
 
     /// Direct predecessors via non-carried edges.
     pub fn preds(&self, id: NodeId) -> Vec<NodeId> {
-        self.edges
-            .iter()
-            .filter(|e| e.to == id && !e.carried)
-            .map(|e| e.from)
-            .collect()
+        self.edges.iter().filter(|e| e.to == id && !e.carried).map(|e| e.from).collect()
     }
 
     /// Direct successors via non-carried edges.
     pub fn succs(&self, id: NodeId) -> Vec<NodeId> {
-        self.edges
-            .iter()
-            .filter(|e| e.from == id && !e.carried)
-            .map(|e| e.to)
-            .collect()
+        self.edges.iter().filter(|e| e.from == id && !e.carried).map(|e| e.to).collect()
     }
 
     /// Validates structure: edges reference live nodes, names unique,
@@ -379,16 +371,10 @@ mod tests {
     fn diamond() -> DelirGraph {
         let mut g = DelirGraph::new();
         let a = g.add_node("A", NodeKind::Task { cost: 10.0 }, None);
-        let b = g.add_node(
-            "B",
-            NodeKind::DataParallel { tasks: 100, mean_cost: 5.0, cv: 0.2 },
-            None,
-        );
-        let c = g.add_node(
-            "C",
-            NodeKind::DataParallel { tasks: 50, mean_cost: 2.0, cv: 1.5 },
-            None,
-        );
+        let b =
+            g.add_node("B", NodeKind::DataParallel { tasks: 100, mean_cost: 5.0, cv: 0.2 }, None);
+        let c =
+            g.add_node("C", NodeKind::DataParallel { tasks: 50, mean_cost: 2.0, cv: 1.5 }, None);
         let d = g.add_node("D", NodeKind::Merge { cost: 3.0 }, None);
         g.add_edge(a, b, DataAnno::array("x", 100));
         g.add_edge(a, c, DataAnno::array("y", 50));
@@ -447,12 +433,7 @@ mod tests {
     fn dangling_edge_rejected() {
         let mut g = DelirGraph::new();
         let a = g.add_node("A", NodeKind::Task { cost: 1.0 }, None);
-        g.edges.push(Edge {
-            from: a,
-            to: 99,
-            data: DataAnno::scalar("x"),
-            carried: false,
-        });
+        g.edges.push(Edge { from: a, to: 99, data: DataAnno::scalar("x"), carried: false });
         assert!(matches!(g.validate(), Err(GraphError::DanglingEdge { .. })));
     }
 

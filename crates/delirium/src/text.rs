@@ -72,11 +72,7 @@ pub fn print(g: &DelirGraph, name: &str) -> String {
         let _ = writeln!(
             out,
             "edge {} {arrow} {} data={} count={} bytes={}",
-            g.nodes[e.from].name,
-            g.nodes[e.to].name,
-            e.data.name,
-            e.data.count,
-            e.data.elem_bytes
+            g.nodes[e.from].name, g.nodes[e.to].name, e.data.name, e.data.count, e.data.elem_bytes
         );
     }
     out.push_str("end\n");
@@ -129,9 +125,7 @@ pub fn parse(src: &str) -> Result<(String, DelirGraph), ParseError> {
                     "task" => NodeKind::Task { cost: get("cost")? },
                     "merge" => NodeKind::Merge { cost: get("cost")? },
                     "mix" => {
-                        let spec = kv
-                            .get("pops")
-                            .ok_or_else(|| err(lineno, "missing pops="))?;
+                        let spec = kv.get("pops").ok_or_else(|| err(lineno, "missing pops="))?;
                         let mut populations = Vec::new();
                         for part in spec.split('+') {
                             let fields: Vec<&str> = part.split('x').collect();
@@ -227,11 +221,8 @@ mod tests {
     fn sample() -> DelirGraph {
         let mut g = DelirGraph::new();
         let a = g.add_node("A", NodeKind::Task { cost: 10.0 }, Some("P".into()));
-        let b = g.add_node(
-            "B_I",
-            NodeKind::DataParallel { tasks: 64, mean_cost: 2.5, cv: 1.25 },
-            None,
-        );
+        let b =
+            g.add_node("B_I", NodeKind::DataParallel { tasks: 64, mean_cost: 2.5, cv: 1.25 }, None);
         let m = g.add_node("B_M", NodeKind::Merge { cost: 1.0 }, None);
         g.add_edge(a, b, DataAnno::array("q", 4096));
         g.add_edge(b, m, DataAnno::array("output1", 4096));

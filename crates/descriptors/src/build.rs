@@ -236,8 +236,7 @@ pub fn loop_iteration_descriptor(s: &Stmt, ctx: &SymCtx) -> Option<LoopIteration
             return Some(LoopIteration { var: var.clone(), ranges: Vec::new(), descriptor: d });
         };
         let skip = r.step.as_ref().and_then(|e| e.as_int()).unwrap_or(1);
-        let (start, end, skip) =
-            if skip < 0 { (hi, lo, -skip) } else { (lo, hi, skip) };
+        let (start, end, skip) = if skip < 0 { (hi, lo, -skip) } else { (lo, hi, skip) };
         sym_ranges.push(SymRange { start, end, skip });
     }
     Some(LoopIteration { var: var.clone(), ranges: sym_ranges, descriptor: d })
@@ -514,10 +513,7 @@ end
         );
         let d = descriptor_of_stmts(&p.body, &ctx);
         let w = d.writes.iter().find(|t| t.block == "x").unwrap();
-        assert_eq!(
-            w.pattern.as_ref().unwrap()[0].range.start,
-            SymExpr::constant(2)
-        );
+        assert_eq!(w.pattern.as_ref().unwrap()[0].range.start, SymExpr::constant(2));
     }
 
     #[test]
@@ -575,9 +571,8 @@ end
 
     #[test]
     fn symbolic_bounds_stay_symbolic() {
-        let (p, ctx) = setup(
-            "program t\n integer n\n float x[1..100]\n do i = 1, n { x[i] = 0.0 }\nend",
-        );
+        let (p, ctx) =
+            setup("program t\n integer n\n float x[1..100]\n do i = 1, n { x[i] = 0.0 }\nend");
         let d = descriptor_of_stmt(&p.body[0], &ctx);
         let w = d.writes.iter().find(|t| t.block == "x").unwrap();
         let dims = w.pattern.as_ref().unwrap();

@@ -219,14 +219,8 @@ mod tests {
     #[test]
     fn read_dominated_by_write_excluded() {
         let mut d = Descriptor::new();
-        d.add_write(Triple::patterned(
-            "x",
-            vec![DimPattern::range(SymRange::constant(1, 10))],
-        ));
-        d.add_read(Triple::patterned(
-            "x",
-            vec![DimPattern::point(SymExpr::constant(3))],
-        ));
+        d.add_write(Triple::patterned("x", vec![DimPattern::range(SymRange::constant(1, 10))]));
+        d.add_read(Triple::patterned("x", vec![DimPattern::point(SymExpr::constant(3))]));
         assert!(d.reads.is_empty(), "read of x[3] is covered by write of x[1..10]");
         // A symbolic point is NOT provably inside the write range.
         d.add_read(Triple::patterned("x", vec![DimPattern::point(nm("k"))]));
@@ -261,11 +255,8 @@ mod tests {
         use crate::guard::{Guard, MaskRel, MaskTest};
         let mut iter_d = Descriptor::new();
         iter_d.add_write(
-            Triple::patterned(
-                "q",
-                vec![DimPattern::range(whole()), DimPattern::point(nm("col"))],
-            )
-            .guarded(Guard::mask(MaskTest::new("mask", nm("col"), MaskRel::NeConst(0)))),
+            Triple::patterned("q", vec![DimPattern::range(whole()), DimPattern::point(nm("col"))])
+                .guarded(Guard::mask(MaskTest::new("mask", nm("col"), MaskRel::NeConst(0)))),
         );
         let loop_d = iter_d.promote("col", &whole());
         let w = &loop_d.writes[0];

@@ -169,10 +169,9 @@ impl Guard {
         for a in &self.atoms {
             for b in &other.atoms {
                 match (a, b) {
-                    (GuardAtom::Mask(m1), GuardAtom::Mask(m2))
-                        if m1.contradicts(m2) => {
-                            return true;
-                        }
+                    (GuardAtom::Mask(m1), GuardAtom::Mask(m2)) if m1.contradicts(m2) => {
+                        return true;
+                    }
                     (GuardAtom::Linear(_), GuardAtom::Linear(_)) => {}
                     _ => {}
                 }

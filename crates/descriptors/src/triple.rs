@@ -146,12 +146,13 @@ impl Triple {
             // Point-point dims made distinct by a linear `≠` guard
             // (`<i <> e> q[i]` vs `q[e]` — the multi-point exclusion
             // form of iteration splitting).
-            if d1.range.is_point() && d2.range.is_point()
+            if d1.range.is_point()
+                && d2.range.is_point()
                 && (ne_guard_separates(&self.guard, &d1.range.start, &d2.range.start)
                     || ne_guard_separates(&other.guard, &d1.range.start, &d2.range.start))
-                {
-                    return false;
-                }
+            {
+                return false;
+            }
         }
         true
     }
@@ -185,10 +186,8 @@ impl Triple {
 
     /// Whether the pattern or guard mentions `name`.
     pub fn mentions(&self, name: &str) -> bool {
-        let in_pattern = self
-            .pattern
-            .as_ref()
-            .is_some_and(|dims| dims.iter().any(|d| d.range.mentions(name)));
+        let in_pattern =
+            self.pattern.as_ref().is_some_and(|dims| dims.iter().any(|d| d.range.mentions(name)));
         let in_guard = self.guard.atoms.iter().any(|a| match a {
             crate::guard::GuardAtom::Mask(m) => m.index.mentions(name),
             crate::guard::GuardAtom::Linear(i) => i.expr.coeff(name) != 0,
@@ -213,8 +212,8 @@ impl Triple {
                     let promoted = promote_range(&d.range, var, range);
                     // Attach guard masks when the dimension's index was
                     // exactly the promoted variable.
-                    let was_exactly_var = d.range.is_point()
-                        && d.range.start.as_name() == Some(var);
+                    let was_exactly_var =
+                        d.range.is_point() && d.range.start.as_name() == Some(var);
                     let mask = if was_exactly_var && d.mask.is_none() {
                         mask_tests.first().map(|m| (m.array.clone(), m.rel))
                     } else {
@@ -243,11 +242,7 @@ fn promote_range(r: &SymRange, var: &str, var_range: &SymRange) -> SymRange {
         let repl = if take_end { &var_range.end } else { &var_range.start };
         e.subst(var, repl)
     };
-    SymRange {
-        start: promote_end(&r.start, false),
-        end: promote_end(&r.end, true),
-        skip: r.skip,
-    }
+    SymRange { start: promote_end(&r.start, false), end: promote_end(&r.end, true), skip: r.skip }
 }
 
 /// True when `guard` contains a linear `a − b ≠ 0` (either sign) for
@@ -418,11 +413,9 @@ mod tests {
         use crate::guard::MaskTest;
         // <mask[col] <> 0> q[i0, col] promoted over col = 1..n
         // → q[i0, 1..n/(mask[*] <> 0)]
-        let t = Triple::patterned(
-            "q",
-            vec![DimPattern::point(nm("i0")), DimPattern::point(nm("col"))],
-        )
-        .guarded(Guard::mask(MaskTest::new("mask", nm("col"), MaskRel::NeConst(0))));
+        let t =
+            Triple::patterned("q", vec![DimPattern::point(nm("i0")), DimPattern::point(nm("col"))])
+                .guarded(Guard::mask(MaskTest::new("mask", nm("col"), MaskRel::NeConst(0))));
         let p = t.promote("col", &whole_range());
         let dims = p.pattern.as_ref().unwrap();
         assert_eq!(dims[0], DimPattern::point(nm("i0")), "unrelated dim untouched");
@@ -444,10 +437,7 @@ mod tests {
     #[test]
     fn promote_negative_coefficient_swaps_bounds() {
         // x[10 - col] over col = 1..n → x[10-n .. 9]
-        let t = Triple::patterned(
-            "x",
-            vec![DimPattern::point(nm("col").scale(-1).offset(10))],
-        );
+        let t = Triple::patterned("x", vec![DimPattern::point(nm("col").scale(-1).offset(10))]);
         let p = t.promote("col", &whole_range());
         let dims = p.pattern.as_ref().unwrap();
         assert_eq!(dims[0].range.start, nm("n").scale(-1).offset(10));
@@ -459,11 +449,7 @@ mod tests {
         let t = Triple::patterned(
             "q",
             vec![
-                DimPattern::masked(
-                    SymRange::constant(1, 10),
-                    "miss",
-                    MaskRel::NeConst(1),
-                ),
+                DimPattern::masked(SymRange::constant(1, 10), "miss", MaskRel::NeConst(1)),
                 DimPattern::range(SymRange::constant(1, 10)),
             ],
         );

@@ -261,7 +261,11 @@ pub fn figure1_program(n: i64) -> Program {
             "j",
             int(1),
             v("n"),
-            vec![set_elem("output", vec![v("j"), v("i")], call("f", vec![elem("q", vec![v("j"), v("i")])]))],
+            vec![set_elem(
+                "output",
+                vec![v("j"), v("i")],
+                call("f", vec![elem("q", vec![v("j"), v("i")])]),
+            )],
         )],
     };
     b.stmt(a).stmt(b_loop);
@@ -329,10 +333,8 @@ mod tests {
     fn figure1_executes() {
         let p = figure1_program(4);
         let mut inputs = Env::new();
-        inputs.insert(
-            "mask".into(),
-            Value::IntArray { dims: vec![(1, 4)], data: vec![1, 0, 1, 0] },
-        );
+        inputs
+            .insert("mask".into(), Value::IntArray { dims: vec![(1, 4)], data: vec![1, 0, 1, 0] });
         inputs.insert(
             "q".into(),
             Value::FloatArray {
@@ -353,10 +355,7 @@ mod tests {
             "x".into(),
             Value::FloatArray { dims: vec![(1, 3), (1, 3)], data: vec![1.0; 9] },
         );
-        inputs.insert(
-            "y".into(),
-            Value::FloatArray { dims: vec![(1, 3)], data: vec![2.0; 3] },
-        );
+        inputs.insert("y".into(), Value::FloatArray { dims: vec![(1, 3)], data: vec![2.0; 3] });
         let env = Interp::new().run(&p, &inputs).unwrap();
         // Row 2 of x becomes 3.0 each; sum = 3*1 + 3*3 + 3*1 = 15.
         assert_eq!(env["sum"], Value::Float(15.0));

@@ -305,10 +305,7 @@ mod tests {
     #[test]
     fn rank_mismatch() {
         let e = errors("program t\n integer n = 2\n integer x[1..n, 1..n]\n x[1] = 2\nend");
-        assert_eq!(
-            e,
-            vec![CheckError::RankMismatch { name: "x".into(), expected: 2, got: 1 }]
-        );
+        assert_eq!(e, vec![CheckError::RankMismatch { name: "x".into(), expected: 2, got: 1 }]);
     }
 
     #[test]
@@ -316,11 +313,7 @@ mod tests {
         let e = errors(
             "program t\n integer n = 2\n float x[1..n]\n proc p(float x[1..n]) { x[1] = 0.0 }\n call p(x, x)\n call q(x)\nend",
         );
-        assert!(e.contains(&CheckError::ProcedureArity {
-            name: "p".into(),
-            expected: 1,
-            got: 2
-        }));
+        assert!(e.contains(&CheckError::ProcedureArity { name: "p".into(), expected: 1, got: 2 }));
         assert!(e.contains(&CheckError::UnknownProcedure("q".into())));
     }
 

@@ -88,9 +88,7 @@ impl Value {
     /// Reads an array element.
     pub fn get(&self, idx: &[i64]) -> LangResult<Value> {
         match self {
-            Value::IntArray { dims, data } => {
-                Ok(Value::Int(data[Self::flat_index(dims, idx)?]))
-            }
+            Value::IntArray { dims, data } => Ok(Value::Int(data[Self::flat_index(dims, idx)?])),
             Value::FloatArray { dims, data } => {
                 Ok(Value::Float(data[Self::flat_index(dims, idx)?]))
             }
@@ -510,8 +508,7 @@ fn coerce(v: &Value, ty: Type) -> LangResult<Value> {
 /// functions; they are fixed nontrivial pure maps so that transformed
 /// programs can be checked for exact output equality.
 fn intrinsic(name: &str, args: &[Value]) -> LangResult<Value> {
-    let arity_err =
-        || LangError::eval(format!("wrong number of arguments for intrinsic `{name}`"));
+    let arity_err = || LangError::eval(format!("wrong number of arguments for intrinsic `{name}`"));
     let one = |args: &[Value]| -> LangResult<f64> {
         if args.len() != 1 {
             Err(arity_err())
@@ -617,17 +614,13 @@ mod tests {
 
     #[test]
     fn reduction() {
-        let env = run(
-            "program p\n integer n = 4\n integer s\n do i = 1, n { s = s + i }\nend",
-        );
+        let env = run("program p\n integer n = 4\n integer s\n do i = 1, n { s = s + i }\nend");
         assert_eq!(env["s"], Value::Int(10));
     }
 
     #[test]
     fn if_else_branches() {
-        let env = run(
-            "program p\n integer a = 2, b\n if (a = 2) { b = 10 } else { b = 20 }\nend",
-        );
+        let env = run("program p\n integer a = 2, b\n if (a = 2) { b = 10 } else { b = 20 }\nend");
         assert_eq!(env["b"], Value::Int(10));
     }
 
@@ -648,10 +641,8 @@ mod tests {
 
     #[test]
     fn out_of_bounds_is_error() {
-        let prog = parse_program(
-            "program p\n integer n = 2\n integer x[1..n]\n x[3] = 1\nend",
-        )
-        .unwrap();
+        let prog =
+            parse_program("program p\n integer n = 2\n integer x[1..n]\n x[3] = 1\nend").unwrap();
         let err = Interp::new().run(&prog, &Env::new()).unwrap_err();
         assert!(err.to_string().contains("out of bounds"));
     }
@@ -669,23 +660,16 @@ mod tests {
         )
         .unwrap();
         let mut inputs = Env::new();
-        inputs.insert(
-            "m".into(),
-            Value::IntArray { dims: vec![(1, 3)], data: vec![1, 0, 1] },
-        );
+        inputs.insert("m".into(), Value::IntArray { dims: vec![(1, 3)], data: vec![1, 0, 1] });
         let env = Interp::new().run(&prog, &inputs).unwrap();
         assert_eq!(env["c"], Value::Int(2));
     }
 
     #[test]
     fn input_shape_mismatch_is_error() {
-        let prog =
-            parse_program("program p\n integer n = 3\n integer m[1..n]\nend").unwrap();
+        let prog = parse_program("program p\n integer n = 3\n integer m[1..n]\nend").unwrap();
         let mut inputs = Env::new();
-        inputs.insert(
-            "m".into(),
-            Value::IntArray { dims: vec![(1, 2)], data: vec![1, 0] },
-        );
+        inputs.insert("m".into(), Value::IntArray { dims: vec![(1, 2)], data: vec![1, 0] });
         assert!(Interp::new().run(&prog, &inputs).is_err());
     }
 

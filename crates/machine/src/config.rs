@@ -89,10 +89,9 @@ impl MachineConfig {
     /// Diameter of the network in hops.
     pub fn diameter(&self) -> u32 {
         match self.topology {
-            Topology::Hypercube => {
-                (usize::BITS - self.processors.next_power_of_two().leading_zeros())
-                    .saturating_sub(1)
-            }
+            Topology::Hypercube => (usize::BITS
+                - self.processors.next_power_of_two().leading_zeros())
+            .saturating_sub(1),
             Topology::FullyConnected => 1,
         }
     }

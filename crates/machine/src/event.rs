@@ -25,10 +25,7 @@ impl<T> Eq for Pending<T> {}
 impl<T> Ord for Pending<T> {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse for min-heap behaviour in BinaryHeap (max-heap).
-        other
-            .time
-            .total_cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.time.total_cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
     }
 }
 impl<T> PartialOrd for Pending<T> {
@@ -70,11 +67,7 @@ impl<T> EventQueue<T> {
     /// cannot be scheduled in the past).
     pub fn push(&mut self, time: f64, payload: T) {
         assert!(!time.is_nan(), "event time must not be NaN");
-        assert!(
-            time >= self.now,
-            "event scheduled in the past: {time} < {}",
-            self.now
-        );
+        assert!(time >= self.now, "event scheduled in the past: {time} < {}", self.now);
         let seq = self.seq;
         self.seq += 1;
         self.heap.push(Pending { time, seq, payload });

@@ -28,6 +28,13 @@ impl RunStats {
         RunStats { procs: vec![ProcStats::default(); p], makespan: 0.0 }
     }
 
+    /// Assembles stats from per-processor records gathered elsewhere —
+    /// the constructor real (non-simulated) execution backends use
+    /// after each worker has accumulated its own [`ProcStats`].
+    pub fn from_procs(procs: Vec<ProcStats>, makespan: f64) -> Self {
+        RunStats { procs, makespan }
+    }
+
     /// Records that processor `p` executed `tasks` tasks of total
     /// duration `busy`, finishing at `end`.
     pub fn record_chunk(&mut self, p: usize, tasks: u64, busy: f64, end: f64) {

@@ -63,8 +63,7 @@ impl CostDistribution {
     /// Draws `n` task costs deterministically from `seed`.
     pub fn sample(&self, n: usize, seed: u64) -> Vec<f64> {
         let mut rng = StdRng::seed_from_u64(seed);
-        if let CostDistribution::ClusteredBimodal { mean, heavy_frac, heavy_mult, cluster } =
-            *self
+        if let CostDistribution::ClusteredBimodal { mean, heavy_frac, heavy_mult, cluster } = *self
         {
             // Markov run model: switch into a heavy run with the rate
             // that makes the long-run heavy fraction come out right.

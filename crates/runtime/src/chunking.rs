@@ -181,8 +181,10 @@ pub enum PolicyKind {
 
 impl PolicyKind {
     /// Instantiates the policy (for dynamic kinds; `Static` has its own
-    /// simulation path and yields GSS here as a harmless default).
-    pub fn instantiate(&self, total_tasks: usize) -> Box<dyn ChunkPolicy> {
+    /// simulation path and yields GSS here as a harmless default). The
+    /// box is `Send` so real-thread backends can move it into a shared
+    /// chunk queue.
+    pub fn instantiate(&self, total_tasks: usize) -> Box<dyn ChunkPolicy + Send> {
         match self {
             PolicyKind::SelfSched => Box::new(SelfSched),
             PolicyKind::Gss | PolicyKind::Static => Box::<Gss>::default(),

@@ -31,6 +31,17 @@ pub struct DistResult {
     pub reassignments: u64,
     /// Fraction of tasks that stayed on their home processor.
     pub locality: f64,
+    /// Simulated time of each global-epoch increment at the root, in
+    /// the order the increments happened (so the protocol's epoch
+    /// progression is observable and testable).
+    pub epoch_times: Vec<f64>,
+}
+
+impl DistResult {
+    /// Number of completed global epochs.
+    pub fn epochs(&self) -> usize {
+        self.epoch_times.len()
+    }
 }
 
 #[derive(Debug)]
@@ -118,6 +129,7 @@ pub fn simulate_dist_taper_at(
 
     let mut migrated = 0u64;
     let mut reassignments = 0u64;
+    let mut epoch_times: Vec<f64> = Vec::new();
     let mut finish: f64 = start_time;
 
     let mut q: EventQueue<Ev> = EventQueue::new();
@@ -184,8 +196,13 @@ pub fn simulate_dist_taper_at(
                 counts[e][from] += 1;
                 // Re-assignment: `from` has tokened epoch e twice before
                 // some processor's first — the laggard's pending work
-                // moves to `from`.
-                if counts[e][from] >= 2 {
+                // moves to `from`. Gated on the sampled coefficient of
+                // variation: with (near-)uniform costs there is no load
+                // imbalance to repair, and an ungated root would steal
+                // on mere token-latency asymmetry between shallow and
+                // deep tree leaves, defeating the locality the scheme
+                // exists to preserve.
+                if counts[e][from] >= 2 && policy.cv() > 0.05 {
                     let laggard = (0..p)
                         .filter(|&b| b != from && counts[e][b] == 0 && !queues[b].is_empty())
                         .max_by_key(|&b| queues[b].len());
@@ -203,6 +220,7 @@ pub fn simulate_dist_taper_at(
                 // Epoch completion: every processor has tokened e.
                 if e == global_epoch && counts[e].iter().all(|&c| c > 0) {
                     global_epoch += 1;
+                    epoch_times.push(t);
                     if counts.len() <= global_epoch {
                         counts.resize(global_epoch + 1, vec![0; p]);
                     }
@@ -219,10 +237,7 @@ pub fn simulate_dist_taper_at(
                     // Starving processors renew their work request in
                     // the new epoch.
                     if starving[proc] && !busy[proc] && remaining_global > 0 {
-                        q.push(
-                            q.now() + token_latency(cfg, proc),
-                            Ev::Token(proc, e as u64),
-                        );
+                        q.push(q.now() + token_latency(cfg, proc), Ev::Token(proc, e as u64));
                     }
                 }
             }
@@ -239,7 +254,7 @@ pub fn simulate_dist_taper_at(
     }
 
     let locality = if n == 0 { 1.0 } else { 1.0 - migrated as f64 / n as f64 };
-    DistResult { finish, stats, migrated_tasks: migrated, reassignments, locality }
+    DistResult { finish, stats, migrated_tasks: migrated, reassignments, locality, epoch_times }
 }
 
 #[cfg(test)]
@@ -262,11 +277,7 @@ mod tests {
         // remain on the processor owning them."
         let costs = CostDistribution::Uniform { mean: 20.0, spread: 0.2 }.sample(2048, 9);
         let r = simulate_dist_taper(&MachineConfig::ncube2(32), 32, &costs, 128);
-        assert!(
-            r.locality > 0.8,
-            "locality {} too low for near-uniform costs",
-            r.locality
-        );
+        assert!(r.locality > 0.8, "locality {} too low for near-uniform costs", r.locality);
     }
 
     #[test]
@@ -308,6 +319,46 @@ mod tests {
         assert_eq!(r.migrated_tasks, 0);
         assert_eq!(r.reassignments, 0);
         assert!((r.stats.total_busy() - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_costs_never_migrate() {
+        // Zero-variance work gives the root no imbalance signal, so
+        // every task must execute on its home processor.
+        for p in [2usize, 4, 8, 16, 32] {
+            for n in [64usize, 256, 1024] {
+                let costs = vec![10.0; n];
+                let r = simulate_dist_taper(&MachineConfig::ncube2(p), p, &costs, 64);
+                assert_eq!(r.migrated_tasks, 0, "p={p} n={n} migrated");
+                assert_eq!(r.reassignments, 0, "p={p} n={n} reassigned");
+                assert!((r.locality - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn epochs_advance_monotonically() {
+        let costs = CostDistribution::HeavyTail { mean: 10.0, sigma: 1.2 }.sample(800, 5);
+        let r = simulate_dist_taper(&MachineConfig::ncube2(16), 16, &costs, 128);
+        assert!(r.epochs() >= 1, "an 800-task run must complete at least one epoch");
+        assert!(
+            r.epoch_times.windows(2).all(|w| w[0] <= w[1]),
+            "epoch increments out of order: {:?}",
+            r.epoch_times
+        );
+        // The last epoch's tokens climb the tree after the final chunk
+        // completes, so increments may trail `finish` by control
+        // latency — but never by more than one token round trip.
+        let slack = token_latency(&MachineConfig::ncube2(16), 15)
+            + broadcast_latency(&MachineConfig::ncube2(16), 16);
+        assert!(
+            r.epoch_times.iter().all(|&t| t >= 0.0 && t <= r.finish + slack),
+            "epoch increments must happen within the run (+control tail)"
+        );
+        // Offset runs shift epoch times with the clock.
+        let shifted = simulate_dist_taper_at(&MachineConfig::ncube2(16), 16, &costs, 128, 500.0);
+        assert!(shifted.epoch_times.iter().all(|&t| t >= 500.0));
+        assert_eq!(shifted.epochs(), r.epochs());
     }
 
     #[test]

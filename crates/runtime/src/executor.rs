@@ -19,6 +19,7 @@ use crate::chunking::PolicyKind;
 use crate::finish::OpSpec;
 use crate::granularity::{choose_batch, pipelined_stage_time};
 use crate::par_op::{simulate_policy, OpOptions};
+use crate::threaded::ExecutorBackend;
 use orchestra_delirium::{DelirGraph, NodeId, NodeKind};
 use orchestra_machine::{CostDistribution, MachineConfig};
 use std::collections::HashMap;
@@ -43,6 +44,12 @@ pub struct ExecutorOptions {
     pub pipeline_iters: HashMap<String, usize>,
     /// RNG seed for task-cost sampling.
     pub seed: u64,
+    /// Execution engine: the nCUBE-2 simulator or real threads.
+    pub backend: ExecutorBackend,
+    /// Worker threads for the threaded backend (0 = the machine's
+    /// available parallelism). Ignored by the simulator, which sizes
+    /// itself from [`MachineConfig::processors`].
+    pub threads: usize,
 }
 
 impl Default for ExecutorOptions {
@@ -55,6 +62,8 @@ impl Default for ExecutorOptions {
             bytes_per_task: 32,
             pipeline_iters: HashMap::new(),
             seed: 0x5eed,
+            backend: ExecutorBackend::Simulated,
+            threads: 0,
         }
     }
 }
@@ -171,7 +180,7 @@ fn op_spec(kind: &NodeKind, policy: PolicyKind, bytes_per_task: u64) -> OpSpec {
 /// sampled separately (with per-population sub-seeds) and interleaved
 /// round-robin, matching a masked loop's distribution of heavy
 /// iterations across the index space.
-fn costs_of_node(node: &orchestra_delirium::Node, seed: u64) -> Vec<f64> {
+pub(crate) fn costs_of_node(node: &orchestra_delirium::Node, seed: u64) -> Vec<f64> {
     match &node.kind {
         NodeKind::Task { cost } | NodeKind::Merge { cost } => vec![*cost],
         NodeKind::DataParallel { tasks, mean_cost, cv } => {
@@ -226,11 +235,8 @@ fn run_node(
                 )
                 .finish;
             }
-            let op_opts = OpOptions {
-                bytes_per_task: opts.bytes_per_task,
-                start_time: start,
-                proc_offset,
-            };
+            let op_opts =
+                OpOptions { bytes_per_task: opts.bytes_per_task, start_time: start, proc_offset };
             simulate_policy(cfg, p.max(1), &costs, opts.policy, &op_opts).finish
         }
     }
@@ -246,6 +252,13 @@ pub fn execute_graph(
     cfg: &MachineConfig,
     opts: &ExecutorOptions,
 ) -> Result<ExecutionReport, orchestra_delirium::GraphError> {
+    if opts.backend == ExecutorBackend::Threaded {
+        // Real execution on this machine: `cfg` describes the simulated
+        // nCUBE-2 and does not apply.
+        let kernel = crate::threaded::SpinKernel::default();
+        let run = crate::threaded::execute_threaded(g, opts, &kernel)?;
+        return Ok(run.to_report());
+    }
     g.validate()?;
     let levels = g.levels()?;
     let p_total = cfg.processors;
@@ -399,9 +412,7 @@ pub fn execute_graph(
             // Distribute remainder to the largest op; trim overshoot.
             while used < p_total {
                 let i = (0..v.len())
-                    .max_by(|&a, &b| {
-                        specs[a].total_work().total_cmp(&specs[b].total_work())
-                    })
+                    .max_by(|&a, &b| specs[a].total_work().total_cmp(&specs[b].total_work()))
                     .expect("nonempty");
                 v[i] += 1;
                 used += 1;
@@ -420,10 +431,7 @@ pub fn execute_graph(
         let candidates: Vec<Vec<usize>> = if units.len() == 1 {
             vec![vec![p_total]]
         } else if opts.use_allocation {
-            vec![
-                allocate_many(&specs, p_total, cfg, &AllocParams::default()),
-                proportional(&specs),
-            ]
+            vec![allocate_many(&specs, p_total, cfg, &AllocParams::default()), proportional(&specs)]
         } else {
             vec![even_split(units.len())]
         };
@@ -439,8 +447,7 @@ pub fn execute_graph(
             for (u, &p_u) in units.iter().zip(alloc) {
                 match u {
                     Unit::Single(v) => {
-                        let start =
-                            unit_ready(std::slice::from_ref(v), clock, g, cfg, node_finish);
+                        let start = unit_ready(std::slice::from_ref(v), clock, g, cfg, node_finish);
                         let end = run_node(&g.nodes[*v], p_u, start, offset, cfg, opts);
                         finishes.push((*v, end));
                         local_reports.push(NodeReport {
@@ -496,12 +503,7 @@ pub fn execute_graph(
         clock = level_end;
     }
 
-    Ok(ExecutionReport {
-        finish: clock,
-        nodes: reports,
-        serial_work,
-        processors: p_total,
-    })
+    Ok(ExecutionReport { finish: clock, nodes: reports, serial_work, processors: p_total })
 }
 
 /// Simulates a pipelined loop: nodes with carried edges (plus merges)
@@ -534,10 +536,7 @@ fn run_pipeline(
     loop {
         let mut grew = false;
         for e in g.edges.iter().filter(|e| !e.carried) {
-            if dep_set.contains(&e.from)
-                && vs.contains(&e.to)
-                && !dep_set.contains(&e.to)
-            {
+            if dep_set.contains(&e.from) && vs.contains(&e.to) && !dep_set.contains(&e.to) {
                 dep_set.push(e.to);
                 grew = true;
             }
@@ -566,9 +565,7 @@ fn run_pipeline(
 
     if !opts.pipeline_overlap || dep.is_empty() || ind.is_empty() || p < 2 {
         // Barrier per iteration over all pieces in order.
-        let per_iter = stage_time(vs, p, start)
-            + cfg.alpha
-            + carried_bytes as f64 * cfg.beta;
+        let per_iter = stage_time(vs, p, start) + cfg.alpha + carried_bytes as f64 * cfg.beta;
         return start + per_iter * iters as f64;
     }
 
@@ -596,14 +593,10 @@ fn run_pipeline(
         joint_costs.extend_from_slice(&iter_costs[..rot]);
     }
     let mut policy = opts.policy.instantiate(joint_costs.len());
-    let op_opts = OpOptions {
-        bytes_per_task: opts.bytes_per_task,
-        start_time: start,
-        proc_offset: offset,
-    };
+    let op_opts =
+        OpOptions { bytes_per_task: opts.bytes_per_task, start_time: start, proc_offset: offset };
     let joint_all =
-        crate::par_op::simulate_dynamic(cfg, p, &joint_costs, policy.as_mut(), &op_opts)
-            .finish
+        crate::par_op::simulate_dynamic(cfg, p, &joint_costs, policy.as_mut(), &op_opts).finish
             - start;
     let dep_chain = stage_time(&dep, p, start);
 
@@ -624,11 +617,8 @@ mod tests {
         // The paper's running scenario: irregular A, then regular B.
         // Split version exposes B_I concurrent with A.
         let mut g = DelirGraph::new();
-        let a = g.add_node(
-            "A",
-            NodeKind::DataParallel { tasks: 512, mean_cost: 80.0, cv: 1.6 },
-            None,
-        );
+        let a =
+            g.add_node("A", NodeKind::DataParallel { tasks: 512, mean_cost: 80.0, cv: 1.6 }, None);
         if split {
             let bi = g.add_node(
                 "B_I",
@@ -672,20 +662,14 @@ mod tests {
         let (g1, _) = irregular_then_regular(true);
         let r0 = execute_graph(&g0, &cfg, &opts).unwrap();
         let r1 = execute_graph(&g1, &cfg, &opts).unwrap();
-        assert!(
-            r1.finish < r0.finish,
-            "split {} should beat barrier {}",
-            r1.finish,
-            r0.finish
-        );
+        assert!(r1.finish < r0.finish, "split {} should beat barrier {}", r1.finish, r0.finish);
     }
 
     #[test]
     fn efficiency_degrades_with_more_processors() {
         let (g, opts) = irregular_then_regular(false);
         let e64 = execute_graph(&g, &MachineConfig::ncube2(64), &opts).unwrap().efficiency();
-        let e1024 =
-            execute_graph(&g, &MachineConfig::ncube2(1024), &opts).unwrap().efficiency();
+        let e1024 = execute_graph(&g, &MachineConfig::ncube2(1024), &opts).unwrap().efficiency();
         assert!(e64 > e1024, "e64={e64} e1024={e1024}");
     }
 
@@ -736,12 +720,9 @@ mod tests {
         let mut opts = ExecutorOptions::default();
         opts.pipeline_iters.insert("A".into(), 64);
         let over = execute_graph(&g, &cfg, &opts).unwrap();
-        let barrier = execute_graph(
-            &g,
-            &cfg,
-            &ExecutorOptions { pipeline_overlap: false, ..opts.clone() },
-        )
-        .unwrap();
+        let barrier =
+            execute_graph(&g, &cfg, &ExecutorOptions { pipeline_overlap: false, ..opts.clone() })
+                .unwrap();
         assert!(
             over.finish < barrier.finish,
             "overlap {} should beat barrier {}",

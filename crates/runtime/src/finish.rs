@@ -211,10 +211,7 @@ mod tests {
         let sim =
             simulate_policy(&cfg, 64, &costs, PolicyKind::Taper, &OpOptions::default()).finish;
         let ratio = est / sim;
-        assert!(
-            (0.5..2.0).contains(&ratio),
-            "estimate {est} vs simulated {sim} (ratio {ratio})"
-        );
+        assert!((0.5..2.0).contains(&ratio), "estimate {est} vs simulated {sim} (ratio {ratio})");
     }
 
     #[test]

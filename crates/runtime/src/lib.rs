@@ -21,7 +21,10 @@
 //! * [`granularity`] — communication batch-size choice for pipelined
 //!   operation pairs;
 //! * [`executor`] — level-structured graph execution combining all of
-//!   the above.
+//!   the above;
+//! * [`threaded`] — the real-thread execution backend: the same graphs
+//!   and chunk policies driving actual `std::thread` workers over real
+//!   buffers, for differential testing against the simulator.
 
 pub mod alloc;
 pub mod chunking;
@@ -31,6 +34,7 @@ pub mod finish;
 pub mod granularity;
 pub mod par_op;
 pub mod stats;
+pub mod threaded;
 
 pub use alloc::{allocate_many, allocate_pair, AllocParams, Allocation};
 pub use chunking::{ChunkPolicy, Factoring, Gss, PolicyKind, SelfSched, Taper};
@@ -38,5 +42,11 @@ pub use dist_taper::{simulate_dist_taper, simulate_dist_taper_at, DistResult};
 pub use executor::{execute_graph, ExecutionReport, ExecutorOptions, NodeReport};
 pub use finish::{finish_estimate, FinishEstimate, OpSpec};
 pub use granularity::{batch_cost, choose_batch, pipelined_stage_time};
-pub use par_op::{owner_of, simulate_dynamic, simulate_policy, simulate_static, OpOptions, OpResult};
+pub use par_op::{
+    owner_of, simulate_dynamic, simulate_policy, simulate_static, OpOptions, OpResult,
+};
 pub use stats::{CostFn, OnlineStats};
+pub use threaded::{
+    execute_sequential, execute_threaded, ExecutorBackend, SequentialRun, SpinKernel, TaskCtx,
+    TaskKernel, ThreadedRun,
+};

@@ -65,12 +65,7 @@ pub fn owner_of(i: usize, n: usize, p: usize) -> usize {
 /// Simulates static block scheduling: processor `q` executes its block
 /// of the iteration space with a single scheduling event and no
 /// transfers.
-pub fn simulate_static(
-    cfg: &MachineConfig,
-    p: usize,
-    costs: &[f64],
-    opts: &OpOptions,
-) -> OpResult {
+pub fn simulate_static(cfg: &MachineConfig, p: usize, costs: &[f64], opts: &OpOptions) -> OpResult {
     let p = p.max(1);
     let n = costs.len();
     let mut stats = RunStats::new(p);
@@ -145,8 +140,7 @@ pub fn simulate_dynamic(
             let tasks: Vec<usize> =
                 (0..take).map(|_| local[victim].pop_back().expect("len checked")).collect();
             let bytes = tasks.len() as u64 * opts.bytes_per_task;
-            transfer =
-                cfg.msg_time(opts.proc_offset + victim, opts.proc_offset + q, bytes);
+            transfer = cfg.msg_time(opts.proc_offset + victim, opts.proc_offset + q, bytes);
             migrated += tasks.len() as u64;
             tasks
         };
@@ -225,7 +219,13 @@ mod tests {
             PolicyKind::Taper,
             PolicyKind::TaperCostFn,
         ] {
-            let r = simulate_policy(&MachineConfig::ncube2(16), 16, &costs, kind, &OpOptions::default());
+            let r = simulate_policy(
+                &MachineConfig::ncube2(16),
+                16,
+                &costs,
+                kind,
+                &OpOptions::default(),
+            );
             assert_eq!(r.stats.total_tasks(), 500, "{}", kind.name());
             let total: f64 = costs.iter().sum();
             assert!((r.stats.total_busy() - total).abs() < 1e-6, "{}", kind.name());
@@ -236,7 +236,8 @@ mod tests {
     fn makespan_at_least_critical_path() {
         let mut costs = vec![1.0; 100];
         costs[0] = 500.0; // one giant task
-        let r = simulate_policy(&ideal(10), 10, &costs, PolicyKind::SelfSched, &OpOptions::default());
+        let r =
+            simulate_policy(&ideal(10), 10, &costs, PolicyKind::SelfSched, &OpOptions::default());
         assert!(r.finish >= 500.0);
     }
 
@@ -244,18 +245,13 @@ mod tests {
     fn dynamic_beats_static_on_irregular_work() {
         // Coarse-grained tasks (the paper's scheduling units) so that
         // dynamic scheduling can amortize the machine's message costs.
-        let costs =
-            CostDistribution::Bimodal { mean: 500.0, heavy_frac: 0.1, heavy_mult: 30.0 }.sample(1000, 7);
+        let costs = CostDistribution::Bimodal { mean: 500.0, heavy_frac: 0.1, heavy_mult: 30.0 }
+            .sample(1000, 7);
         let cfg = MachineConfig::ncube2(64);
         let st = simulate_static(&cfg, 64, &costs, &OpOptions::default());
         let mut taper = crate::chunking::Taper::new();
         let dy = simulate_dynamic(&cfg, 64, &costs, &mut taper, &OpOptions::default());
-        assert!(
-            dy.finish < st.finish,
-            "TAPER {} should beat static {}",
-            dy.finish,
-            st.finish
-        );
+        assert!(dy.finish < st.finish, "TAPER {} should beat static {}", dy.finish, st.finish);
     }
 
     #[test]

@@ -1,0 +1,578 @@
+//! Real-thread execution backend for Delirium graphs.
+//!
+//! Everything else in this crate *simulates* the paper's nCUBE-2; this
+//! module executes the same graphs on actual `std::thread` workers
+//! over real buffers, so the simulator's predictions can be
+//! differential-tested against, and demonstrated on, the hardware at
+//! hand (the split-and-pipeline idea paying off on modern multicores,
+//! as in Palkar & Zaharia's *Split Annotations*).
+//!
+//! Structure:
+//! * [`queue`] — the shared claim-next-chunk queue, driven by the same
+//!   [`ChunkPolicy`](crate::chunking::ChunkPolicy) objects the
+//!   simulator uses (TAPER / GSS / factoring / self-scheduling);
+//! * [`pool`] — the worker pool executing a dependency-counted DAG of
+//!   operation instances, timing every task like
+//!   [`stats`](crate::stats) does in simulation;
+//! * this file — pipeline expansion (graph → op-instance DAG), the
+//!   [`TaskKernel`] compute interface, and the backend entry points
+//!   [`execute_threaded`] / [`execute_sequential`].
+
+pub mod pool;
+pub mod queue;
+
+use crate::chunking::PolicyKind;
+use crate::executor::{costs_of_node, ExecutionReport, ExecutorOptions, NodeReport};
+use crate::stats::OnlineStats;
+use orchestra_delirium::{DelirGraph, GraphError, Node};
+use orchestra_machine::{ProcStats, RunStats};
+use pool::OpInstance;
+use queue::ChunkQueue;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize};
+use std::time::Instant;
+
+/// Which execution engine runs a graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutorBackend {
+    /// Discrete-event simulation of the paper's nCUBE-2 (the default).
+    #[default]
+    Simulated,
+    /// Real `std::thread` workers over real buffers on this machine.
+    Threaded,
+}
+
+/// Everything a kernel needs to compute one task.
+pub struct TaskCtx<'a> {
+    /// The graph node being executed.
+    pub node: &'a Node,
+    /// Pipeline iteration (0 for ungrouped nodes).
+    pub iter: usize,
+    /// Task index within the node's iteration space.
+    pub task: usize,
+    /// The cost (µs) the simulator would charge this task — kernels
+    /// emulating a workload scale their arithmetic by this.
+    pub cost_hint: f64,
+}
+
+/// A real compute kernel: the function the threaded backend runs per
+/// task. Implementations MUST be pure in `(node, iter, task)` — the
+/// differential test suite asserts threaded and sequential execution
+/// produce bit-identical buffers.
+pub trait TaskKernel: Sync {
+    /// Computes task `ctx.task`, returning the value stored in the
+    /// operation's output buffer at that index.
+    fn run_task(&self, ctx: &TaskCtx<'_>) -> f64;
+}
+
+/// The default kernel: a deterministic floating-point recurrence whose
+/// length is proportional to the task's simulated cost, so measured
+/// task times have the same *shape* (mean, variance, spatial clusters)
+/// the simulator draws.
+#[derive(Debug, Clone, Copy)]
+pub struct SpinKernel {
+    /// Arithmetic steps per simulated µs of cost. Lower values shrink
+    /// wall-clock time proportionally (tests use small scales).
+    pub steps_per_us: f64,
+}
+
+impl Default for SpinKernel {
+    fn default() -> Self {
+        SpinKernel { steps_per_us: 60.0 }
+    }
+}
+
+impl SpinKernel {
+    /// A kernel doing `steps_per_us` arithmetic steps per simulated µs.
+    pub fn with_scale(steps_per_us: f64) -> Self {
+        SpinKernel { steps_per_us }
+    }
+}
+
+impl TaskKernel for SpinKernel {
+    fn run_task(&self, ctx: &TaskCtx<'_>) -> f64 {
+        let steps = (ctx.cost_hint * self.steps_per_us).max(1.0) as u64;
+        let mut x = (ctx.task as f64 + 1.0) * 1e-3 + ctx.iter as f64;
+        for _ in 0..steps {
+            x = x * 0.999_999_7 + 1e-9;
+        }
+        std::hint::black_box(x)
+    }
+}
+
+/// One operation instance in the expanded plan.
+#[derive(Debug, Clone)]
+pub struct PlannedOp {
+    /// Display name (`B_I`, or `A_D@3` for pipeline iteration 3).
+    pub name: String,
+    /// Underlying graph node.
+    pub node: usize,
+    /// Pipeline iteration.
+    pub iter: usize,
+    /// Task count.
+    pub tasks: usize,
+    /// Plan-indexed dependencies (deduplicated).
+    pub deps: Vec<usize>,
+}
+
+/// The execution plan: pipeline groups unrolled into per-iteration
+/// operation instances forming a plain DAG.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// Ops in an order where every dependency precedes its dependents.
+    pub ops: Vec<PlannedOp>,
+}
+
+/// Expands a graph (plus pipeline iteration counts) into the op DAG
+/// both real backends execute.
+///
+/// Non-carried edges inside a pipeline group connect pieces of the
+/// same iteration; carried edges connect iteration `k-1` to `k`. With
+/// `pipeline_overlap` disabled every piece of iteration `k` waits for
+/// all of iteration `k-1` *and* for the previous piece of its own
+/// iteration — the barrier-per-piece baseline of the paper's §1.
+///
+/// # Errors
+///
+/// Returns the graph's validation error when it is malformed.
+pub fn build_plan(g: &DelirGraph, opts: &ExecutorOptions) -> Result<Plan, GraphError> {
+    g.validate()?;
+    let order = g.topo_order()?;
+    let iters_of = |n: &Node| -> usize {
+        n.group.as_ref().and_then(|gr| opts.pipeline_iters.get(gr)).copied().unwrap_or(1).max(1)
+    };
+
+    // Instances laid out node-major first; a topological re-sort below
+    // restores "deps precede dependents" (carried edges point from a
+    // later node's iteration k-1 to an earlier node's iteration k, so
+    // no single static layout is topological).
+    let mut index_of: HashMap<(usize, usize), usize> = HashMap::new();
+    let mut ops: Vec<PlannedOp> = Vec::new();
+    for &v in &order {
+        let node = &g.nodes[v];
+        let iters = iters_of(node);
+        for k in 0..iters {
+            let name = if iters > 1 { format!("{}@{}", node.name, k) } else { node.name.clone() };
+            index_of.insert((v, k), ops.len());
+            ops.push(PlannedOp {
+                name,
+                node: v,
+                iter: k,
+                tasks: node.kind.task_count(),
+                deps: Vec::new(),
+            });
+        }
+    }
+
+    let mut deps: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); ops.len()];
+    let last = |v: usize| index_of[&(v, iters_of(&g.nodes[v]) - 1)];
+    for e in &g.edges {
+        let (gu, gv) = (&g.nodes[e.from].group, &g.nodes[e.to].group);
+        let same_group = gu.is_some() && gu == gv;
+        if e.carried {
+            // Loop-carried: iteration k-1 → k within the group.
+            if same_group {
+                for k in 1..iters_of(&g.nodes[e.to]) {
+                    deps[index_of[&(e.to, k)]].insert(index_of[&(e.from, k - 1)]);
+                }
+            }
+            continue;
+        }
+        if same_group {
+            for k in 0..iters_of(&g.nodes[e.to]) {
+                deps[index_of[&(e.to, k)]].insert(index_of[&(e.from, k)]);
+            }
+        } else {
+            // Entering or leaving a group: every iteration of the
+            // consumer needs the producer fully finished.
+            for k in 0..iters_of(&g.nodes[e.to]) {
+                deps[index_of[&(e.to, k)]].insert(last(e.from));
+            }
+        }
+    }
+
+    if !opts.pipeline_overlap {
+        // Barrier baseline: collect each group's members in topo order.
+        let mut groups: HashMap<&str, Vec<usize>> = HashMap::new();
+        for &v in &order {
+            if let Some(gr) = &g.nodes[v].group {
+                groups.entry(gr.as_str()).or_default().push(v);
+            }
+        }
+        for members in groups.values() {
+            let iters = iters_of(&g.nodes[members[0]]);
+            for k in 0..iters {
+                for (i, &v) in members.iter().enumerate() {
+                    let me = index_of[&(v, k)];
+                    if i > 0 {
+                        // Barrier between pieces of one iteration.
+                        deps[me].insert(index_of[&(members[i - 1], k)]);
+                    } else if k > 0 {
+                        // Barrier between iterations.
+                        deps[me].insert(index_of[&(members[members.len() - 1], k - 1)]);
+                    }
+                }
+            }
+        }
+    }
+
+    for (op, d) in ops.iter_mut().zip(&deps) {
+        op.deps = d.iter().copied().collect();
+    }
+
+    // Kahn's algorithm with a deterministic (smallest-index-first)
+    // ready set; then remap every index to the new order.
+    let mut indegree: Vec<usize> = ops.iter().map(|o| o.deps.len()).collect();
+    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); ops.len()];
+    for (i, op) in ops.iter().enumerate() {
+        for &d in &op.deps {
+            dependents[d].push(i);
+        }
+    }
+    let mut ready: BTreeSet<usize> = (0..ops.len()).filter(|&i| indegree[i] == 0).collect();
+    let mut order = Vec::with_capacity(ops.len());
+    while let Some(&i) = ready.iter().next() {
+        ready.remove(&i);
+        order.push(i);
+        for &d in &dependents[i] {
+            indegree[d] -= 1;
+            if indegree[d] == 0 {
+                ready.insert(d);
+            }
+        }
+    }
+    debug_assert_eq!(order.len(), ops.len(), "expanded DAG has a cycle");
+    let mut new_index = vec![0usize; ops.len()];
+    for (pos, &old) in order.iter().enumerate() {
+        new_index[old] = pos;
+    }
+    let mut sorted: Vec<PlannedOp> = order
+        .iter()
+        .map(|&old| {
+            let mut op = ops[old].clone();
+            op.deps = op.deps.iter().map(|&d| new_index[d]).collect();
+            op.deps.sort_unstable();
+            op
+        })
+        .collect();
+    sorted.shrink_to_fit();
+    Ok(Plan { ops: sorted })
+}
+
+/// Per-op record of a threaded run.
+#[derive(Debug, Clone)]
+pub struct OpRecord {
+    /// Instance name.
+    pub name: String,
+    /// First chunk claim, µs after run start.
+    pub start_us: f64,
+    /// Completion, µs after run start.
+    pub finish_us: f64,
+    /// Task count.
+    pub tasks: usize,
+    /// Chunks dispatched by the queue.
+    pub chunks: u64,
+}
+
+/// The result of executing a graph on real threads.
+#[derive(Debug, Clone)]
+pub struct ThreadedRun {
+    /// Measured wall-clock time, µs.
+    pub wall_us: f64,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Per-worker busy/tasks/chunks, assembled with
+    /// [`RunStats::from_procs`] exactly as the simulator reports runs.
+    pub stats: RunStats,
+    /// Per-worker online µ/σ over task times (µs).
+    pub worker_timing: Vec<OnlineStats>,
+    /// Per-op timings, aligned with the plan's op order.
+    pub ops: Vec<OpRecord>,
+    /// Output buffers, aligned with the plan's op order.
+    pub outputs: Vec<Vec<f64>>,
+    /// Per-task execution counts, aligned with the plan's op order
+    /// (all 1 in a correct run).
+    pub exec_counts: Vec<Vec<u32>>,
+    /// Σ of the tasks' simulated cost hints (µs) — the work the
+    /// simulator would call `serial_work`.
+    pub hinted_serial_us: f64,
+}
+
+impl ThreadedRun {
+    /// Measured speedup: total busy time across workers over wall
+    /// time. 1.0 means no overlap at all; `workers` is the ceiling.
+    pub fn measured_speedup(&self) -> f64 {
+        if self.wall_us <= 0.0 {
+            return 1.0;
+        }
+        self.stats.total_busy() / self.wall_us
+    }
+
+    /// Converts the measured run into the executor's report shape so
+    /// callers consume both backends uniformly. `serial_work` is the
+    /// *measured* total busy time (not the simulator's cost hints), so
+    /// [`ExecutionReport::speedup`] reports the measured speedup.
+    pub fn to_report(&self) -> ExecutionReport {
+        ExecutionReport {
+            finish: self.wall_us,
+            nodes: self
+                .ops
+                .iter()
+                .map(|op| NodeReport {
+                    name: op.name.clone(),
+                    start: op.start_us,
+                    finish: op.finish_us,
+                    procs: self.workers,
+                })
+                .collect(),
+            serial_work: self.stats.total_busy(),
+            processors: self.workers,
+        }
+    }
+}
+
+/// The result of the independent single-thread reference execution.
+#[derive(Debug, Clone)]
+pub struct SequentialRun {
+    /// Wall-clock time, µs.
+    pub wall_us: f64,
+    /// Output buffers, aligned with the plan's op order.
+    pub outputs: Vec<Vec<f64>>,
+    /// Op names, aligned with the plan's op order.
+    pub op_names: Vec<String>,
+}
+
+/// Worker-count resolution: `opts.threads`, or the machine's available
+/// parallelism (capped at 16) when zero.
+pub fn resolve_workers(opts: &ExecutorOptions) -> usize {
+    if opts.threads > 0 {
+        return opts.threads;
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2).min(16)
+}
+
+/// Executes a graph on real threads.
+///
+/// # Errors
+///
+/// Returns the graph's validation error when it is malformed.
+pub fn execute_threaded(
+    g: &DelirGraph,
+    opts: &ExecutorOptions,
+    kernel: &(dyn TaskKernel + Sync),
+) -> Result<ThreadedRun, GraphError> {
+    let plan = build_plan(g, opts)?;
+    let workers = resolve_workers(opts);
+    let mut instances: Vec<OpInstance> = Vec::with_capacity(plan.ops.len());
+    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); plan.ops.len()];
+    for (i, op) in plan.ops.iter().enumerate() {
+        for &d in &op.deps {
+            dependents[d].push(i);
+        }
+    }
+    let mut hinted_serial_us = 0.0;
+    for (op, deps_out) in plan.ops.iter().zip(&mut dependents) {
+        let node = &g.nodes[op.node];
+        let policy = match opts.policy {
+            // Static has no dynamic queue; one equal chunk per worker
+            // approximates block decomposition on a shared queue.
+            PolicyKind::Static => PolicyKind::Gss.instantiate(op.tasks),
+            p => p.instantiate(op.tasks),
+        };
+        let costs = costs_of_node(node, opts.seed);
+        hinted_serial_us += costs.iter().sum::<f64>();
+        instances.push(OpInstance {
+            name: op.name.clone(),
+            node: op.node,
+            iter: op.iter,
+            queue: ChunkQueue::new(policy, op.tasks, workers),
+            costs,
+            deps: AtomicUsize::new(op.deps.len()),
+            dependents: std::mem::take(deps_out),
+            outstanding: AtomicUsize::new(op.tasks),
+            output: (0..op.tasks).map(|_| AtomicU64::new(0)).collect(),
+            executed: (0..op.tasks).map(|_| AtomicU32::new(0)).collect(),
+            started_bits: AtomicU64::new(u64::MAX),
+            finished_bits: AtomicU64::new(u64::MAX),
+        });
+    }
+    let ready0: Vec<usize> = (0..plan.ops.len()).filter(|&i| plan.ops[i].deps.is_empty()).collect();
+
+    let t0 = Instant::now();
+    let records = pool::run_pool(&instances, &g.nodes, ready0, workers, kernel);
+    let wall_us = t0.elapsed().as_secs_f64() * 1e6;
+
+    let (procs, worker_timing): (Vec<ProcStats>, Vec<OnlineStats>) =
+        records.into_iter().map(|r| (r.proc, r.timing)).unzip();
+    let stats = RunStats::from_procs(procs, wall_us);
+    let ops = instances
+        .iter()
+        .map(|op| OpRecord {
+            name: op.name.clone(),
+            start_us: f64::from_bits(op.started_bits.load(std::sync::atomic::Ordering::Acquire)),
+            finish_us: f64::from_bits(op.finished_bits.load(std::sync::atomic::Ordering::Acquire)),
+            tasks: op.costs.len(),
+            chunks: op.queue.chunks_claimed(),
+        })
+        .collect();
+    let outputs = instances.iter().map(OpInstance::output_values).collect();
+    let exec_counts = instances.iter().map(OpInstance::exec_counts).collect();
+    Ok(ThreadedRun {
+        wall_us,
+        workers,
+        stats,
+        worker_timing,
+        ops,
+        outputs,
+        exec_counts,
+        hinted_serial_us,
+    })
+}
+
+/// Executes the same plan on the calling thread in dependency order —
+/// a deliberately independent reference implementation (no queue, no
+/// pool) the differential tests compare the threaded backend against.
+///
+/// # Errors
+///
+/// Returns the graph's validation error when it is malformed.
+pub fn execute_sequential(
+    g: &DelirGraph,
+    opts: &ExecutorOptions,
+    kernel: &(dyn TaskKernel + Sync),
+) -> Result<SequentialRun, GraphError> {
+    let plan = build_plan(g, opts)?;
+    let t0 = Instant::now();
+    let mut outputs = Vec::with_capacity(plan.ops.len());
+    for op in &plan.ops {
+        let node = &g.nodes[op.node];
+        let costs = costs_of_node(node, opts.seed);
+        let mut out = Vec::with_capacity(op.tasks);
+        for (task, &cost) in costs.iter().enumerate().take(op.tasks) {
+            let ctx = TaskCtx { node, iter: op.iter, task, cost_hint: cost };
+            out.push(kernel.run_task(&ctx));
+        }
+        outputs.push(out);
+    }
+    Ok(SequentialRun {
+        wall_us: t0.elapsed().as_secs_f64() * 1e6,
+        outputs,
+        op_names: plan.ops.iter().map(|o| o.name.clone()).collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orchestra_delirium::{DataAnno, NodeKind};
+
+    fn small_graph() -> DelirGraph {
+        let mut g = DelirGraph::new();
+        let a = g.add_node("A", NodeKind::Task { cost: 5.0 }, None);
+        let b =
+            g.add_node("B", NodeKind::DataParallel { tasks: 100, mean_cost: 3.0, cv: 0.8 }, None);
+        let c = g.add_node("C", NodeKind::Merge { cost: 2.0 }, None);
+        g.add_edge(a, b, DataAnno::array("x", 100));
+        g.add_edge(b, c, DataAnno::array("y", 100));
+        g
+    }
+
+    fn pipeline_graph() -> (DelirGraph, ExecutorOptions) {
+        let mut g = DelirGraph::new();
+        let ai = g.add_node(
+            "A_I",
+            NodeKind::DataParallel { tasks: 24, mean_cost: 2.0, cv: 0.3 },
+            Some("A".into()),
+        );
+        let ad = g.add_node(
+            "A_D",
+            NodeKind::DataParallel { tasks: 8, mean_cost: 2.0, cv: 0.3 },
+            Some("A".into()),
+        );
+        let am = g.add_node("A_M", NodeKind::Merge { cost: 1.0 }, Some("A".into()));
+        g.add_edge(ai, am, DataAnno::array("r1", 24));
+        g.add_edge(ad, am, DataAnno::array("r2", 8));
+        g.add_carried_edge(am, ad, DataAnno::array("q", 8));
+        let b =
+            g.add_node("B", NodeKind::DataParallel { tasks: 40, mean_cost: 1.0, cv: 0.1 }, None);
+        g.add_edge(am, b, DataAnno::array("out", 40));
+        let mut opts = ExecutorOptions { threads: 2, ..ExecutorOptions::default() };
+        opts.pipeline_iters.insert("A".into(), 5);
+        (g, opts)
+    }
+
+    #[test]
+    fn plan_expands_pipeline_iterations() {
+        let (g, opts) = pipeline_graph();
+        let plan = build_plan(&g, &opts).unwrap();
+        // 3 group nodes × 5 iterations + B.
+        assert_eq!(plan.ops.len(), 16);
+        // Dependencies always point backwards.
+        for (i, op) in plan.ops.iter().enumerate() {
+            for &d in &op.deps {
+                assert!(d < i, "op {i} depends on later op {d}");
+            }
+        }
+        // B waits for the last merge.
+        let b = plan.ops.iter().position(|o| o.name == "B").unwrap();
+        let last_merge = plan.ops.iter().position(|o| o.name == "A_M@4").unwrap();
+        assert!(plan.ops[b].deps.contains(&last_merge));
+        // Carried edge: A_D@1 depends on A_M@0.
+        let ad1 = plan.ops.iter().position(|o| o.name == "A_D@1").unwrap();
+        let am0 = plan.ops.iter().position(|o| o.name == "A_M@0").unwrap();
+        assert!(plan.ops[ad1].deps.contains(&am0));
+    }
+
+    #[test]
+    fn barrier_plan_serializes_iterations() {
+        let (g, opts) = pipeline_graph();
+        let barrier = ExecutorOptions { pipeline_overlap: false, ..opts.clone() };
+        let plan = build_plan(&g, &barrier).unwrap();
+        // A_I@1 must wait (possibly transitively) for iteration 0's
+        // merge under barriers; with overlap it depends on nothing.
+        fn reaches(plan: &Plan, from: usize, to: usize) -> bool {
+            from == to || plan.ops[from].deps.iter().any(|&d| reaches(plan, d, to))
+        }
+        let ai1 = plan.ops.iter().position(|o| o.name == "A_I@1").unwrap();
+        let am0 = plan.ops.iter().position(|o| o.name == "A_M@0").unwrap();
+        assert!(reaches(&plan, ai1, am0));
+        let overlap_plan = build_plan(&g, &opts).unwrap();
+        let ai1 = overlap_plan.ops.iter().position(|o| o.name == "A_I@1").unwrap();
+        assert!(overlap_plan.ops[ai1].deps.is_empty());
+    }
+
+    #[test]
+    fn threaded_executes_every_task_once() {
+        let g = small_graph();
+        let opts = ExecutorOptions { threads: 3, ..ExecutorOptions::default() };
+        let kernel = SpinKernel::with_scale(4.0);
+        let r = execute_threaded(&g, &opts, &kernel).unwrap();
+        assert_eq!(r.stats.total_tasks(), 102);
+        for counts in &r.exec_counts {
+            assert!(counts.iter().all(|&c| c == 1));
+        }
+        assert!(r.wall_us > 0.0);
+        assert!(r.measured_speedup() <= r.workers as f64 + 1e-9);
+    }
+
+    #[test]
+    fn threaded_matches_sequential_bitwise() {
+        let (g, opts) = pipeline_graph();
+        let kernel = SpinKernel::with_scale(4.0);
+        let seq = execute_sequential(&g, &opts, &kernel).unwrap();
+        let thr = execute_threaded(&g, &opts, &kernel).unwrap();
+        assert_eq!(seq.outputs.len(), thr.outputs.len());
+        for (i, (a, b)) in seq.outputs.iter().zip(&thr.outputs).enumerate() {
+            assert_eq!(a, b, "op {} differs", seq.op_names[i]);
+        }
+    }
+
+    #[test]
+    fn invalid_graph_rejected() {
+        let mut g = DelirGraph::new();
+        let a = g.add_node("A", NodeKind::Task { cost: 1.0 }, None);
+        g.add_edge(a, a, DataAnno::scalar("self"));
+        let kernel = SpinKernel::default();
+        assert!(execute_threaded(&g, &ExecutorOptions::default(), &kernel).is_err());
+    }
+}

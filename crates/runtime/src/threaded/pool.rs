@@ -1,0 +1,183 @@
+//! The worker pool: N OS threads executing a dependency-counted DAG of
+//! parallel operations, each operation scheduled through a shared
+//! [`ChunkQueue`](super::queue::ChunkQueue).
+//!
+//! Workers claim chunks, execute the kernel per task over real
+//! buffers, time every task with `Instant` (the live counterpart of
+//! the simulator's task-cost sampling in [`crate::stats`]), and feed
+//! the measurement back to the adaptive chunk policy.
+
+use super::queue::ChunkQueue;
+use super::{TaskCtx, TaskKernel};
+use crate::stats::OnlineStats;
+use orchestra_delirium::Node;
+use orchestra_machine::ProcStats;
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+/// One schedulable operation instance: a graph node at one pipeline
+/// iteration, with its dependency counters and real output buffer.
+pub(crate) struct OpInstance {
+    /// Display name (`B_I`, or `A_D@3` for pipeline iteration 3).
+    pub name: String,
+    /// The underlying graph node id.
+    pub node: usize,
+    /// Pipeline iteration (0 for ungrouped nodes).
+    pub iter: usize,
+    /// Per-task simulated cost hints (µs), sampled exactly as the
+    /// simulator samples them.
+    pub costs: Vec<f64>,
+    /// The claim-next-chunk queue.
+    pub queue: ChunkQueue,
+    /// Unfinished dependency count; the op becomes ready at 0.
+    pub deps: AtomicUsize,
+    /// Ops to notify when this one completes.
+    pub dependents: Vec<usize>,
+    /// Tasks not yet executed; the op is complete at 0.
+    pub outstanding: AtomicUsize,
+    /// Output buffer: one f64 (as bits) per task.
+    pub output: Vec<AtomicU64>,
+    /// Execution count per task (differential-testing evidence that no
+    /// chunk was lost or duplicated).
+    pub executed: Vec<AtomicU32>,
+    /// First-claim time, µs since run start (f64 bits; MAX = never).
+    pub started_bits: AtomicU64,
+    /// Completion time, µs since run start (f64 bits; MAX = never).
+    pub finished_bits: AtomicU64,
+}
+
+impl OpInstance {
+    pub(crate) fn output_values(&self) -> Vec<f64> {
+        self.output.iter().map(|b| f64::from_bits(b.load(Ordering::Acquire))).collect()
+    }
+
+    pub(crate) fn exec_counts(&self) -> Vec<u32> {
+        self.executed.iter().map(|c| c.load(Ordering::Acquire)).collect()
+    }
+}
+
+/// Per-worker measurements from one pool run.
+pub struct WorkerRecord {
+    /// Busy time / task count / chunk count, as the simulator records
+    /// them per processor.
+    pub proc: ProcStats,
+    /// Online µ/σ over this worker's task times (µs).
+    pub timing: OnlineStats,
+}
+
+struct Shared<'a> {
+    ops: &'a [OpInstance],
+    nodes: &'a [Node],
+    ready: Mutex<Vec<usize>>,
+    wake: Condvar,
+    completed: AtomicUsize,
+    epoch: Instant,
+}
+
+fn now_us(epoch: Instant) -> f64 {
+    epoch.elapsed().as_secs_f64() * 1e6
+}
+
+/// Executes the op DAG on `workers` threads; `ready0` holds the
+/// indices whose dependency count is already zero.
+pub(crate) fn run_pool(
+    ops: &[OpInstance],
+    nodes: &[Node],
+    ready0: Vec<usize>,
+    workers: usize,
+    kernel: &(dyn TaskKernel + Sync),
+) -> Vec<WorkerRecord> {
+    let workers = workers.max(1);
+    let shared = Shared {
+        ops,
+        nodes,
+        ready: Mutex::new(ready0),
+        wake: Condvar::new(),
+        completed: AtomicUsize::new(0),
+        epoch: Instant::now(),
+    };
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let shared = &shared;
+            handles.push(scope.spawn(move || worker_loop(shared, kernel)));
+        }
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    })
+}
+
+fn worker_loop(shared: &Shared<'_>, kernel: &(dyn TaskKernel + Sync)) -> WorkerRecord {
+    let mut proc = ProcStats::default();
+    let mut timing = OnlineStats::new();
+    let total_ops = shared.ops.len();
+    loop {
+        // Take the front ready op; exactly one copy of each op
+        // circulates through the ready list.
+        let op_idx = {
+            let mut ready = shared.ready.lock().expect("ready list poisoned");
+            loop {
+                if let Some(i) = ready.first().copied() {
+                    ready.remove(0);
+                    break i;
+                }
+                if shared.completed.load(Ordering::Acquire) == total_ops {
+                    return WorkerRecord { proc, timing };
+                }
+                ready = shared.wake.wait(ready).expect("ready list poisoned");
+            }
+        };
+        let op = &shared.ops[op_idx];
+        let Some(chunk) = op.queue.claim() else {
+            // Exhausted: drop the circulating copy; in-flight chunks on
+            // other workers will complete the op.
+            continue;
+        };
+        op.started_bits.fetch_min(now_us(shared.epoch).to_bits(), Ordering::AcqRel);
+        // Re-insert before executing so other idle workers can claim
+        // the op's remaining chunks concurrently.
+        {
+            let mut ready = shared.ready.lock().expect("ready list poisoned");
+            ready.push(op_idx);
+        }
+        shared.wake.notify_all();
+
+        let node = &shared.nodes[op.node];
+        let mut chunk_busy = 0.0;
+        for task in chunk.start..chunk.start + chunk.len {
+            let ctx = TaskCtx { node, iter: op.iter, task, cost_hint: op.costs[task] };
+            let t0 = Instant::now();
+            let value = kernel.run_task(&ctx);
+            let dt_us = t0.elapsed().as_secs_f64() * 1e6;
+            op.output[task].store(value.to_bits(), Ordering::Release);
+            op.executed[task].fetch_add(1, Ordering::AcqRel);
+            op.queue.observe(task, dt_us);
+            timing.observe(dt_us);
+            chunk_busy += dt_us;
+            proc.tasks += 1;
+        }
+        proc.busy += chunk_busy;
+        proc.chunks += 1;
+        let t_end = now_us(shared.epoch);
+        proc.free_at = proc.free_at.max(t_end);
+
+        if op.outstanding.fetch_sub(chunk.len, Ordering::AcqRel) == chunk.len {
+            // This chunk finished the op.
+            op.finished_bits.fetch_min(t_end.to_bits(), Ordering::AcqRel);
+            let mut newly_ready = Vec::new();
+            for &d in &op.dependents {
+                if shared.ops[d].deps.fetch_sub(1, Ordering::AcqRel) == 1 {
+                    newly_ready.push(d);
+                }
+            }
+            let finished_all = shared.completed.fetch_add(1, Ordering::AcqRel) + 1 == total_ops;
+            if !newly_ready.is_empty() {
+                let mut ready = shared.ready.lock().expect("ready list poisoned");
+                ready.extend(newly_ready);
+            }
+            if finished_all || !shared.ready.lock().expect("poisoned").is_empty() {
+                shared.wake.notify_all();
+            }
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! The shared claim-next-chunk queue driving one parallel operation on
+//! real threads.
+//!
+//! This is the concurrent counterpart of the simulator's scheduling
+//! loop in [`crate::par_op`]: idle workers claim the next chunk whose
+//! size the [`ChunkPolicy`] chooses from the live µ/σ samples, so
+//! TAPER, GSS, factoring, and self-scheduling all drive real execution
+//! through the exact same policy objects the simulator uses.
+
+use crate::chunking::ChunkPolicy;
+use std::sync::Mutex;
+
+/// A contiguous block of task indices claimed by one worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Chunk {
+    /// First task index.
+    pub start: usize,
+    /// Number of tasks.
+    pub len: usize,
+}
+
+struct QueueState {
+    policy: Box<dyn ChunkPolicy + Send>,
+    next: usize,
+    remaining: usize,
+    chunks: u64,
+}
+
+/// Atomic claim-next-chunk queue over one operation's iteration space.
+pub struct ChunkQueue {
+    state: Mutex<QueueState>,
+    total: usize,
+    workers: usize,
+}
+
+impl ChunkQueue {
+    /// A queue over `total` tasks scheduled for `workers` workers.
+    pub fn new(policy: Box<dyn ChunkPolicy + Send>, total: usize, workers: usize) -> Self {
+        ChunkQueue {
+            state: Mutex::new(QueueState { policy, next: 0, remaining: total, chunks: 0 }),
+            total,
+            workers: workers.max(1),
+        }
+    }
+
+    /// Claims the next chunk, or `None` when the iteration space is
+    /// exhausted. Each task index is handed out exactly once across
+    /// all claimants.
+    pub fn claim(&self) -> Option<Chunk> {
+        let mut s = self.state.lock().expect("chunk queue poisoned");
+        if s.remaining == 0 {
+            return None;
+        }
+        let (next, remaining) = (s.next, s.remaining);
+        let k = s.policy.next_chunk(next, remaining, self.workers).clamp(1, remaining);
+        let chunk = Chunk { start: s.next, len: k };
+        s.next += k;
+        s.remaining -= k;
+        s.chunks += 1;
+        Some(chunk)
+    }
+
+    /// Feeds one completed task's measured time back to the adaptive
+    /// policy — the live analogue of the simulator's sampling.
+    pub fn observe(&self, index: usize, cost_us: f64) {
+        let mut s = self.state.lock().expect("chunk queue poisoned");
+        s.policy.observe(index, cost_us);
+    }
+
+    /// Chunks handed out so far.
+    pub fn chunks_claimed(&self) -> u64 {
+        self.state.lock().expect("chunk queue poisoned").chunks
+    }
+
+    /// Total tasks in the operation.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunking::PolicyKind;
+    use std::sync::Arc;
+
+    fn drain_concurrently(kind: PolicyKind, total: usize, workers: usize) -> Vec<usize> {
+        let q = Arc::new(ChunkQueue::new(kind.instantiate(total), total, workers));
+        let mut handles = Vec::new();
+        for _ in 0..workers {
+            let q = Arc::clone(&q);
+            handles.push(std::thread::spawn(move || {
+                let mut seen = Vec::new();
+                while let Some(c) = q.claim() {
+                    for i in c.start..c.start + c.len {
+                        seen.push(i);
+                        q.observe(i, 1.0);
+                    }
+                }
+                seen
+            }));
+        }
+        let mut all: Vec<usize> =
+            handles.into_iter().flat_map(|h| h.join().expect("worker panicked")).collect();
+        all.sort_unstable();
+        all
+    }
+
+    #[test]
+    fn every_task_claimed_exactly_once() {
+        for kind in [
+            PolicyKind::SelfSched,
+            PolicyKind::Gss,
+            PolicyKind::Factoring,
+            PolicyKind::Taper,
+            PolicyKind::TaperCostFn,
+        ] {
+            let claimed = drain_concurrently(kind, 1000, 4);
+            assert_eq!(claimed, (0..1000).collect::<Vec<_>>(), "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn empty_queue_yields_nothing() {
+        let q = ChunkQueue::new(PolicyKind::Taper.instantiate(0), 0, 2);
+        assert_eq!(q.claim(), None);
+        assert_eq!(q.chunks_claimed(), 0);
+    }
+
+    #[test]
+    fn chunk_count_bounded_by_tasks() {
+        let q = ChunkQueue::new(PolicyKind::Gss.instantiate(64), 64, 4);
+        let mut n = 0;
+        while q.claim().is_some() {
+            n += 1;
+        }
+        assert!(n <= 64);
+        assert_eq!(q.chunks_claimed(), n);
+    }
+}

@@ -114,9 +114,7 @@ fn closure(
     while !test_set.is_empty() {
         let mut new_found = Vec::new();
         initial.retain(|&c| {
-            let hit = test_set
-                .iter()
-                .any(|&t| related(&prims[c].descriptor, &prims[t].descriptor));
+            let hit = test_set.iter().any(|&t| related(&prims[c].descriptor, &prims[t].descriptor));
             if hit {
                 result.push(c);
                 new_found.push(c);
@@ -211,10 +209,8 @@ end
     fn category_of_reports_names() {
         let (prims, d_w) = figure5_setup();
         let cats = categorize(&prims, &d_w);
-        let by_name: std::collections::BTreeMap<String, &'static str> = prims
-            .iter()
-            .map(|p| (p.name.clone(), cats.category_of(p.id)))
-            .collect();
+        let by_name: std::collections::BTreeMap<String, &'static str> =
+            prims.iter().map(|p| (p.name.clone(), cats.category_of(p.id))).collect();
         assert_eq!(by_name["B"], "Bound");
         assert_eq!(by_name["E"], "Free");
         assert_eq!(by_name["A"], "GenerateLinked");
@@ -270,8 +266,7 @@ end
         let (prims, d_w) = figure5_setup();
         // Initial = everything except B; target = {B}.
         let b_id = prims.iter().find(|p| p.name == "B").unwrap().id;
-        let mut initial: Vec<usize> =
-            prims.iter().map(|p| p.id).filter(|&i| i != b_id).collect();
+        let mut initial: Vec<usize> = prims.iter().map(|p| p.id).filter(|&i| i != b_id).collect();
         let result = transitive_interfere(&mut initial, &[b_id], &prims);
         let mut got = names(&prims, &result);
         got.sort();

@@ -17,9 +17,9 @@
 //! the linear access patterns descriptors carry generalizes to all
 //! `j > i`.
 
+use orchestra_analysis::symbolic::SymExpr;
 use orchestra_descriptors::{loop_iteration_descriptor, SymCtx};
 use orchestra_lang::ast::{Expr, Range, Stmt};
-use orchestra_analysis::symbolic::SymExpr;
 
 /// Why two loops cannot fuse.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -116,10 +116,8 @@ fn masks_equal(m1: &Option<Expr>, m2: &Option<Expr>, l1: &Stmt, l2: &Stmt) -> bo
 /// Returns `None` if [`can_fuse`] would reject the pair.
 pub fn fuse_loops(l1: &Stmt, l2: &Stmt, ctx: &SymCtx) -> Option<Stmt> {
     can_fuse(l1, l2, ctx).ok()?;
-    let (
-        Stmt::Do { label, var: v1, ranges, mask, body: b1 },
-        Stmt::Do { var: v2, body: b2, .. },
-    ) = (l1, l2)
+    let (Stmt::Do { label, var: v1, ranges, mask, body: b1 }, Stmt::Do { var: v2, body: b2, .. }) =
+        (l1, l2)
     else {
         return None;
     };
@@ -160,9 +158,7 @@ fn rename_var(s: &Stmt, from: &str, to: &str) -> Stmt {
                 orchestra_lang::ast::LValue::Var(v) if v == from => {
                     orchestra_lang::ast::LValue::Var(to.to_string())
                 }
-                orchestra_lang::ast::LValue::Var(v) => {
-                    orchestra_lang::ast::LValue::Var(v.clone())
-                }
+                orchestra_lang::ast::LValue::Var(v) => orchestra_lang::ast::LValue::Var(v.clone()),
                 orchestra_lang::ast::LValue::Index(a, idx) => orchestra_lang::ast::LValue::Index(
                     a.clone(),
                     idx.iter().map(|e| e.subst(from, &to_expr)).collect(),
@@ -282,10 +278,7 @@ mod tests {
         let (p, ctx) = setup(
             "program t\n integer n = 6\n float x[1..n], y[1..n]\n do i = 1, n { x[i] = 1.0 }\n do j = 2, n { y[j] = 2.0 }\nend",
         );
-        assert_eq!(
-            can_fuse(&p.body[0], &p.body[1], &ctx),
-            Err(FusionObstacle::HeaderMismatch)
-        );
+        assert_eq!(can_fuse(&p.body[0], &p.body[1], &ctx), Err(FusionObstacle::HeaderMismatch));
     }
 
     #[test]
@@ -301,10 +294,7 @@ mod tests {
         let (p, ctx) = setup(
             "program t\n integer n = 6\n integer m[1..n]\n float x[1..n], y[1..n]\n do i = 1, n where (m[i] <> 0) { x[i] = 1.0 }\n do j = 1, n { y[j] = 2.0 }\nend",
         );
-        assert_eq!(
-            can_fuse(&p.body[0], &p.body[1], &ctx),
-            Err(FusionObstacle::HeaderMismatch)
-        );
+        assert_eq!(can_fuse(&p.body[0], &p.body[1], &ctx), Err(FusionObstacle::HeaderMismatch));
     }
 
     #[test]

@@ -8,9 +8,9 @@
 //! the body's descriptor, which for linear access patterns represents
 //! that direction class.
 
+use orchestra_analysis::symbolic::SymExpr;
 use orchestra_descriptors::{descriptor_of_stmts, SymCtx};
 use orchestra_lang::ast::{Range, Stmt};
-use orchestra_analysis::symbolic::SymExpr;
 
 /// Why a nest cannot be interchanged.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -70,9 +70,7 @@ pub fn can_interchange(nest: &Stmt, ctx: &SymCtx) -> Result<(), InterchangeObsta
         e.scalar_reads(&mut reads);
         reads.contains(outer_var)
     };
-    if mentions_outer(&r.lo)
-        || mentions_outer(&r.hi)
-        || r.step.as_ref().is_some_and(mentions_outer)
+    if mentions_outer(&r.lo) || mentions_outer(&r.hi) || r.step.as_ref().is_some_and(mentions_outer)
     {
         return Err(InterchangeObstacle::TriangularBounds);
     }
@@ -83,9 +81,7 @@ pub fn can_interchange(nest: &Stmt, ctx: &SymCtx) -> Result<(), InterchangeObsta
     body_ctx.values.remove(outer_var);
     body_ctx.killed.remove(inner_var);
     body_ctx.values.remove(inner_var);
-    let d = descriptor_of_stmts(body, &body_ctx)
-        .without_block(outer_var)
-        .without_block(inner_var);
+    let d = descriptor_of_stmts(body, &body_ctx).without_block(outer_var).without_block(inner_var);
     let probe = d
         .subst(outer_var, &SymExpr::name(outer_var).offset(1))
         .subst(inner_var, &SymExpr::name(inner_var).offset(-1));
@@ -160,10 +156,7 @@ mod tests {
         let (p, ctx) = setup(
             "program t\n integer n = 5\n float a[0..n, 0..n + 1]\n do i = 1, n { do j = 1, n { a[i, j] = a[i - 1, j + 1] } }\nend",
         );
-        assert_eq!(
-            can_interchange(&p.body[0], &ctx),
-            Err(InterchangeObstacle::DirectionConflict)
-        );
+        assert_eq!(can_interchange(&p.body[0], &ctx), Err(InterchangeObstacle::DirectionConflict));
     }
 
     #[test]
@@ -185,10 +178,7 @@ mod tests {
         let (p, ctx) = setup(
             "program t\n integer n = 5\n float a[1..n, 1..n]\n do i = 1, n { do j = 1, i { a[i, j] = 1.0 } }\nend",
         );
-        assert_eq!(
-            can_interchange(&p.body[0], &ctx),
-            Err(InterchangeObstacle::TriangularBounds)
-        );
+        assert_eq!(can_interchange(&p.body[0], &ctx), Err(InterchangeObstacle::TriangularBounds));
     }
 
     #[test]
@@ -196,10 +186,7 @@ mod tests {
         let (p, ctx) = setup(
             "program t\n integer n = 5, s\n float a[1..n, 1..n]\n do i = 1, n { s = i\n do j = 1, n { a[i, j] = 1.0 } }\nend",
         );
-        assert_eq!(
-            can_interchange(&p.body[0], &ctx),
-            Err(InterchangeObstacle::NotAPerfectNest)
-        );
+        assert_eq!(can_interchange(&p.body[0], &ctx), Err(InterchangeObstacle::NotAPerfectNest));
     }
 
     #[test]

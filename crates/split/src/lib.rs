@@ -44,10 +44,8 @@ pub use fusion::{can_fuse, fuse_adjacent, fuse_loops, FusionObstacle};
 pub use interchange::{can_interchange, interchange, InterchangeObstacle};
 pub use loop_split::{
     check_iterations_commute, detect_restriction, split_loop, symexpr_to_ast, FreshNames,
-    LoopSplitPieces, Restriction, ReductionVar,
+    LoopSplitPieces, ReductionVar, Restriction,
 };
 pub use pipeline::{pipeline_loop, PipelineResult};
 pub use prim::{primitives_of, Prim, PrimKind};
-pub use split::{
-    split_computation, static_op_count, Piece, PieceClass, SplitOptions, SplitResult,
-};
+pub use split::{split_computation, static_op_count, Piece, PieceClass, SplitOptions, SplitResult};

@@ -19,8 +19,8 @@
 //! Replicated outputs (arrays and reduction scalars) and the merging
 //! computation `C_M` are generated exactly as in Figures 2–4.
 
-use orchestra_descriptors::{Descriptor, LoopIteration, MaskRel, SymCtx, Triple};
 use orchestra_analysis::symbolic::{SymExpr, SymRange};
+use orchestra_descriptors::{Descriptor, LoopIteration, MaskRel, SymCtx, Triple};
 use orchestra_lang::ast::{BinOp, Decl, Expr, LValue, Program, Range, Stmt};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -144,11 +144,8 @@ pub fn detect_restriction(
     for b in privatized {
         stripped = stripped.without_block(b);
     }
-    let stripped_iter = LoopIteration {
-        var: iter.var.clone(),
-        ranges: iter.ranges.clone(),
-        descriptor: stripped,
-    };
+    let stripped_iter =
+        LoopIteration { var: iter.var.clone(), ranges: iter.ranges.clone(), descriptor: stripped };
     let pairs: Vec<(&Triple, &Triple)> = interference_pairs(&stripped_iter.descriptor, d);
     if pairs.is_empty() {
         return None;
@@ -212,10 +209,7 @@ pub fn privatized_blocks(body: &[Stmt], reductions: &[ReductionVar]) -> BTreeSet
 }
 
 /// The (write/write, write/read, read/write) triple pairs that overlap.
-fn interference_pairs<'a>(
-    a: &'a Descriptor,
-    b: &'a Descriptor,
-) -> Vec<(&'a Triple, &'a Triple)> {
+fn interference_pairs<'a>(a: &'a Descriptor, b: &'a Descriptor) -> Vec<(&'a Triple, &'a Triple)> {
     let mut out = Vec::new();
     for t in &a.writes {
         for u in b.writes.iter().chain(&b.reads) {
@@ -302,11 +296,8 @@ fn verify_restriction(iter: &LoopIteration, d: &Descriptor, r: &Restriction) -> 
             // induction variable, then promote: the guard becomes a
             // dimension mask where applicable.
             let comp = rel.negate();
-            let test = orchestra_descriptors::MaskTest::new(
-                array.clone(),
-                SymExpr::name(&iter.var),
-                comp,
-            );
+            let test =
+                orchestra_descriptors::MaskTest::new(array.clone(), SymExpr::name(&iter.var), comp);
             let guard = orchestra_descriptors::Guard::mask(test);
             let mut guarded = Descriptor::new();
             for t in &iter.descriptor.reads {
@@ -326,10 +317,7 @@ fn verify_restriction(iter: &LoopIteration, d: &Descriptor, r: &Restriction) -> 
 /// the recognized reduction accumulators.
 ///
 /// Returns `None` when splitting the iterations would be illegal.
-pub fn check_iterations_commute(
-    iter: &LoopIteration,
-    body: &[Stmt],
-) -> Option<Vec<ReductionVar>> {
+pub fn check_iterations_commute(iter: &LoopIteration, body: &[Stmt]) -> Option<Vec<ReductionVar>> {
     // 1. Calls in the body defeat the analysis.
     if contains_call(body) {
         return None;
@@ -632,11 +620,7 @@ pub fn split_loop(
                     MaskRel::EqConst(c) => (BinOp::Eq, c),
                     MaskRel::NeConst(c) => (BinOp::Ne, c),
                 };
-                Expr::bin(
-                    op,
-                    Expr::index(array.clone(), vec![Expr::var(var)]),
-                    Expr::IntLit(c),
-                )
+                Expr::bin(op, Expr::index(array.clone(), vec![Expr::var(var)]), Expr::IntLit(c))
             };
             let ind_mask = conjoin(mask.clone(), Some(test(rel.negate())));
             let dep_mask = conjoin(mask.clone(), Some(test(*rel)));
@@ -715,9 +699,7 @@ fn rename_stmt(s: &Stmt, map: &BTreeMap<String, String>, reds: &BTreeSet<&str>) 
     match s {
         Stmt::Assign { target, value } => {
             let target = match target {
-                LValue::Var(v) => {
-                    LValue::Var(map.get(v).cloned().unwrap_or_else(|| v.clone()))
-                }
+                LValue::Var(v) => LValue::Var(map.get(v).cloned().unwrap_or_else(|| v.clone())),
                 LValue::Index(a, idx) => LValue::Index(
                     map.get(a).cloned().unwrap_or_else(|| a.clone()),
                     idx.iter().map(|e| rename_expr(e, map, reds)).collect(),
@@ -768,14 +750,11 @@ fn rename_expr(e: &Expr, map: &BTreeMap<String, String>, reds: &BTreeSet<&str>) 
             map.get(a).cloned().unwrap_or_else(|| a.clone()),
             idx.iter().map(|i| rename_expr(i, map, reds)).collect(),
         ),
-        Expr::Bin(op, l, r) => {
-            Expr::bin(*op, rename_expr(l, map, reds), rename_expr(r, map, reds))
-        }
+        Expr::Bin(op, l, r) => Expr::bin(*op, rename_expr(l, map, reds), rename_expr(r, map, reds)),
         Expr::Un(op, i) => Expr::Un(*op, Box::new(rename_expr(i, map, reds))),
-        Expr::Call(f, args) => Expr::Call(
-            f.clone(),
-            args.iter().map(|a| rename_expr(a, map, reds)).collect(),
-        ),
+        Expr::Call(f, args) => {
+            Expr::Call(f.clone(), args.iter().map(|a| rename_expr(a, map, reds)).collect())
+        }
     }
 }
 
@@ -809,9 +788,7 @@ fn build_merge(
             from_dep.push(copy_stmt(t, &dep_map[&t.block], fresh)?);
         }
         let dep_cond = match restriction {
-            Restriction::ExcludePoint(e) => {
-                Expr::bin(BinOp::Eq, Expr::var(var), symexpr_to_ast(e))
-            }
+            Restriction::ExcludePoint(e) => Expr::bin(BinOp::Eq, Expr::var(var), symexpr_to_ast(e)),
             Restriction::ExcludePoints(points) => {
                 let mut cond: Option<Expr> = None;
                 for e in points {
@@ -828,11 +805,7 @@ fn build_merge(
                     MaskRel::EqConst(c) => (BinOp::Eq, *c),
                     MaskRel::NeConst(c) => (BinOp::Ne, *c),
                 };
-                Expr::bin(
-                    op,
-                    Expr::index(array.clone(), vec![Expr::var(var)]),
-                    Expr::IntLit(c),
-                )
+                Expr::bin(op, Expr::index(array.clone(), vec![Expr::var(var)]), Expr::IntLit(c))
             }
         };
         merge.push(Stmt::Do {
@@ -840,11 +813,7 @@ fn build_merge(
             var: var.to_string(),
             ranges: vec![range.clone()],
             mask: mask.clone(),
-            body: vec![Stmt::If {
-                cond: dep_cond,
-                then_body: from_dep,
-                else_body: from_ind,
-            }],
+            body: vec![Stmt::If { cond: dep_cond, then_body: from_dep, else_body: from_ind }],
         });
     }
     for r in reductions {
@@ -952,7 +921,8 @@ end
     #[test]
     fn figure4_restriction_is_exclude_a() {
         let (_, iter, dg) = figure4_like();
-        let r = detect_restriction(&iter, &dg, &BTreeSet::from(["sum".to_string()])).expect("restriction found");
+        let r = detect_restriction(&iter, &dg, &BTreeSet::from(["sum".to_string()]))
+            .expect("restriction found");
         assert_eq!(r, Restriction::ExcludePoint(SymExpr::constant(3)), "a folds to 3");
     }
 
@@ -971,8 +941,7 @@ end
         let Stmt::Do { body, .. } = &p.body[1] else { panic!() };
         let reds = check_iterations_commute(&iter, body).unwrap();
         let mut fresh = FreshNames::from_program(&p);
-        let pieces =
-            split_loop(&p, &p.body[1], &r, &reds, &iter, &mut fresh).expect("split");
+        let pieces = split_loop(&p, &p.body[1], &r, &reds, &iter, &mut fresh).expect("split");
         // C_I: init + discontinuous loop; C_D: init + point loop; C_M:
         // reduction combine (no arrays written).
         assert_eq!(pieces.independent.len(), 2);
@@ -996,11 +965,9 @@ end
     #[test]
     fn figure1_restriction_is_mask_cond() {
         let (_, iter, da) = masked_b_like();
-        let r = detect_restriction(&iter, &da, &BTreeSet::from(["output".to_string()])).expect("mask restriction");
-        assert_eq!(
-            r,
-            Restriction::MaskCond { array: "mask".into(), rel: MaskRel::NeConst(0) }
-        );
+        let r = detect_restriction(&iter, &da, &BTreeSet::from(["output".to_string()]))
+            .expect("mask restriction");
+        assert_eq!(r, Restriction::MaskCond { array: "mask".into(), rel: MaskRel::NeConst(0) });
     }
 
     #[test]
@@ -1015,15 +982,9 @@ end
         // B_I: do i where (mask[i] = 0); B_D: where (mask[i] <> 0).
         let Stmt::Do { mask: im, label, .. } = &pieces.independent[0] else { panic!() };
         assert_eq!(label.as_deref(), Some("B_I"));
-        assert_eq!(
-            orchestra_lang::pretty::expr_to_string(im.as_ref().unwrap()),
-            "mask[i] = 0"
-        );
+        assert_eq!(orchestra_lang::pretty::expr_to_string(im.as_ref().unwrap()), "mask[i] = 0");
         let Stmt::Do { mask: dm, .. } = &pieces.dependent[0] else { panic!() };
-        assert_eq!(
-            orchestra_lang::pretty::expr_to_string(dm.as_ref().unwrap()),
-            "mask[i] <> 0"
-        );
+        assert_eq!(orchestra_lang::pretty::expr_to_string(dm.as_ref().unwrap()), "mask[i] <> 0");
         // Output replicated; merge loop selects by the mask.
         assert!(pieces.new_decls.iter().any(|d| d.name == "output__i"));
         assert_eq!(pieces.merge.len(), 1);

@@ -52,22 +52,21 @@ pub fn primitives_of(stmts: &[Stmt], ctx: &SymCtx) -> Vec<Prim> {
     let mut running = ctx.clone();
     let mut block_run: Vec<Stmt> = Vec::new();
 
-    let flush =
-        |run: &mut Vec<Stmt>, prims: &mut Vec<Prim>, running: &SymCtx| {
-            if run.is_empty() {
-                return;
-            }
-            let stmts = std::mem::take(run);
-            let descriptor = descriptor_of_stmts(&stmts, running);
-            let id = prims.len();
-            prims.push(Prim {
-                id,
-                name: format!("block#{id}"),
-                kind: PrimKind::Block,
-                stmts,
-                descriptor,
-            });
-        };
+    let flush = |run: &mut Vec<Stmt>, prims: &mut Vec<Prim>, running: &SymCtx| {
+        if run.is_empty() {
+            return;
+        }
+        let stmts = std::mem::take(run);
+        let descriptor = descriptor_of_stmts(&stmts, running);
+        let id = prims.len();
+        prims.push(Prim {
+            id,
+            name: format!("block#{id}"),
+            kind: PrimKind::Block,
+            stmts,
+            descriptor,
+        });
+    };
 
     for s in stmts {
         match s {
@@ -76,7 +75,13 @@ pub fn primitives_of(stmts: &[Stmt], ctx: &SymCtx) -> Vec<Prim> {
                 let descriptor = descriptor_of_stmt(s, &running);
                 let id = prims.len();
                 let name = label.clone().unwrap_or_else(|| format!("loop#{id}"));
-                prims.push(Prim { id, name, kind: PrimKind::Loop, stmts: vec![s.clone()], descriptor });
+                prims.push(Prim {
+                    id,
+                    name,
+                    kind: PrimKind::Loop,
+                    stmts: vec![s.clone()],
+                    descriptor,
+                });
                 advance_ctx(s, &mut running);
             }
             Stmt::Call { name, .. } => {
@@ -176,9 +181,8 @@ end
 
     #[test]
     fn descriptors_attached() {
-        let ps = prims_of(
-            "program p\n integer n = 3\n float x[1..n]\n do i = 1, n { x[i] = 1.0 }\nend",
-        );
+        let ps =
+            prims_of("program p\n integer n = 3\n float x[1..n]\n do i = 1, n { x[i] = 1.0 }\nend");
         assert_eq!(ps[0].descriptor.writes.len(), 1);
         assert_eq!(ps[0].descriptor.writes[0].block, "x");
     }

@@ -15,13 +15,9 @@
 //! concurrency the paper's Figures 2–4 expose.
 
 use crate::categorize::{categorize, transitive_flow_down, Categories};
-use crate::loop_split::{
-    check_iterations_commute, detect_restriction, split_loop, FreshNames,
-};
+use crate::loop_split::{check_iterations_commute, detect_restriction, split_loop, FreshNames};
 use crate::prim::{primitives_of, Prim, PrimKind};
-use orchestra_descriptors::{
-    descriptor_of_stmts, loop_iteration_descriptor, Descriptor, SymCtx,
-};
+use orchestra_descriptors::{descriptor_of_stmts, loop_iteration_descriptor, Descriptor, SymCtx};
 use orchestra_lang::ast::{Decl, Expr, LValue, Program, Stmt};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
@@ -151,7 +147,9 @@ pub fn split_computation(
         }
         if categories.bound.contains(&id) {
             if opts.enable_loop_split && prim.kind == PrimKind::Loop {
-                if let Some(done) = try_loop_split(prog, prim, d, &ctx, &mut fresh, &mut pieces, &mut new_decls) {
+                if let Some(done) =
+                    try_loop_split(prog, prim, d, &ctx, &mut fresh, &mut pieces, &mut new_decls)
+                {
                     loop_splits.push(done);
                     continue;
                 }
@@ -164,8 +162,7 @@ pub fn split_computation(
             // Replicate the suppliers with renamed outputs, placing the
             // copies (plus the rewritten ReadLinked code) in an
             // independent piece at this position.
-            let (stmts, decls) =
-                replicate_suppliers(prog, &prims, prim, suppliers, &mut fresh);
+            let (stmts, decls) = replicate_suppliers(prog, &prims, prim, suppliers, &mut fresh);
             if let Some((stmts, decls)) = stmts.map(|s| (s, decls)) {
                 let descriptor = descriptor_of_stmts(&stmts, &ctx);
                 pieces.push(Piece {
@@ -182,14 +179,7 @@ pub fn split_computation(
         pieces.push(piece_from_prim(prim, PieceClass::Dependent, &ctx));
     }
 
-    SplitResult {
-        pieces,
-        new_decls,
-        categories,
-        prim_names,
-        loop_splits,
-        moved_read_linked,
-    }
+    SplitResult { pieces, new_decls, categories, prim_names, loop_splits, moved_read_linked }
 }
 
 fn piece_from_prim(prim: &Prim, class: PieceClass, _ctx: &SymCtx) -> Piece {
@@ -307,9 +297,7 @@ pub fn static_op_count(stmts: &[Stmt], ctx: &SymCtx) -> Option<u64> {
             }
             Stmt::If { cond, then_body, else_body } => {
                 // Conservative: both arms counted.
-                expr_ops(cond)
-                    + static_op_count(then_body, ctx)?
-                    + static_op_count(else_body, ctx)?
+                expr_ops(cond) + static_op_count(then_body, ctx)? + static_op_count(else_body, ctx)?
             }
             Stmt::Do { ranges, mask, body, .. } => {
                 let mut trips: u64 = 0;
@@ -425,9 +413,7 @@ fn rename_reads_and_writes(s: &Stmt, map: &BTreeMap<String, String>) -> Stmt {
     match s {
         Stmt::Assign { target, value } => Stmt::Assign {
             target: match target {
-                LValue::Var(v) => {
-                    LValue::Var(map.get(v).cloned().unwrap_or_else(|| v.clone()))
-                }
+                LValue::Var(v) => LValue::Var(map.get(v).cloned().unwrap_or_else(|| v.clone())),
                 LValue::Index(a, idx) => LValue::Index(
                     map.get(a).cloned().unwrap_or_else(|| a.clone()),
                     idx.iter().map(|i| rex(i, map)).collect(),
@@ -454,10 +440,9 @@ fn rename_reads_and_writes(s: &Stmt, map: &BTreeMap<String, String>) -> Stmt {
             then_body: then_body.iter().map(|b| rename_reads_and_writes(b, map)).collect(),
             else_body: else_body.iter().map(|b| rename_reads_and_writes(b, map)).collect(),
         },
-        Stmt::Call { name, args } => Stmt::Call {
-            name: name.clone(),
-            args: args.iter().map(|a| rex(a, map)).collect(),
-        },
+        Stmt::Call { name, args } => {
+            Stmt::Call { name: name.clone(), args: args.iter().map(|a| rex(a, map)).collect() }
+        }
     }
 }
 

@@ -35,9 +35,7 @@ fn main() {
         "(paper: 850/445 = 1.9×); without split, doubling only reaches {:.1}×",
         t1024.speedup / t512.speedup
     );
-    println!(
-        "because of the irregular task times in the cloud physics section."
-    );
+    println!("because of the irregular task times in the cloud physics section.");
 
     // The kernel also flows through the compiler.
     let compiled = orchestra_core::compile(climate::kernel(), &Default::default());

@@ -10,9 +10,7 @@ use orchestra_descriptors::{descriptor_of_stmt, loop_iteration_descriptor, SymCt
 use orchestra_lang::builder::{figure1_program, figure4_program};
 use orchestra_lang::parse_program;
 use orchestra_lang::pretty::{pretty_print, stmt_to_string};
-use orchestra_split::{
-    categorize, pipeline_loop, primitives_of, split_computation, SplitOptions,
-};
+use orchestra_split::{categorize, pipeline_loop, primitives_of, split_computation, SplitOptions};
 
 fn main() {
     figure_1_and_2();
@@ -46,12 +44,8 @@ fn figure_1_and_2() {
 fn figure_3() {
     println!("==== Figure 3: code after split and pipeline ====\n");
     let prog = figure1_program(8);
-    let r = pipeline_loop(&prog, &prog.body[0], 1, &SplitOptions::default())
-        .expect("A pipelines");
-    println!(
-        "pipelined loop `{}` over `{}` (depth {}):\n",
-        r.loop_name, r.var, r.depth
-    );
+    let r = pipeline_loop(&prog, &prog.body[0], 1, &SplitOptions::default()).expect("A pipelines");
+    println!("pipelined loop `{}` over `{}` (depth {}):\n", r.loop_name, r.var, r.depth);
     print!("{}", stmt_to_string(&r.transformed));
     println!();
 }

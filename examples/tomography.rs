@@ -33,18 +33,12 @@ fn main() {
     //    processor counts (the Figure 6 experiment).
     let w = psirrfan::workload(&psirrfan::paper_scale());
     println!("\n== Figure 6 sweep ({}) ==", w.description);
-    println!(
-        "{:>6} {:>10} {:>10} {:>16}",
-        "procs", "static", "TAPER", "TAPER w/ split"
-    );
+    println!("{:>6} {:>10} {:>10} {:>16}", "procs", "static", "TAPER", "TAPER w/ split");
     for p in [128, 256, 512, 1024] {
         let st = measure(&w, Config::Static, p);
         let tp = measure(&w, Config::Taper, p);
         let sp = measure(&w, Config::TaperSplit, p);
-        println!(
-            "{:>6} {:>10.0} {:>10.0} {:>16.0}",
-            p, st.speedup, tp.speedup, sp.speedup
-        );
+        println!("{:>6} {:>10.0} {:>10.0} {:>16.0}", p, st.speedup, tp.speedup, sp.speedup);
     }
     println!("\n(speedups; the paper's shape: split sustains efficiency to 1024");
     println!(" processors while TAPER alone flattens past 512 and static trails)");

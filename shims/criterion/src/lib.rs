@@ -1,0 +1,156 @@
+//! Offline shim for the `criterion` crate: a plain warm-up + sample
+//! timing loop printing mean/min per benchmark. No statistics, plots,
+//! or baselines — just enough to run this workspace's `[[bench]]`
+//! targets and eyeball relative numbers.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark identifier: `group/function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function.into(), parameter) }
+    }
+
+    /// An id from just a parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Times closures handed to it by benchmark functions.
+pub struct Bencher {
+    samples: usize,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly: a warm-up pass then `samples` timed passes.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up
+        let mut total = Duration::ZERO;
+        let mut best = Duration::MAX;
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(f());
+            let dt = t0.elapsed();
+            total += dt;
+            best = best.min(dt);
+        }
+        let mean = total / self.samples as u32;
+        println!("    mean {mean:>12.3?}   min {best:>12.3?}   ({} samples)", self.samples);
+    }
+}
+
+/// The benchmark manager.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup { crit: self, name }
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        println!("  bench {id}");
+        f(&mut Bencher { samples: self.sample_size });
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    crit: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.crit.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one named benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        println!("  bench {}/{id}", self.name);
+        f(&mut Bencher { samples: self.crit.sample_size });
+        self
+    }
+
+    /// Runs one named benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        println!("  bench {}/{id}", self.name);
+        f(&mut Bencher { samples: self.crit.sample_size }, input);
+        self
+    }
+
+    /// Ends the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        $crate::criterion_group!($name, $($target),+);
+    };
+}
+
+/// The bench-target entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags like `--bench`; the
+            // shim ignores every argument.
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,74 @@
+//! Case driving: deterministic per-test RNG, reject accounting, panic
+//! with the generated inputs on failure.
+
+use crate::prelude::ProptestConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case was rejected by `prop_assume!` and does not count.
+    Reject(String),
+    /// The case failed an assertion.
+    Fail(String),
+}
+
+/// Per-run generation state handed to strategies.
+pub struct TestRunner {
+    /// The RNG strategies draw from.
+    pub rng: StdRng,
+}
+
+fn fnv1a(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Runs `config.cases` successful cases of `case`, seeding the RNG from
+/// the test name (deterministic across runs). Set `PROPTEST_SEED` to an
+/// integer to explore a different deterministic stream.
+pub fn run_cases<F>(config: ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRunner) -> (Result<(), TestCaseError>, String),
+{
+    let base = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(0x0c4e_57a1_9370_ca5e);
+    let seed = base ^ fnv1a(name);
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    let mut case_idx = 0u64;
+    while passed < config.cases {
+        let mut runner = TestRunner {
+            rng: StdRng::seed_from_u64(seed.wrapping_add(case_idx.wrapping_mul(0x9E37_79B9))),
+        };
+        case_idx += 1;
+        let (result, desc) = case(&mut runner);
+        match result {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(why)) => {
+                rejected += 1;
+                if rejected > config.max_global_rejects {
+                    panic!(
+                        "proptest shim: test `{name}` rejected {rejected} cases \
+                         (last assumption: {why}) without reaching {} passes",
+                        config.cases
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest shim: test `{name}` failed at case #{case_idx}\n\
+                     {msg}\ninputs: {desc}\n\
+                     (no shrinking in the shim; re-run reproduces this case)"
+                );
+            }
+        }
+    }
+}

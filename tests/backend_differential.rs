@@ -1,0 +1,166 @@
+//! Differential tests: the threaded backend against an independent
+//! sequential reference.
+//!
+//! For every chunk policy × sample graph, real-thread execution must
+//! (a) run every task exactly once — no chunk lost or duplicated by
+//! the concurrent claim queue — and (b) produce bit-identical output
+//! buffers to a single-threaded in-order execution. Kernels are pure
+//! in `(node, iter, task)`, so any divergence is a scheduling bug, not
+//! floating-point noise.
+//!
+//! Worker counts are capped at 2 so results don't depend on how many
+//! cores CI happens to give us.
+
+use orchestra_delirium::{DataAnno, DelirGraph, NodeKind};
+use orchestra_runtime::chunking::PolicyKind;
+use orchestra_runtime::executor::ExecutorOptions;
+use orchestra_runtime::threaded::{execute_sequential, execute_threaded, SpinKernel};
+use std::collections::HashMap;
+
+const POLICIES: [PolicyKind; 5] = [
+    PolicyKind::SelfSched,
+    PolicyKind::Gss,
+    PolicyKind::Factoring,
+    PolicyKind::Taper,
+    PolicyKind::TaperCostFn,
+];
+
+/// A plain DAG: task → data-parallel fan-out → merge.
+fn dag_graph() -> (DelirGraph, ExecutorOptions) {
+    let mut g = DelirGraph::new();
+    let a = g.add_node("A", NodeKind::Task { cost: 4.0 }, None);
+    let b = g.add_node("B", NodeKind::DataParallel { tasks: 160, mean_cost: 2.0, cv: 0.9 }, None);
+    let c = g.add_node("C", NodeKind::DataParallel { tasks: 96, mean_cost: 1.5, cv: 0.2 }, None);
+    let d = g.add_node("D", NodeKind::Merge { cost: 2.0 }, None);
+    g.add_edge(a, b, DataAnno::array("x", 160));
+    g.add_edge(a, c, DataAnno::array("y", 96));
+    g.add_edge(b, d, DataAnno::array("r1", 160));
+    g.add_edge(c, d, DataAnno::array("r2", 96));
+    (g, ExecutorOptions { threads: 2, ..ExecutorOptions::default() })
+}
+
+/// A pipeline group with a carried edge, plus a downstream consumer.
+fn pipeline_graph() -> (DelirGraph, ExecutorOptions) {
+    let mut g = DelirGraph::new();
+    let ai = g.add_node(
+        "A_I",
+        NodeKind::DataParallel { tasks: 48, mean_cost: 2.0, cv: 0.5 },
+        Some("A".into()),
+    );
+    let ad = g.add_node(
+        "A_D",
+        NodeKind::DataParallel { tasks: 12, mean_cost: 2.0, cv: 0.5 },
+        Some("A".into()),
+    );
+    let am = g.add_node("A_M", NodeKind::Merge { cost: 1.0 }, Some("A".into()));
+    g.add_edge(ai, am, DataAnno::array("r1", 48));
+    g.add_edge(ad, am, DataAnno::array("r2", 12));
+    g.add_carried_edge(am, ad, DataAnno::array("carried", 48));
+    let b = g.add_node("B", NodeKind::DataParallel { tasks: 64, mean_cost: 1.0, cv: 0.1 }, None);
+    g.add_edge(am, b, DataAnno::array("out", 64));
+    let mut pipeline_iters = HashMap::new();
+    pipeline_iters.insert("A".to_string(), 4);
+    (g, ExecutorOptions { threads: 2, pipeline_iters, ..ExecutorOptions::default() })
+}
+
+/// A mixture node (two cost populations) feeding a merge.
+fn mixture_graph() -> (DelirGraph, ExecutorOptions) {
+    let mut g = DelirGraph::new();
+    let m = g.add_node(
+        "M",
+        NodeKind::Mixture {
+            populations: vec![
+                orchestra_delirium::Population { tasks: 90, mean_cost: 1.0, cv: 0.1 },
+                orchestra_delirium::Population { tasks: 30, mean_cost: 6.0, cv: 0.8 },
+            ],
+        },
+        None,
+    );
+    let s = g.add_node("S", NodeKind::Merge { cost: 1.0 }, None);
+    g.add_edge(m, s, DataAnno::array("z", 120));
+    (g, ExecutorOptions { threads: 2, ..ExecutorOptions::default() })
+}
+
+fn graphs() -> Vec<(&'static str, DelirGraph, ExecutorOptions)> {
+    let (g1, o1) = dag_graph();
+    let (g2, o2) = pipeline_graph();
+    let (g3, o3) = mixture_graph();
+    vec![("dag", g1, o1), ("pipeline", g2, o2), ("mixture", g3, o3)]
+}
+
+#[test]
+fn every_policy_executes_each_task_exactly_once() {
+    let kernel = SpinKernel::with_scale(2.0);
+    for (name, g, opts) in graphs() {
+        for policy in POLICIES {
+            let opts = ExecutorOptions { policy, ..opts.clone() };
+            let run = execute_threaded(&g, &opts, &kernel).unwrap();
+            for (op, counts) in run.ops.iter().zip(&run.exec_counts) {
+                assert!(
+                    counts.iter().all(|&c| c == 1),
+                    "{name}/{}: op {} task exec counts {counts:?}",
+                    policy.name(),
+                    op.name,
+                );
+            }
+            let total: u64 = run.exec_counts.iter().map(|c| c.len() as u64).sum();
+            assert_eq!(
+                run.stats.total_tasks(),
+                total,
+                "{name}/{}: worker task accounting mismatch",
+                policy.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn threaded_results_bit_identical_to_sequential() {
+    let kernel = SpinKernel::with_scale(2.0);
+    for (name, g, opts) in graphs() {
+        let seq = execute_sequential(&g, &opts, &kernel).unwrap();
+        for policy in POLICIES {
+            let opts = ExecutorOptions { policy, ..opts.clone() };
+            let thr = execute_threaded(&g, &opts, &kernel).unwrap();
+            assert_eq!(seq.outputs.len(), thr.outputs.len(), "{name}: op count");
+            for (i, (s, t)) in seq.outputs.iter().zip(&thr.outputs).enumerate() {
+                for (j, (a, b)) in s.iter().zip(t).enumerate() {
+                    assert!(
+                        a.to_bits() == b.to_bits(),
+                        "{name}/{}: op {} task {j}: sequential {a:?} != threaded {b:?}",
+                        policy.name(),
+                        seq.op_names[i],
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn barrier_mode_matches_too() {
+    // pipeline_overlap=false changes the dependency structure (more
+    // serialization), never the results.
+    let kernel = SpinKernel::with_scale(2.0);
+    let (g, opts) = pipeline_graph();
+    let opts = ExecutorOptions { pipeline_overlap: false, ..opts };
+    let seq = execute_sequential(&g, &opts, &kernel).unwrap();
+    let thr = execute_threaded(&g, &opts, &kernel).unwrap();
+    assert_eq!(seq.outputs, thr.outputs);
+}
+
+#[test]
+fn backend_dispatch_runs_threaded_from_execute_graph() {
+    use orchestra_machine::MachineConfig;
+    use orchestra_runtime::threaded::ExecutorBackend;
+    let (g, opts) = dag_graph();
+    let opts = ExecutorOptions { backend: ExecutorBackend::Threaded, ..opts };
+    let report =
+        orchestra_runtime::executor::execute_graph(&g, &MachineConfig::ncube2(64), &opts).unwrap();
+    // Real run: the processor count is the worker count, not the
+    // simulated machine's 64.
+    assert_eq!(report.processors, 2);
+    assert_eq!(report.nodes.len(), 4);
+    assert!(report.finish > 0.0);
+    assert!(report.speedup() <= 2.0 + 1e-9);
+}

@@ -27,10 +27,7 @@ fn gen_kind() -> impl Strategy<Value = NodeKind> {
 fn gen_graph() -> impl Strategy<Value = DelirGraph> {
     (2usize..9).prop_flat_map(|n| {
         let kinds = proptest::collection::vec(gen_kind(), n);
-        let edges = proptest::collection::vec(
-            (0usize..n, 0usize..n, 1u64..100_000),
-            0..(n * 2),
-        );
+        let edges = proptest::collection::vec((0usize..n, 0usize..n, 1u64..100_000), 0..(n * 2));
         let groups = proptest::collection::vec(proptest::bool::ANY, n);
         (kinds, edges, groups).prop_map(move |(kinds, edges, groups)| {
             let mut g = DelirGraph::new();

@@ -51,26 +51,15 @@ impl GenLoop {
 
 fn gen_loop() -> impl Strategy<Value = GenLoop> {
     (1i64..6, 0i64..6, 1i64..3, -4i64..8, any::<bool>()).prop_map(
-        |(lo, len, coeff, offset, writes)| GenLoop {
-            lo,
-            hi: lo + len,
-            coeff,
-            offset,
-            writes,
-        },
+        |(lo, len, coeff, offset, writes)| GenLoop { lo, hi: lo + len, coeff, offset, writes },
     )
 }
 
 /// Builds a program declaring a shared array big enough for all cells,
 /// plus disjoint scratch arrays for each loop.
 fn program_for(l1: &GenLoop, l2: &GenLoop) -> Program {
-    let max_cell = l1
-        .cells()
-        .into_iter()
-        .chain(l2.cells())
-        .max()
-        .unwrap_or(1)
-        .max(l1.hi.max(l2.hi));
+    let max_cell =
+        l1.cells().into_iter().chain(l2.cells()).max().unwrap_or(1).max(l1.hi.max(l2.hi));
     let mut pb = b::ProgramBuilder::new("oracle");
     pb.int_scalar("n", max_cell.max(1) + 8);
     pb.array("shared", orchestra_lang::ast::Type::Float, vec![b::v("n")]);

@@ -84,10 +84,7 @@ fn split_efficiency_sustained_through_1024() {
     let w = psirrfan::workload(&psirrfan::paper_scale());
     let e512 = measure(&w, Config::TaperSplit, 512).efficiency;
     let e1024 = measure(&w, Config::TaperSplit, 1024).efficiency;
-    assert!(
-        e1024 > 0.6 * e512,
-        "efficiency collapse: {e512:.2} → {e1024:.2}"
-    );
+    assert!(e1024 > 0.6 * e512, "efficiency collapse: {e512:.2} → {e1024:.2}");
     assert!(e1024 > 0.4, "absolute efficiency too low: {e1024:.2}");
 }
 
@@ -105,10 +102,8 @@ fn delirium_text_round_trips_app_graphs() {
     for w in all_paper_workloads() {
         for (label, g) in [("baseline", &w.baseline), ("split", &w.split)] {
             let text = orchestra_delirium::print(g, w.name);
-            let (name, parsed) =
-                orchestra_delirium::parse(&text).unwrap_or_else(|e| {
-                    panic!("{} {label}: {e}\n{text}", w.name)
-                });
+            let (name, parsed) = orchestra_delirium::parse(&text)
+                .unwrap_or_else(|e| panic!("{} {label}: {e}\n{text}", w.name));
             assert_eq!(name, w.name);
             assert_eq!(&parsed, g, "{} {label}", w.name);
         }

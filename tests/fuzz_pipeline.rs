@@ -27,11 +27,11 @@ fn gen_value_expr(arrays: Vec<String>, ivar: String) -> BoxedStrategy<Expr> {
     ];
     leaf.prop_recursive(2, 8, 2, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone(), prop_oneof![
-                Just(BinOp::Add),
-                Just(BinOp::Sub),
-                Just(BinOp::Mul)
-            ])
+            (
+                inner.clone(),
+                inner.clone(),
+                prop_oneof![Just(BinOp::Add), Just(BinOp::Sub), Just(BinOp::Mul)]
+            )
                 .prop_map(|(l, r, op)| Expr::bin(op, l, r)),
             inner.prop_map(|e| Expr::Call("f".into(), vec![e])),
         ]
@@ -40,12 +40,7 @@ fn gen_value_expr(arrays: Vec<String>, ivar: String) -> BoxedStrategy<Expr> {
 }
 
 /// One random loop writing a designated output array.
-fn gen_loop(
-    arrays: Vec<String>,
-    out: String,
-    label: String,
-    masked: bool,
-) -> BoxedStrategy<Stmt> {
+fn gen_loop(arrays: Vec<String>, out: String, label: String, masked: bool) -> BoxedStrategy<Stmt> {
     let iv = format!("i_{label}");
     gen_value_expr(arrays, iv.clone())
         .prop_map(move |value| {
@@ -77,8 +72,7 @@ fn gen_program() -> impl Strategy<Value = Program> {
     (2usize..5, any::<bool>(), any::<bool>()).prop_flat_map(|(nloops, mask_first, _)| {
         let mut loops: Vec<BoxedStrategy<Stmt>> = Vec::new();
         for k in 0..nloops {
-            let readable: Vec<String> =
-                (0..=k).map(|j| format!("a{j}")).collect(); // may read own output (reduction-ish is fine elementwise)
+            let readable: Vec<String> = (0..=k).map(|j| format!("a{j}")).collect(); // may read own output (reduction-ish is fine elementwise)
             let out = format!("a{}", k + 1);
             let label = format!("L{k}");
             loops.push(gen_loop(readable, out, label, k == 0 && mask_first));
@@ -110,10 +104,7 @@ fn random_inputs(seed: u64) -> Env {
     let mut env = Env::new();
     env.insert(
         "mask".into(),
-        Value::IntArray {
-            dims: vec![(1, N)],
-            data: (0..N).map(|_| rng.gen_range(0..2)).collect(),
-        },
+        Value::IntArray { dims: vec![(1, N)], data: (0..N).map(|_| rng.gen_range(0..2)).collect() },
     );
     env.insert(
         "a0".into(),
@@ -134,10 +125,7 @@ fn stores_match(e1: &Env, e2: &Env, skip: &std::collections::BTreeSet<String>) {
         match (v, got) {
             (Value::FloatArray { data: a, .. }, Value::FloatArray { data: b, .. }) => {
                 for (x, y) in a.iter().zip(b) {
-                    assert!(
-                        (x - y).abs() <= 1e-6 * (1.0 + x.abs()),
-                        "{name}: {x} vs {y}"
-                    );
+                    assert!((x - y).abs() <= 1e-6 * (1.0 + x.abs()), "{name}: {x} vs {y}");
                 }
             }
             _ => assert_eq!(v, got, "{name}"),

@@ -44,8 +44,7 @@ fn figure2_split_shape() {
 #[test]
 fn figure3_pipeline_shape() {
     let prog = figure1_program(8);
-    let r = pipeline_loop(&prog, &prog.body[0], 1, &SplitOptions::default())
-        .expect("A pipelines");
+    let r = pipeline_loop(&prog, &prog.body[0], 1, &SplitOptions::default()).expect("A pipelines");
     assert!(r.exposed_concurrency());
     let text = stmt_to_string(&r.transformed);
     // The paper's discontinuous range: do i = 1, col-2 and col, n.
@@ -65,11 +64,7 @@ fn figure4_split_replicates_reduction() {
     // sum is replicated into per-piece accumulators, combined in H_M.
     assert!(result.new_decls.iter().any(|d| d.name == "sum__i"));
     assert!(result.new_decls.iter().any(|d| d.name == "sum__d"));
-    let merge = result
-        .pieces
-        .iter()
-        .find(|p| p.class == PieceClass::Merge)
-        .expect("merge piece");
+    let merge = result.pieces.iter().find(|p| p.class == PieceClass::Merge).expect("merge piece");
     let text: String = merge.stmts.iter().map(stmt_to_string).collect();
     assert!(text.contains("sum = sum + sum__i + sum__d"), "{text}");
 }

@@ -37,10 +37,7 @@ fn assert_equivalent(prog: &Program, inputs: &Env) {
 }
 
 fn prop_assert_close(name: &str, i: usize, x: f64, y: f64) {
-    assert!(
-        (x - y).abs() <= 1e-9 * (1.0 + x.abs()),
-        "{name}[{i}]: {x} vs {y}"
-    );
+    assert!((x - y).abs() <= 1e-9 * (1.0 + x.abs()), "{name}[{i}]: {x} vs {y}");
 }
 
 fn collect_ivs(stmts: &[orchestra_lang::ast::Stmt], out: &mut std::collections::BTreeSet<String>) {
