@@ -1,0 +1,68 @@
+//! Scheduling hot-path overhead for the threaded backend.
+//!
+//! `claim` drains a `ChunkQueue` single-threaded including the batched
+//! task-time feedback — the pure per-chunk cost of the claim path
+//! (lock-free cursor for self-scheduling/GSS/factoring, short mutex
+//! section for TAPER). `pool_flat` runs a wide operation of tiny tasks
+//! through `execute_threaded`, so the whole orchestration stack
+//! (deques, wakeups, chunk loop) is on the clock. Workers are capped
+//! at 2, matching the rest of the suite, so numbers don't depend on
+//! how many cores CI provides.
+//!
+//! The `sched` binary (`cargo run --release -p orchestra-bench --bin
+//! sched`) measures the same paths across worker counts and emits
+//! `BENCH_threaded.json`; this bench is the quick regression guard.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use orchestra_delirium::{DelirGraph, NodeKind};
+use orchestra_runtime::executor::ExecutorOptions;
+use orchestra_runtime::stats::OnlineStats;
+use orchestra_runtime::threaded::queue::ChunkQueue;
+use orchestra_runtime::threaded::{execute_threaded, SpinKernel};
+use orchestra_runtime::PolicyKind;
+
+const POLICIES: [PolicyKind; 5] = [
+    PolicyKind::SelfSched,
+    PolicyKind::Gss,
+    PolicyKind::Factoring,
+    PolicyKind::Taper,
+    PolicyKind::TaperCostFn,
+];
+
+fn bench_claim(c: &mut Criterion) {
+    let total = 4096usize;
+    let mut g = c.benchmark_group("sched_claim");
+    for kind in POLICIES {
+        g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &k| {
+            b.iter(|| {
+                let q = ChunkQueue::new(k.instantiate(total), total, 4);
+                let mut claimed = 0usize;
+                while let Some(chunk) = q.claim() {
+                    let mut stats = OnlineStats::new();
+                    stats.observe_n(1.0 + (chunk.start % 7) as f64, chunk.len as u64);
+                    q.observe_chunk(chunk.start, chunk.len, &stats);
+                    claimed += chunk.len;
+                }
+                claimed
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_pool_flat(c: &mut Criterion) {
+    let mut graph = DelirGraph::new();
+    graph.add_node("flat", NodeKind::DataParallel { tasks: 4_000, mean_cost: 1.0, cv: 0.5 }, None);
+    let kernel = SpinKernel::with_scale(1.0);
+    let mut g = c.benchmark_group("sched_pool_flat");
+    for kind in POLICIES {
+        let opts = ExecutorOptions { policy: kind, threads: 2, ..ExecutorOptions::default() };
+        g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &opts, |b, opts| {
+            b.iter(|| execute_threaded(&graph, opts, &kernel).expect("bench graph valid"))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_claim, bench_pool_flat);
+criterion_main!(benches);

@@ -1,0 +1,311 @@
+//! Scheduling-overhead benchmark for the threaded backend, emitting a
+//! machine-readable `BENCH_threaded.json` so every PR records a
+//! before/after trajectory.
+//!
+//! Three measurements, each per chunk policy:
+//!
+//! * **claim latency** — single-thread drain of a `ChunkQueue` over a
+//!   large iteration space, including the task-time feedback path, in
+//!   ns/task: the pure cost of the scheduling hot path;
+//! * **tasks/sec** — `execute_threaded` on a flat graph of tiny tasks
+//!   (high contention: overhead dominates) and of large tasks
+//!   (compute dominates), at 1/2/4/8 workers;
+//! * **graph wall-clock** — `execute_threaded` on DAG and pipeline
+//!   shapes at 4 workers.
+//!
+//! ```text
+//! cargo run --release -p orchestra-bench --bin sched -- \
+//!     [--quick] [--label NAME] [--out PATH]
+//! ```
+//!
+//! Runs merge into the output file under their label, so a PR records
+//! `{"before": …, "after": …}` by running the binary at both commits
+//! with the two labels.
+
+use orchestra_delirium::{DataAnno, DelirGraph, NodeKind};
+use orchestra_runtime::executor::ExecutorOptions;
+use orchestra_runtime::stats::OnlineStats;
+use orchestra_runtime::threaded::queue::ChunkQueue;
+use orchestra_runtime::threaded::{execute_threaded, SpinKernel};
+use orchestra_runtime::PolicyKind;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const POLICIES: [PolicyKind; 5] = [
+    PolicyKind::SelfSched,
+    PolicyKind::Gss,
+    PolicyKind::Factoring,
+    PolicyKind::Taper,
+    PolicyKind::TaperCostFn,
+];
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+struct Scale {
+    claim_tasks: usize,
+    small_tasks: usize,
+    large_tasks: usize,
+    reps: usize,
+}
+
+impl Scale {
+    fn new(quick: bool) -> Self {
+        if quick {
+            Scale { claim_tasks: 20_000, small_tasks: 8_000, large_tasks: 400, reps: 2 }
+        } else {
+            Scale { claim_tasks: 200_000, small_tasks: 40_000, large_tasks: 1_500, reps: 5 }
+        }
+    }
+}
+
+/// Single-threaded queue drain: claim every chunk and feed task times
+/// back, exactly as one worker's hot path does. Returns ns/task.
+fn claim_latency_ns(policy: PolicyKind, total: usize, reps: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let q = ChunkQueue::new(policy.instantiate(total), total, 4);
+        let t0 = Instant::now();
+        while let Some(c) = q.claim() {
+            let mut stats = OnlineStats::new();
+            for i in c.start..c.start + c.len {
+                stats.observe(1.0 + (i % 7) as f64);
+            }
+            q.observe_chunk(c.start, c.len, &stats);
+        }
+        let dt = t0.elapsed().as_nanos() as f64 / total as f64;
+        best = best.min(dt);
+    }
+    best
+}
+
+/// One wide data-parallel node: the pure scheduling-throughput shape.
+fn flat_graph(tasks: usize, mean_cost: f64) -> DelirGraph {
+    let mut g = DelirGraph::new();
+    g.add_node("flat", NodeKind::DataParallel { tasks, mean_cost, cv: 0.5 }, None);
+    g
+}
+
+/// The differential suite's DAG shape: fork into two parallel ops.
+fn dag_graph() -> DelirGraph {
+    let mut g = DelirGraph::new();
+    let a = g.add_node("A", NodeKind::Task { cost: 4.0 }, None);
+    let b = g.add_node("B", NodeKind::DataParallel { tasks: 800, mean_cost: 2.0, cv: 0.9 }, None);
+    let c = g.add_node("C", NodeKind::DataParallel { tasks: 480, mean_cost: 1.5, cv: 0.2 }, None);
+    let d = g.add_node("D", NodeKind::Merge { cost: 2.0 }, None);
+    g.add_edge(a, b, DataAnno::array("x", 800));
+    g.add_edge(a, c, DataAnno::array("y", 480));
+    g.add_edge(b, d, DataAnno::array("r1", 800));
+    g.add_edge(c, d, DataAnno::array("r2", 480));
+    g
+}
+
+/// A pipeline group with a carried edge plus a downstream consumer.
+fn pipeline_graph() -> (DelirGraph, ExecutorOptions) {
+    let mut g = DelirGraph::new();
+    let ai = g.add_node(
+        "A_I",
+        NodeKind::DataParallel { tasks: 96, mean_cost: 2.0, cv: 0.5 },
+        Some("A".into()),
+    );
+    let ad = g.add_node(
+        "A_D",
+        NodeKind::DataParallel { tasks: 24, mean_cost: 2.0, cv: 0.5 },
+        Some("A".into()),
+    );
+    let am = g.add_node("A_M", NodeKind::Merge { cost: 1.0 }, Some("A".into()));
+    g.add_edge(ai, am, DataAnno::array("r1", 96));
+    g.add_edge(ad, am, DataAnno::array("r2", 24));
+    g.add_carried_edge(am, ad, DataAnno::array("carried", 96));
+    let b = g.add_node("B", NodeKind::DataParallel { tasks: 128, mean_cost: 1.0, cv: 0.1 }, None);
+    g.add_edge(am, b, DataAnno::array("out", 128));
+    let mut opts = ExecutorOptions::default();
+    opts.pipeline_iters.insert("A".into(), 8);
+    (g, opts)
+}
+
+/// Best-of-`reps` wall time (µs) for one threaded execution.
+fn best_wall_us(g: &DelirGraph, opts: &ExecutorOptions, kernel: &SpinKernel, reps: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let run = execute_threaded(g, opts, kernel).expect("bench graph valid");
+        best = best.min(run.wall_us);
+    }
+    best
+}
+
+type PolicyMap = BTreeMap<&'static str, f64>;
+
+struct RunResults {
+    claim_ns_per_task: PolicyMap,
+    /// workload → policy → workers → tasks/sec.
+    tasks_per_sec: BTreeMap<&'static str, BTreeMap<&'static str, BTreeMap<usize, f64>>>,
+    /// shape → policy → wall µs at 4 workers.
+    graph_wall_us: BTreeMap<&'static str, PolicyMap>,
+}
+
+fn measure(scale: &Scale) -> RunResults {
+    let mut claim = PolicyMap::new();
+    for p in POLICIES {
+        let ns = claim_latency_ns(p, scale.claim_tasks, scale.reps);
+        eprintln!("claim {:<16} {ns:8.1} ns/task", p.name());
+        claim.insert(p.name(), ns);
+    }
+
+    // Tiny tasks: the kernel is ~1 arithmetic step, so tasks/sec is
+    // almost pure orchestration overhead. Large tasks: a few µs of real
+    // compute each, so scheduling must stay out of the way.
+    let workloads: [(&'static str, usize, f64, f64); 2] =
+        [("small", scale.small_tasks, 1.0, 1.0), ("large", scale.large_tasks, 50.0, 60.0)];
+    let mut tps: BTreeMap<&'static str, BTreeMap<&'static str, BTreeMap<usize, f64>>> =
+        BTreeMap::new();
+    for (wl, tasks, mean_cost, kscale) in workloads {
+        let g = flat_graph(tasks, mean_cost);
+        let kernel = SpinKernel::with_scale(kscale);
+        for p in POLICIES {
+            for w in WORKER_COUNTS {
+                let opts = ExecutorOptions { policy: p, threads: w, ..ExecutorOptions::default() };
+                let wall = best_wall_us(&g, &opts, &kernel, scale.reps);
+                let rate = tasks as f64 / (wall * 1e-6);
+                eprintln!("{wl:<6} {:<16} w={w} {rate:12.0} tasks/sec", p.name());
+                tps.entry(wl).or_default().entry(p.name()).or_default().insert(w, rate);
+            }
+        }
+    }
+
+    let mut shapes: BTreeMap<&'static str, PolicyMap> = BTreeMap::new();
+    let dag = dag_graph();
+    let (pipe, pipe_opts) = pipeline_graph();
+    let kernel = SpinKernel::with_scale(8.0);
+    for p in POLICIES {
+        let opts = ExecutorOptions { policy: p, threads: 4, ..ExecutorOptions::default() };
+        let wall = best_wall_us(&dag, &opts, &kernel, scale.reps);
+        shapes.entry("dag").or_default().insert(p.name(), wall);
+        let opts = ExecutorOptions { policy: p, threads: 4, ..pipe_opts.clone() };
+        let wall = best_wall_us(&pipe, &opts, &kernel, scale.reps);
+        shapes.entry("pipeline").or_default().insert(p.name(), wall);
+    }
+    RunResults { claim_ns_per_task: claim, tasks_per_sec: tps, graph_wall_us: shapes }
+}
+
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.1}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn render_run(r: &RunResults, quick: bool) -> String {
+    let mut s = String::new();
+    let avail = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "      \"cores_available\": {avail},");
+    let _ = writeln!(s, "      \"quick\": {quick},");
+    let _ = writeln!(s, "      \"claim_ns_per_task\": {{");
+    let n = r.claim_ns_per_task.len();
+    for (i, (k, v)) in r.claim_ns_per_task.iter().enumerate() {
+        let comma = if i + 1 < n { "," } else { "" };
+        let _ = writeln!(s, "        \"{k}\": {}{comma}", json_f64(*v));
+    }
+    let _ = writeln!(s, "      }},");
+    let _ = writeln!(s, "      \"tasks_per_sec\": {{");
+    let nw = r.tasks_per_sec.len();
+    for (i, (wl, by_policy)) in r.tasks_per_sec.iter().enumerate() {
+        let _ = writeln!(s, "        \"{wl}\": {{");
+        let np = by_policy.len();
+        for (j, (p, by_w)) in by_policy.iter().enumerate() {
+            let cells: Vec<String> =
+                by_w.iter().map(|(w, v)| format!("\"{w}\": {}", json_f64(*v))).collect();
+            let comma = if j + 1 < np { "," } else { "" };
+            let _ = writeln!(s, "          \"{p}\": {{{}}}{comma}", cells.join(", "));
+        }
+        let comma = if i + 1 < nw { "," } else { "" };
+        let _ = writeln!(s, "        }}{comma}");
+    }
+    let _ = writeln!(s, "      }},");
+    let _ = writeln!(s, "      \"graph_wall_us\": {{");
+    let ns = r.graph_wall_us.len();
+    for (i, (shape, by_policy)) in r.graph_wall_us.iter().enumerate() {
+        let cells: Vec<String> =
+            by_policy.iter().map(|(p, v)| format!("\"{p}\": {}", json_f64(*v))).collect();
+        let comma = if i + 1 < ns { "," } else { "" };
+        let _ = writeln!(s, "        \"{shape}\": {{{}}}{comma}", cells.join(", "));
+    }
+    let _ = writeln!(s, "      }}");
+    let _ = write!(s, "    }}");
+    s
+}
+
+/// Removes an existing `"label": { … }` block (plus its separating
+/// comma) from the runs object, by brace matching on our own format.
+fn strip_label(body: &str, label: &str) -> String {
+    let needle = format!("\"{label}\": {{");
+    let Some(start) = body.find(&needle) else {
+        return body.to_string();
+    };
+    let open = start + needle.len() - 1;
+    let mut depth = 0usize;
+    let mut end = open;
+    for (i, ch) in body[open..].char_indices() {
+        match ch {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    end = open + i + 1;
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut head = body[..start].trim_end().to_string();
+    let tail = body[end..].trim_start_matches([',', '\n', ' ']);
+    if head.ends_with(',') && tail.is_empty() {
+        head.pop();
+    }
+    format!("{head}\n    {tail}")
+}
+
+fn emit(path: &str, label: &str, run_json: &str) {
+    let runs_open = "\"runs\": {";
+    let existing = std::fs::read_to_string(path).ok();
+    let body = match &existing {
+        Some(text) if text.contains(runs_open) => {
+            let start = text.find(runs_open).expect("checked") + runs_open.len();
+            let end = text.rfind("\n  }").expect("malformed runs object");
+            strip_label(&text[start..end], label)
+        }
+        _ => String::new(),
+    };
+    let sep =
+        if body.trim().is_empty() { String::new() } else { format!("{},\n", body.trim_end()) };
+    let out = format!(
+        "{{\n  \"schema\": \"orchestra-sched-bench/v1\",\n  \"runs\": {{\n    {sep}\"{label}\": {run_json}\n  }}\n}}\n"
+    );
+    std::fs::write(path, out).expect("write bench output");
+    eprintln!("wrote {path} (label \"{label}\")");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut label = "current".to_string();
+    let mut out = "BENCH_threaded.json".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--label" => label = it.next().expect("--label NAME").clone(),
+            "--out" => out = it.next().expect("--out PATH").clone(),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+    let scale = Scale::new(quick);
+    let results = measure(&scale);
+    emit(&out, &label, &render_run(&results, quick));
+}

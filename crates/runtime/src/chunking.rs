@@ -25,8 +25,47 @@ pub trait ChunkPolicy {
         let _ = (index, cost);
     }
 
+    /// Observes a whole completed chunk at once: `stats` holds the
+    /// µ/σ accumulated over the chunk's task times by the worker that
+    /// executed it. This is the threaded backend's batched feedback
+    /// path — one policy update per chunk instead of one lock per
+    /// task. The default approximates per-task feeding by replaying
+    /// the chunk mean at each index; adaptive policies override it
+    /// with an exact merge.
+    fn observe_chunk(&mut self, start: usize, len: usize, stats: &OnlineStats) {
+        for i in start..start + len {
+            self.observe(i, stats.mean());
+        }
+    }
+
+    /// For policies whose chunk sequence is a pure function of the
+    /// iteration-space size and worker count — never of observed task
+    /// times — the full chunk-size sequence over `total` tasks. The
+    /// threaded backend serves such schedules from a lock-free atomic
+    /// cursor; adaptive policies return `None` and keep a (short)
+    /// mutex-guarded critical section per chunk.
+    fn fixed_schedule(&self, total: usize, p: usize) -> Option<Vec<usize>> {
+        let _ = (total, p);
+        None
+    }
+
     /// Display name of the policy.
     fn name(&self) -> &'static str;
+}
+
+/// Replays a fresh policy over `total` tasks to precompute its chunk
+/// sequence (for observation-independent policies).
+fn replay_schedule<P: ChunkPolicy + Default>(total: usize, p: usize) -> Vec<usize> {
+    let mut pol = P::default();
+    let mut sizes = Vec::new();
+    let (mut next, mut remaining) = (0usize, total);
+    while remaining > 0 {
+        let k = pol.next_chunk(next, remaining, p).clamp(1, remaining);
+        sizes.push(k);
+        next += k;
+        remaining -= k;
+    }
+    sizes
 }
 
 /// One task per scheduling event (pure self-scheduling).
@@ -36,6 +75,10 @@ pub struct SelfSched;
 impl ChunkPolicy for SelfSched {
     fn next_chunk(&mut self, _next: usize, remaining: usize, _p: usize) -> usize {
         remaining.min(1)
+    }
+
+    fn fixed_schedule(&self, total: usize, _p: usize) -> Option<Vec<usize>> {
+        Some(vec![1; total])
     }
 
     fn name(&self) -> &'static str {
@@ -50,6 +93,10 @@ pub struct Gss;
 impl ChunkPolicy for Gss {
     fn next_chunk(&mut self, _next: usize, remaining: usize, p: usize) -> usize {
         remaining.min(remaining.div_ceil(p).max(1))
+    }
+
+    fn fixed_schedule(&self, total: usize, p: usize) -> Option<Vec<usize>> {
+        Some(replay_schedule::<Gss>(total, p))
     }
 
     fn name(&self) -> &'static str {
@@ -73,6 +120,10 @@ impl ChunkPolicy for Factoring {
         }
         self.in_batch -= 1;
         remaining.min(self.batch_chunk)
+    }
+
+    fn fixed_schedule(&self, total: usize, p: usize) -> Option<Vec<usize>> {
+        Some(replay_schedule::<Factoring>(total, p))
     }
 
     fn name(&self) -> &'static str {
@@ -154,6 +205,15 @@ impl ChunkPolicy for Taper {
         self.stats.observe(cost);
         if let Some(f) = &mut self.cost_fn {
             f.observe(index, cost);
+        }
+    }
+
+    fn observe_chunk(&mut self, start: usize, len: usize, stats: &OnlineStats) {
+        // Exact Welford merge: the global µ/σ end up identical (up to
+        // fp rounding) to per-task observation of the same samples.
+        self.stats.merge(stats);
+        if let Some(f) = &mut self.cost_fn {
+            f.observe_span(start, len, stats.mean());
         }
     }
 
@@ -321,6 +381,74 @@ mod tests {
                 assert!(k >= 1 && k <= remaining, "{}: k={k}", pol.name());
                 remaining -= k;
             }
+        }
+    }
+
+    #[test]
+    fn batched_observe_chunk_matches_per_task_observe() {
+        // Drive two TAPERs through the same schedule: one fed each
+        // task time individually (the simulator's path), one fed a
+        // single merged accumulator per chunk (the threaded backend's
+        // path). The Welford merge is exact, so both must pick the
+        // identical chunk-size sequence.
+        let total = 500usize;
+        let p = 4;
+        let cost = |i: usize| 1.0 + (i % 7) as f64 * 0.5;
+        let mut per_task = Taper::new();
+        let mut batched = Taper::new();
+        let mut sizes = Vec::new();
+        let (mut next, mut remaining) = (0usize, total);
+        while remaining > 0 {
+            let ka = per_task.next_chunk(next, remaining, p).clamp(1, remaining);
+            let kb = batched.next_chunk(next, remaining, p).clamp(1, remaining);
+            assert_eq!(ka, kb, "chunk size diverged at index {next}");
+            let mut stats = OnlineStats::new();
+            for i in next..next + ka {
+                per_task.observe(i, cost(i));
+                stats.observe(cost(i));
+            }
+            batched.observe_chunk(next, ka, &stats);
+            sizes.push(ka);
+            next += ka;
+            remaining -= ka;
+        }
+        assert_eq!(sizes.iter().sum::<usize>(), total);
+        assert!(sizes.len() > 2, "irregular costs must yield several chunks");
+        assert_eq!(per_task.samples(), batched.samples());
+        assert!((per_task.cv() - batched.cv()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fixed_schedules_cover_space_and_match_replay() {
+        for (pol, total, p) in [
+            (PolicyKind::SelfSched, 257usize, 4usize),
+            (PolicyKind::Gss, 1000, 8),
+            (PolicyKind::Factoring, 1000, 8),
+        ] {
+            let schedule = pol
+                .instantiate(total)
+                .fixed_schedule(total, p)
+                .expect("observation-independent policy");
+            assert_eq!(schedule.iter().sum::<usize>(), total, "{}", pol.name());
+            let mut reference = pol.instantiate(total);
+            let (mut next, mut remaining) = (0usize, total);
+            for &k in &schedule {
+                assert_eq!(
+                    k,
+                    reference.next_chunk(next, remaining, p).clamp(1, remaining),
+                    "{} diverges from event-at-a-time replay",
+                    pol.name()
+                );
+                next += k;
+                remaining -= k;
+            }
+        }
+        for pol in [PolicyKind::Taper, PolicyKind::TaperCostFn] {
+            assert!(
+                pol.instantiate(100).fixed_schedule(100, 4).is_none(),
+                "{} is observation-driven",
+                pol.name()
+            );
         }
     }
 

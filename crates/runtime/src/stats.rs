@@ -60,6 +60,35 @@ impl OnlineStats {
             self.std_dev() / self.mean
         }
     }
+
+    /// Merges another accumulator into this one (Chan et al.'s
+    /// parallel Welford combine): the result is mathematically
+    /// identical to having observed both sample streams in sequence.
+    /// This is what lets workers accumulate task times locally and
+    /// fold them into a shared policy once per chunk instead of
+    /// taking a lock per task.
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let (n1, n2) = (self.n as f64, other.n as f64);
+        let n = n1 + n2;
+        let delta = other.mean - self.mean;
+        self.mean += delta * n2 / n;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / n;
+        self.n += other.n;
+    }
+
+    /// Observes the same value `k` times (a weighted observation):
+    /// shifts the mean exactly as `k` calls to [`observe`](Self::observe)
+    /// would, with zero within-group spread.
+    pub fn observe_n(&mut self, x: f64, k: u64) {
+        self.merge(&OnlineStats { n: k, mean: x, m2: 0.0 });
+    }
 }
 
 /// A positional cost function: mean task cost per bucket of the
@@ -90,6 +119,25 @@ impl CostFn {
     pub fn observe(&mut self, index: usize, cost: f64) {
         let b = self.bucket_of(index);
         self.buckets[b].observe(cost);
+    }
+
+    /// Records a completed chunk's mean task time over the index span
+    /// `[start, start+len)`: each overlapped bucket receives the mean
+    /// weighted by how many of the chunk's indices fall in it. Bucket
+    /// means — all the cost function reads — match per-task feeding of
+    /// the same mean; only within-chunk spread is dropped.
+    pub fn observe_span(&mut self, start: usize, len: usize, mean_cost: f64) {
+        let mut i = start;
+        let end = start + len;
+        while i < end {
+            let b = self.bucket_of(i);
+            // Last index belonging to bucket `b` (bucket_of is
+            // monotone in the index).
+            let bucket_end = ((b + 1) * self.total_tasks).div_ceil(self.buckets.len());
+            let span = end.min(bucket_end.max(i + 1)) - i;
+            self.buckets[b].observe_n(mean_cost, span as u64);
+            i += span;
+        }
     }
 
     /// Estimated cost of the task at `index`: its bucket's mean, the
@@ -160,6 +208,64 @@ mod tests {
         assert_eq!(s.mean(), 0.0);
         assert_eq!(s.variance(), 0.0);
         assert_eq!(s.cv(), 0.0);
+    }
+
+    #[test]
+    fn merge_matches_sequential_observation() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0, 1.5, 12.25];
+        let mut whole = OnlineStats::new();
+        for &x in &xs {
+            whole.observe(x);
+        }
+        // Split at every point, including the empty prefix/suffix.
+        for split in 0..=xs.len() {
+            let (mut a, mut b) = (OnlineStats::new(), OnlineStats::new());
+            for &x in &xs[..split] {
+                a.observe(x);
+            }
+            for &x in &xs[split..] {
+                b.observe(x);
+            }
+            a.merge(&b);
+            assert_eq!(a.count(), whole.count(), "split {split}");
+            assert!((a.mean() - whole.mean()).abs() < 1e-12, "split {split}");
+            assert!((a.variance() - whole.variance()).abs() < 1e-12, "split {split}");
+        }
+    }
+
+    #[test]
+    fn observe_n_matches_repeated_observe() {
+        let mut repeated = OnlineStats::new();
+        let mut weighted = OnlineStats::new();
+        repeated.observe(2.0);
+        weighted.observe(2.0);
+        for _ in 0..5 {
+            repeated.observe(7.5);
+        }
+        weighted.observe_n(7.5, 5);
+        assert_eq!(repeated.count(), weighted.count());
+        assert!((repeated.mean() - weighted.mean()).abs() < 1e-12);
+        assert!((repeated.variance() - weighted.variance()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn observe_span_matches_per_index_means() {
+        // Feeding a chunk mean across a bucket-straddling span must
+        // leave every bucket mean identical to feeding that mean at
+        // each index individually.
+        let mut by_span = CostFn::new(4, 100);
+        let mut by_index = CostFn::new(4, 100);
+        by_span.observe_span(20, 40, 3.0); // straddles buckets 0..=2
+        for i in 20..60 {
+            by_index.observe(i, 3.0);
+        }
+        for probe in [0, 26, 49, 51, 99] {
+            assert!(
+                (by_span.estimate(probe) - by_index.estimate(probe)).abs() < 1e-12,
+                "estimate diverges at {probe}"
+            );
+        }
+        assert!((by_span.global_mean() - by_index.global_mean()).abs() < 1e-12);
     }
 
     #[test]

@@ -2,16 +2,38 @@
 //! parallel operations, each operation scheduled through a shared
 //! [`ChunkQueue`](super::queue::ChunkQueue).
 //!
-//! Workers claim chunks, execute the kernel per task over real
-//! buffers, time every task with `Instant` (the live counterpart of
-//! the simulator's task-cost sampling in [`crate::stats`]), and feed
-//! the measurement back to the adaptive chunk policy.
+//! The scheduling hot path is built to stay off the data path:
+//!
+//! * **Per-worker ready deques** — each worker owns a deque of *op
+//!   tokens* (indices of operations with unclaimed chunks). A worker
+//!   pops from its own front and, when empty, steals from another
+//!   worker's back. Tokens are hints: exactly-once execution is
+//!   guaranteed by the chunk queue's claim path, so a stale token
+//!   (op already drained) just fails its claim and is dropped.
+//! * **Claim loops** — after claiming its first chunk from an op, a
+//!   worker re-advertises the op (one token push + at most one
+//!   targeted wakeup) and then loops claim→execute directly against
+//!   the queue until the op is drained: no deque traffic per chunk.
+//! * **Targeted wakeups** — sleepers park on a condvar guarded by a
+//!   wake-sequence counter. Producers bump the sequence and
+//!   `notify_one` only when a sleeper is registered; the all-busy
+//!   steady state does zero wake syscalls, and completion of the last
+//!   op broadcasts once.
+//! * **Batched sampling** — workers time every task with a chained
+//!   clock read (N tasks cost N+1 `Instant::now` calls, not 2N),
+//!   accumulate µ/σ into a stack-local [`OnlineStats`], and merge it
+//!   into the chunk policy once per chunk via
+//!   [`ChunkQueue::observe_chunk`].
+//! * **Cache-line padding** — per-worker shared state is 64-byte
+//!   aligned so one worker's deque lock never false-shares with its
+//!   neighbour's.
 
 use super::queue::ChunkQueue;
 use super::{TaskCtx, TaskKernel};
 use crate::stats::OnlineStats;
 use orchestra_delirium::Node;
 use orchestra_machine::ProcStats;
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::Instant;
@@ -66,17 +88,61 @@ pub struct WorkerRecord {
     pub timing: OnlineStats,
 }
 
+/// Pads per-worker shared state to a cache line so adjacent workers'
+/// deque locks don't false-share.
+#[repr(align(64))]
+struct CachePadded<T>(T);
+
+/// The stealable half of one worker's state: its ready-op deque.
+/// Everything hot and worker-private (ProcStats, timing accumulators,
+/// the per-chunk OnlineStats) lives on the worker's own stack instead.
+struct WorkerState {
+    ready: Mutex<VecDeque<usize>>,
+}
+
 struct Shared<'a> {
     ops: &'a [OpInstance],
     nodes: &'a [Node],
-    ready: Mutex<Vec<usize>>,
-    wake: Condvar,
+    /// One padded deque per worker.
+    workers: Vec<CachePadded<WorkerState>>,
     completed: AtomicUsize,
+    /// Workers currently parked (or about to park) on `wake`.
+    /// Producers skip the wake path entirely while this is zero.
+    sleepers: AtomicUsize,
+    /// Wake-sequence counter: bumped under the lock before any notify,
+    /// so a parker that saw sequence `s` before scanning for work can
+    /// sleep iff the sequence is still `s` — pushes are never lost
+    /// between its scan and its wait.
+    wake_seq: Mutex<u64>,
+    wake: Condvar,
     epoch: Instant,
 }
 
-fn now_us(epoch: Instant) -> f64 {
-    epoch.elapsed().as_secs_f64() * 1e6
+impl Shared<'_> {
+    /// Wakes sleeping workers after making work visible. `all` only
+    /// when several ops became ready at once or the run completed.
+    fn signal(&self, all: bool) {
+        if self.sleepers.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        {
+            let mut seq = self.wake_seq.lock().expect("wake lock poisoned");
+            *seq += 1;
+        }
+        if all {
+            self.wake.notify_all();
+        } else {
+            self.wake.notify_one();
+        }
+    }
+
+    fn all_done(&self) -> bool {
+        self.completed.load(Ordering::SeqCst) == self.ops.len()
+    }
+}
+
+fn us_since(epoch: Instant, t: Instant) -> f64 {
+    t.duration_since(epoch).as_secs_f64() * 1e6
 }
 
 /// Executes the op DAG on `workers` threads; `ready0` holds the
@@ -89,95 +155,209 @@ pub(crate) fn run_pool(
     kernel: &(dyn TaskKernel + Sync),
 ) -> Vec<WorkerRecord> {
     let workers = workers.max(1);
+    let mut deques: Vec<CachePadded<WorkerState>> = (0..workers)
+        .map(|_| CachePadded(WorkerState { ready: Mutex::new(VecDeque::new()) }))
+        .collect();
+    // Scatter the initially ready ops round-robin so workers start on
+    // distinct ops instead of brawling over one deque.
+    for (i, op) in ready0.into_iter().enumerate() {
+        deques[i % workers].0.ready.get_mut().expect("fresh lock").push_back(op);
+    }
     let shared = Shared {
         ops,
         nodes,
-        ready: Mutex::new(ready0),
-        wake: Condvar::new(),
+        workers: deques,
         completed: AtomicUsize::new(0),
+        sleepers: AtomicUsize::new(0),
+        wake_seq: Mutex::new(0),
+        wake: Condvar::new(),
         epoch: Instant::now(),
     };
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
-        for _ in 0..workers {
+        for id in 0..workers {
             let shared = &shared;
-            handles.push(scope.spawn(move || worker_loop(shared, kernel)));
+            handles.push(scope.spawn(move || worker_loop(shared, id, kernel)));
         }
         handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
     })
 }
 
-fn worker_loop(shared: &Shared<'_>, kernel: &(dyn TaskKernel + Sync)) -> WorkerRecord {
+/// Pops a token: own deque front first, then steal from the other
+/// workers' backs in ring order.
+fn find_token(shared: &Shared<'_>, id: usize) -> Option<usize> {
+    if let Some(i) = shared.workers[id].0.ready.lock().expect("deque poisoned").pop_front() {
+        return Some(i);
+    }
+    let n = shared.workers.len();
+    for k in 1..n {
+        let victim = (id + k) % n;
+        if let Some(i) = shared.workers[victim].0.ready.lock().expect("deque poisoned").pop_back() {
+            return Some(i);
+        }
+    }
+    None
+}
+
+fn worker_loop(shared: &Shared<'_>, id: usize, kernel: &(dyn TaskKernel + Sync)) -> WorkerRecord {
     let mut proc = ProcStats::default();
     let mut timing = OnlineStats::new();
-    let total_ops = shared.ops.len();
     loop {
-        // Take the front ready op; exactly one copy of each op
-        // circulates through the ready list.
-        let op_idx = {
-            let mut ready = shared.ready.lock().expect("ready list poisoned");
-            loop {
-                if let Some(i) = ready.first().copied() {
-                    ready.remove(0);
-                    break i;
-                }
-                if shared.completed.load(Ordering::Acquire) == total_ops {
-                    return WorkerRecord { proc, timing };
-                }
-                ready = shared.wake.wait(ready).expect("ready list poisoned");
+        let Some(op_idx) = find_token(shared, id) else {
+            if shared.all_done() {
+                return WorkerRecord { proc, timing };
             }
-        };
-        let op = &shared.ops[op_idx];
-        let Some(chunk) = op.queue.claim() else {
-            // Exhausted: drop the circulating copy; in-flight chunks on
-            // other workers will complete the op.
+            park(shared);
             continue;
         };
-        op.started_bits.fetch_min(now_us(shared.epoch).to_bits(), Ordering::AcqRel);
-        // Re-insert before executing so other idle workers can claim
-        // the op's remaining chunks concurrently.
+        run_op(shared, id, op_idx, kernel, &mut proc, &mut timing);
+    }
+}
+
+/// Parks until new work is signalled. The wake-sequence protocol makes
+/// the scan-then-sleep race benign: any token pushed after `seq0` was
+/// read either bumps the sequence (we don't sleep) or was pushed by a
+/// producer that saw no sleepers — and our post-registration rescan
+/// is then guaranteed to see it.
+fn park(shared: &Shared<'_>) {
+    let seq0 = { *shared.wake_seq.lock().expect("wake lock poisoned") };
+    shared.sleepers.fetch_add(1, Ordering::SeqCst);
+    let visible_work = (0..shared.workers.len())
+        .any(|w| !shared.workers[w].0.ready.lock().expect("deque poisoned").is_empty());
+    if !visible_work && !shared.all_done() {
+        let mut seq = shared.wake_seq.lock().expect("wake lock poisoned");
+        while *seq == seq0 && !shared.all_done() {
+            seq = shared.wake.wait(seq).expect("wake lock poisoned");
+        }
+    }
+    shared.sleepers.fetch_sub(1, Ordering::SeqCst);
+}
+
+/// Per-task clock reads a worker spends on one adaptive op before
+/// switching to chunk-level timing. TAPER's µ/σ (and so its chunk
+/// sizes) come from this sampled prefix — the paper's runtime likewise
+/// *samples* task times rather than metering every task — after which
+/// each chunk contributes its mean at full weight.
+const SAMPLE_BUDGET: usize = 48;
+
+/// Claims and executes chunks of one op until its queue is drained.
+fn run_op(
+    shared: &Shared<'_>,
+    id: usize,
+    op_idx: usize,
+    kernel: &(dyn TaskKernel + Sync),
+    proc: &mut ProcStats,
+    timing: &mut OnlineStats,
+) {
+    let op = &shared.ops[op_idx];
+    let Some(first) = op.queue.claim() else {
+        // Stale token: the op drained while this token circulated.
+        return;
+    };
+    // Re-advertise the op before executing so idle workers can steal
+    // into its remaining chunks; one push per op visit, not per chunk.
+    if op.queue.has_more() {
+        shared.workers[id].0.ready.lock().expect("deque poisoned").push_back(op_idx);
+        shared.signal(false);
+    }
+    let adaptive = !op.queue.is_lock_free();
+    let node = &shared.nodes[op.node];
+    let mut chunk = first;
+    let mut done = 0usize;
+    let mut sampled = 0usize;
+    // One fresh clock read per op visit; every later timestamp chains
+    // off the previous one, so N tasks under per-task sampling cost
+    // N+1 reads (not 2N) and a whole chunk outside the sampling
+    // prefix costs a single read.
+    let t0 = Instant::now();
+    let start_bits = us_since(shared.epoch, t0).to_bits();
+    // `started_bits` is shared and hot: skip the RMW unless this visit
+    // actually is the earliest (it is at most once per worker).
+    if op.started_bits.load(Ordering::Relaxed) > start_bits {
+        op.started_bits.fetch_min(start_bits, Ordering::AcqRel);
+    }
+    let mut prev = t0;
+    loop {
+        let chunk_t0 = prev;
+        let mut chunk_stats = OnlineStats::new();
+        if adaptive && sampled < SAMPLE_BUDGET {
+            for task in chunk.start..chunk.start + chunk.len {
+                let ctx = TaskCtx { node, iter: op.iter, task, cost_hint: op.costs[task] };
+                let value = kernel.run_task(&ctx);
+                let now = Instant::now();
+                chunk_stats.observe(now.duration_since(prev).as_secs_f64() * 1e6);
+                prev = now;
+                op.output[task].store(value.to_bits(), Ordering::Release);
+                // Relaxed: exec counts are read only after the pool
+                // joins, and the RMW still catches duplicate claims.
+                op.executed[task].fetch_add(1, Ordering::Relaxed);
+            }
+            sampled += chunk.len;
+        } else {
+            for task in chunk.start..chunk.start + chunk.len {
+                let ctx = TaskCtx { node, iter: op.iter, task, cost_hint: op.costs[task] };
+                let value = kernel.run_task(&ctx);
+                op.output[task].store(value.to_bits(), Ordering::Release);
+                op.executed[task].fetch_add(1, Ordering::Relaxed);
+            }
+            let now = Instant::now();
+            let span_us = now.duration_since(prev).as_secs_f64() * 1e6;
+            prev = now;
+            chunk_stats.observe_n(span_us / chunk.len as f64, chunk.len as u64);
+        }
+        if adaptive {
+            op.queue.observe_chunk(chunk.start, chunk.len, &chunk_stats);
+        }
+        timing.merge(&chunk_stats);
+        proc.tasks += chunk.len as u64;
+        proc.chunks += 1;
+        proc.busy += prev.duration_since(chunk_t0).as_secs_f64() * 1e6;
+        done += chunk.len;
+        match op.queue.claim() {
+            Some(c) => chunk = c,
+            None => break,
+        }
+    }
+    let t_end = us_since(shared.epoch, prev);
+    proc.free_at = proc.free_at.max(t_end);
+    // One batched decrement per op visit, not one RMW per chunk;
+    // whichever worker's batch reaches zero completes the op.
+    if op.outstanding.fetch_sub(done, Ordering::AcqRel) == done {
+        complete_op(shared, id, op, t_end);
+    }
+}
+
+/// Runs exactly once per op (by whichever worker drops `outstanding`
+/// to zero): stamps the finish, enables dependents, and counts the op
+/// as completed — broadcasting only when it was the last one.
+fn complete_op(shared: &Shared<'_>, id: usize, op: &OpInstance, t_end: f64) {
+    op.finished_bits.fetch_min(t_end.to_bits(), Ordering::AcqRel);
+    let mut newly_ready = 0usize;
+    if !op.dependents.is_empty() {
+        let mut own = None;
+        for &d in &op.dependents {
+            if shared.ops[d].deps.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Newly enabled: push to our own deque (front — it is
+                // the hottest work we know of) and let thieves spread
+                // it.
+                own.get_or_insert_with(|| {
+                    shared.workers[id].0.ready.lock().expect("deque poisoned")
+                })
+                .push_front(d);
+                newly_ready += 1;
+            }
+        }
+    }
+    if newly_ready > 0 {
+        shared.signal(newly_ready > 1);
+    }
+    if shared.completed.fetch_add(1, Ordering::SeqCst) + 1 == shared.ops.len() {
+        // Last op: wake every sleeper so the pool can exit. Bump the
+        // sequence unconditionally — a parker may be mid-protocol.
         {
-            let mut ready = shared.ready.lock().expect("ready list poisoned");
-            ready.push(op_idx);
+            let mut seq = shared.wake_seq.lock().expect("wake lock poisoned");
+            *seq += 1;
         }
         shared.wake.notify_all();
-
-        let node = &shared.nodes[op.node];
-        let mut chunk_busy = 0.0;
-        for task in chunk.start..chunk.start + chunk.len {
-            let ctx = TaskCtx { node, iter: op.iter, task, cost_hint: op.costs[task] };
-            let t0 = Instant::now();
-            let value = kernel.run_task(&ctx);
-            let dt_us = t0.elapsed().as_secs_f64() * 1e6;
-            op.output[task].store(value.to_bits(), Ordering::Release);
-            op.executed[task].fetch_add(1, Ordering::AcqRel);
-            op.queue.observe(task, dt_us);
-            timing.observe(dt_us);
-            chunk_busy += dt_us;
-            proc.tasks += 1;
-        }
-        proc.busy += chunk_busy;
-        proc.chunks += 1;
-        let t_end = now_us(shared.epoch);
-        proc.free_at = proc.free_at.max(t_end);
-
-        if op.outstanding.fetch_sub(chunk.len, Ordering::AcqRel) == chunk.len {
-            // This chunk finished the op.
-            op.finished_bits.fetch_min(t_end.to_bits(), Ordering::AcqRel);
-            let mut newly_ready = Vec::new();
-            for &d in &op.dependents {
-                if shared.ops[d].deps.fetch_sub(1, Ordering::AcqRel) == 1 {
-                    newly_ready.push(d);
-                }
-            }
-            let finished_all = shared.completed.fetch_add(1, Ordering::AcqRel) + 1 == total_ops;
-            if !newly_ready.is_empty() {
-                let mut ready = shared.ready.lock().expect("ready list poisoned");
-                ready.extend(newly_ready);
-            }
-            if finished_all || !shared.ready.lock().expect("poisoned").is_empty() {
-                shared.wake.notify_all();
-            }
-        }
     }
 }

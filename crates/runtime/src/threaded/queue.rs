@@ -3,11 +3,30 @@
 //!
 //! This is the concurrent counterpart of the simulator's scheduling
 //! loop in [`crate::par_op`]: idle workers claim the next chunk whose
-//! size the [`ChunkPolicy`] chooses from the live µ/σ samples, so
-//! TAPER, GSS, factoring, and self-scheduling all drive real execution
-//! through the exact same policy objects the simulator uses.
+//! size the [`ChunkPolicy`] chooses, so TAPER, GSS, factoring, and
+//! self-scheduling all drive real execution through the exact same
+//! policy objects the simulator uses.
+//!
+//! Two claim paths, chosen at construction:
+//!
+//! * **Fixed** — policies whose chunk sequence never depends on
+//!   observed task times (self-scheduling, GSS, factoring) declare it
+//!   up front via [`ChunkPolicy::fixed_schedule`]. The queue
+//!   precomputes the chunk boundaries and a claim is one
+//!   `fetch_add` on an atomic cursor: no lock anywhere on the
+//!   per-task or per-chunk hot path, and task-time feedback is a
+//!   no-op.
+//! * **Adaptive** — TAPER resizes chunks from live µ/σ samples, so its
+//!   policy object sits behind a mutex; the critical section is one
+//!   `next_chunk` call per claim plus one batched
+//!   [`observe_chunk`](ChunkPolicy::observe_chunk) merge per
+//!   *completed chunk* (workers accumulate task times into a local
+//!   [`OnlineStats`] and fold them in at chunk end), never a lock per
+//!   task.
 
 use crate::chunking::ChunkPolicy;
+use crate::stats::OnlineStats;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// A contiguous block of task indices claimed by one worker.
@@ -19,27 +38,60 @@ pub struct Chunk {
     pub len: usize,
 }
 
-struct QueueState {
+/// State of an observation-driven (TAPER) queue, all behind one short
+/// critical section.
+struct AdaptiveState {
     policy: Box<dyn ChunkPolicy + Send>,
     next: usize,
     remaining: usize,
-    chunks: u64,
 }
 
-/// Atomic claim-next-chunk queue over one operation's iteration space.
+enum Mode {
+    /// Precomputed schedule: chunk `i` spans `bounds[i]..bounds[i+1]`;
+    /// claiming is a lock-free cursor increment.
+    Fixed { bounds: Vec<usize>, cursor: AtomicUsize },
+    /// Observation-driven schedule behind a mutex.
+    Adaptive(Mutex<AdaptiveState>),
+}
+
+/// Claim-next-chunk queue over one operation's iteration space.
 pub struct ChunkQueue {
-    state: Mutex<QueueState>,
+    mode: Mode,
+    /// Tasks not yet handed out (hint for [`Self::has_more`]; the
+    /// fixed path derives it from the cursor instead).
+    remaining_hint: AtomicUsize,
+    chunks: AtomicU64,
     total: usize,
     workers: usize,
 }
 
 impl ChunkQueue {
     /// A queue over `total` tasks scheduled for `workers` workers.
+    ///
+    /// Policies that can precompute their whole chunk sequence get the
+    /// lock-free fixed path; the rest stay adaptive.
     pub fn new(policy: Box<dyn ChunkPolicy + Send>, total: usize, workers: usize) -> Self {
+        let workers = workers.max(1);
+        let mode = match policy.fixed_schedule(total, workers) {
+            Some(sizes) => {
+                let mut bounds = Vec::with_capacity(sizes.len() + 1);
+                bounds.push(0usize);
+                let mut acc = 0usize;
+                for k in sizes {
+                    acc += k;
+                    bounds.push(acc);
+                }
+                debug_assert_eq!(acc, total, "fixed schedule must cover the iteration space");
+                Mode::Fixed { bounds, cursor: AtomicUsize::new(0) }
+            }
+            None => Mode::Adaptive(Mutex::new(AdaptiveState { policy, next: 0, remaining: total })),
+        };
         ChunkQueue {
-            state: Mutex::new(QueueState { policy, next: 0, remaining: total, chunks: 0 }),
+            mode,
+            remaining_hint: AtomicUsize::new(total),
+            chunks: AtomicU64::new(0),
             total,
-            workers: workers.max(1),
+            workers,
         }
     }
 
@@ -47,29 +99,61 @@ impl ChunkQueue {
     /// exhausted. Each task index is handed out exactly once across
     /// all claimants.
     pub fn claim(&self) -> Option<Chunk> {
-        let mut s = self.state.lock().expect("chunk queue poisoned");
-        if s.remaining == 0 {
-            return None;
-        }
-        let (next, remaining) = (s.next, s.remaining);
-        let k = s.policy.next_chunk(next, remaining, self.workers).clamp(1, remaining);
-        let chunk = Chunk { start: s.next, len: k };
-        s.next += k;
-        s.remaining -= k;
-        s.chunks += 1;
+        let chunk = match &self.mode {
+            Mode::Fixed { bounds, cursor } => {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i + 1 >= bounds.len() {
+                    return None;
+                }
+                Chunk { start: bounds[i], len: bounds[i + 1] - bounds[i] }
+            }
+            Mode::Adaptive(state) => {
+                let mut s = state.lock().expect("chunk queue poisoned");
+                if s.remaining == 0 {
+                    return None;
+                }
+                let (next, remaining) = (s.next, s.remaining);
+                let k = s.policy.next_chunk(next, remaining, self.workers).clamp(1, remaining);
+                s.next += k;
+                s.remaining -= k;
+                Chunk { start: next, len: k }
+            }
+        };
+        // Hints and counters live outside any critical section.
+        self.remaining_hint.fetch_sub(chunk.len, Ordering::Relaxed);
+        self.chunks.fetch_add(1, Ordering::Relaxed);
         Some(chunk)
     }
 
-    /// Feeds one completed task's measured time back to the adaptive
-    /// policy — the live analogue of the simulator's sampling.
-    pub fn observe(&self, index: usize, cost_us: f64) {
-        let mut s = self.state.lock().expect("chunk queue poisoned");
-        s.policy.observe(index, cost_us);
+    /// Feeds one completed chunk's task-time statistics back to the
+    /// adaptive policy — the worker's locally accumulated µ/σ merged
+    /// in one short critical section. No-op (and no lock) for fixed
+    /// schedules.
+    pub fn observe_chunk(&self, start: usize, len: usize, stats: &OnlineStats) {
+        if let Mode::Adaptive(state) = &self.mode {
+            let mut s = state.lock().expect("chunk queue poisoned");
+            s.policy.observe_chunk(start, len, stats);
+        }
+    }
+
+    /// Whether unclaimed chunks probably remain (a racy hint: workers
+    /// use it to decide if an operation is worth advertising to
+    /// thieves; exactness is guaranteed by [`Self::claim`], not here).
+    pub fn has_more(&self) -> bool {
+        match &self.mode {
+            Mode::Fixed { bounds, cursor } => cursor.load(Ordering::Relaxed) + 1 < bounds.len(),
+            Mode::Adaptive(_) => self.remaining_hint.load(Ordering::Relaxed) > 0,
+        }
+    }
+
+    /// Whether this queue serves a precomputed schedule lock-free.
+    pub fn is_lock_free(&self) -> bool {
+        matches!(self.mode, Mode::Fixed { .. })
     }
 
     /// Chunks handed out so far.
     pub fn chunks_claimed(&self) -> u64 {
-        self.state.lock().expect("chunk queue poisoned").chunks
+        self.chunks.load(Ordering::Relaxed)
     }
 
     /// Total tasks in the operation.
@@ -92,10 +176,12 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 let mut seen = Vec::new();
                 while let Some(c) = q.claim() {
+                    let mut stats = OnlineStats::new();
                     for i in c.start..c.start + c.len {
                         seen.push(i);
-                        q.observe(i, 1.0);
+                        stats.observe(1.0);
                     }
+                    q.observe_chunk(c.start, c.len, &stats);
                 }
                 seen
             }));
@@ -125,6 +211,7 @@ mod tests {
         let q = ChunkQueue::new(PolicyKind::Taper.instantiate(0), 0, 2);
         assert_eq!(q.claim(), None);
         assert_eq!(q.chunks_claimed(), 0);
+        assert!(!q.has_more());
     }
 
     #[test]
@@ -136,5 +223,48 @@ mod tests {
         }
         assert!(n <= 64);
         assert_eq!(q.chunks_claimed(), n);
+    }
+
+    #[test]
+    fn fixed_policies_take_the_lock_free_path() {
+        for kind in [PolicyKind::SelfSched, PolicyKind::Gss, PolicyKind::Factoring] {
+            let q = ChunkQueue::new(kind.instantiate(100), 100, 4);
+            assert!(q.is_lock_free(), "{}", kind.name());
+        }
+        for kind in [PolicyKind::Taper, PolicyKind::TaperCostFn] {
+            let q = ChunkQueue::new(kind.instantiate(100), 100, 4);
+            assert!(!q.is_lock_free(), "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn fixed_path_replays_the_policy_chunk_sequence() {
+        // The lock-free cursor must hand out exactly the chunks the
+        // policy would have chosen one scheduling event at a time.
+        for kind in [PolicyKind::SelfSched, PolicyKind::Gss, PolicyKind::Factoring] {
+            let q = ChunkQueue::new(kind.instantiate(500), 500, 8);
+            let mut reference = kind.instantiate(500);
+            let mut remaining = 500usize;
+            let mut next = 0usize;
+            while let Some(c) = q.claim() {
+                let k = reference.next_chunk(next, remaining, 8).clamp(1, remaining);
+                assert_eq!(c, Chunk { start: next, len: k }, "{}", kind.name());
+                next += k;
+                remaining -= k;
+            }
+            assert_eq!(remaining, 0, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn exhausted_has_more_is_false_and_claims_stay_none() {
+        let q = ChunkQueue::new(PolicyKind::SelfSched.instantiate(3), 3, 2);
+        while q.claim().is_some() {}
+        assert!(!q.has_more());
+        // Extra claims after exhaustion (stale steal attempts) are
+        // harmless.
+        for _ in 0..10 {
+            assert_eq!(q.claim(), None);
+        }
     }
 }

@@ -1,0 +1,107 @@
+//! Contention stress tests for the threaded backend's scheduling hot
+//! path.
+//!
+//! Many workers × tiny tasks is the adversarial regime for the claim
+//! queue and the ready deques: scheduling events outnumber useful
+//! work, so any lost wakeup, duplicated chunk, or dropped token shows
+//! up as a hang, a wrong execution count, or a diverging buffer.
+//! Unlike the differential suite (capped at 2 workers), these tests
+//! deliberately oversubscribe the machine with 8 workers.
+
+use orchestra_delirium::{DataAnno, DelirGraph, NodeKind};
+use orchestra_runtime::chunking::PolicyKind;
+use orchestra_runtime::executor::ExecutorOptions;
+use orchestra_runtime::threaded::{execute_sequential, execute_threaded, SpinKernel};
+
+const POLICIES: [PolicyKind; 6] = [
+    PolicyKind::Static,
+    PolicyKind::SelfSched,
+    PolicyKind::Gss,
+    PolicyKind::Factoring,
+    PolicyKind::Taper,
+    PolicyKind::TaperCostFn,
+];
+
+const WORKERS: usize = 8;
+
+/// One wide op of tiny tasks: every worker hammers one chunk queue.
+fn flat_tiny_graph() -> DelirGraph {
+    let mut g = DelirGraph::new();
+    g.add_node("flat", NodeKind::DataParallel { tasks: 12_000, mean_cost: 1.0, cv: 1.2 }, None);
+    g
+}
+
+/// A task fanning out into many small independent ops: every worker
+/// hammers the ready deques and the park/wake path instead.
+fn wide_dag_graph() -> DelirGraph {
+    let mut g = DelirGraph::new();
+    let src = g.add_node("src", NodeKind::Task { cost: 1.0 }, None);
+    let sink = g.add_node("sink", NodeKind::Merge { cost: 1.0 }, None);
+    for i in 0..12usize {
+        let tasks = 160 + 16 * i;
+        let n = g.add_node(
+            format!("op{i}"),
+            NodeKind::DataParallel { tasks, mean_cost: 1.0, cv: 0.8 },
+            None,
+        );
+        g.add_edge(src, n, DataAnno::array(format!("in{i}"), tasks as u64));
+        g.add_edge(n, sink, DataAnno::array(format!("out{i}"), tasks as u64));
+    }
+    g
+}
+
+fn assert_exactly_once_and_bitwise(g: &DelirGraph, opts: &ExecutorOptions, label: &str) {
+    let kernel = SpinKernel::with_scale(1.0);
+    let seq = execute_sequential(g, opts, &kernel).expect("sequential reference");
+    let thr = execute_threaded(g, opts, &kernel).expect("threaded run");
+    for (op, counts) in thr.ops.iter().zip(&thr.exec_counts) {
+        assert!(
+            counts.iter().all(|&c| c == 1),
+            "{label}: op {} has a task executed != once",
+            op.name
+        );
+    }
+    assert_eq!(seq.outputs.len(), thr.outputs.len(), "{label}: op count");
+    for (i, (a, b)) in seq.outputs.iter().zip(&thr.outputs).enumerate() {
+        assert_eq!(a, b, "{label}: op {} buffers diverge", seq.op_names[i]);
+    }
+}
+
+#[test]
+fn contended_flat_op_every_policy() {
+    let g = flat_tiny_graph();
+    for policy in POLICIES {
+        let opts = ExecutorOptions { policy, threads: WORKERS, ..ExecutorOptions::default() };
+        assert_exactly_once_and_bitwise(&g, &opts, policy.name());
+    }
+}
+
+#[test]
+fn contended_wide_dag_every_policy() {
+    let g = wide_dag_graph();
+    for policy in POLICIES {
+        let opts = ExecutorOptions { policy, threads: WORKERS, ..ExecutorOptions::default() };
+        assert_exactly_once_and_bitwise(&g, &opts, policy.name());
+    }
+}
+
+/// Repeated runs of the highest-churn configuration: self-scheduling
+/// hands out 12k size-1 chunks to 8 workers, so any rare interleaving
+/// bug (lost wakeup, double claim at the exhaustion boundary) gets
+/// many chances to fire.
+#[test]
+fn repeated_self_sched_churn() {
+    let g = flat_tiny_graph();
+    let opts = ExecutorOptions {
+        policy: PolicyKind::SelfSched,
+        threads: WORKERS,
+        ..ExecutorOptions::default()
+    };
+    let kernel = SpinKernel::with_scale(1.0);
+    for round in 0..5 {
+        let thr = execute_threaded(&g, &opts, &kernel).expect("threaded run");
+        let counts = &thr.exec_counts[0];
+        assert!(counts.iter().all(|&c| c == 1), "round {round}: lost or duplicated task");
+        assert_eq!(thr.ops[0].chunks, 12_000, "round {round}: self-scheduling chunk count");
+    }
+}
