@@ -11,7 +11,14 @@
 //!   (high contention: overhead dominates) and of large tasks
 //!   (compute dominates), at 1/2/4/8 workers;
 //! * **graph wall-clock** — `execute_threaded` on DAG and pipeline
-//!   shapes at 4 workers.
+//!   shapes at 4 workers;
+//! * **dist-TAPER** — the distributed home-queue backend against the
+//!   shared queue on a uniform and a skewed workload, recording wall
+//!   time, locality, re-assignments, migrated tasks, and epochs.
+//!
+//! Each run also records a host fingerprint (cpu model, core count,
+//! OS/arch), so `BENCH_threaded.json` baselines from different
+//! machines are distinguishable.
 //!
 //! ```text
 //! cargo run --release -p orchestra-bench --bin sched -- \
@@ -22,11 +29,11 @@
 //! `{"before": …, "after": …}` by running the binary at both commits
 //! with the two labels.
 
-use orchestra_delirium::{DataAnno, DelirGraph, NodeKind};
+use orchestra_delirium::{DataAnno, DelirGraph, NodeKind, Population};
 use orchestra_runtime::executor::ExecutorOptions;
 use orchestra_runtime::stats::OnlineStats;
 use orchestra_runtime::threaded::queue::ChunkQueue;
-use orchestra_runtime::threaded::{execute_threaded, SpinKernel};
+use orchestra_runtime::threaded::{execute_threaded, ExecutorBackend, SpinKernel};
 use orchestra_runtime::PolicyKind;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -136,12 +143,83 @@ fn best_wall_us(g: &DelirGraph, opts: &ExecutorOptions, kernel: &SpinKernel, rep
 
 type PolicyMap = BTreeMap<&'static str, f64>;
 
+/// One distributed-TAPER measurement against the shared-queue TAPER
+/// baseline on the same graph and worker count.
+struct DistRow {
+    wall_us: f64,
+    shared_wall_us: f64,
+    locality: f64,
+    reassignments: u64,
+    migrated: u64,
+    epochs: usize,
+}
+
 struct RunResults {
     claim_ns_per_task: PolicyMap,
     /// workload → policy → workers → tasks/sec.
     tasks_per_sec: BTreeMap<&'static str, BTreeMap<&'static str, BTreeMap<usize, f64>>>,
     /// shape → policy → wall µs at 4 workers.
     graph_wall_us: BTreeMap<&'static str, PolicyMap>,
+    /// workload → dist-vs-shared comparison at 4 workers.
+    dist: BTreeMap<&'static str, DistRow>,
+}
+
+/// A uniform-cost flat op: the cv gate must keep the dist coordinator
+/// silent, so this row records pure home-queue overhead.
+fn dist_uniform_graph(tasks: usize) -> DelirGraph {
+    let mut g = DelirGraph::new();
+    g.add_node("uniform", NodeKind::DataParallel { tasks, mean_cost: 4.0, cv: 0.0 }, None);
+    g
+}
+
+/// A two-population mixture whose heavy tasks interleave into the low
+/// home blocks: the migration-pays-off shape.
+fn dist_skewed_graph(tasks: usize) -> DelirGraph {
+    let heavy = tasks / 8;
+    let mut g = DelirGraph::new();
+    g.add_node(
+        "skewed",
+        NodeKind::Mixture {
+            populations: vec![
+                Population { tasks: heavy, mean_cost: 40.0, cv: 0.0 },
+                Population { tasks: tasks - heavy, mean_cost: 1.0, cv: 0.0 },
+            ],
+        },
+        None,
+    );
+    g
+}
+
+/// Best-of-`reps` dist-TAPER run vs the shared-queue TAPER baseline.
+fn measure_dist(g: &DelirGraph, workers: usize, kernel: &SpinKernel, reps: usize) -> DistRow {
+    let dist_opts = ExecutorOptions {
+        backend: ExecutorBackend::ThreadedDist,
+        threads: workers,
+        ..ExecutorOptions::default()
+    };
+    let shared_opts = ExecutorOptions {
+        backend: ExecutorBackend::Threaded,
+        policy: PolicyKind::Taper,
+        threads: workers,
+        ..ExecutorOptions::default()
+    };
+    let mut best: Option<DistRow> = None;
+    for _ in 0..reps {
+        let run = execute_threaded(g, &dist_opts, kernel).expect("bench graph valid");
+        if best.as_ref().is_none_or(|b| run.wall_us < b.wall_us) {
+            best = Some(DistRow {
+                wall_us: run.wall_us,
+                shared_wall_us: f64::INFINITY,
+                locality: run.locality,
+                reassignments: run.reassignments,
+                migrated: run.migrated_tasks,
+                epochs: run.ops.iter().map(|o| o.epochs).sum(),
+            });
+        }
+    }
+    let mut row = best.expect("reps >= 1");
+    row.shared_wall_us = best_wall_us(g, &shared_opts, kernel, reps);
+    row
 }
 
 fn measure(scale: &Scale) -> RunResults {
@@ -185,7 +263,41 @@ fn measure(scale: &Scale) -> RunResults {
         let wall = best_wall_us(&pipe, &opts, &kernel, scale.reps);
         shapes.entry("pipeline").or_default().insert(p.name(), wall);
     }
-    RunResults { claim_ns_per_task: claim, tasks_per_sec: tps, graph_wall_us: shapes }
+
+    let mut dist: BTreeMap<&'static str, DistRow> = BTreeMap::new();
+    let dist_tasks = scale.small_tasks / 4;
+    let kernel = SpinKernel::with_scale(8.0);
+    for (wl, g) in
+        [("uniform", dist_uniform_graph(dist_tasks)), ("skewed", dist_skewed_graph(dist_tasks))]
+    {
+        let row = measure_dist(&g, 4, &kernel, scale.reps);
+        eprintln!(
+            "dist   {wl:<8} wall={:9.0}µs shared={:9.0}µs locality={:.3} reassign={} migrated={}",
+            row.wall_us, row.shared_wall_us, row.locality, row.reassignments, row.migrated
+        );
+        dist.insert(wl, row);
+    }
+
+    RunResults { claim_ns_per_task: claim, tasks_per_sec: tps, graph_wall_us: shapes, dist }
+}
+
+/// The machine running this benchmark: cpu model (from
+/// `/proc/cpuinfo`, "unknown" elsewhere), logical core count, and
+/// OS/architecture. Stored per run so baselines collected on
+/// different hosts are never compared as if they were one machine.
+fn host_fingerprint() -> (String, usize, String) {
+    let cpu = std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|text| {
+            text.lines()
+                .find(|l| l.starts_with("model name"))
+                .and_then(|l| l.split(':').nth(1))
+                .map(|m| m.trim().to_string())
+        })
+        .unwrap_or_else(|| "unknown".to_string());
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let os = format!("{} {}", std::env::consts::OS, std::env::consts::ARCH);
+    (cpu, cores, os)
 }
 
 fn json_f64(x: f64) -> String {
@@ -198,9 +310,14 @@ fn json_f64(x: f64) -> String {
 
 fn render_run(r: &RunResults, quick: bool) -> String {
     let mut s = String::new();
-    let avail = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let (cpu, cores, os) = host_fingerprint();
     let _ = writeln!(s, "{{");
-    let _ = writeln!(s, "      \"cores_available\": {avail},");
+    let _ = writeln!(
+        s,
+        "      \"host\": {{\"cpu\": \"{}\", \"cores\": {cores}, \"os\": \"{os}\"}},",
+        cpu.replace('"', "'")
+    );
+    let _ = writeln!(s, "      \"cores_available\": {cores},");
     let _ = writeln!(s, "      \"quick\": {quick},");
     let _ = writeln!(s, "      \"claim_ns_per_task\": {{");
     let n = r.claim_ns_per_task.len();
@@ -231,6 +348,22 @@ fn render_run(r: &RunResults, quick: bool) -> String {
             by_policy.iter().map(|(p, v)| format!("\"{p}\": {}", json_f64(*v))).collect();
         let comma = if i + 1 < ns { "," } else { "" };
         let _ = writeln!(s, "        \"{shape}\": {{{}}}{comma}", cells.join(", "));
+    }
+    let _ = writeln!(s, "      }},");
+    let _ = writeln!(s, "      \"dist\": {{");
+    let nd = r.dist.len();
+    for (i, (wl, row)) in r.dist.iter().enumerate() {
+        let comma = if i + 1 < nd { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "        \"{wl}\": {{\"wall_us\": {}, \"shared_wall_us\": {}, \"locality\": {:.4}, \"reassignments\": {}, \"migrated\": {}, \"epochs\": {}}}{comma}",
+            json_f64(row.wall_us),
+            json_f64(row.shared_wall_us),
+            row.locality,
+            row.reassignments,
+            row.migrated,
+            row.epochs
+        );
     }
     let _ = writeln!(s, "      }}");
     let _ = write!(s, "    }}");
@@ -282,7 +415,7 @@ fn emit(path: &str, label: &str, run_json: &str) {
     let sep =
         if body.trim().is_empty() { String::new() } else { format!("{},\n", body.trim_end()) };
     let out = format!(
-        "{{\n  \"schema\": \"orchestra-sched-bench/v1\",\n  \"runs\": {{\n    {sep}\"{label}\": {run_json}\n  }}\n}}\n"
+        "{{\n  \"schema\": \"orchestra-sched-bench/v2\",\n  \"runs\": {{\n    {sep}\"{label}\": {run_json}\n  }}\n}}\n"
     );
     std::fs::write(path, out).expect("write bench output");
     eprintln!("wrote {path} (label \"{label}\")");

@@ -131,6 +131,14 @@ impl ChunkPolicy for Factoring {
     }
 }
 
+/// The coefficient-of-variation threshold above which distributed
+/// TAPER's root re-assigns work from laggards (§4.1.1). Below it there
+/// is no load imbalance to repair, and an ungated root would steal on
+/// mere token-latency asymmetry, defeating the locality the scheme
+/// exists to preserve. Shared by the event-driven simulator and the
+/// threaded backend so both make the same migration decisions.
+pub const REASSIGN_CV_GATE: f64 = 0.05;
+
 /// TAPER: variance-adaptive decreasing chunks with cost-function
 /// scaling.
 ///
@@ -177,6 +185,38 @@ impl Taper {
     /// Number of task-time samples observed so far.
     pub fn samples(&self) -> u64 {
         self.stats.count()
+    }
+
+    /// The epoch-chunk size for *distributed* TAPER (§4.1.1): the
+    /// global TAPER sequence ([`next_chunk`](ChunkPolicy::next_chunk)
+    /// over the whole iteration space, so every processor's epoch-`e`
+    /// chunk has comparable size and token frequency is a speed
+    /// signal) clamped to the processor's local home queue. During the
+    /// initial sampling phase (fewer than `2p` samples, i.e. no
+    /// trustworthy µ/σ yet) the chunk is additionally capped at half
+    /// the local queue, so a mis-sized first draw cannot swallow an
+    /// entire home block of expensive tasks.
+    ///
+    /// `done` is the number of tasks already handed out globally,
+    /// `remaining_global` the number not yet handed out, `local_len`
+    /// the caller's home-queue length (must be nonzero).
+    pub fn epoch_chunk(
+        &mut self,
+        done: usize,
+        remaining_global: usize,
+        p: usize,
+        local_len: usize,
+    ) -> usize {
+        let cap = if self.samples() < 2 * p as u64 { local_len.div_ceil(2) } else { local_len };
+        self.next_chunk(done, remaining_global.max(1), p).clamp(1, cap.max(1))
+    }
+
+    /// Whether the sampled variability justifies re-assigning work
+    /// from a laggard: cv above [`REASSIGN_CV_GATE`] once at least
+    /// `2p` samples exist (the same sampling threshold that ends
+    /// [`epoch_chunk`](Self::epoch_chunk)'s conservative phase).
+    pub fn reassign_signal(&self, p: usize) -> bool {
+        self.stats.cv_if_sampled(2 * p as u64).is_some_and(|cv| cv > REASSIGN_CV_GATE)
     }
 }
 
@@ -364,6 +404,38 @@ mod tests {
         let cheap = t.next_chunk(5, 40, 4);
         let pricey = t.next_chunk(90, 40, 4);
         assert!(pricey < cheap, "expensive region chunk {pricey} !< cheap {cheap}");
+    }
+
+    #[test]
+    fn epoch_chunk_halves_local_queue_while_sampling() {
+        let mut t = Taper::new();
+        // No samples yet: the global sequence says 256/4 = 64, but the
+        // sampling-phase cap holds it to half the local queue.
+        assert_eq!(t.epoch_chunk(0, 256, 4, 64), 32);
+        // Past the sampling phase the full local queue is available.
+        for _ in 0..8 {
+            t.observe(0, 5.0);
+        }
+        assert_eq!(t.epoch_chunk(0, 256, 4, 64), 64);
+        // Always at least one task, even from a length-1 queue.
+        assert_eq!(Taper::new().epoch_chunk(100, 1, 4, 1), 1);
+    }
+
+    #[test]
+    fn reassign_signal_needs_samples_and_variance() {
+        let mut t = Taper::new();
+        assert!(!t.reassign_signal(2), "no samples: no signal");
+        for i in 0..3 {
+            t.observe(i, if i == 0 { 50.0 } else { 1.0 });
+        }
+        assert!(!t.reassign_signal(2), "3 < 2p samples: no signal");
+        t.observe(3, 1.0);
+        assert!(t.reassign_signal(2), "high cv past the sampling phase");
+        let mut u = Taper::new();
+        for i in 0..8 {
+            u.observe(i, 7.0);
+        }
+        assert!(!u.reassign_signal(2), "uniform costs never signal");
     }
 
     #[test]

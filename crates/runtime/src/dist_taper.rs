@@ -152,23 +152,14 @@ pub fn simulate_dist_taper_at(
                     continue;
                 }
                 starving[me] = false;
-                // Draw the epoch's chunk from the local queue. Chunk
-                // sizes follow the *global* TAPER sequence, so every
-                // processor's epoch-e chunk has comparable size — that
-                // is what makes token frequency a speed signal ("the
+                // Draw the epoch's chunk from the local queue: the
+                // *global* TAPER sequence clamped to the home queue
+                // (see [`Taper::epoch_chunk`]), so every processor's
+                // epoch-e chunk has comparable size — that is what
+                // makes token frequency a speed signal ("the
                 // processors compete for the p chunks of each epoch").
-                // During the initial sampling phase (no µ/σ estimates
-                // yet) chunks stay at half the local queue so a
-                // mis-sized first draw cannot swallow an entire block
-                // of expensive tasks.
-                let cap = if policy.samples() < 2 * p as u64 {
-                    queues[me].len().div_ceil(2)
-                } else {
-                    queues[me].len()
-                };
-                let k = policy
-                    .next_chunk(n - remaining_global, remaining_global.max(1), p)
-                    .clamp(1, cap);
+                let k =
+                    policy.epoch_chunk(n - remaining_global, remaining_global, p, queues[me].len());
                 let mut work = 0.0;
                 let mut moved = 0u64;
                 for _ in 0..k {
@@ -197,12 +188,13 @@ pub fn simulate_dist_taper_at(
                 // Re-assignment: `from` has tokened epoch e twice before
                 // some processor's first — the laggard's pending work
                 // moves to `from`. Gated on the sampled coefficient of
-                // variation: with (near-)uniform costs there is no load
-                // imbalance to repair, and an ungated root would steal
-                // on mere token-latency asymmetry between shallow and
-                // deep tree leaves, defeating the locality the scheme
+                // variation ([`Taper::reassign_signal`]): with
+                // (near-)uniform costs there is no load imbalance to
+                // repair, and an ungated root would steal on mere
+                // token-latency asymmetry between shallow and deep
+                // tree leaves, defeating the locality the scheme
                 // exists to preserve.
-                if counts[e][from] >= 2 && policy.cv() > 0.05 {
+                if counts[e][from] >= 2 && policy.reassign_signal(p) {
                     let laggard = (0..p)
                         .filter(|&b| b != from && counts[e][b] == 0 && !queues[b].is_empty())
                         .max_by_key(|&b| queues[b].len());

@@ -252,7 +252,7 @@ pub fn execute_graph(
     cfg: &MachineConfig,
     opts: &ExecutorOptions,
 ) -> Result<ExecutionReport, orchestra_delirium::GraphError> {
-    if opts.backend == ExecutorBackend::Threaded {
+    if matches!(opts.backend, ExecutorBackend::Threaded | ExecutorBackend::ThreadedDist) {
         // Real execution on this machine: `cfg` describes the simulated
         // nCUBE-2 and does not apply.
         let kernel = crate::threaded::SpinKernel::default();

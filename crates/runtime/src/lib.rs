@@ -37,7 +37,7 @@ pub mod stats;
 pub mod threaded;
 
 pub use alloc::{allocate_many, allocate_pair, AllocParams, Allocation};
-pub use chunking::{ChunkPolicy, Factoring, Gss, PolicyKind, SelfSched, Taper};
+pub use chunking::{ChunkPolicy, Factoring, Gss, PolicyKind, SelfSched, Taper, REASSIGN_CV_GATE};
 pub use dist_taper::{simulate_dist_taper, simulate_dist_taper_at, DistResult};
 pub use executor::{execute_graph, ExecutionReport, ExecutorOptions, NodeReport};
 pub use finish::{finish_estimate, FinishEstimate, OpSpec};
@@ -46,6 +46,7 @@ pub use par_op::{
     owner_of, simulate_dynamic, simulate_policy, simulate_static, OpOptions, OpResult,
 };
 pub use stats::{CostFn, OnlineStats};
+pub use threaded::dist::{DistChunk, DistQueue};
 pub use threaded::{
     execute_sequential, execute_threaded, ExecutorBackend, SequentialRun, SpinKernel, TaskCtx,
     TaskKernel, ThreadedRun,

@@ -89,6 +89,19 @@ impl OnlineStats {
     pub fn observe_n(&mut self, x: f64, k: u64) {
         self.merge(&OnlineStats { n: k, mean: x, m2: 0.0 });
     }
+
+    /// The coefficient of variation, or `None` until at least `min`
+    /// samples have been observed. Adaptive gates (distributed TAPER's
+    /// re-assignment rule) need "no signal yet" to be distinguishable
+    /// from "measured ≈ 0": acting on a cv estimated from one or two
+    /// samples would steal work on noise.
+    pub fn cv_if_sampled(&self, min: u64) -> Option<f64> {
+        if self.n >= min.max(1) {
+            Some(self.cv())
+        } else {
+            None
+        }
+    }
 }
 
 /// A positional cost function: mean task cost per bucket of the
@@ -231,6 +244,22 @@ mod tests {
             assert!((a.mean() - whole.mean()).abs() < 1e-12, "split {split}");
             assert!((a.variance() - whole.variance()).abs() < 1e-12, "split {split}");
         }
+    }
+
+    #[test]
+    fn cv_if_sampled_gates_on_count() {
+        let mut s = OnlineStats::new();
+        assert_eq!(s.cv_if_sampled(4), None);
+        for x in [2.0, 4.0, 4.0] {
+            s.observe(x);
+        }
+        assert_eq!(s.cv_if_sampled(4), None, "3 < 4 samples");
+        s.observe(6.0);
+        let cv = s.cv_if_sampled(4).expect("4 samples reached");
+        assert!((cv - s.cv()).abs() < 1e-15);
+        // min of 0 behaves like min of 1 (an empty accumulator never
+        // reports a cv).
+        assert_eq!(OnlineStats::new().cv_if_sampled(0), None);
     }
 
     #[test]

@@ -1,0 +1,462 @@
+//! Distributed TAPER on real threads (§4.1.1).
+//!
+//! The threaded counterpart of [`crate::dist_taper`]: each worker owns
+//! a *home queue* of tasks (block-decomposed by
+//! [`owner_of`](crate::par_op::owner_of), exactly as the simulator
+//! places them), draws decreasing-size epoch chunks from it via the
+//! same [`Taper`] policy, and publishes an epoch *token* to a logical
+//! binary tree whenever it starts a chunk. The root counts tokens per
+//! epoch: once every worker has tokened epoch `e` the global epoch
+//! increments; if one worker gets two epoch-`e` tokens in before some
+//! other worker's first, the root re-assigns half of that laggard's
+//! unstarted home queue to the fast tokener — gated on the sampled
+//! coefficient of variation ([`Taper::reassign_signal`]), so uniform
+//! workloads never migrate and locality stays at 1.
+//!
+//! On shared memory the token tree and the root collapse into one
+//! coordinator guarded by a short mutex: "sending a token" is a counter
+//! increment performed by the claiming worker itself, and the root's
+//! re-assignment delivers the stolen tasks directly into *that
+//! worker's* home queue (the fast tokener is, by construction, the
+//! worker currently claiming). This keeps the protocol's decisions
+//! identical in kind to the simulator's while the critical section
+//! stays one `epoch_chunk` call plus counter updates per chunk — the
+//! same order as the shared [`ChunkQueue`](super::queue::ChunkQueue)'s
+//! adaptive path.
+//!
+//! Two invariants carry over from the shared queue:
+//!
+//! * **Exactly-once** — a task index lives in exactly one home queue at
+//!   any instant (re-assignment pops before it pushes, all under the
+//!   coordinator lock), and a claim pops it exactly once.
+//! * **Self-delivery** — tasks only ever move into the home queue of
+//!   the worker performing the claim. A worker whose claim fails
+//!   (empty home, nothing stealable) can therefore drop its op token
+//!   for good: its queue can never refill behind its back, so no
+//!   wakeup can be lost.
+//!
+//! The control plane observes the tasks' *cost hints* (the same
+//! deterministic per-task costs the simulator samples), not measured
+//! wall time: chunk sizing and the migration gate are then a pure
+//! function of the workload, so the differential suite can pin
+//! sim-equivalent decisions (zero reassignments on uniform costs,
+//! forced migration on concentrated ones) without timing flake.
+//! Measured task times still flow into the per-worker
+//! [`OnlineStats`](crate::stats::OnlineStats) records, so the
+//! locality/migration trade-off is *evaluated* against wall clocks.
+
+use crate::chunking::{ChunkPolicy, Taper};
+use crate::par_op::owner_of;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One claimed epoch chunk: the task indices popped from the claiming
+/// worker's home queue (contiguous runs of the owner's block, plus any
+/// re-assigned tasks), and the epoch the chunk was tokened in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DistChunk {
+    /// Task indices, in execution order.
+    pub tasks: Vec<usize>,
+    /// Global epoch at claim time.
+    pub epoch: u64,
+}
+
+/// Coordinator state: the collapsed token tree, root counters, and the
+/// shared TAPER policy, all behind one short critical section.
+struct Coord {
+    /// Per-worker home queues. Owned here so queue membership and the
+    /// token counters can never disagree mid-reassignment.
+    homes: Vec<VecDeque<usize>>,
+    policy: Taper,
+    global_epoch: usize,
+    /// counts[e][worker]: epoch-e tokens seen by the root.
+    counts: Vec<Vec<u32>>,
+    /// Times (µs on the caller's clock) of each global-epoch
+    /// increment, in order — the threaded analogue of
+    /// [`DistResult::epoch_times`](crate::dist_taper::DistResult).
+    epoch_times_us: Vec<f64>,
+    /// Tasks handed out so far (the global TAPER sequence's position).
+    claimed: usize,
+}
+
+/// The per-worker home-queue claim path for one parallel operation
+/// under distributed TAPER.
+pub struct DistQueue {
+    coord: Mutex<Coord>,
+    /// Tasks not yet handed out; updated inside the claim's critical
+    /// section so an exhausted queue is detectable with a single load.
+    remaining: AtomicUsize,
+    chunks: AtomicU64,
+    reassignments: AtomicU64,
+    migrated: AtomicU64,
+    total: usize,
+    workers: usize,
+}
+
+impl DistQueue {
+    /// A distributed queue over `total` tasks, block-decomposed onto
+    /// `workers` home queues (owner-computes placement).
+    pub fn new(total: usize, workers: usize) -> Self {
+        let workers = workers.max(1);
+        let mut homes: Vec<VecDeque<usize>> = vec![VecDeque::new(); workers];
+        for i in 0..total {
+            homes[owner_of(i, total, workers)].push_back(i);
+        }
+        DistQueue {
+            coord: Mutex::new(Coord {
+                homes,
+                policy: Taper::new(),
+                global_epoch: 0,
+                counts: vec![vec![0; workers]],
+                epoch_times_us: Vec::new(),
+                claimed: 0,
+            }),
+            remaining: AtomicUsize::new(total),
+            chunks: AtomicU64::new(0),
+            reassignments: AtomicU64::new(0),
+            migrated: AtomicU64::new(0),
+            total,
+            workers,
+        }
+    }
+
+    /// Claims the next epoch chunk for `worker`, or `None` when the
+    /// worker's home queue is empty and nothing could be re-assigned
+    /// to it. Sends one epoch token (and runs the root's reassignment
+    /// and epoch-completion rules) per call, exactly as the simulator
+    /// does per chunk start or work request.
+    ///
+    /// `costs` are the operation's per-task cost hints (the control
+    /// plane's observation stream); `now_us` is the caller's clock,
+    /// used only to stamp epoch increments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker >= workers` or `costs` is shorter than the
+    /// iteration space.
+    pub fn claim(&self, worker: usize, costs: &[f64], now_us: f64) -> Option<DistChunk> {
+        assert!(worker < self.workers, "worker {worker} out of range");
+        if self.remaining.load(Ordering::Acquire) == 0 {
+            // Exhausted fast path: stale claims are a single load.
+            return None;
+        }
+        let mut c = self.coord.lock().expect("dist coordinator poisoned");
+        let e = c.global_epoch;
+        if c.counts.len() <= e {
+            c.counts.resize(e + 1, vec![0; self.workers]);
+        }
+        // Token: this claim's epoch value reaches the root.
+        c.counts[e][worker] += 1;
+        // Re-assignment: two epoch-e tokens from `worker` before some
+        // laggard's first, gated on sampled cv. The stolen tasks are
+        // delivered straight into the claimant's own home queue.
+        if c.counts[e][worker] >= 2 && c.policy.reassign_signal(self.workers) {
+            let laggard = (0..self.workers)
+                .filter(|&b| b != worker && c.counts[e][b] == 0 && !c.homes[b].is_empty())
+                .max_by_key(|&b| c.homes[b].len());
+            if let Some(b) = laggard {
+                let steal = c.homes[b].len().div_ceil(2);
+                for _ in 0..steal {
+                    let t = c.homes[b].pop_back().expect("len checked");
+                    c.homes[worker].push_back(t);
+                }
+                self.reassignments.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        // Epoch completion: every worker has tokened epoch e.
+        if e == c.global_epoch && c.counts[e].iter().all(|&x| x > 0) {
+            c.global_epoch += 1;
+            // Clamp to the previous increment: callers read their
+            // clock before taking the lock, so two racing claims can
+            // arrive with timestamps out of lock order.
+            let t = c.epoch_times_us.last().map_or(now_us, |&last| now_us.max(last));
+            c.epoch_times_us.push(t);
+            let ge = c.global_epoch;
+            if c.counts.len() <= ge {
+                c.counts.resize(ge + 1, vec![0; self.workers]);
+            }
+        }
+        // Draw the epoch chunk from the (possibly just refilled) home
+        // queue: the global TAPER sequence clamped to the local queue.
+        if c.homes[worker].is_empty() {
+            // Starving visit: the token above doubles as a work
+            // request, but nothing was stealable this time.
+            return None;
+        }
+        let remaining_global = self.total - c.claimed;
+        let local_len = c.homes[worker].len();
+        let done = c.claimed;
+        let k = c.policy.epoch_chunk(done, remaining_global, self.workers, local_len);
+        let mut tasks = Vec::with_capacity(k);
+        let mut moved = 0u64;
+        for _ in 0..k {
+            let t = c.homes[worker].pop_front().expect("len checked");
+            if owner_of(t, self.total, self.workers) != worker {
+                moved += 1;
+            }
+            tasks.push(t);
+        }
+        for &t in &tasks {
+            c.policy.observe(t, costs[t]);
+        }
+        c.claimed += tasks.len();
+        self.remaining.store(self.total - c.claimed, Ordering::Release);
+        drop(c);
+        self.migrated.fetch_add(moved, Ordering::Relaxed);
+        self.chunks.fetch_add(1, Ordering::Relaxed);
+        Some(DistChunk { tasks, epoch: e as u64 })
+    }
+
+    /// Whether unclaimed tasks remain anywhere (exact, not a hint: the
+    /// counter is updated inside the claim's critical section).
+    pub fn has_more(&self) -> bool {
+        self.remaining.load(Ordering::Acquire) > 0
+    }
+
+    /// Chunks handed out so far.
+    pub fn chunks_claimed(&self) -> u64 {
+        self.chunks.load(Ordering::Relaxed)
+    }
+
+    /// Chunk re-assignments performed by the root.
+    pub fn reassignments(&self) -> u64 {
+        self.reassignments.load(Ordering::Relaxed)
+    }
+
+    /// Tasks claimed away from their home worker.
+    pub fn migrated_tasks(&self) -> u64 {
+        self.migrated.load(Ordering::Relaxed)
+    }
+
+    /// Fraction of tasks that stayed on their home worker (1.0 for an
+    /// empty operation), matching
+    /// [`DistResult::locality`](crate::dist_taper::DistResult).
+    pub fn locality(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            1.0 - self.migrated_tasks() as f64 / self.total as f64
+        }
+    }
+
+    /// Completed global epochs.
+    pub fn epochs(&self) -> usize {
+        self.coord.lock().expect("dist coordinator poisoned").epoch_times_us.len()
+    }
+
+    /// Caller-clock times of each global-epoch increment, in the order
+    /// the increments happened. Monotone non-decreasing: increments
+    /// are serialized by the coordinator lock and each stamp is
+    /// clamped to its predecessor.
+    pub fn epoch_times_us(&self) -> Vec<f64> {
+        self.coord.lock().expect("dist coordinator poisoned").epoch_times_us.clone()
+    }
+
+    /// Total tasks in the operation.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Home-queue (worker) count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    /// Drives a DistQueue with real threads; each worker spins a
+    /// busy-loop proportional to the task's cost so laggards are
+    /// laggards in wall time too. Returns per-worker claimed indices.
+    fn drain_with_threads(costs: Arc<Vec<f64>>, workers: usize, spin: f64) -> Vec<Vec<usize>> {
+        let q = Arc::new(DistQueue::new(costs.len(), workers));
+        let t0 = std::time::Instant::now();
+        let mut handles = Vec::new();
+        for w in 0..workers {
+            let q = Arc::clone(&q);
+            let costs = Arc::clone(&costs);
+            handles.push(std::thread::spawn(move || {
+                let mut mine = Vec::new();
+                while let Some(chunk) = q.claim(w, &costs, t0.elapsed().as_secs_f64() * 1e6) {
+                    for &t in &chunk.tasks {
+                        let steps = (costs[t] * spin).max(1.0) as u64;
+                        let mut x = t as f64;
+                        for _ in 0..steps {
+                            x = x * 0.999_999 + 1e-9;
+                        }
+                        std::hint::black_box(x);
+                        mine.push(t);
+                    }
+                }
+                mine
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    }
+
+    fn assert_exactly_once(per_worker: &[Vec<usize>], n: usize) {
+        let mut all: Vec<usize> = per_worker.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..n).collect::<Vec<_>>(), "tasks lost or duplicated");
+    }
+
+    #[test]
+    fn uniform_costs_claim_exactly_once_with_full_locality() {
+        let costs = Arc::new(vec![5.0; 600]);
+        let q = Arc::new(DistQueue::new(costs.len(), 4));
+        // Same protocol, checked through the public accessors after a
+        // threaded drain.
+        drop(q);
+        let claimed = drain_with_threads(Arc::clone(&costs), 4, 10.0);
+        assert_exactly_once(&claimed, 600);
+        // Locality on uniform costs: every worker claimed exactly its
+        // own block (the cv gate never opens).
+        for (w, mine) in claimed.iter().enumerate() {
+            assert!(
+                mine.iter().all(|&t| owner_of(t, 600, 4) == w),
+                "worker {w} executed a non-home task on uniform costs"
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_costs_never_reassign() {
+        let costs = Arc::new(vec![5.0; 600]);
+        let q = Arc::new(DistQueue::new(costs.len(), 4));
+        let t0 = std::time::Instant::now();
+        let mut handles = Vec::new();
+        for w in 0..4 {
+            let q = Arc::clone(&q);
+            let costs = Arc::clone(&costs);
+            handles.push(std::thread::spawn(move || {
+                while q.claim(w, &costs, t0.elapsed().as_secs_f64() * 1e6).is_some() {}
+            }));
+        }
+        for h in handles {
+            h.join().expect("worker panicked");
+        }
+        assert_eq!(q.reassignments(), 0);
+        assert_eq!(q.migrated_tasks(), 0);
+        assert!((q.locality() - 1.0).abs() < 1e-12);
+        assert!(!q.has_more());
+    }
+
+    #[test]
+    fn concentrated_costs_force_reassignment_exactly_once() {
+        // All the heavy work sits on worker 0's home block: the fast
+        // workers' tokens race ahead and the root must migrate work,
+        // while every task still executes exactly once.
+        let p = 4;
+        let n = 400;
+        let mut costs = vec![1.0; n];
+        for c in costs.iter_mut().take(n / p) {
+            *c = 500.0;
+        }
+        let costs = Arc::new(costs);
+        let q = Arc::new(DistQueue::new(n, p));
+        let t0 = std::time::Instant::now();
+        let mut handles = Vec::new();
+        for w in 0..p {
+            let q = Arc::clone(&q);
+            let costs = Arc::clone(&costs);
+            handles.push(std::thread::spawn(move || {
+                let mut mine = Vec::new();
+                while let Some(chunk) = q.claim(w, &costs, t0.elapsed().as_secs_f64() * 1e6) {
+                    for &t in &chunk.tasks {
+                        let steps = (costs[t] * 40.0) as u64;
+                        let mut x = t as f64;
+                        for _ in 0..steps {
+                            x = x * 0.999_999 + 1e-9;
+                        }
+                        std::hint::black_box(x);
+                        mine.push(t);
+                    }
+                }
+                mine
+            }));
+        }
+        let claimed: Vec<Vec<usize>> =
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect();
+        assert_exactly_once(&claimed, n);
+        assert!(q.reassignments() > 0, "laggard's work must be re-assigned");
+        assert!(q.migrated_tasks() > 0);
+        assert!(q.locality() < 1.0);
+        assert!(q.locality() >= 0.0);
+        let times = q.epoch_times_us();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]), "epoch increments out of order");
+    }
+
+    #[test]
+    fn single_worker_degenerates() {
+        let costs = Arc::new(vec![3.0; 64]);
+        let claimed = drain_with_threads(Arc::clone(&costs), 1, 1.0);
+        assert_exactly_once(&claimed, 64);
+        let q = DistQueue::new(64, 1);
+        let mut n = 0usize;
+        while let Some(c) = q.claim(0, &costs, n as f64) {
+            n += c.tasks.len();
+        }
+        assert_eq!(n, 64);
+        assert_eq!(q.reassignments(), 0);
+        assert_eq!(q.migrated_tasks(), 0);
+        // With one worker every token completes its epoch.
+        assert!(q.epochs() >= 1);
+    }
+
+    #[test]
+    fn empty_queue_yields_nothing() {
+        let q = DistQueue::new(0, 4);
+        assert_eq!(q.claim(0, &[], 0.0), None);
+        assert!(!q.has_more());
+        assert_eq!(q.chunks_claimed(), 0);
+        assert!((q.locality() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn post_exhaustion_claims_stay_none() {
+        let costs = vec![1.0; 32];
+        let q = DistQueue::new(32, 2);
+        let mut got = 0usize;
+        for w in [0usize, 1] {
+            while let Some(c) = q.claim(w, &costs, 0.0) {
+                got += c.tasks.len();
+            }
+        }
+        assert_eq!(got, 32);
+        let chunks = q.chunks_claimed();
+        for _ in 0..1000 {
+            assert_eq!(q.claim(0, &costs, 0.0), None);
+            assert_eq!(q.claim(1, &costs, 0.0), None);
+        }
+        assert_eq!(q.chunks_claimed(), chunks, "stale claims counted as chunks");
+        assert!(!q.has_more());
+    }
+
+    #[test]
+    fn epoch_chunks_follow_global_sequence() {
+        // A single-threaded drain alternating workers reproduces the
+        // simulator's chunk-size law: sizes follow the global TAPER
+        // sequence clamped per home queue, so they never grow.
+        let n = 512;
+        let p = 4;
+        let costs = vec![2.0; n];
+        let q = DistQueue::new(n, p);
+        let mut sizes = Vec::new();
+        let mut active = true;
+        while active {
+            active = false;
+            for w in 0..p {
+                if let Some(c) = q.claim(w, &costs, sizes.len() as f64) {
+                    sizes.push(c.tasks.len());
+                    active = true;
+                }
+            }
+        }
+        assert_eq!(sizes.iter().sum::<usize>(), n);
+        assert!(sizes.len() >= p, "at least one chunk per home");
+    }
+}

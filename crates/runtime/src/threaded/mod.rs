@@ -18,15 +18,17 @@
 //!   [`TaskKernel`] compute interface, and the backend entry points
 //!   [`execute_threaded`] / [`execute_sequential`].
 
+pub mod dist;
 pub mod pool;
 pub mod queue;
 
 use crate::chunking::PolicyKind;
 use crate::executor::{costs_of_node, ExecutionReport, ExecutorOptions, NodeReport};
 use crate::stats::OnlineStats;
+use dist::DistQueue;
 use orchestra_delirium::{DelirGraph, GraphError, Node};
 use orchestra_machine::{ProcStats, RunStats};
-use pool::OpInstance;
+use pool::{OpInstance, OpQueue};
 use queue::ChunkQueue;
 use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize};
@@ -40,6 +42,10 @@ pub enum ExecutorBackend {
     Simulated,
     /// Real `std::thread` workers over real buffers on this machine.
     Threaded,
+    /// Real threads under distributed TAPER (§4.1.1): per-worker home
+    /// queues with epoch-token migration instead of a shared claim
+    /// queue — see [`dist::DistQueue`].
+    ThreadedDist,
 }
 
 /// Everything a kernel needs to compute one task.
@@ -272,6 +278,17 @@ pub struct OpRecord {
     pub tasks: usize,
     /// Chunks dispatched by the queue.
     pub chunks: u64,
+    /// Chunk re-assignments performed by the dist-TAPER coordinator
+    /// (0 for shared-queue ops).
+    pub reassignments: u64,
+    /// Tasks executed away from their home worker (0 for shared-queue
+    /// ops, which have no home placement).
+    pub migrated: u64,
+    /// Completed global epochs (0 for shared-queue ops).
+    pub epochs: usize,
+    /// Run-relative times (µs) of each global-epoch increment (empty
+    /// for shared-queue ops); monotone non-decreasing.
+    pub epoch_times_us: Vec<f64>,
 }
 
 /// The result of executing a graph on real threads.
@@ -296,6 +313,16 @@ pub struct ThreadedRun {
     /// Σ of the tasks' simulated cost hints (µs) — the work the
     /// simulator would call `serial_work`.
     pub hinted_serial_us: f64,
+    /// Tasks executed away from their home worker, summed over all
+    /// dist-TAPER ops (0 under shared-queue backends).
+    pub migrated_tasks: u64,
+    /// Coordinator re-assignments, summed over all dist-TAPER ops.
+    pub reassignments: u64,
+    /// Fraction of dist-TAPER tasks that ran on their home worker
+    /// (1.0 when nothing migrated, and for runs with no dist ops),
+    /// matching the simulator's
+    /// [`DistResult::locality`](crate::dist_taper::DistResult).
+    pub locality: f64,
 }
 
 impl ThreadedRun {
@@ -373,19 +400,28 @@ pub fn execute_threaded(
     let mut hinted_serial_us = 0.0;
     for (op, deps_out) in plan.ops.iter().zip(&mut dependents) {
         let node = &g.nodes[op.node];
-        let policy = match opts.policy {
-            // Static has no dynamic queue; one equal chunk per worker
-            // approximates block decomposition on a shared queue.
-            PolicyKind::Static => PolicyKind::Gss.instantiate(op.tasks),
-            p => p.instantiate(op.tasks),
-        };
         let costs = costs_of_node(node, opts.seed);
         hinted_serial_us += costs.iter().sum::<f64>();
+        // Distributed TAPER only pays off (and only makes sense) for
+        // genuinely parallel ops: single-task ops keep a shared queue
+        // so a lone Task/Merge node doesn't token every worker.
+        let queue = if opts.backend == ExecutorBackend::ThreadedDist && op.tasks > 1 {
+            OpQueue::Dist(DistQueue::new(op.tasks, workers))
+        } else {
+            let policy = match opts.policy {
+                // Static has no dynamic queue; one equal chunk per
+                // worker approximates block decomposition on a shared
+                // queue.
+                PolicyKind::Static => PolicyKind::Gss.instantiate(op.tasks),
+                p => p.instantiate(op.tasks),
+            };
+            OpQueue::Shared(ChunkQueue::new(policy, op.tasks, workers))
+        };
         instances.push(OpInstance {
             name: op.name.clone(),
             node: op.node,
             iter: op.iter,
-            queue: ChunkQueue::new(policy, op.tasks, workers),
+            queue,
             costs,
             deps: AtomicUsize::new(op.deps.len()),
             dependents: std::mem::take(deps_out),
@@ -405,16 +441,33 @@ pub fn execute_threaded(
     let (procs, worker_timing): (Vec<ProcStats>, Vec<OnlineStats>) =
         records.into_iter().map(|r| (r.proc, r.timing)).unzip();
     let stats = RunStats::from_procs(procs, wall_us);
-    let ops = instances
+    let ops: Vec<OpRecord> = instances
         .iter()
-        .map(|op| OpRecord {
-            name: op.name.clone(),
-            start_us: f64::from_bits(op.started_bits.load(std::sync::atomic::Ordering::Acquire)),
-            finish_us: f64::from_bits(op.finished_bits.load(std::sync::atomic::Ordering::Acquire)),
-            tasks: op.costs.len(),
-            chunks: op.queue.chunks_claimed(),
+        .map(|op| {
+            let d = op.queue.as_dist();
+            OpRecord {
+                name: op.name.clone(),
+                start_us: f64::from_bits(
+                    op.started_bits.load(std::sync::atomic::Ordering::Acquire),
+                ),
+                finish_us: f64::from_bits(
+                    op.finished_bits.load(std::sync::atomic::Ordering::Acquire),
+                ),
+                tasks: op.costs.len(),
+                chunks: op.queue.chunks_claimed(),
+                reassignments: d.map_or(0, DistQueue::reassignments),
+                migrated: d.map_or(0, DistQueue::migrated_tasks),
+                epochs: d.map_or(0, DistQueue::epochs),
+                epoch_times_us: d.map_or_else(Vec::new, DistQueue::epoch_times_us),
+            }
         })
         .collect();
+    let migrated_tasks: u64 = ops.iter().map(|o| o.migrated).sum();
+    let reassignments: u64 = ops.iter().map(|o| o.reassignments).sum();
+    let dist_tasks: u64 =
+        instances.iter().filter(|op| op.queue.is_dist()).map(|op| op.costs.len() as u64).sum();
+    let locality =
+        if dist_tasks == 0 { 1.0 } else { 1.0 - migrated_tasks as f64 / dist_tasks as f64 };
     let outputs = instances.iter().map(OpInstance::output_values).collect();
     let exec_counts = instances.iter().map(OpInstance::exec_counts).collect();
     Ok(ThreadedRun {
@@ -426,6 +479,9 @@ pub fn execute_threaded(
         outputs,
         exec_counts,
         hinted_serial_us,
+        migrated_tasks,
+        reassignments,
+        locality,
     })
 }
 

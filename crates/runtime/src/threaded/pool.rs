@@ -1,6 +1,8 @@
 //! The worker pool: N OS threads executing a dependency-counted DAG of
 //! parallel operations, each operation scheduled through a shared
-//! [`ChunkQueue`](super::queue::ChunkQueue).
+//! [`ChunkQueue`](super::queue::ChunkQueue) or, under distributed
+//! TAPER, through per-worker home queues
+//! ([`DistQueue`](super::dist::DistQueue)).
 //!
 //! The scheduling hot path is built to stay off the data path:
 //!
@@ -27,7 +29,19 @@
 //! * **Cache-line padding** — per-worker shared state is 64-byte
 //!   aligned so one worker's deque lock never false-shares with its
 //!   neighbour's.
+//! * **Private dist tokens** — a distributed-TAPER op's token goes to
+//!   *every* worker's private, non-stealable `dist_ready` list when the
+//!   op becomes ready (each worker owns a home queue it alone can
+//!   drain, so each must visit the op). Keeping these tokens out of the
+//!   stealable deques is a liveness requirement, not an optimisation:
+//!   a stolen dist token would be dropped by a thief whose own home
+//!   queue is empty, stranding the owner's tasks forever. A worker that
+//!   exhausts its home queue can drop its token for good —
+//!   [`DistQueue`](super::dist::DistQueue) re-assigns work only into
+//!   the claiming worker's own queue, so an abandoned home can never
+//!   refill behind its owner's back.
 
+use super::dist::DistQueue;
 use super::queue::ChunkQueue;
 use super::{TaskCtx, TaskKernel};
 use crate::stats::OnlineStats;
@@ -37,6 +51,37 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::Instant;
+
+/// How one operation's chunks are handed out: a shared claim queue
+/// (work-stealing over one cursor/policy) or distributed TAPER's
+/// per-worker home queues with epoch-token migration.
+pub(crate) enum OpQueue {
+    /// All workers claim from one shared queue.
+    Shared(ChunkQueue),
+    /// Each worker drains its own home queue; the coordinator migrates
+    /// work from laggards.
+    Dist(DistQueue),
+}
+
+impl OpQueue {
+    pub(crate) fn chunks_claimed(&self) -> u64 {
+        match self {
+            OpQueue::Shared(q) => q.chunks_claimed(),
+            OpQueue::Dist(q) => q.chunks_claimed(),
+        }
+    }
+
+    pub(crate) fn is_dist(&self) -> bool {
+        matches!(self, OpQueue::Dist(_))
+    }
+
+    pub(crate) fn as_dist(&self) -> Option<&DistQueue> {
+        match self {
+            OpQueue::Shared(_) => None,
+            OpQueue::Dist(q) => Some(q),
+        }
+    }
+}
 
 /// One schedulable operation instance: a graph node at one pipeline
 /// iteration, with its dependency counters and real output buffer.
@@ -50,8 +95,8 @@ pub(crate) struct OpInstance {
     /// Per-task simulated cost hints (µs), sampled exactly as the
     /// simulator samples them.
     pub costs: Vec<f64>,
-    /// The claim-next-chunk queue.
-    pub queue: ChunkQueue,
+    /// The claim-next-chunk queue (shared or distributed).
+    pub queue: OpQueue,
     /// Unfinished dependency count; the op becomes ready at 0.
     pub deps: AtomicUsize,
     /// Ops to notify when this one completes.
@@ -93,11 +138,16 @@ pub struct WorkerRecord {
 #[repr(align(64))]
 struct CachePadded<T>(T);
 
-/// The stealable half of one worker's state: its ready-op deque.
-/// Everything hot and worker-private (ProcStats, timing accumulators,
-/// the per-chunk OnlineStats) lives on the worker's own stack instead.
+/// The shared half of one worker's state: its stealable ready-op deque
+/// and its private distributed-op token list. Everything hot and
+/// worker-private (ProcStats, timing accumulators, the per-chunk
+/// OnlineStats) lives on the worker's own stack instead.
 struct WorkerState {
     ready: Mutex<VecDeque<usize>>,
+    /// Distributed-op tokens for THIS worker only — never stolen
+    /// (every worker must visit a dist op to drain its own home
+    /// queue); producers push here, only the owner pops.
+    dist_ready: Mutex<Vec<usize>>,
 }
 
 struct Shared<'a> {
@@ -156,12 +206,26 @@ pub(crate) fn run_pool(
 ) -> Vec<WorkerRecord> {
     let workers = workers.max(1);
     let mut deques: Vec<CachePadded<WorkerState>> = (0..workers)
-        .map(|_| CachePadded(WorkerState { ready: Mutex::new(VecDeque::new()) }))
+        .map(|_| {
+            CachePadded(WorkerState {
+                ready: Mutex::new(VecDeque::new()),
+                dist_ready: Mutex::new(Vec::new()),
+            })
+        })
         .collect();
     // Scatter the initially ready ops round-robin so workers start on
-    // distinct ops instead of brawling over one deque.
-    for (i, op) in ready0.into_iter().enumerate() {
-        deques[i % workers].0.ready.get_mut().expect("fresh lock").push_back(op);
+    // distinct ops instead of brawling over one deque; distributed ops
+    // are tokened to EVERY worker (each owns a home queue of the op).
+    let mut next = 0usize;
+    for op in ready0 {
+        if ops[op].queue.is_dist() {
+            for d in deques.iter_mut() {
+                d.0.dist_ready.get_mut().expect("fresh lock").push(op);
+            }
+        } else {
+            deques[next % workers].0.ready.get_mut().expect("fresh lock").push_back(op);
+            next += 1;
+        }
     }
     let shared = Shared {
         ops,
@@ -183,9 +247,13 @@ pub(crate) fn run_pool(
     })
 }
 
-/// Pops a token: own deque front first, then steal from the other
-/// workers' backs in ring order.
+/// Pops a token: own private dist list first (only this worker can
+/// drain those home queues), then own deque front, then steal from the
+/// other workers' backs in ring order.
 fn find_token(shared: &Shared<'_>, id: usize) -> Option<usize> {
+    if let Some(i) = shared.workers[id].0.dist_ready.lock().expect("dist list poisoned").pop() {
+        return Some(i);
+    }
     if let Some(i) = shared.workers[id].0.ready.lock().expect("deque poisoned").pop_front() {
         return Some(i);
     }
@@ -207,7 +275,7 @@ fn worker_loop(shared: &Shared<'_>, id: usize, kernel: &(dyn TaskKernel + Sync))
             if shared.all_done() {
                 return WorkerRecord { proc, timing };
             }
-            park(shared);
+            park(shared, id);
             continue;
         };
         run_op(shared, id, op_idx, kernel, &mut proc, &mut timing);
@@ -219,11 +287,13 @@ fn worker_loop(shared: &Shared<'_>, id: usize, kernel: &(dyn TaskKernel + Sync))
 /// read either bumps the sequence (we don't sleep) or was pushed by a
 /// producer that saw no sleepers — and our post-registration rescan
 /// is then guaranteed to see it.
-fn park(shared: &Shared<'_>) {
+fn park(shared: &Shared<'_>, id: usize) {
     let seq0 = { *shared.wake_seq.lock().expect("wake lock poisoned") };
     shared.sleepers.fetch_add(1, Ordering::SeqCst);
-    let visible_work = (0..shared.workers.len())
-        .any(|w| !shared.workers[w].0.ready.lock().expect("deque poisoned").is_empty());
+    let visible_work =
+        !shared.workers[id].0.dist_ready.lock().expect("dist list poisoned").is_empty()
+            || (0..shared.workers.len())
+                .any(|w| !shared.workers[w].0.ready.lock().expect("deque poisoned").is_empty());
     if !visible_work && !shared.all_done() {
         let mut seq = shared.wake_seq.lock().expect("wake lock poisoned");
         while *seq == seq0 && !shared.all_done() {
@@ -240,7 +310,8 @@ fn park(shared: &Shared<'_>) {
 /// each chunk contributes its mean at full weight.
 const SAMPLE_BUDGET: usize = 48;
 
-/// Claims and executes chunks of one op until its queue is drained.
+/// Claims and executes chunks of one op until this worker can get no
+/// more from it.
 fn run_op(
     shared: &Shared<'_>,
     id: usize,
@@ -249,18 +320,36 @@ fn run_op(
     proc: &mut ProcStats,
     timing: &mut OnlineStats,
 ) {
+    match &shared.ops[op_idx].queue {
+        OpQueue::Shared(q) => run_op_shared(shared, id, op_idx, q, kernel, proc, timing),
+        OpQueue::Dist(q) => run_op_dist(shared, id, op_idx, q, kernel, proc, timing),
+    }
+}
+
+/// The shared-queue claim loop: claim→execute against one central
+/// queue until the op is drained.
+#[allow(clippy::too_many_arguments)]
+fn run_op_shared(
+    shared: &Shared<'_>,
+    id: usize,
+    op_idx: usize,
+    queue: &ChunkQueue,
+    kernel: &(dyn TaskKernel + Sync),
+    proc: &mut ProcStats,
+    timing: &mut OnlineStats,
+) {
     let op = &shared.ops[op_idx];
-    let Some(first) = op.queue.claim() else {
+    let Some(first) = queue.claim() else {
         // Stale token: the op drained while this token circulated.
         return;
     };
     // Re-advertise the op before executing so idle workers can steal
     // into its remaining chunks; one push per op visit, not per chunk.
-    if op.queue.has_more() {
+    if queue.has_more() {
         shared.workers[id].0.ready.lock().expect("deque poisoned").push_back(op_idx);
         shared.signal(false);
     }
-    let adaptive = !op.queue.is_lock_free();
+    let adaptive = !queue.is_lock_free();
     let node = &shared.nodes[op.node];
     let mut chunk = first;
     let mut done = 0usize;
@@ -306,14 +395,14 @@ fn run_op(
             chunk_stats.observe_n(span_us / chunk.len as f64, chunk.len as u64);
         }
         if adaptive {
-            op.queue.observe_chunk(chunk.start, chunk.len, &chunk_stats);
+            queue.observe_chunk(chunk.start, chunk.len, &chunk_stats);
         }
         timing.merge(&chunk_stats);
         proc.tasks += chunk.len as u64;
         proc.chunks += 1;
         proc.busy += prev.duration_since(chunk_t0).as_secs_f64() * 1e6;
         done += chunk.len;
-        match op.queue.claim() {
+        match queue.claim() {
             Some(c) => chunk = c,
             None => break,
         }
@@ -327,29 +416,108 @@ fn run_op(
     }
 }
 
+/// The distributed-TAPER claim loop: this worker drains its own home
+/// queue (plus anything the coordinator migrates into it) and stops
+/// when a claim comes back empty — at which point its home queue can
+/// never refill, so the token is dropped for good. No re-advertising:
+/// every worker received its own token when the op became ready.
+///
+/// The control plane (chunk sizing, the migration gate) feeds on the
+/// tasks' deterministic cost hints inside [`DistQueue::claim`]; the
+/// wall-clock here only stamps epoch times and the worker's measured
+/// µ/σ, keeping scheduling decisions reproducible across runs.
+#[allow(clippy::too_many_arguments)]
+fn run_op_dist(
+    shared: &Shared<'_>,
+    id: usize,
+    _op_idx: usize,
+    queue: &DistQueue,
+    kernel: &(dyn TaskKernel + Sync),
+    proc: &mut ProcStats,
+    timing: &mut OnlineStats,
+) {
+    let op = &shared.ops[_op_idx];
+    let t0 = Instant::now();
+    let start_bits = us_since(shared.epoch, t0).to_bits();
+    let Some(first) = queue.claim(id, &op.costs, f64::from_bits(start_bits)) else {
+        // Empty home queue (stale token, or fewer tasks than workers).
+        return;
+    };
+    if op.started_bits.load(Ordering::Relaxed) > start_bits {
+        op.started_bits.fetch_min(start_bits, Ordering::AcqRel);
+    }
+    let node = &shared.nodes[op.node];
+    let mut chunk = first;
+    let mut done = 0usize;
+    let mut prev = t0;
+    loop {
+        let chunk_t0 = prev;
+        for &task in &chunk.tasks {
+            let ctx = TaskCtx { node, iter: op.iter, task, cost_hint: op.costs[task] };
+            let value = kernel.run_task(&ctx);
+            op.output[task].store(value.to_bits(), Ordering::Release);
+            op.executed[task].fetch_add(1, Ordering::Relaxed);
+        }
+        let now = Instant::now();
+        let span_us = now.duration_since(prev).as_secs_f64() * 1e6;
+        prev = now;
+        timing.observe_n(span_us / chunk.tasks.len() as f64, chunk.tasks.len() as u64);
+        proc.tasks += chunk.tasks.len() as u64;
+        proc.chunks += 1;
+        proc.busy += prev.duration_since(chunk_t0).as_secs_f64() * 1e6;
+        done += chunk.tasks.len();
+        match queue.claim(id, &op.costs, us_since(shared.epoch, prev)) {
+            Some(c) => chunk = c,
+            None => break,
+        }
+    }
+    let t_end = us_since(shared.epoch, prev);
+    proc.free_at = proc.free_at.max(t_end);
+    if op.outstanding.fetch_sub(done, Ordering::AcqRel) == done {
+        complete_op(shared, id, op, t_end);
+    }
+}
+
 /// Runs exactly once per op (by whichever worker drops `outstanding`
 /// to zero): stamps the finish, enables dependents, and counts the op
 /// as completed — broadcasting only when it was the last one.
 fn complete_op(shared: &Shared<'_>, id: usize, op: &OpInstance, t_end: f64) {
     op.finished_bits.fetch_min(t_end.to_bits(), Ordering::AcqRel);
-    let mut newly_ready = 0usize;
-    if !op.dependents.is_empty() {
-        let mut own = None;
-        for &d in &op.dependents {
-            if shared.ops[d].deps.fetch_sub(1, Ordering::AcqRel) == 1 {
-                // Newly enabled: push to our own deque (front — it is
-                // the hottest work we know of) and let thieves spread
-                // it.
-                own.get_or_insert_with(|| {
-                    shared.workers[id].0.ready.lock().expect("deque poisoned")
-                })
-                .push_front(d);
-                newly_ready += 1;
+    // Collect the newly enabled dependents first, then publish their
+    // tokens one lock at a time — dist enabling locks every worker's
+    // token list, and nesting those inside a deque lock would invite a
+    // lock-order cycle with concurrent completers.
+    let mut newly_shared: Vec<usize> = Vec::new();
+    let mut newly_dist: Vec<usize> = Vec::new();
+    for &d in &op.dependents {
+        if shared.ops[d].deps.fetch_sub(1, Ordering::AcqRel) == 1 {
+            if shared.ops[d].queue.is_dist() {
+                newly_dist.push(d);
+            } else {
+                newly_shared.push(d);
             }
         }
     }
+    if !newly_shared.is_empty() {
+        // Push to our own deque (front — it is the hottest work we
+        // know of) and let thieves spread it.
+        let mut own = shared.workers[id].0.ready.lock().expect("deque poisoned");
+        for &d in &newly_shared {
+            own.push_front(d);
+        }
+    }
+    // A dist op needs every worker at its own home queue: token all of
+    // them (migration-aware wakeup — even a worker with no shared work
+    // must rise for its home block).
+    for w in shared.workers.iter() {
+        if newly_dist.is_empty() {
+            break;
+        }
+        w.0.dist_ready.lock().expect("dist list poisoned").extend_from_slice(&newly_dist);
+    }
+    let newly_ready = newly_shared.len() + newly_dist.len();
     if newly_ready > 0 {
-        shared.signal(newly_ready > 1);
+        shared.signal(newly_ready > 1 || !newly_dist.is_empty());
     }
     if shared.completed.fetch_add(1, Ordering::SeqCst) + 1 == shared.ops.len() {
         // Last op: wake every sleeper so the pool can exit. Bump the

@@ -13,9 +13,10 @@
 //!   observed task times (self-scheduling, GSS, factoring) declare it
 //!   up front via [`ChunkPolicy::fixed_schedule`]. The queue
 //!   precomputes the chunk boundaries and a claim is one
-//!   `fetch_add` on an atomic cursor: no lock anywhere on the
-//!   per-task or per-chunk hot path, and task-time feedback is a
-//!   no-op.
+//!   check-then-claim `compare_exchange` on an atomic cursor: no lock
+//!   anywhere on the per-task or per-chunk hot path, task-time
+//!   feedback is a no-op, and a claim on an exhausted queue is a pure
+//!   load (stale steal attempts never write the contended line).
 //! * **Adaptive** — TAPER resizes chunks from live µ/σ samples, so its
 //!   policy object sits behind a mutex; the critical section is one
 //!   `next_chunk` call per claim plus one batched
@@ -57,8 +58,10 @@ enum Mode {
 /// Claim-next-chunk queue over one operation's iteration space.
 pub struct ChunkQueue {
     mode: Mode,
-    /// Tasks not yet handed out (hint for [`Self::has_more`]; the
-    /// fixed path derives it from the cursor instead).
+    /// Tasks not yet handed out (hint for [`Self::has_more`]), kept in
+    /// sync *inside* the adaptive claim's critical section; the fixed
+    /// path derives the hint from the cursor instead and never touches
+    /// this.
     remaining_hint: AtomicUsize,
     chunks: AtomicU64,
     total: usize,
@@ -101,9 +104,26 @@ impl ChunkQueue {
     pub fn claim(&self) -> Option<Chunk> {
         let chunk = match &self.mode {
             Mode::Fixed { bounds, cursor } => {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i + 1 >= bounds.len() {
-                    return None;
+                // Check-then-claim: the cursor never advances past the
+                // chunk count, so a post-exhaustion claim (a stale
+                // steal attempt) is a single load — no `fetch_add`
+                // hammering the contended cache line, and no unbounded
+                // cursor growth.
+                let n_chunks = bounds.len() - 1;
+                let mut i = cursor.load(Ordering::Relaxed);
+                loop {
+                    if i >= n_chunks {
+                        return None;
+                    }
+                    match cursor.compare_exchange_weak(
+                        i,
+                        i + 1,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => break,
+                        Err(seen) => i = seen,
+                    }
                 }
                 Chunk { start: bounds[i], len: bounds[i + 1] - bounds[i] }
             }
@@ -116,11 +136,14 @@ impl ChunkQueue {
                 let k = s.policy.next_chunk(next, remaining, self.workers).clamp(1, remaining);
                 s.next += k;
                 s.remaining -= k;
+                // The hint update stays inside the critical section:
+                // once the final chunk has been handed out (lock
+                // released with `remaining == 0`), no observer can
+                // read a stale `has_more() == true`.
+                self.remaining_hint.store(s.remaining, Ordering::Release);
                 Chunk { start: next, len: k }
             }
         };
-        // Hints and counters live outside any critical section.
-        self.remaining_hint.fetch_sub(chunk.len, Ordering::Relaxed);
         self.chunks.fetch_add(1, Ordering::Relaxed);
         Some(chunk)
     }
@@ -139,10 +162,25 @@ impl ChunkQueue {
     /// Whether unclaimed chunks probably remain (a racy hint: workers
     /// use it to decide if an operation is worth advertising to
     /// thieves; exactness is guaranteed by [`Self::claim`], not here).
+    /// One direction *is* exact: once the final chunk has been handed
+    /// out, this never reports `true` again — the fixed cursor is
+    /// capped at the chunk count, and the adaptive hint is updated
+    /// inside the claim's critical section.
     pub fn has_more(&self) -> bool {
         match &self.mode {
             Mode::Fixed { bounds, cursor } => cursor.load(Ordering::Relaxed) + 1 < bounds.len(),
-            Mode::Adaptive(_) => self.remaining_hint.load(Ordering::Relaxed) > 0,
+            Mode::Adaptive(_) => self.remaining_hint.load(Ordering::Acquire) > 0,
+        }
+    }
+
+    /// The fixed-mode claim cursor (number of claims that advanced
+    /// it), or `None` for adaptive queues. Exposed so stress tests can
+    /// assert that post-exhaustion claim storms do not grow the
+    /// cursor beyond the chunk count.
+    pub fn fixed_cursor(&self) -> Option<usize> {
+        match &self.mode {
+            Mode::Fixed { cursor, .. } => Some(cursor.load(Ordering::Relaxed)),
+            Mode::Adaptive(_) => None,
         }
     }
 
@@ -266,5 +304,40 @@ mod tests {
         for _ in 0..10 {
             assert_eq!(q.claim(), None);
         }
+    }
+
+    #[test]
+    fn fixed_cursor_capped_at_chunk_count() {
+        let q = ChunkQueue::new(PolicyKind::SelfSched.instantiate(5), 5, 2);
+        let mut n = 0usize;
+        while q.claim().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 5);
+        assert_eq!(q.fixed_cursor(), Some(5));
+        // Post-exhaustion claims must not advance the cursor at all.
+        for _ in 0..1000 {
+            assert_eq!(q.claim(), None);
+        }
+        assert_eq!(q.fixed_cursor(), Some(5), "stale claims grew the cursor");
+        // Adaptive queues have no fixed cursor.
+        assert_eq!(ChunkQueue::new(PolicyKind::Taper.instantiate(5), 5, 2).fixed_cursor(), None);
+    }
+
+    #[test]
+    fn adaptive_has_more_false_once_final_chunk_handed_out() {
+        // Single-threaded version of the invariant (the concurrent
+        // storm lives in tests/sched_stress.rs): after each claim,
+        // `has_more` must agree with whether the claim drained the
+        // queue — the hint is updated inside the critical section, so
+        // there is no window where the final chunk is out but the
+        // hint still says more work exists.
+        let q = ChunkQueue::new(PolicyKind::Taper.instantiate(100), 100, 4);
+        let mut handed = 0usize;
+        while let Some(c) = q.claim() {
+            handed += c.len;
+            assert_eq!(q.has_more(), handed < 100, "hint diverges at {handed}/100");
+        }
+        assert!(!q.has_more());
     }
 }

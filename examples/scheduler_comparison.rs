@@ -10,7 +10,7 @@
 use orchestra_delirium::{DataAnno, DelirGraph, NodeKind};
 use orchestra_machine::{CostDistribution, MachineConfig};
 use orchestra_runtime::executor::{execute_graph, ExecutorOptions};
-use orchestra_runtime::threaded::{execute_threaded, SpinKernel};
+use orchestra_runtime::threaded::{execute_threaded, ExecutorBackend, SpinKernel};
 use orchestra_runtime::{simulate_dist_taper, simulate_policy, OpOptions, PolicyKind};
 
 fn main() {
@@ -104,6 +104,23 @@ fn simulated_vs_measured() {
             real.wall_us / 1000.0,
         );
     }
+    // Distributed TAPER on real threads: per-worker home queues with
+    // epoch-token migration instead of a shared claim queue.
+    let opts = ExecutorOptions {
+        backend: ExecutorBackend::ThreadedDist,
+        threads,
+        ..ExecutorOptions::default()
+    };
+    let real = execute_threaded(&g, &opts, &kernel).expect("valid graph");
+    println!(
+        "{:<22} {:>13} {:>12.2}x {:>12.1}   locality {:.0}%, re-assignments {}",
+        "dist-TAPER (threads)",
+        "-",
+        real.measured_speedup(),
+        real.wall_us / 1000.0,
+        real.locality * 100.0,
+        real.reassignments,
+    );
     println!(
         "  (measured speedup = Σ worker busy time / wall time; both runs\n   \
          schedule the same cost populations through the same policies)"

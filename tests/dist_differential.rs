@@ -1,0 +1,195 @@
+//! Differential tests pinning the threaded distributed-TAPER backend
+//! against the invariants the simulator's
+//! [`DistResult`](orchestra_runtime::DistResult) establishes:
+//! exactly-once execution, locality ∈ [0,1], zero re-assignments on
+//! uniform-cost workloads (the cv gate), forced migration on
+//! concentrated ones, and monotone epoch times. Outputs are compared
+//! bitwise against the independent sequential reference on every graph
+//! shape, exactly like the shared-queue differential suite.
+
+use orchestra_delirium::{DataAnno, DelirGraph, NodeKind, Population};
+use orchestra_runtime::executor::ExecutorOptions;
+use orchestra_runtime::threaded::{
+    execute_sequential, execute_threaded, ExecutorBackend, SpinKernel, ThreadedRun,
+};
+
+fn dist_opts(threads: usize) -> ExecutorOptions {
+    ExecutorOptions {
+        backend: ExecutorBackend::ThreadedDist,
+        threads,
+        ..ExecutorOptions::default()
+    }
+}
+
+/// Runs the graph under threaded dist-TAPER and checks every invariant
+/// that must hold regardless of workload shape; returns the run for
+/// shape-specific assertions.
+fn run_and_check(g: &DelirGraph, opts: &ExecutorOptions, label: &str) -> ThreadedRun {
+    let kernel = SpinKernel::with_scale(2.0);
+    let seq = execute_sequential(g, opts, &kernel).expect("sequential reference");
+    let thr = execute_threaded(g, opts, &kernel).expect("dist-TAPER run");
+    for (op, counts) in thr.ops.iter().zip(&thr.exec_counts) {
+        assert!(
+            counts.iter().all(|&c| c == 1),
+            "{label}: op {} has a task executed != once under migration",
+            op.name
+        );
+    }
+    assert_eq!(seq.outputs.len(), thr.outputs.len(), "{label}: op count");
+    for (i, (a, b)) in seq.outputs.iter().zip(&thr.outputs).enumerate() {
+        assert_eq!(a, b, "{label}: op {} buffers diverge", seq.op_names[i]);
+    }
+    assert!(
+        (0.0..=1.0).contains(&thr.locality),
+        "{label}: locality {} outside [0,1]",
+        thr.locality
+    );
+    for op in &thr.ops {
+        assert!(
+            op.epoch_times_us.windows(2).all(|w| w[0] <= w[1]),
+            "{label}: op {} epoch times not monotone: {:?}",
+            op.name,
+            op.epoch_times_us
+        );
+        assert_eq!(op.epochs, op.epoch_times_us.len(), "{label}: epoch count mismatch");
+    }
+    thr
+}
+
+/// One wide uniform op: cv = 0, so the gate must stay shut.
+fn flat_graph(tasks: usize) -> DelirGraph {
+    let mut g = DelirGraph::new();
+    g.add_node("flat", NodeKind::DataParallel { tasks, mean_cost: 3.0, cv: 0.0 }, None);
+    g
+}
+
+/// Task → two parallel ops → merge: dist ops behind dependencies, so
+/// enabling must token every worker (the migration-aware wakeup path).
+fn dag_graph() -> DelirGraph {
+    let mut g = DelirGraph::new();
+    let src = g.add_node("src", NodeKind::Task { cost: 2.0 }, None);
+    let a = g.add_node("A", NodeKind::DataParallel { tasks: 96, mean_cost: 2.0, cv: 0.6 }, None);
+    let b = g.add_node("B", NodeKind::DataParallel { tasks: 64, mean_cost: 3.0, cv: 0.3 }, None);
+    let sink = g.add_node("sink", NodeKind::Merge { cost: 1.0 }, None);
+    g.add_edge(src, a, DataAnno::array("xa", 96));
+    g.add_edge(src, b, DataAnno::array("xb", 64));
+    g.add_edge(a, sink, DataAnno::array("ra", 96));
+    g.add_edge(b, sink, DataAnno::array("rb", 64));
+    g
+}
+
+/// A pipeline group with a carried edge, unrolled over 4 iterations:
+/// many small dist-op instances racing through the enable path.
+fn pipeline_graph() -> (DelirGraph, ExecutorOptions) {
+    let mut g = DelirGraph::new();
+    let ai = g.add_node(
+        "A_I",
+        NodeKind::DataParallel { tasks: 24, mean_cost: 2.0, cv: 0.4 },
+        Some("A".into()),
+    );
+    let ad = g.add_node(
+        "A_D",
+        NodeKind::DataParallel { tasks: 8, mean_cost: 2.0, cv: 0.4 },
+        Some("A".into()),
+    );
+    let am = g.add_node("A_M", NodeKind::Merge { cost: 1.0 }, Some("A".into()));
+    g.add_edge(ai, am, DataAnno::array("r1", 24));
+    g.add_edge(ad, am, DataAnno::array("r2", 8));
+    g.add_carried_edge(am, ad, DataAnno::array("q", 8));
+    let mut opts = dist_opts(2);
+    opts.pipeline_iters.insert("A".into(), 4);
+    (g, opts)
+}
+
+/// A two-population mixture whose heavy tasks interleave into the low
+/// indices — i.e. into worker 0's home block — while the cost mixture
+/// drives cv far above the gate. Worker 1 races through its light home
+/// and must force the coordinator to re-assign worker 0's unstarted
+/// work.
+fn skewed_graph() -> DelirGraph {
+    let mut g = DelirGraph::new();
+    g.add_node(
+        "skew",
+        NodeKind::Mixture {
+            populations: vec![
+                Population { tasks: 32, mean_cost: 400.0, cv: 0.0 },
+                Population { tasks: 224, mean_cost: 1.0, cv: 0.0 },
+            ],
+        },
+        None,
+    );
+    g
+}
+
+#[test]
+fn uniform_costs_zero_migration_all_thread_counts() {
+    for threads in [1, 2, 4] {
+        let g = flat_graph(400);
+        let opts = dist_opts(threads);
+        let thr = run_and_check(&g, &opts, &format!("uniform/{threads}t"));
+        // The cv gate: uniform costs show no imbalance, so the root
+        // must never re-assign and every task stays home.
+        assert_eq!(thr.reassignments, 0, "{threads}t: re-assigned uniform work");
+        assert_eq!(thr.migrated_tasks, 0, "{threads}t: migrated uniform work");
+        assert!((thr.locality - 1.0).abs() < 1e-12, "{threads}t: locality {}", thr.locality);
+    }
+}
+
+#[test]
+fn dag_shape_exactly_once() {
+    for threads in [2, 4] {
+        let g = dag_graph();
+        let thr = run_and_check(&g, &dist_opts(threads), &format!("dag/{threads}t"));
+        assert_eq!(thr.stats.total_tasks(), 96 + 64 + 2);
+    }
+}
+
+#[test]
+fn pipeline_shape_exactly_once() {
+    let (g, opts) = pipeline_graph();
+    run_and_check(&g, &opts, "pipeline");
+}
+
+#[test]
+fn forced_migration_reassigns_and_stays_exactly_once() {
+    let g = skewed_graph();
+    let thr = run_and_check(&g, &dist_opts(2), "skewed/2t");
+    assert!(
+        thr.reassignments >= 1,
+        "concentrated costs must trigger re-assignment, got {}",
+        thr.reassignments
+    );
+    assert!(thr.migrated_tasks > 0, "re-assignment without migrated tasks");
+    assert!(thr.locality < 1.0, "migration must show in locality, got {}", thr.locality);
+    assert!(thr.locality >= 0.0);
+    // The metrics surface per op too.
+    let op = &thr.ops[0];
+    assert_eq!(op.reassignments, thr.reassignments);
+    assert_eq!(op.migrated, thr.migrated_tasks);
+}
+
+#[test]
+fn skewed_graph_repeated_runs_stay_sound() {
+    // Migration timing varies run to run; exactly-once and bitwise
+    // equality must not.
+    let g = skewed_graph();
+    for round in 0..3 {
+        run_and_check(&g, &dist_opts(2), &format!("skewed round {round}"));
+    }
+}
+
+#[test]
+fn shared_backend_reports_no_dist_metrics() {
+    let g = flat_graph(200);
+    let opts = ExecutorOptions {
+        backend: ExecutorBackend::Threaded,
+        threads: 2,
+        ..ExecutorOptions::default()
+    };
+    let kernel = SpinKernel::with_scale(2.0);
+    let thr = execute_threaded(&g, &opts, &kernel).expect("shared run");
+    assert_eq!(thr.reassignments, 0);
+    assert_eq!(thr.migrated_tasks, 0);
+    assert!((thr.locality - 1.0).abs() < 1e-12);
+    assert!(thr.ops.iter().all(|o| o.epochs == 0 && o.epoch_times_us.is_empty()));
+}

@@ -85,6 +85,51 @@ fn contended_wide_dag_every_policy() {
     }
 }
 
+/// A claim storm against an already-exhausted queue: stale tokens keep
+/// circulating after an op drains, so `claim()` on an empty queue is a
+/// real hot path, not an error path. N thief threads spin `claim()`
+/// thousands of times on a drained queue in both modes — every call
+/// must return `None`, `has_more()` must never flip back to `true`,
+/// the fixed-mode cursor must not creep past the chunk count, and the
+/// chunk counter must not grow.
+#[test]
+fn post_exhaustion_claim_storm() {
+    use orchestra_runtime::threaded::queue::ChunkQueue;
+    use std::sync::Arc;
+    const TASKS: usize = 512;
+    const SPINS: usize = 5_000;
+    // Gss takes the lock-free fixed path, Taper the mutex'd adaptive
+    // path; the exhaustion boundary is different code in each.
+    for policy in [PolicyKind::Gss, PolicyKind::Taper] {
+        let q = Arc::new(ChunkQueue::new(policy.instantiate(TASKS), TASKS, WORKERS));
+        let mut drained = 0usize;
+        while let Some(c) = q.claim() {
+            drained += c.len;
+        }
+        assert_eq!(drained, TASKS, "{}: queue drained exactly once", policy.name());
+        assert!(!q.has_more(), "{}: exhausted queue advertises work", policy.name());
+        let cursor0 = q.fixed_cursor();
+        let chunks0 = q.chunks_claimed();
+        let handles: Vec<_> = (0..WORKERS)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for _ in 0..SPINS {
+                        assert!(q.claim().is_none(), "claim on an exhausted queue");
+                        assert!(!q.has_more(), "has_more true after the final chunk");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("thief thread panicked");
+        }
+        assert_eq!(q.fixed_cursor(), cursor0, "{}: cursor grew on stale claims", policy.name());
+        assert_eq!(q.chunks_claimed(), chunks0, "{}: chunk counter grew", policy.name());
+        assert!(!q.has_more());
+    }
+}
+
 /// Repeated runs of the highest-churn configuration: self-scheduling
 /// hands out 12k size-1 chunks to 8 workers, so any rare interleaving
 /// bug (lost wakeup, double claim at the exhaustion boundary) gets
