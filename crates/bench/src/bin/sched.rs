@@ -14,30 +14,40 @@
 //!   shapes at 4 workers;
 //! * **dist-TAPER** — the distributed home-queue backend against the
 //!   shared queue on a uniform and a skewed workload, recording wall
-//!   time, locality, re-assignments, migrated tasks, and epochs.
+//!   time, locality, re-assignments (total and cross-node), migrated
+//!   tasks, and epochs;
+//! * **steals** — the DAG shape under hierarchical vs ring steal
+//!   order at 4 and 8 workers, bucketing successful steals by machine
+//!   distance (SMT sibling / same node / remote) and counting tokens
+//!   taken by remote steal batching.
 //!
 //! Each run also records a host fingerprint (cpu model, core count,
-//! OS/arch), so `BENCH_threaded.json` baselines from different
-//! machines are distinguishable.
+//! OS/arch) plus the probed machine topology, so `BENCH_threaded.json`
+//! baselines from different machines are distinguishable.
 //!
 //! ```text
 //! cargo run --release -p orchestra-bench --bin sched -- \
-//!     [--quick] [--label NAME] [--out PATH]
+//!     [--quick] [--label NAME] [--out PATH] [--normalize]
 //! ```
 //!
 //! Runs merge into the output file under their label, so a PR records
 //! `{"before": …, "after": …}` by running the binary at both commits
-//! with the two labels.
+//! with the two labels. Merging re-parses every existing run block and
+//! re-emits the whole file in one normal form, so merging is
+//! idempotent; `--normalize` rewrites the file into that form without
+//! measuring anything.
 
 use orchestra_delirium::{DataAnno, DelirGraph, NodeKind, Population};
 use orchestra_runtime::executor::ExecutorOptions;
 use orchestra_runtime::stats::OnlineStats;
 use orchestra_runtime::threaded::queue::ChunkQueue;
 use orchestra_runtime::threaded::{execute_threaded, ExecutorBackend, SpinKernel};
-use orchestra_runtime::PolicyKind;
+use orchestra_runtime::{CpuTopology, PolicyKind, StealOrder, StealStats};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::time::Instant;
+
+const SCHEMA: &str = "orchestra-sched-bench/v3";
 
 const POLICIES: [PolicyKind; 5] = [
     PolicyKind::SelfSched,
@@ -150,8 +160,16 @@ struct DistRow {
     shared_wall_us: f64,
     locality: f64,
     reassignments: u64,
+    remote_reassignments: u64,
     migrated: u64,
     epochs: usize,
+}
+
+/// Steal-distance counters for one (steal order, worker count) cell,
+/// accumulated over the measurement reps.
+struct StealRow {
+    steal: StealStats,
+    pinned_workers: usize,
 }
 
 struct RunResults {
@@ -162,6 +180,8 @@ struct RunResults {
     graph_wall_us: BTreeMap<&'static str, PolicyMap>,
     /// workload → dist-vs-shared comparison at 4 workers.
     dist: BTreeMap<&'static str, DistRow>,
+    /// "order/wN" → steal-distance counters on the DAG shape.
+    steals: BTreeMap<String, StealRow>,
 }
 
 /// A uniform-cost flat op: the cv gate must keep the dist coordinator
@@ -212,6 +232,7 @@ fn measure_dist(g: &DelirGraph, workers: usize, kernel: &SpinKernel, reps: usize
                 shared_wall_us: f64::INFINITY,
                 locality: run.locality,
                 reassignments: run.reassignments,
+                remote_reassignments: run.remote_reassignments,
                 migrated: run.migrated_tasks,
                 epochs: run.ops.iter().map(|o| o.epochs).sum(),
             });
@@ -278,7 +299,36 @@ fn measure(scale: &Scale) -> RunResults {
         dist.insert(wl, row);
     }
 
-    RunResults { claim_ns_per_task: claim, tasks_per_sec: tps, graph_wall_us: shapes, dist }
+    // Steal-distance profile: the DAG shape exercises token stealing
+    // (a completer enqueues newly-enabled ops locally; everyone else
+    // must steal into them). Counters accumulate over the reps — a
+    // profile, not a race — under both steal orders. On a single-CPU
+    // host every worker shares one core, so all steals land in the
+    // sibling bucket and batching stays zero: the fallback path.
+    let mut steals: BTreeMap<String, StealRow> = BTreeMap::new();
+    let kernel = SpinKernel::with_scale(8.0);
+    for (order, oname) in [(StealOrder::Hierarchical, "hierarchical"), (StealOrder::Ring, "ring")] {
+        for w in [4usize, 8] {
+            let opts = ExecutorOptions { threads: w, steal_order: order, ..Default::default() };
+            let mut row = StealRow { steal: StealStats::new(), pinned_workers: 0 };
+            for _ in 0..scale.reps {
+                let run = execute_threaded(&dag, &opts, &kernel).expect("bench graph valid");
+                row.steal.merge(&run.steal);
+                row.pinned_workers = row.pinned_workers.max(run.pinned_workers);
+            }
+            eprintln!(
+                "steals {oname:<13} w={w} total={:4} sib={:4} node={:4} remote={:4} batched={:4}",
+                row.steal.steals,
+                row.steal.sibling_steals,
+                row.steal.node_steals,
+                row.steal.remote_steals,
+                row.steal.batched_tokens
+            );
+            steals.insert(format!("{oname}/w{w}"), row);
+        }
+    }
+
+    RunResults { claim_ns_per_task: claim, tasks_per_sec: tps, graph_wall_us: shapes, dist, steals }
 }
 
 /// The machine running this benchmark: cpu model (from
@@ -311,11 +361,17 @@ fn json_f64(x: f64) -> String {
 fn render_run(r: &RunResults, quick: bool) -> String {
     let mut s = String::new();
     let (cpu, cores, os) = host_fingerprint();
+    let topo = CpuTopology::probe().fingerprint();
     let _ = writeln!(s, "{{");
     let _ = writeln!(
         s,
         "      \"host\": {{\"cpu\": \"{}\", \"cores\": {cores}, \"os\": \"{os}\"}},",
         cpu.replace('"', "'")
+    );
+    let _ = writeln!(
+        s,
+        "      \"topology\": {{\"source\": \"{}\", \"nodes\": {}, \"packages\": {}, \"cores\": {}, \"cpus\": {}}},",
+        topo.source, topo.nodes, topo.packages, topo.cores, topo.cpus
     );
     let _ = writeln!(s, "      \"cores_available\": {cores},");
     let _ = writeln!(s, "      \"quick\": {quick},");
@@ -356,13 +412,32 @@ fn render_run(r: &RunResults, quick: bool) -> String {
         let comma = if i + 1 < nd { "," } else { "" };
         let _ = writeln!(
             s,
-            "        \"{wl}\": {{\"wall_us\": {}, \"shared_wall_us\": {}, \"locality\": {:.4}, \"reassignments\": {}, \"migrated\": {}, \"epochs\": {}}}{comma}",
+            "        \"{wl}\": {{\"wall_us\": {}, \"shared_wall_us\": {}, \"locality\": {:.4}, \"reassignments\": {}, \"remote_reassignments\": {}, \"migrated\": {}, \"epochs\": {}}}{comma}",
             json_f64(row.wall_us),
             json_f64(row.shared_wall_us),
             row.locality,
             row.reassignments,
+            row.remote_reassignments,
             row.migrated,
             row.epochs
+        );
+    }
+    let _ = writeln!(s, "      }},");
+    let _ = writeln!(s, "      \"steals\": {{");
+    let nst = r.steals.len();
+    for (i, (key, row)) in r.steals.iter().enumerate() {
+        let comma = if i + 1 < nst { "," } else { "" };
+        let st = &row.steal;
+        let _ = writeln!(
+            s,
+            "        \"{key}\": {{\"steals\": {}, \"sibling\": {}, \"node\": {}, \"remote\": {}, \"batched_tokens\": {}, \"mean_distance\": {:.3}, \"pinned_workers\": {}}}{comma}",
+            st.steals,
+            st.sibling_steals,
+            st.node_steals,
+            st.remote_steals,
+            st.batched_tokens,
+            st.mean_distance(),
+            row.pinned_workers
         );
     }
     let _ = writeln!(s, "      }}");
@@ -370,66 +445,129 @@ fn render_run(r: &RunResults, quick: bool) -> String {
     s
 }
 
-/// Removes an existing `"label": { … }` block (plus its separating
-/// comma) from the runs object, by brace matching on our own format.
-fn strip_label(body: &str, label: &str) -> String {
-    let needle = format!("\"{label}\": {{");
-    let Some(start) = body.find(&needle) else {
-        return body.to_string();
-    };
-    let open = start + needle.len() - 1;
-    let mut depth = 0usize;
-    let mut end = open;
-    for (i, ch) in body[open..].char_indices() {
-        match ch {
-            '{' => depth += 1,
-            '}' => {
-                depth -= 1;
-                if depth == 0 {
-                    end = open + i + 1;
-                    break;
+/// Extracts every `"label": { … }` block at the top level of the runs
+/// object, in file order, by string-aware brace matching: braces
+/// inside quoted values (cpu model names, say) don't confuse the
+/// match, and whatever separators sat between blocks — including the
+/// stray blank lines older versions of this binary left behind — are
+/// discarded, since the whole file is re-emitted in one normal form.
+fn parse_runs(body: &str) -> Vec<(String, String)> {
+    let bytes = body.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        if bytes[i] != b'"' {
+            i += 1;
+            continue;
+        }
+        let Some(close) = body[i + 1..].find('"').map(|o| i + 1 + o) else {
+            break;
+        };
+        let label = body[i + 1..close].to_string();
+        let mut k = close + 1;
+        while k < bytes.len() && bytes[k].is_ascii_whitespace() {
+            k += 1;
+        }
+        if k >= bytes.len() || bytes[k] != b':' {
+            i = close + 1;
+            continue;
+        }
+        k += 1;
+        while k < bytes.len() && bytes[k].is_ascii_whitespace() {
+            k += 1;
+        }
+        if k >= bytes.len() || bytes[k] != b'{' {
+            i = close + 1;
+            continue;
+        }
+        let start = k;
+        let (mut depth, mut in_str, mut esc) = (0u32, false, false);
+        let mut end = start;
+        while k < bytes.len() {
+            let c = bytes[k];
+            if in_str {
+                if esc {
+                    esc = false;
+                } else if c == b'\\' {
+                    esc = true;
+                } else if c == b'"' {
+                    in_str = false;
+                }
+            } else {
+                match c {
+                    b'"' => in_str = true,
+                    b'{' => depth += 1,
+                    b'}' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            end = k + 1;
+                            break;
+                        }
+                    }
+                    _ => {}
                 }
             }
-            _ => {}
+            k += 1;
         }
+        if end == start {
+            break; // unterminated block: drop it rather than loop
+        }
+        out.push((label, body[start..end].to_string()));
+        i = end;
     }
-    let mut head = body[..start].trim_end().to_string();
-    let tail = body[end..].trim_start_matches([',', '\n', ' ']);
-    if head.ends_with(',') && tail.is_empty() {
-        head.pop();
-    }
-    format!("{head}\n    {tail}")
+    out
 }
 
-fn emit(path: &str, label: &str, run_json: &str) {
+/// Loads the labelled run blocks already in `path` (empty when the
+/// file is missing or holds no runs object).
+fn load_runs(path: &str) -> Vec<(String, String)> {
     let runs_open = "\"runs\": {";
-    let existing = std::fs::read_to_string(path).ok();
-    let body = match &existing {
-        Some(text) if text.contains(runs_open) => {
-            let start = text.find(runs_open).expect("checked") + runs_open.len();
-            let end = text.rfind("\n  }").expect("malformed runs object");
-            strip_label(&text[start..end], label)
-        }
-        _ => String::new(),
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
     };
-    let sep =
-        if body.trim().is_empty() { String::new() } else { format!("{},\n", body.trim_end()) };
-    let out = format!(
-        "{{\n  \"schema\": \"orchestra-sched-bench/v2\",\n  \"runs\": {{\n    {sep}\"{label}\": {run_json}\n  }}\n}}\n"
-    );
+    match text.find(runs_open) {
+        Some(at) => parse_runs(&text[at + runs_open.len()..]),
+        None => Vec::new(),
+    }
+}
+
+/// Writes the whole file in normal form: schema header, then each run
+/// block at a fixed indent with single-comma separators. Because every
+/// write goes through this one serializer, merge → parse → merge is a
+/// fixed point (idempotent), whatever state the input file was in.
+fn emit(path: &str, runs: &[(String, String)]) {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{\n  \"schema\": \"{SCHEMA}\",\n  \"runs\": {{");
+    for (i, (label, block)) in runs.iter().enumerate() {
+        let comma = if i + 1 < runs.len() { "," } else { "" };
+        let _ = writeln!(out, "    \"{label}\": {}{comma}", block.trim_end());
+    }
+    out.push_str("  }\n}\n");
     std::fs::write(path, out).expect("write bench output");
-    eprintln!("wrote {path} (label \"{label}\")");
+}
+
+/// Replaces `label`'s block (or appends it) and rewrites the file.
+fn merge(path: &str, label: &str, run_json: &str) {
+    let mut runs = load_runs(path);
+    match runs.iter_mut().find(|(l, _)| l == label) {
+        Some((_, block)) => *block = run_json.to_string(),
+        None => runs.push((label.to_string(), run_json.to_string())),
+    }
+    emit(path, &runs);
+    eprintln!("wrote {path} (label \"{label}\", {} run(s))", runs.len());
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
+    let mut normalize = false;
     let mut label = "current".to_string();
     let mut out = "BENCH_threaded.json".to_string();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => quick = true,
+            "--normalize" => normalize = true,
             "--label" => label = it.next().expect("--label NAME").clone(),
             "--out" => out = it.next().expect("--out PATH").clone(),
             other => {
@@ -438,7 +576,15 @@ fn main() {
             }
         }
     }
+    if normalize {
+        // Re-emit the existing file in normal form without measuring:
+        // cleans up output from older versions of this binary.
+        let runs = load_runs(&out);
+        emit(&out, &runs);
+        eprintln!("normalized {out} ({} run(s))", runs.len());
+        return;
+    }
     let scale = Scale::new(quick);
     let results = measure(&scale);
-    emit(&out, &label, &render_run(&results, quick));
+    merge(&out, &label, &render_run(&results, quick));
 }

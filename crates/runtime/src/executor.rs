@@ -19,6 +19,7 @@ use crate::chunking::PolicyKind;
 use crate::finish::OpSpec;
 use crate::granularity::{choose_batch, pipelined_stage_time};
 use crate::par_op::{simulate_policy, OpOptions};
+use crate::threaded::topology::{StealOrder, TopologyMode};
 use crate::threaded::ExecutorBackend;
 use orchestra_delirium::{DelirGraph, NodeId, NodeKind};
 use orchestra_machine::{CostDistribution, MachineConfig};
@@ -50,6 +51,19 @@ pub struct ExecutorOptions {
     /// available parallelism). Ignored by the simulator, which sizes
     /// itself from [`MachineConfig::processors`].
     pub threads: usize,
+    /// Pin each worker thread to its topology-assigned CPU
+    /// (`sched_setaffinity`; best-effort, off by default). The
+    /// `ORCHESTRA_PIN_WORKERS` environment variable (any value but
+    /// `"0"`) forces this on. Ignored by the simulator.
+    pub pin_workers: bool,
+    /// The machine layout the threaded backend schedules against:
+    /// probe the host, or a deterministic synthetic machine for tests.
+    /// Ignored by the simulator.
+    pub topology: TopologyMode,
+    /// Work-steal victim order for the threaded pool: hierarchical
+    /// (sibling → node → remote, the default) or the legacy ring.
+    /// Ignored by the simulator.
+    pub steal_order: StealOrder,
 }
 
 impl Default for ExecutorOptions {
@@ -64,6 +78,9 @@ impl Default for ExecutorOptions {
             seed: 0x5eed,
             backend: ExecutorBackend::Simulated,
             threads: 0,
+            pin_workers: false,
+            topology: TopologyMode::Auto,
+            steal_order: StealOrder::Hierarchical,
         }
     }
 }

@@ -45,8 +45,12 @@ pub use granularity::{batch_cost, choose_batch, pipelined_stage_time};
 pub use par_op::{
     owner_of, simulate_dynamic, simulate_policy, simulate_static, OpOptions, OpResult,
 };
-pub use stats::{CostFn, OnlineStats};
+pub use stats::{CostFn, OnlineStats, StealStats};
 pub use threaded::dist::{DistChunk, DistQueue};
+pub use threaded::topology::{
+    pin_current_thread, CpuInfo, CpuTopology, StealDistance, StealOrder, StealTarget,
+    TopologyFingerprint, TopologyMode, TopologySource, WorkerTopo,
+};
 pub use threaded::{
     execute_sequential, execute_threaded, ExecutorBackend, SequentialRun, SpinKernel, TaskCtx,
     TaskKernel, ThreadedRun,

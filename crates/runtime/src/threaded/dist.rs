@@ -89,16 +89,37 @@ pub struct DistQueue {
     remaining: AtomicUsize,
     chunks: AtomicU64,
     reassignments: AtomicU64,
+    remote_reassignments: AtomicU64,
     migrated: AtomicU64,
     total: usize,
     workers: usize,
+    /// NUMA node of each home queue's worker; re-assignment prefers a
+    /// laggard on the claimant's node, so migrated tasks cross a node
+    /// boundary only when no same-node laggard exists.
+    node_of: Vec<usize>,
 }
 
 impl DistQueue {
     /// A distributed queue over `total` tasks, block-decomposed onto
-    /// `workers` home queues (owner-computes placement).
+    /// `workers` home queues (owner-computes placement), with every
+    /// worker on one NUMA node (no placement preference).
     pub fn new(total: usize, workers: usize) -> Self {
         let workers = workers.max(1);
+        DistQueue::with_nodes(total, workers, vec![0; workers])
+    }
+
+    /// Like [`new`](Self::new), with each worker's NUMA node supplied
+    /// so the root's re-assignment can prefer same-node migration. The
+    /// task→home mapping is unchanged — topology shapes only *where
+    /// stolen work goes*, never where work starts (the simulator's
+    /// owner-computes placement stays bit-identical).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node_of.len() != workers.max(1)`.
+    pub fn with_nodes(total: usize, workers: usize, node_of: Vec<usize>) -> Self {
+        let workers = workers.max(1);
+        assert_eq!(node_of.len(), workers, "one node per worker");
         let mut homes: Vec<VecDeque<usize>> = vec![VecDeque::new(); workers];
         for i in 0..total {
             homes[owner_of(i, total, workers)].push_back(i);
@@ -115,9 +136,11 @@ impl DistQueue {
             remaining: AtomicUsize::new(total),
             chunks: AtomicU64::new(0),
             reassignments: AtomicU64::new(0),
+            remote_reassignments: AtomicU64::new(0),
             migrated: AtomicU64::new(0),
             total,
             workers,
+            node_of,
         }
     }
 
@@ -150,18 +173,32 @@ impl DistQueue {
         c.counts[e][worker] += 1;
         // Re-assignment: two epoch-e tokens from `worker` before some
         // laggard's first, gated on sampled cv. The stolen tasks are
-        // delivered straight into the claimant's own home queue.
+        // delivered straight into the claimant's own home queue. Among
+        // eligible laggards the root prefers one on the claimant's
+        // NUMA node — in the paper's frame, a same-node claimant is
+        // served before a remote one — falling back to the fullest
+        // remote laggard only when the claimant's node has none.
         if c.counts[e][worker] >= 2 && c.policy.reassign_signal(self.workers) {
-            let laggard = (0..self.workers)
-                .filter(|&b| b != worker && c.counts[e][b] == 0 && !c.homes[b].is_empty())
-                .max_by_key(|&b| c.homes[b].len());
-            if let Some(b) = laggard {
-                let steal = c.homes[b].len().div_ceil(2);
+            let mut laggard: Option<(bool, usize, usize)> = None; // (same_node, len, b)
+            for b in 0..self.workers {
+                if b == worker || c.counts[e][b] != 0 || c.homes[b].is_empty() {
+                    continue;
+                }
+                let key = (self.node_of[b] == self.node_of[worker], c.homes[b].len());
+                if laggard.is_none_or(|(s, l, _)| key > (s, l)) {
+                    laggard = Some((key.0, key.1, b));
+                }
+            }
+            if let Some((same_node, len, b)) = laggard {
+                let steal = len.div_ceil(2);
                 for _ in 0..steal {
                     let t = c.homes[b].pop_back().expect("len checked");
                     c.homes[worker].push_back(t);
                 }
                 self.reassignments.fetch_add(1, Ordering::Relaxed);
+                if !same_node {
+                    self.remote_reassignments.fetch_add(1, Ordering::Relaxed);
+                }
             }
         }
         // Epoch completion: every worker has tokened epoch e.
@@ -222,6 +259,14 @@ impl DistQueue {
     /// Chunk re-assignments performed by the root.
     pub fn reassignments(&self) -> u64 {
         self.reassignments.load(Ordering::Relaxed)
+    }
+
+    /// Re-assignments that crossed a NUMA node boundary (the claimant
+    /// and the chosen laggard on different nodes). Always ≤
+    /// [`reassignments`](Self::reassignments); 0 when every worker
+    /// shares one node.
+    pub fn remote_reassignments(&self) -> u64 {
+        self.remote_reassignments.load(Ordering::Relaxed)
     }
 
     /// Tasks claimed away from their home worker.
@@ -434,6 +479,57 @@ mod tests {
         }
         assert_eq!(q.chunks_claimed(), chunks, "stale claims counted as chunks");
         assert!(!q.has_more());
+    }
+
+    #[test]
+    fn reassignment_prefers_same_node_laggard() {
+        // Single-threaded protocol drive: 4 workers on 2 nodes
+        // ({0,1} node 0, {2,3} node 1). Worker 0 tokens epoch 0 twice
+        // while workers 1 and 2 both lag with equal home queues; once
+        // the cv gate opens, the root must pick worker 1 (same node)
+        // even though worker 2's queue is no shorter.
+        let n = 400;
+        let mut costs = vec![1.0; n];
+        // Concentrated costs open the cv gate quickly.
+        for c in costs.iter_mut().take(n / 4) {
+            *c = 500.0;
+        }
+        let q = DistQueue::with_nodes(n, 4, vec![0, 0, 1, 1]);
+        // Worker 3 tokens once so it is never an eligible laggard.
+        let _ = q.claim(3, &costs, 0.0);
+        // Worker 0 claims until the root performs its first
+        // re-assignment, then stops: that choice must be the same-node
+        // laggard (worker 1), i.e. not counted remote, even though the
+        // remote worker 2's home queue is exactly as long.
+        while q.claim(0, &costs, 0.0).is_some() {
+            if q.reassignments() >= 1 {
+                break;
+            }
+        }
+        assert!(q.reassignments() >= 1, "gate never opened on concentrated costs");
+        assert_eq!(
+            q.remote_reassignments(),
+            0,
+            "first migration crossed a node despite a same-node laggard"
+        );
+    }
+
+    #[test]
+    fn remote_reassignment_counted_when_node_has_no_laggard() {
+        // 2 workers on 2 different nodes: any re-assignment is remote
+        // by construction, so the remote counter must track the total.
+        let n = 300;
+        let mut costs = vec![1.0; n];
+        // Mix heavy tasks into worker 1's own home block so its
+        // samples open the cv gate while worker 0 never tokens (and so
+        // stays an eligible laggard).
+        for t in (n / 2..n).step_by(4) {
+            costs[t] = 500.0;
+        }
+        let q = DistQueue::with_nodes(n, 2, vec![0, 1]);
+        while q.claim(1, &costs, 0.0).is_some() {}
+        assert!(q.reassignments() >= 1, "fast worker never triggered the gate");
+        assert_eq!(q.remote_reassignments(), q.reassignments());
     }
 
     #[test]

@@ -21,10 +21,11 @@
 pub mod dist;
 pub mod pool;
 pub mod queue;
+pub mod topology;
 
 use crate::chunking::PolicyKind;
 use crate::executor::{costs_of_node, ExecutionReport, ExecutorOptions, NodeReport};
-use crate::stats::OnlineStats;
+use crate::stats::{OnlineStats, StealStats};
 use dist::DistQueue;
 use orchestra_delirium::{DelirGraph, GraphError, Node};
 use orchestra_machine::{ProcStats, RunStats};
@@ -33,6 +34,7 @@ use queue::ChunkQueue;
 use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize};
 use std::time::Instant;
+use topology::{TopologyFingerprint, WorkerTopo};
 
 /// Which execution engine runs a graph.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -289,6 +291,9 @@ pub struct OpRecord {
     /// Run-relative times (µs) of each global-epoch increment (empty
     /// for shared-queue ops); monotone non-decreasing.
     pub epoch_times_us: Vec<f64>,
+    /// Re-assignments that crossed a NUMA node boundary (≤
+    /// `reassignments`; 0 for shared-queue ops and single-node runs).
+    pub remote_reassignments: u64,
 }
 
 /// The result of executing a graph on real threads.
@@ -323,6 +328,17 @@ pub struct ThreadedRun {
     /// matching the simulator's
     /// [`DistResult::locality`](crate::dist_taper::DistResult).
     pub locality: f64,
+    /// Coordinator re-assignments that crossed a NUMA node boundary,
+    /// summed over all dist-TAPER ops.
+    pub remote_reassignments: u64,
+    /// Work-steal counters bucketed by hierarchy distance, merged over
+    /// all workers.
+    pub steal: StealStats,
+    /// Workers whose CPU pin the kernel accepted (0 when pinning was
+    /// off or every pin failed).
+    pub pinned_workers: usize,
+    /// The machine layout the run was scheduled against.
+    pub topology: TopologyFingerprint,
 }
 
 impl ThreadedRun {
@@ -390,6 +406,12 @@ pub fn execute_threaded(
 ) -> Result<ThreadedRun, GraphError> {
     let plan = build_plan(g, opts)?;
     let workers = resolve_workers(opts);
+    let topo = opts.topology.resolve();
+    let wt = WorkerTopo::new(&topo, workers, opts.steal_order);
+    // `ORCHESTRA_PIN_WORKERS` (any value but "0") forces pinning on —
+    // CI uses it to smoke the affinity path without touching configs.
+    let pin = opts.pin_workers
+        || std::env::var("ORCHESTRA_PIN_WORKERS").is_ok_and(|v| !v.is_empty() && v != "0");
     let mut instances: Vec<OpInstance> = Vec::with_capacity(plan.ops.len());
     let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); plan.ops.len()];
     for (i, op) in plan.ops.iter().enumerate() {
@@ -406,7 +428,7 @@ pub fn execute_threaded(
         // genuinely parallel ops: single-task ops keep a shared queue
         // so a lone Task/Merge node doesn't token every worker.
         let queue = if opts.backend == ExecutorBackend::ThreadedDist && op.tasks > 1 {
-            OpQueue::Dist(DistQueue::new(op.tasks, workers))
+            OpQueue::Dist(DistQueue::with_nodes(op.tasks, workers, wt.node_of_worker.clone()))
         } else {
             let policy = match opts.policy {
                 // Static has no dynamic queue; one equal chunk per
@@ -435,9 +457,15 @@ pub fn execute_threaded(
     let ready0: Vec<usize> = (0..plan.ops.len()).filter(|&i| plan.ops[i].deps.is_empty()).collect();
 
     let t0 = Instant::now();
-    let records = pool::run_pool(&instances, &g.nodes, ready0, workers, kernel);
+    let records = pool::run_pool(&instances, &g.nodes, ready0, workers, &wt, pin, kernel);
     let wall_us = t0.elapsed().as_secs_f64() * 1e6;
 
+    let mut steal = StealStats::new();
+    let mut pinned_workers = 0usize;
+    for r in &records {
+        steal.merge(&r.steal);
+        pinned_workers += usize::from(r.pinned);
+    }
     let (procs, worker_timing): (Vec<ProcStats>, Vec<OnlineStats>) =
         records.into_iter().map(|r| (r.proc, r.timing)).unzip();
     let stats = RunStats::from_procs(procs, wall_us);
@@ -459,11 +487,13 @@ pub fn execute_threaded(
                 migrated: d.map_or(0, DistQueue::migrated_tasks),
                 epochs: d.map_or(0, DistQueue::epochs),
                 epoch_times_us: d.map_or_else(Vec::new, DistQueue::epoch_times_us),
+                remote_reassignments: d.map_or(0, DistQueue::remote_reassignments),
             }
         })
         .collect();
     let migrated_tasks: u64 = ops.iter().map(|o| o.migrated).sum();
     let reassignments: u64 = ops.iter().map(|o| o.reassignments).sum();
+    let remote_reassignments: u64 = ops.iter().map(|o| o.remote_reassignments).sum();
     let dist_tasks: u64 =
         instances.iter().filter(|op| op.queue.is_dist()).map(|op| op.costs.len() as u64).sum();
     let locality =
@@ -482,6 +512,10 @@ pub fn execute_threaded(
         migrated_tasks,
         reassignments,
         locality,
+        remote_reassignments,
+        steal,
+        pinned_workers,
+        topology: wt.fingerprint(),
     })
 }
 

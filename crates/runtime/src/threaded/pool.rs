@@ -43,8 +43,9 @@
 
 use super::dist::DistQueue;
 use super::queue::ChunkQueue;
+use super::topology::{pin_current_thread, StealDistance, WorkerTopo};
 use super::{TaskCtx, TaskKernel};
-use crate::stats::OnlineStats;
+use crate::stats::{OnlineStats, StealStats};
 use orchestra_delirium::Node;
 use orchestra_machine::ProcStats;
 use std::collections::VecDeque;
@@ -131,6 +132,11 @@ pub struct WorkerRecord {
     pub proc: ProcStats,
     /// Online µ/σ over this worker's task times (µs).
     pub timing: OnlineStats,
+    /// Steal counters bucketed by hierarchy distance.
+    pub steal: StealStats,
+    /// Whether the kernel accepted this worker's CPU pin (always
+    /// `false` when pinning is disabled).
+    pub pinned: bool,
 }
 
 /// Pads per-worker shared state to a cache line so adjacent workers'
@@ -153,6 +159,10 @@ struct WorkerState {
 struct Shared<'a> {
     ops: &'a [OpInstance],
     nodes: &'a [Node],
+    /// Worker→CPU placement and precomputed steal schedules.
+    topo: &'a WorkerTopo,
+    /// Pin each worker to its assigned CPU at startup.
+    pin: bool,
     /// One padded deque per worker.
     workers: Vec<CachePadded<WorkerState>>,
     completed: AtomicUsize,
@@ -196,15 +206,20 @@ fn us_since(epoch: Instant, t: Instant) -> f64 {
 }
 
 /// Executes the op DAG on `workers` threads; `ready0` holds the
-/// indices whose dependency count is already zero.
+/// indices whose dependency count is already zero. `topo` supplies the
+/// per-worker steal schedules (and pin targets when `pin` is set); it
+/// must have been built for the same worker count.
 pub(crate) fn run_pool(
     ops: &[OpInstance],
     nodes: &[Node],
     ready0: Vec<usize>,
     workers: usize,
+    topo: &WorkerTopo,
+    pin: bool,
     kernel: &(dyn TaskKernel + Sync),
 ) -> Vec<WorkerRecord> {
     let workers = workers.max(1);
+    debug_assert_eq!(topo.workers(), workers, "topology built for a different pool size");
     let mut deques: Vec<CachePadded<WorkerState>> = (0..workers)
         .map(|_| {
             CachePadded(WorkerState {
@@ -230,6 +245,8 @@ pub(crate) fn run_pool(
     let shared = Shared {
         ops,
         nodes,
+        topo,
+        pin,
         workers: deques,
         completed: AtomicUsize::new(0),
         sleepers: AtomicUsize::new(0),
@@ -248,32 +265,67 @@ pub(crate) fn run_pool(
 }
 
 /// Pops a token: own private dist list first (only this worker can
-/// drain those home queues), then own deque front, then steal from the
-/// other workers' backs in ring order.
-fn find_token(shared: &Shared<'_>, id: usize) -> Option<usize> {
+/// drain those home queues), then own deque front, then the other
+/// workers' backs in this worker's precomputed steal schedule — SMT
+/// sibling, same node, then remote under hierarchical order; the
+/// legacy ring sequence under [`StealOrder::Ring`](super::topology::StealOrder::Ring).
+/// A *remote* steal takes half the victim's deque in one visit (the
+/// extra tokens move to the thief's own deque after the victim's lock
+/// is released), amortizing the cross-node trip; nearby steals stay
+/// single-token so hot work keeps spreading.
+fn find_token(shared: &Shared<'_>, id: usize, steal: &mut StealStats) -> Option<usize> {
     if let Some(i) = shared.workers[id].0.dist_ready.lock().expect("dist list poisoned").pop() {
         return Some(i);
     }
     if let Some(i) = shared.workers[id].0.ready.lock().expect("deque poisoned").pop_front() {
         return Some(i);
     }
-    let n = shared.workers.len();
-    for k in 1..n {
-        let victim = (id + k) % n;
-        if let Some(i) = shared.workers[victim].0.ready.lock().expect("deque poisoned").pop_back() {
-            return Some(i);
+    for target in shared.topo.steal_schedule(id) {
+        let mut extras: Vec<usize> = Vec::new();
+        let first = {
+            let mut victim = shared.workers[target.victim].0.ready.lock().expect("deque poisoned");
+            let len = victim.len();
+            let Some(first) = victim.pop_back() else {
+                continue;
+            };
+            if target.distance == StealDistance::Remote {
+                // Batch: take ceil(len/2) tokens total, counting the
+                // one already popped.
+                for _ in 1..len.div_ceil(2) {
+                    match victim.pop_back() {
+                        Some(t) => extras.push(t),
+                        None => break,
+                    }
+                }
+            }
+            first
+        };
+        steal.record(target.distance.class(), extras.len() as u64);
+        if !extras.is_empty() {
+            // Victim lock is released; taking our own deque lock here
+            // keeps lock holds disjoint (no nested deque locks).
+            let mut own = shared.workers[id].0.ready.lock().expect("deque poisoned");
+            for t in extras {
+                own.push_back(t);
+            }
         }
+        return Some(first);
     }
     None
 }
 
 fn worker_loop(shared: &Shared<'_>, id: usize, kernel: &(dyn TaskKernel + Sync)) -> WorkerRecord {
+    // Pinning is best-effort: a failed pin (CPU offline, synthetic
+    // topology wider than the host, restrictive cgroup mask) leaves
+    // the worker floating and the run proceeds unaffected.
+    let pinned = shared.pin && pin_current_thread(shared.topo.cpu_of_worker[id]);
     let mut proc = ProcStats::default();
     let mut timing = OnlineStats::new();
+    let mut steal = StealStats::new();
     loop {
-        let Some(op_idx) = find_token(shared, id) else {
+        let Some(op_idx) = find_token(shared, id, &mut steal) else {
             if shared.all_done() {
-                return WorkerRecord { proc, timing };
+                return WorkerRecord { proc, timing, steal, pinned };
             }
             park(shared, id);
             continue;
