@@ -16,6 +16,11 @@
 //!   shared queue on a uniform and a skewed workload, recording wall
 //!   time, locality, re-assignments (total and cross-node), migrated
 //!   tasks, and epochs;
+//! * **async** — the cooperative futures backend on the flat small /
+//!   large workloads and the skewed mixture at 4 drivers, recording
+//!   wall time, tasks/sec, chunk claims, the yield count (one per
+//!   claimed chunk: the backend's cooperation invariant), and driver
+//!   utilization;
 //! * **steals** — the DAG shape under hierarchical vs ring steal
 //!   order at 4 and 8 workers, bucketing successful steals by machine
 //!   distance (SMT sibling / same node / remote) and counting tokens
@@ -27,7 +32,8 @@
 //!
 //! ```text
 //! cargo run --release -p orchestra-bench --bin sched -- \
-//!     [--quick] [--label NAME] [--out PATH] [--normalize]
+//!     [--quick] [--label NAME] [--out PATH] [--normalize] \
+//!     [--check-regression]
 //! ```
 //!
 //! Runs merge into the output file under their label, so a PR records
@@ -35,19 +41,29 @@
 //! with the two labels. Merging re-parses every existing run block and
 //! re-emits the whole file in one normal form, so merging is
 //! idempotent; `--normalize` rewrites the file into that form without
-//! measuring anything.
+//! measuring anything. `--check-regression` measures nothing either:
+//! it diffs the last two same-host-fingerprint runs already in the
+//! file and exits nonzero when tasks/sec dropped by more than 20% —
+//! the CI trend gate. The file format itself (parse / merge / emit /
+//! check) lives in `orchestra_bench::runs` so its invariants are
+//! property-tested in the library.
 
+use orchestra_bench::runs::{
+    check_regression, emit_runs, merge_runs, runs_from_text, SCHED_SCHEMA,
+};
 use orchestra_delirium::{DataAnno, DelirGraph, NodeKind, Population};
 use orchestra_runtime::executor::ExecutorOptions;
 use orchestra_runtime::stats::OnlineStats;
 use orchestra_runtime::threaded::queue::ChunkQueue;
 use orchestra_runtime::threaded::{execute_threaded, ExecutorBackend, SpinKernel};
-use orchestra_runtime::{CpuTopology, PolicyKind, StealOrder, StealStats};
+use orchestra_runtime::{execute_async, CpuTopology, PolicyKind, StealOrder, StealStats};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::time::Instant;
 
-const SCHEMA: &str = "orchestra-sched-bench/v3";
+/// Fraction of tasks/sec a same-fingerprint run may lose before
+/// `--check-regression` fails the build.
+const MAX_DROP: f64 = 0.20;
 
 const POLICIES: [PolicyKind; 5] = [
     PolicyKind::SelfSched,
@@ -172,6 +188,19 @@ struct StealRow {
     pinned_workers: usize,
 }
 
+/// One async-backend measurement (TAPER at 4 drivers): the `yields`
+/// column is the schema-v4 addition — one cooperative yield per
+/// claimed chunk, so claims == yields is the backend invariant and a
+/// zero here on a multi-chunk workload means the backend stopped
+/// yielding at chunk boundaries.
+struct AsyncRow {
+    wall_us: f64,
+    tasks_per_sec: f64,
+    claims: u64,
+    yields: u64,
+    driver_util: f64,
+}
+
 struct RunResults {
     claim_ns_per_task: PolicyMap,
     /// workload → policy → workers → tasks/sec.
@@ -180,6 +209,8 @@ struct RunResults {
     graph_wall_us: BTreeMap<&'static str, PolicyMap>,
     /// workload → dist-vs-shared comparison at 4 workers.
     dist: BTreeMap<&'static str, DistRow>,
+    /// workload → cooperative-backend row at 4 drivers.
+    asynch: BTreeMap<&'static str, AsyncRow>,
     /// "order/wN" → steal-distance counters on the DAG shape.
     steals: BTreeMap<String, StealRow>,
 }
@@ -243,6 +274,25 @@ fn measure_dist(g: &DelirGraph, workers: usize, kernel: &SpinKernel, reps: usize
     row
 }
 
+/// Best-of-`reps` cooperative-backend run (TAPER, 4 drivers).
+fn measure_async(g: &DelirGraph, tasks: usize, kernel: &SpinKernel, reps: usize) -> AsyncRow {
+    let opts = ExecutorOptions { policy: PolicyKind::Taper, drivers: 4, ..Default::default() };
+    let mut best: Option<AsyncRow> = None;
+    for _ in 0..reps {
+        let run = execute_async(g, &opts, kernel).expect("bench graph valid");
+        if best.as_ref().is_none_or(|b| run.wall_us < b.wall_us) {
+            best = Some(AsyncRow {
+                wall_us: run.wall_us,
+                tasks_per_sec: tasks as f64 / (run.wall_us * 1e-6),
+                claims: run.claims,
+                yields: run.yields,
+                driver_util: run.driver_utilization(),
+            });
+        }
+    }
+    best.expect("reps >= 1")
+}
+
 fn measure(scale: &Scale) -> RunResults {
     let mut claim = PolicyMap::new();
     for p in POLICIES {
@@ -299,6 +349,25 @@ fn measure(scale: &Scale) -> RunResults {
         dist.insert(wl, row);
     }
 
+    // Cooperative backend: the same flat workloads as the threaded
+    // tasks/sec table plus the skewed mixture (where TAPER's shrinking
+    // chunks make the yield count interesting), at 4 drivers.
+    let mut asynch: BTreeMap<&'static str, AsyncRow> = BTreeMap::new();
+    let async_cases: [(&'static str, DelirGraph, usize, f64); 3] = [
+        ("small", flat_graph(scale.small_tasks, 1.0), scale.small_tasks, 1.0),
+        ("large", flat_graph(scale.large_tasks, 50.0), scale.large_tasks, 60.0),
+        ("skewed", dist_skewed_graph(dist_tasks), dist_tasks, 8.0),
+    ];
+    for (wl, g, tasks, kscale) in async_cases {
+        let kernel = SpinKernel::with_scale(kscale);
+        let row = measure_async(&g, tasks, &kernel, scale.reps);
+        eprintln!(
+            "async  {wl:<8} wall={:9.0}µs {:12.0} tasks/sec claims={:5} yields={:5} util={:.3}",
+            row.wall_us, row.tasks_per_sec, row.claims, row.yields, row.driver_util
+        );
+        asynch.insert(wl, row);
+    }
+
     // Steal-distance profile: the DAG shape exercises token stealing
     // (a completer enqueues newly-enabled ops locally; everyone else
     // must steal into them). Counters accumulate over the reps — a
@@ -328,7 +397,14 @@ fn measure(scale: &Scale) -> RunResults {
         }
     }
 
-    RunResults { claim_ns_per_task: claim, tasks_per_sec: tps, graph_wall_us: shapes, dist, steals }
+    RunResults {
+        claim_ns_per_task: claim,
+        tasks_per_sec: tps,
+        graph_wall_us: shapes,
+        dist,
+        asynch,
+        steals,
+    }
 }
 
 /// The machine running this benchmark: cpu model (from
@@ -423,6 +499,21 @@ fn render_run(r: &RunResults, quick: bool) -> String {
         );
     }
     let _ = writeln!(s, "      }},");
+    let _ = writeln!(s, "      \"async\": {{");
+    let na = r.asynch.len();
+    for (i, (wl, row)) in r.asynch.iter().enumerate() {
+        let comma = if i + 1 < na { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "        \"{wl}\": {{\"wall_us\": {}, \"tasks_per_sec\": {}, \"claims\": {}, \"yields\": {}, \"driver_util\": {:.4}}}{comma}",
+            json_f64(row.wall_us),
+            json_f64(row.tasks_per_sec),
+            row.claims,
+            row.yields,
+            row.driver_util
+        );
+    }
+    let _ = writeln!(s, "      }},");
     let _ = writeln!(s, "      \"steals\": {{");
     let nst = r.steals.len();
     for (i, (key, row)) in r.steals.iter().enumerate() {
@@ -445,122 +536,17 @@ fn render_run(r: &RunResults, quick: bool) -> String {
     s
 }
 
-/// Extracts every `"label": { … }` block at the top level of the runs
-/// object, in file order, by string-aware brace matching: braces
-/// inside quoted values (cpu model names, say) don't confuse the
-/// match, and whatever separators sat between blocks — including the
-/// stray blank lines older versions of this binary left behind — are
-/// discarded, since the whole file is re-emitted in one normal form.
-fn parse_runs(body: &str) -> Vec<(String, String)> {
-    let bytes = body.as_bytes();
-    let mut out = Vec::new();
-    let mut i = 0usize;
-    while i < bytes.len() {
-        if bytes[i] != b'"' {
-            i += 1;
-            continue;
-        }
-        let Some(close) = body[i + 1..].find('"').map(|o| i + 1 + o) else {
-            break;
-        };
-        let label = body[i + 1..close].to_string();
-        let mut k = close + 1;
-        while k < bytes.len() && bytes[k].is_ascii_whitespace() {
-            k += 1;
-        }
-        if k >= bytes.len() || bytes[k] != b':' {
-            i = close + 1;
-            continue;
-        }
-        k += 1;
-        while k < bytes.len() && bytes[k].is_ascii_whitespace() {
-            k += 1;
-        }
-        if k >= bytes.len() || bytes[k] != b'{' {
-            i = close + 1;
-            continue;
-        }
-        let start = k;
-        let (mut depth, mut in_str, mut esc) = (0u32, false, false);
-        let mut end = start;
-        while k < bytes.len() {
-            let c = bytes[k];
-            if in_str {
-                if esc {
-                    esc = false;
-                } else if c == b'\\' {
-                    esc = true;
-                } else if c == b'"' {
-                    in_str = false;
-                }
-            } else {
-                match c {
-                    b'"' => in_str = true,
-                    b'{' => depth += 1,
-                    b'}' => {
-                        depth -= 1;
-                        if depth == 0 {
-                            end = k + 1;
-                            break;
-                        }
-                    }
-                    _ => {}
-                }
-            }
-            k += 1;
-        }
-        if end == start {
-            break; // unterminated block: drop it rather than loop
-        }
-        out.push((label, body[start..end].to_string()));
-        i = end;
-    }
-    out
-}
-
-/// Loads the labelled run blocks already in `path` (empty when the
-/// file is missing or holds no runs object).
-fn load_runs(path: &str) -> Vec<(String, String)> {
-    let runs_open = "\"runs\": {";
-    let Ok(text) = std::fs::read_to_string(path) else {
-        return Vec::new();
-    };
-    match text.find(runs_open) {
-        Some(at) => parse_runs(&text[at + runs_open.len()..]),
-        None => Vec::new(),
-    }
-}
-
-/// Writes the whole file in normal form: schema header, then each run
-/// block at a fixed indent with single-comma separators. Because every
-/// write goes through this one serializer, merge → parse → merge is a
-/// fixed point (idempotent), whatever state the input file was in.
-fn emit(path: &str, runs: &[(String, String)]) {
-    let mut out = String::new();
-    let _ = writeln!(out, "{{\n  \"schema\": \"{SCHEMA}\",\n  \"runs\": {{");
-    for (i, (label, block)) in runs.iter().enumerate() {
-        let comma = if i + 1 < runs.len() { "," } else { "" };
-        let _ = writeln!(out, "    \"{label}\": {}{comma}", block.trim_end());
-    }
-    out.push_str("  }\n}\n");
-    std::fs::write(path, out).expect("write bench output");
-}
-
-/// Replaces `label`'s block (or appends it) and rewrites the file.
-fn merge(path: &str, label: &str, run_json: &str) {
-    let mut runs = load_runs(path);
-    match runs.iter_mut().find(|(l, _)| l == label) {
-        Some((_, block)) => *block = run_json.to_string(),
-        None => runs.push((label.to_string(), run_json.to_string())),
-    }
-    emit(path, &runs);
-    eprintln!("wrote {path} (label \"{label}\", {} run(s))", runs.len());
+/// The file's current text ("" when missing: merging into nothing
+/// creates a fresh normal-form file).
+fn load_text(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_default()
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
     let mut normalize = false;
+    let mut check = false;
     let mut label = "current".to_string();
     let mut out = "BENCH_threaded.json".to_string();
     let mut it = args.iter();
@@ -568,6 +554,7 @@ fn main() {
         match a.as_str() {
             "--quick" => quick = true,
             "--normalize" => normalize = true,
+            "--check-regression" => check = true,
             "--label" => label = it.next().expect("--label NAME").clone(),
             "--out" => out = it.next().expect("--out PATH").clone(),
             other => {
@@ -576,15 +563,32 @@ fn main() {
             }
         }
     }
+    if check {
+        // Trend gate: diff the last two runs sharing a host
+        // fingerprint; a >20% tasks/sec drop fails the build.
+        let report = check_regression(&load_text(&out), MAX_DROP);
+        for line in &report.lines {
+            eprintln!("{line}");
+        }
+        eprintln!(
+            "checked {out}: {} comparison(s), {}",
+            report.compared,
+            if report.regressed { "REGRESSED" } else { "no regression" }
+        );
+        std::process::exit(i32::from(report.regressed));
+    }
     if normalize {
         // Re-emit the existing file in normal form without measuring:
         // cleans up output from older versions of this binary.
-        let runs = load_runs(&out);
-        emit(&out, &runs);
-        eprintln!("normalized {out} ({} run(s))", runs.len());
+        let runs = runs_from_text(&load_text(&out));
+        std::fs::write(&out, emit_runs(&runs)).expect("write bench output");
+        eprintln!("normalized {out} ({} run(s), schema {SCHED_SCHEMA})", runs.len());
         return;
     }
     let scale = Scale::new(quick);
     let results = measure(&scale);
-    merge(&out, &label, &render_run(&results, quick));
+    let merged = merge_runs(&load_text(&out), &label, &render_run(&results, quick));
+    let count = runs_from_text(&merged).len();
+    std::fs::write(&out, merged).expect("write bench output");
+    eprintln!("wrote {out} (label \"{label}\", {count} run(s))");
 }

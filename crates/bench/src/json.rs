@@ -1,0 +1,288 @@
+//! A minimal JSON reader for the bench harness.
+//!
+//! `BENCH_threaded.json` is written by our own serializer, so this
+//! parser only needs honest JSON — but the regression checker must not
+//! silently misread a hand-edited baseline, so it is a real recursive
+//! descent over the full value grammar (objects, arrays, strings with
+//! escapes, numbers, literals) that returns `None` on anything
+//! malformed rather than guessing. No external crates: the workspace
+//! builds offline.
+
+/// A parsed JSON value. Object keys keep file order (the run file's
+/// ordering is meaningful: the regression checker compares the last
+/// two runs per host fingerprint).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (parsed as `f64`, which covers every value the
+    /// bench emits).
+    Num(f64),
+    /// A string, with escapes decoded.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses `text` as a single JSON value (surrounding whitespace
+    /// allowed, trailing garbage rejected).
+    pub fn parse(text: &str) -> Option<Json> {
+        let mut p = Parser { bytes: text.as_bytes(), at: 0 };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.at == p.bytes.len() {
+            Some(v)
+        } else {
+            None
+        }
+    }
+
+    /// Object member lookup (first match; `None` on non-objects).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The object's members in source order (empty for non-objects).
+    pub fn members(&self) -> &[(String, Json)] {
+        match self {
+            Json::Obj(members) => members,
+            _ => &[],
+        }
+    }
+
+    /// Numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// String value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.at < self.bytes.len() && self.bytes[self.at].is_ascii_whitespace() {
+            self.at += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.at).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> Option<()> {
+        if self.peek() == Some(c) {
+            self.at += 1;
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Option<Json> {
+        if self.bytes[self.at..].starts_with(word.as_bytes()) {
+            self.at += word.len();
+            Some(v)
+        } else {
+            None
+        }
+    }
+
+    fn value(&mut self) -> Option<Json> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => self.string().map(Json::Str),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'n' => self.literal("null", Json::Null),
+            b'-' | b'0'..=b'9' => self.number(),
+            _ => None,
+        }
+    }
+
+    fn object(&mut self) -> Option<Json> {
+        self.eat(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.eat(b'}').is_some() {
+            return Some(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            members.push((key, self.value()?));
+            self.skip_ws();
+            if self.eat(b',').is_some() {
+                continue;
+            }
+            self.eat(b'}')?;
+            return Some(Json::Obj(members));
+        }
+    }
+
+    fn array(&mut self) -> Option<Json> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.eat(b']').is_some() {
+            return Some(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            if self.eat(b',').is_some() {
+                continue;
+            }
+            self.eat(b']')?;
+            return Some(Json::Arr(items));
+        }
+    }
+
+    fn string(&mut self) -> Option<String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek()? {
+                b'"' => {
+                    self.at += 1;
+                    return Some(out);
+                }
+                b'\\' => {
+                    self.at += 1;
+                    match self.peek()? {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self.bytes.get(self.at + 1..self.at + 5)?;
+                            let code =
+                                u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                            out.push(char::from_u32(code)?);
+                            self.at += 4;
+                        }
+                        _ => return None,
+                    }
+                    self.at += 1;
+                }
+                c if c < 0x20 => return None,
+                _ => {
+                    // Copy the full UTF-8 character, not just one byte.
+                    let rest = std::str::from_utf8(&self.bytes[self.at..]).ok()?;
+                    let ch = rest.chars().next()?;
+                    out.push(ch);
+                    self.at += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Option<Json> {
+        let start = self.at;
+        if self.peek() == Some(b'-') {
+            self.at += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')) {
+            self.at += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.at]).ok()?;
+        text.parse::<f64>().ok().map(Json::Num)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_bench_shapes() {
+        let v = Json::parse(
+            r#"{
+              "host": {"cpu": "Fake CPU {model}", "cores": 8, "os": "linux x86_64"},
+              "quick": true,
+              "claim_ns_per_task": {"taper": 41.5, "self": null},
+              "rates": [1.0, -2.5, 3e2]
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(v.get("host").unwrap().get("cpu").unwrap().as_str(), Some("Fake CPU {model}"));
+        assert_eq!(v.get("host").unwrap().get("cores").unwrap().as_f64(), Some(8.0));
+        assert_eq!(v.get("quick").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("claim_ns_per_task").unwrap().get("self"), Some(&Json::Null));
+        assert_eq!(
+            v.get("rates").unwrap(),
+            &Json::Arr(vec![Json::Num(1.0), Json::Num(-2.5), Json::Num(300.0)])
+        );
+    }
+
+    #[test]
+    fn decodes_escapes() {
+        let v = Json::parse(r#""a\"b\\c\ndA""#).unwrap();
+        assert_eq!(v.as_str(), Some("a\"b\\c\ndA"));
+    }
+
+    #[test]
+    fn preserves_member_order() {
+        let v = Json::parse(r#"{"z": 1, "a": 2, "m": 3}"#).unwrap();
+        let keys: Vec<&str> = v.members().iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, ["z", "a", "m"]);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "}",
+            "{\"a\"}",
+            "{\"a\": }",
+            "[1,]",
+            "{\"a\": 1} extra",
+            "\"open",
+            "nul",
+            "1.2.3",
+            "{'a': 1}",
+        ] {
+            assert!(Json::parse(bad).is_none(), "accepted malformed {bad:?}");
+        }
+    }
+}

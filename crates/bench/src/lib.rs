@@ -10,7 +10,13 @@
 //!
 //! The `figures` binary prints each table; `cargo bench` runs the
 //! Criterion micro-benchmarks over the compiler passes and runtime
-//! algorithms.
+//! algorithms. The [`runs`] module owns the `BENCH_threaded.json`
+//! labelled-run format written by the `sched` binary (merge, normal
+//! form, and the CI regression check), with [`json`] as its minimal
+//! reader.
+
+pub mod json;
+pub mod runs;
 
 use orchestra_apps::AppWorkload;
 use orchestra_machine::MachineConfig;

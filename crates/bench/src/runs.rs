@@ -1,0 +1,376 @@
+//! The labelled-run store behind `BENCH_threaded.json`, plus the
+//! regression check CI runs over it.
+//!
+//! The `sched` binary appends one measurement block per `--label` to a
+//! single JSON file. This module owns the file format as pure string
+//! functions so the invariants — merging is idempotent, normalization
+//! is a fixpoint — are property-testable without touching the
+//! filesystem:
+//!
+//! * [`parse_runs`] / [`runs_from_text`] recover the labelled blocks
+//!   from any previous emission (string-aware brace matching, so CPU
+//!   model names containing braces don't break it);
+//! * [`emit_runs`] writes the whole store in one normal form;
+//! * [`merge_runs`] replaces-or-appends one label and re-emits;
+//! * [`check_regression`] groups runs by host fingerprint and fails a
+//!   run that drops tasks/sec by more than the allowed fraction
+//!   against the previous run on the same machine.
+
+use crate::json::Json;
+use std::fmt::Write as _;
+
+/// Schema tag stamped on every emitted file. v4 added the `async`
+/// backend section with its `yields` column.
+pub const SCHED_SCHEMA: &str = "orchestra-sched-bench/v4";
+
+/// Extracts every `"label": { … }` block at the top level of the runs
+/// object, in file order, by string-aware brace matching: braces
+/// inside quoted values (cpu model names, say) don't confuse the
+/// match, and whatever separators sat between blocks — including the
+/// stray blank lines older versions of the bench left behind — are
+/// discarded, since the whole file is re-emitted in one normal form.
+pub fn parse_runs(body: &str) -> Vec<(String, String)> {
+    let bytes = body.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        if bytes[i] != b'"' {
+            i += 1;
+            continue;
+        }
+        let Some(close) = body[i + 1..].find('"').map(|o| i + 1 + o) else {
+            break;
+        };
+        let label = body[i + 1..close].to_string();
+        let mut k = close + 1;
+        while k < bytes.len() && bytes[k].is_ascii_whitespace() {
+            k += 1;
+        }
+        if k >= bytes.len() || bytes[k] != b':' {
+            i = close + 1;
+            continue;
+        }
+        k += 1;
+        while k < bytes.len() && bytes[k].is_ascii_whitespace() {
+            k += 1;
+        }
+        if k >= bytes.len() || bytes[k] != b'{' {
+            i = close + 1;
+            continue;
+        }
+        let start = k;
+        let (mut depth, mut in_str, mut esc) = (0u32, false, false);
+        let mut end = start;
+        while k < bytes.len() {
+            let c = bytes[k];
+            if in_str {
+                if esc {
+                    esc = false;
+                } else if c == b'\\' {
+                    esc = true;
+                } else if c == b'"' {
+                    in_str = false;
+                }
+            } else {
+                match c {
+                    b'"' => in_str = true,
+                    b'{' => depth += 1,
+                    b'}' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            end = k + 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            k += 1;
+        }
+        if end == start {
+            break; // unterminated block: drop it rather than loop
+        }
+        out.push((label, body[start..end].to_string()));
+        i = end;
+    }
+    out
+}
+
+/// Recovers the labelled run blocks from a whole bench file (empty
+/// when the text holds no runs object).
+pub fn runs_from_text(text: &str) -> Vec<(String, String)> {
+    let runs_open = "\"runs\": {";
+    match text.find(runs_open) {
+        Some(at) => parse_runs(&text[at + runs_open.len()..]),
+        None => Vec::new(),
+    }
+}
+
+/// Serializes the whole store in normal form: schema header, then
+/// each run block at a fixed indent with single-comma separators.
+/// Because every write goes through this one serializer,
+/// merge → parse → merge is a fixed point (idempotent), whatever
+/// state the input file was in.
+pub fn emit_runs(runs: &[(String, String)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{\n  \"schema\": \"{SCHED_SCHEMA}\",\n  \"runs\": {{");
+    for (i, (label, block)) in runs.iter().enumerate() {
+        let comma = if i + 1 < runs.len() { "," } else { "" };
+        let _ = writeln!(out, "    \"{label}\": {}{comma}", block.trim_end());
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+/// Replaces `label`'s block in `text` (or appends it) and returns the
+/// re-emitted file.
+pub fn merge_runs(text: &str, label: &str, run_json: &str) -> String {
+    let mut runs = runs_from_text(text);
+    match runs.iter_mut().find(|(l, _)| l == label) {
+        Some((_, block)) => *block = run_json.to_string(),
+        None => runs.push((label.to_string(), run_json.to_string())),
+    }
+    emit_runs(&runs)
+}
+
+/// What [`check_regression`] concluded.
+#[derive(Debug)]
+pub struct RegressionReport {
+    /// Human-readable per-comparison lines, in file order.
+    pub lines: Vec<String>,
+    /// Number of fingerprint groups where two runs were compared.
+    pub compared: usize,
+    /// True iff any compared metric dropped past the allowance.
+    pub regressed: bool,
+}
+
+/// The identity under which runs are comparable: same CPU model, core
+/// count, OS, probed topology, and bench scale. Runs from different
+/// machines (or quick vs full runs) are never diffed against each
+/// other.
+fn fingerprint(run: &Json) -> String {
+    let host = run.get("host");
+    let field = |obj: Option<&Json>, key: &str| -> String {
+        match obj.and_then(|o| o.get(key)) {
+            Some(Json::Str(s)) => s.clone(),
+            Some(Json::Num(x)) => format!("{x}"),
+            Some(Json::Bool(b)) => format!("{b}"),
+            _ => "?".to_string(),
+        }
+    };
+    let topo = run.get("topology");
+    format!(
+        "{} / {} cores / {} / topo {}:{}n{}p{}c{}t / quick={}",
+        field(host, "cpu"),
+        field(host, "cores"),
+        field(host, "os"),
+        field(topo, "source"),
+        field(topo, "nodes"),
+        field(topo, "packages"),
+        field(topo, "cores"),
+        field(topo, "cpus"),
+        field(Some(run), "quick"),
+    )
+}
+
+/// Geometric mean of the positive finite values, `None` when empty.
+fn geomean(values: &[f64]) -> Option<f64> {
+    let logs: Vec<f64> =
+        values.iter().filter(|v| v.is_finite() && **v > 0.0).map(|v| v.ln()).collect();
+    if logs.is_empty() {
+        None
+    } else {
+        Some((logs.iter().sum::<f64>() / logs.len() as f64).exp())
+    }
+}
+
+/// The throughput metrics of one run: `workload → geomean tasks/sec`
+/// over every (policy, worker-count) cell, plus one `async/<workload>`
+/// entry per async-backend row.
+fn throughput_metrics(run: &Json) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    if let Some(tps) = run.get("tasks_per_sec") {
+        for (workload, by_policy) in tps.members() {
+            let cells: Vec<f64> = by_policy
+                .members()
+                .iter()
+                .flat_map(|(_, by_w)| by_w.members().iter().filter_map(|(_, v)| v.as_f64()))
+                .collect();
+            if let Some(g) = geomean(&cells) {
+                out.push((workload.clone(), g));
+            }
+        }
+    }
+    if let Some(asy) = run.get("async") {
+        for (workload, row) in asy.members() {
+            if let Some(rate) = row.get("tasks_per_sec").and_then(Json::as_f64) {
+                if rate.is_finite() && rate > 0.0 {
+                    out.push((format!("async/{workload}"), rate));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Diffs the last run against the previous run *on the same host
+/// fingerprint* and flags any workload whose tasks/sec geomean dropped
+/// by more than `max_drop` (a fraction: 0.2 = 20%). Fingerprint groups
+/// with fewer than two runs, and run blocks that don't parse as JSON,
+/// are reported but never fail the check — a fresh baseline file must
+/// pass.
+pub fn check_regression(text: &str, max_drop: f64) -> RegressionReport {
+    let runs = runs_from_text(text);
+    let mut lines = Vec::new();
+    let mut groups: Vec<(String, Vec<(String, Json)>)> = Vec::new();
+    for (label, block) in &runs {
+        match Json::parse(block) {
+            Some(v) => {
+                let fp = fingerprint(&v);
+                match groups.iter_mut().find(|(g, _)| *g == fp) {
+                    Some((_, members)) => members.push((label.clone(), v)),
+                    None => groups.push((fp, vec![(label.clone(), v)])),
+                }
+            }
+            None => lines.push(format!("note: run \"{label}\" is not valid JSON; skipped")),
+        }
+    }
+    let mut compared = 0usize;
+    let mut regressed = false;
+    for (fp, members) in &groups {
+        if members.len() < 2 {
+            lines.push(format!(
+                "note: only one run for [{fp}] (\"{}\"), nothing to compare",
+                members[0].0
+            ));
+            continue;
+        }
+        let (base_label, base) = &members[members.len() - 2];
+        let (cand_label, cand) = &members[members.len() - 1];
+        compared += 1;
+        let base_metrics = throughput_metrics(base);
+        let mut checked = 0usize;
+        for (workload, new_rate) in throughput_metrics(cand) {
+            let Some((_, old_rate)) = base_metrics.iter().find(|(w, _)| *w == workload) else {
+                continue;
+            };
+            checked += 1;
+            let change = new_rate / old_rate - 1.0;
+            if change < -max_drop {
+                regressed = true;
+                lines.push(format!(
+                    "REGRESSION [{fp}] {workload}: {old_rate:.0} -> {new_rate:.0} tasks/sec \
+                     ({:+.1}%, allowed -{:.0}%) comparing \"{base_label}\" -> \"{cand_label}\"",
+                    change * 100.0,
+                    max_drop * 100.0,
+                ));
+            } else {
+                lines.push(format!(
+                    "ok [{fp}] {workload}: {old_rate:.0} -> {new_rate:.0} tasks/sec ({:+.1}%)",
+                    change * 100.0,
+                ));
+            }
+        }
+        if checked == 0 {
+            lines.push(format!(
+                "note: runs \"{base_label}\" and \"{cand_label}\" share no throughput metrics"
+            ));
+        }
+    }
+    RegressionReport { lines, compared, regressed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal run block with one threaded workload and one async
+    /// row, all rates scaled by `rate`.
+    fn run_block(cpu: &str, rate: f64) -> String {
+        format!(
+            "{{\"host\": {{\"cpu\": \"{cpu}\", \"cores\": 4, \"os\": \"linux x86_64\"}}, \
+             \"quick\": true, \
+             \"tasks_per_sec\": {{\"small\": {{\"taper\": {{\"2\": {r1}, \"4\": {r2}}}, \
+             \"self-sched\": {{\"2\": {r3}}}}}}}, \
+             \"async\": {{\"small\": {{\"tasks_per_sec\": {r4}, \"yields\": 12}}}}}}",
+            r1 = rate,
+            r2 = rate * 2.0,
+            r3 = rate * 0.5,
+            r4 = rate * 0.8,
+        )
+    }
+
+    fn file_with(blocks: &[(&str, String)]) -> String {
+        let runs: Vec<(String, String)> =
+            blocks.iter().map(|(l, b)| (l.to_string(), b.clone())).collect();
+        emit_runs(&runs)
+    }
+
+    #[test]
+    fn flags_a_large_drop_and_passes_a_small_one() {
+        let steady = file_with(&[
+            ("before", run_block("cpu-a", 1000.0)),
+            ("after", run_block("cpu-a", 900.0)),
+        ]);
+        let r = check_regression(&steady, 0.2);
+        assert_eq!(r.compared, 1);
+        assert!(!r.regressed, "10% drop within 20% allowance: {:?}", r.lines);
+
+        let dropped = file_with(&[
+            ("before", run_block("cpu-a", 1000.0)),
+            ("after", run_block("cpu-a", 700.0)),
+        ]);
+        let r = check_regression(&dropped, 0.2);
+        assert!(r.regressed, "30% drop must fail: {:?}", r.lines);
+        assert!(r.lines.iter().any(|l| l.starts_with("REGRESSION")));
+    }
+
+    #[test]
+    fn async_rate_alone_can_regress() {
+        // Threaded rates improve; the async backend tanks.
+        let mut bad = run_block("cpu-a", 1100.0);
+        bad = bad
+            .replace(&format!("\"tasks_per_sec\": {}", 1100.0 * 0.8), "\"tasks_per_sec\": 100.0");
+        let file = file_with(&[("before", run_block("cpu-a", 1000.0)), ("after", bad)]);
+        let r = check_regression(&file, 0.2);
+        assert!(r.regressed, "{:?}", r.lines);
+        assert!(r.lines.iter().any(|l| l.starts_with("REGRESSION") && l.contains("async/small")));
+    }
+
+    #[test]
+    fn different_hosts_are_never_compared() {
+        let file = file_with(&[
+            ("before", run_block("cpu-a", 1000.0)),
+            ("after", run_block("cpu-b", 100.0)),
+        ]);
+        let r = check_regression(&file, 0.2);
+        assert_eq!(r.compared, 0);
+        assert!(!r.regressed);
+        assert_eq!(r.lines.iter().filter(|l| l.starts_with("note:")).count(), 2);
+    }
+
+    #[test]
+    fn last_two_runs_win_in_a_longer_history() {
+        let file = file_with(&[
+            ("a", run_block("cpu-a", 100.0)), // ancient slow baseline: ignored
+            ("b", run_block("cpu-a", 1000.0)),
+            ("c", run_block("cpu-a", 950.0)),
+        ]);
+        let r = check_regression(&file, 0.2);
+        assert_eq!(r.compared, 1);
+        assert!(!r.regressed, "{:?}", r.lines);
+    }
+
+    #[test]
+    fn merge_then_check_round_trips_through_the_file_format() {
+        let t1 = merge_runs("", "before", &run_block("cpu-a", 1000.0));
+        let t2 = merge_runs(&t1, "after", &run_block("cpu-a", 600.0));
+        assert!(t2.contains(&format!("\"schema\": \"{SCHED_SCHEMA}\"")));
+        let r = check_regression(&t2, 0.2);
+        assert!(r.regressed, "{:?}", r.lines);
+        // Re-merging the same label replaces, not appends.
+        let t3 = merge_runs(&t2, "after", &run_block("cpu-a", 990.0));
+        assert_eq!(runs_from_text(&t3).len(), 2);
+        assert!(!check_regression(&t3, 0.2).regressed);
+    }
+}

@@ -1,0 +1,143 @@
+//! Property tests for the `BENCH_threaded.json` run store
+//! (`orchestra_bench::runs`): the file format's two contracts are that
+//! merging the same run twice changes nothing — so re-running the
+//! bench at a commit never grows the file — and that normalization is
+//! a fixpoint — so `--normalize` (and therefore every merge, which
+//! re-emits through the same serializer) converges after one pass.
+//!
+//! Blocks are generated with the traps the string-aware parser exists
+//! for: braces and quotes inside string values, escape sequences, and
+//! nested objects.
+
+use orchestra_bench::runs::{emit_runs, merge_runs, parse_runs, runs_from_text, SCHED_SCHEMA};
+use proptest::prelude::*;
+use proptest::{collection, sample};
+
+/// A JSON-ish object literal on one line. Values include strings with
+/// embedded braces, quotes, and backslashes — the cases that defeat
+/// naive brace matching — plus nested objects.
+fn block_strategy() -> BoxedStrategy<String> {
+    let value = prop_oneof![
+        (0..100_000i64).prop_map(|n| n.to_string()),
+        (0..1_000_000i64).prop_map(|n| format!("{:.1}", n as f64 / 10.0)),
+        Just("null".to_string()),
+        Just("true".to_string()),
+        sample::select(vec![
+            r#""plain cpu""#,
+            r#""AMD {embedded} brace""#,
+            r#""close} first""#,
+            r#""escaped \" quote""#,
+            r#""back\\slash""#,
+            r#""colon: and, comma""#,
+            r#""trailing backslash \\""#,
+        ])
+        .prop_map(str::to_string),
+        Just(r#"{"nested": {"deep": 1, "s": "{"}}"#.to_string()),
+        Just("{}".to_string()),
+    ];
+    collection::vec((0..8usize, value), 0..5)
+        .prop_map(|kvs| {
+            let members: Vec<String> =
+                kvs.iter().enumerate().map(|(i, (k, v))| format!("\"key{k}_{i}\": {v}")).collect();
+            format!("{{{}}}", members.join(", "))
+        })
+        .boxed()
+}
+
+/// A short label from a small alphabet, so generated sequences hit the
+/// replace path (same label twice) as well as the append path.
+fn label_strategy() -> BoxedStrategy<String> {
+    (0..4usize).prop_map(|i| format!("label{i}")).boxed()
+}
+
+/// A file built by folding a sequence of merges onto the empty string,
+/// exactly how the bench binary grows the real file.
+fn file_strategy() -> BoxedStrategy<String> {
+    collection::vec((label_strategy(), block_strategy()), 0..6)
+        .prop_map(|merges| {
+            merges
+                .iter()
+                .fold(String::new(), |text, (label, block)| merge_runs(&text, label, block))
+        })
+        .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// merge(merge(a, b), b) == merge(a, b): re-merging the block you
+    /// just merged is a no-op, byte for byte.
+    #[test]
+    fn merge_is_idempotent(
+        text in file_strategy(),
+        label in label_strategy(),
+        block in block_strategy(),
+    ) {
+        let once = merge_runs(&text, &label, &block);
+        let twice = merge_runs(&once, &label, &block);
+        prop_assert_eq!(&once, &twice);
+    }
+
+    /// Normalization (parse + re-emit, what `--normalize` does) is a
+    /// fixpoint: one pass reaches the normal form.
+    #[test]
+    fn normalize_is_a_fixpoint(text in file_strategy()) {
+        let once = emit_runs(&runs_from_text(&text));
+        let twice = emit_runs(&runs_from_text(&once));
+        prop_assert_eq!(&once, &twice);
+    }
+
+    /// Emitted files round-trip: parsing recovers exactly the labelled
+    /// blocks that were written, in order, so no merge ever corrupts
+    /// or reorders earlier runs.
+    #[test]
+    fn emit_round_trips(runs in collection::vec((label_strategy(), block_strategy()), 0..5)) {
+        // Deduplicate labels the way merge does (last write wins) so
+        // the expectation matches file semantics.
+        let mut expect: Vec<(String, String)> = Vec::new();
+        for (label, block) in &runs {
+            match expect.iter_mut().find(|(l, _)| l == label) {
+                Some((_, b)) => *b = block.clone(),
+                None => expect.push((label.clone(), block.clone())),
+            }
+        }
+        let text = runs.iter().fold(String::new(), |t, (l, b)| merge_runs(&t, l, b));
+        prop_assert_eq!(runs_from_text(&text), expect);
+    }
+
+    /// Merging replaces in place: the label count never exceeds the
+    /// distinct labels merged, and the schema header survives.
+    #[test]
+    fn merge_replaces_not_appends(
+        base in file_strategy(),
+        label in label_strategy(),
+        b1 in block_strategy(),
+        b2 in block_strategy(),
+    ) {
+        let t1 = merge_runs(&base, &label, &b1);
+        let t2 = merge_runs(&t1, &label, &b2);
+        let runs = runs_from_text(&t2);
+        prop_assert_eq!(runs.iter().filter(|(l, _)| *l == label).count(), 1);
+        prop_assert_eq!(runs.len(), runs_from_text(&t1).len());
+        prop_assert!(t2.contains(SCHED_SCHEMA));
+        let stored = &runs.iter().find(|(l, _)| *l == label).unwrap().1;
+        prop_assert_eq!(stored, &b2);
+    }
+
+    /// `parse_runs` never loops or panics on arbitrary junk around
+    /// well-formed blocks: prepending garbage that contains no block
+    /// of its own leaves the recovered runs unchanged or truncated,
+    /// never corrupted.
+    #[test]
+    fn parse_survives_leading_junk(
+        junk in sample::select(vec!["", "  \n", ",,,", "not json at all\n", "[1, 2]"]),
+        label in label_strategy(),
+        block in block_strategy(),
+    ) {
+        let body = format!("{junk}\"{label}\": {block}");
+        let runs = parse_runs(&body);
+        prop_assert_eq!(runs.len(), 1);
+        prop_assert_eq!(&runs[0].0, &label);
+        prop_assert_eq!(&runs[0].1, &block);
+    }
+}

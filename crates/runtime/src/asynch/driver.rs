@@ -1,0 +1,433 @@
+//! The cooperative driver core: a dependency-free, hand-rolled futures
+//! executor in the spirit of the in-tree shims — no tokio, no crates.
+//!
+//! The design splits the run into two lifetimes:
+//!
+//! * [`Sched`] is the `'static` scheduling core — a run queue of task
+//!   *indices*, one atomic state byte per task, and a live-task count.
+//!   [`std::task::Waker`] has no lifetime parameter, so wakers must be
+//!   `'static`; here a waker carries only `(Arc<Sched>, index)` and
+//!   never touches a future, which is what lets the futures themselves
+//!   borrow run-local state (cost vectors, chunk queues, the caller's
+//!   kernel) without a single `unsafe` block.
+//! * [`TaskSlot`] holds the actual future, which may borrow the
+//!   enclosing `execute_async` frame (`'env`); driver threads are
+//!   *scoped* threads polling `slots[index]`, so every borrow ends
+//!   before the entry point returns.
+//!
+//! Each task's state byte forms a tiny state machine (idle → queued →
+//! running, with a "notified" flag for wakes that land mid-poll). The
+//! invariants it maintains:
+//!
+//! * an index is in the run queue at most once (only the idle→queued
+//!   transition pushes);
+//! * at most one driver polls a given future at a time (only a pop
+//!   moves queued→running, and a requeue happens only after the
+//!   polling driver released the future's lock);
+//! * no wakeup is lost: a wake during a poll sets `NOTIFIED`, which the
+//!   polling driver converts into a requeue; a wake before a poll is
+//!   subsumed by that poll (futures re-check their readiness
+//!   condition, they never rely on wake counting).
+
+use orchestra_machine::ProcStats;
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+use std::time::Instant;
+
+/// A spawned task's future: `'env` lets op bodies borrow the run's
+/// shared state and the caller's kernel (drivers are scoped threads).
+pub(crate) type TaskFuture<'env> = Pin<Box<dyn Future<Output = ()> + Send + 'env>>;
+
+/// One spawned task. The mutex is never contended — the state machine
+/// guarantees a single driver polls a given slot at a time — it only
+/// converts "logically exclusive" into something the borrow checker
+/// and `Sync` can see.
+pub(crate) struct TaskSlot<'env> {
+    future: Mutex<TaskFuture<'env>>,
+}
+
+impl<'env> TaskSlot<'env> {
+    pub(crate) fn new(future: TaskFuture<'env>) -> Self {
+        TaskSlot { future: Mutex::new(future) }
+    }
+}
+
+/// Task scheduling states (see module docs for the machine).
+const IDLE: u8 = 0;
+const QUEUED: u8 = 1;
+const RUNNING: u8 = 2;
+const NOTIFIED: u8 = 3;
+const DONE: u8 = 4;
+
+/// The `'static` scheduling core shared by drivers and wakers.
+pub(crate) struct Sched {
+    /// Run queue of task indices; an index appears at most once.
+    queue: Mutex<VecDeque<usize>>,
+    /// Signalled on every push and when the last task completes.
+    available: Condvar,
+    /// One state byte per task.
+    states: Vec<AtomicU8>,
+    /// Tasks not yet complete; drivers exit when this reaches zero.
+    live: AtomicUsize,
+}
+
+impl Sched {
+    /// A scheduler over `tasks` tasks, all initially queued in index
+    /// order — the deterministic canonical interleaving a single
+    /// driver replays exactly.
+    pub(crate) fn new(tasks: usize) -> Arc<Self> {
+        Arc::new(Sched {
+            queue: Mutex::new((0..tasks).collect()),
+            available: Condvar::new(),
+            states: (0..tasks).map(|_| AtomicU8::new(QUEUED)).collect(),
+            live: AtomicUsize::new(tasks),
+        })
+    }
+
+    /// Makes task `i` runnable (the waker entry point). Idle tasks are
+    /// queued; a task being polled right now is flagged so its driver
+    /// requeues it; queued/flagged/done tasks need nothing.
+    pub(crate) fn schedule(&self, i: usize) {
+        let s = &self.states[i];
+        let mut cur = s.load(Ordering::Relaxed);
+        loop {
+            let next = match cur {
+                IDLE => QUEUED,
+                RUNNING => NOTIFIED,
+                _ => return,
+            };
+            match s.compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Acquire) {
+                Ok(_) => {
+                    if next == QUEUED {
+                        self.push(i);
+                    }
+                    return;
+                }
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    fn push(&self, i: usize) {
+        self.queue.lock().expect("driver queue poisoned").push_back(i);
+        self.available.notify_one();
+    }
+
+    /// Pops the next runnable task, parking until one arrives or every
+    /// task is done (`None` = shut down).
+    fn next_task(&self) -> Option<usize> {
+        let mut q = self.queue.lock().expect("driver queue poisoned");
+        loop {
+            if let Some(i) = q.pop_front() {
+                return Some(i);
+            }
+            if self.live.load(Ordering::Acquire) == 0 {
+                return None;
+            }
+            q = self.available.wait(q).expect("driver queue poisoned");
+        }
+    }
+
+    fn finish_one(&self) {
+        if self.live.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last task done: every parked driver must wake and exit.
+            let _guard = self.queue.lock().expect("driver queue poisoned");
+            self.available.notify_all();
+        }
+    }
+}
+
+/// What a waker carries: the `'static` core plus a task index — never
+/// the future itself.
+struct WakeHandle {
+    sched: Arc<Sched>,
+    index: usize,
+}
+
+impl Wake for WakeHandle {
+    fn wake(self: Arc<Self>) {
+        self.sched.schedule(self.index);
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.sched.schedule(self.index);
+    }
+}
+
+thread_local! {
+    /// Which driver is polling on this thread (`usize::MAX` = none) —
+    /// lets op futures attribute tasks/chunks to the driver that
+    /// actually ran them without threading an id through every poll.
+    static DRIVER_ID: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+/// The driver currently polling on this thread, if any.
+pub(crate) fn current_driver() -> Option<usize> {
+    let id = DRIVER_ID.with(Cell::get);
+    (id != usize::MAX).then_some(id)
+}
+
+/// What one driver thread reports back: poll-time accounting (`tasks`
+/// and `chunks` are filled in by the op futures via
+/// [`current_driver`]).
+pub(crate) struct DriverRecord {
+    /// Time spent polling futures (µs) — the driver's busy time.
+    pub(crate) busy_us: f64,
+    /// Run-relative time (µs) of the last poll's end.
+    pub(crate) free_at_us: f64,
+    /// Futures polled (including polls that immediately returned
+    /// `Pending`, e.g. a dependency-gate registration).
+    pub(crate) polls: u64,
+}
+
+impl DriverRecord {
+    /// Folds this record into a [`ProcStats`] row (tasks/chunks come
+    /// from the op futures' per-driver counters).
+    pub(crate) fn into_proc(self, tasks: u64, chunks: u64) -> ProcStats {
+        ProcStats { busy: self.busy_us, tasks, chunks, free_at: self.free_at_us }
+    }
+}
+
+/// One driver thread's main loop: pop, poll, account, repeat until
+/// every task is done.
+pub(crate) fn drive(
+    id: usize,
+    sched: &Arc<Sched>,
+    slots: &[TaskSlot<'_>],
+    epoch: Instant,
+) -> DriverRecord {
+    DRIVER_ID.with(|d| d.set(id));
+    let mut rec = DriverRecord { busy_us: 0.0, free_at_us: 0.0, polls: 0 };
+    while let Some(i) = sched.next_task() {
+        sched.states[i].store(RUNNING, Ordering::Release);
+        let waker = Waker::from(Arc::new(WakeHandle { sched: Arc::clone(sched), index: i }));
+        let mut cx = Context::from_waker(&waker);
+        let t0 = Instant::now();
+        let done = {
+            let mut fut = slots[i].future.lock().expect("task future poisoned");
+            fut.as_mut().poll(&mut cx).is_ready()
+        };
+        rec.busy_us += t0.elapsed().as_secs_f64() * 1e6;
+        rec.free_at_us = epoch.elapsed().as_secs_f64() * 1e6;
+        rec.polls += 1;
+        if done {
+            sched.states[i].store(DONE, Ordering::Release);
+            sched.finish_one();
+        } else if sched.states[i]
+            .compare_exchange(RUNNING, IDLE, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            // A wake landed mid-poll: the future saw stale state, so
+            // requeue it (at the back — yields are cooperative).
+            sched.states[i].store(QUEUED, Ordering::Release);
+            sched.push(i);
+        }
+    }
+    DRIVER_ID.with(|d| d.set(usize::MAX));
+    rec
+}
+
+/// Cooperative yield: completes on its second poll, after re-queuing
+/// the task at the back of the run queue — the chunk-boundary yield
+/// point of the async backend.
+pub(crate) struct YieldNow {
+    yielded: bool,
+}
+
+/// Yields the current task once.
+pub(crate) fn yield_now() -> YieldNow {
+    YieldNow { yielded: false }
+}
+
+impl Future for YieldNow {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.yielded {
+            Poll::Ready(())
+        } else {
+            self.yielded = true;
+            // Mid-poll wake: the driver sees NOTIFIED and requeues us.
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+    }
+}
+
+/// A readiness counter ops await their DAG predecessors on: it opens
+/// when `deps` predecessors have arrived, waking every registered
+/// waiter.
+pub(crate) struct DepGate {
+    remaining: AtomicUsize,
+    waiters: Mutex<Vec<Waker>>,
+}
+
+impl DepGate {
+    /// A gate expecting `deps` arrivals (0 = open from the start).
+    pub(crate) fn new(deps: usize) -> Self {
+        DepGate { remaining: AtomicUsize::new(deps), waiters: Mutex::new(Vec::new()) }
+    }
+
+    /// Records one predecessor completion. Returns `true` exactly once
+    /// — for the arrival that opened the gate — and the caller must
+    /// then invoke [`Self::release`].
+    pub(crate) fn arrive(&self) -> bool {
+        self.remaining.fetch_sub(1, Ordering::AcqRel) == 1
+    }
+
+    /// Wakes every waiter registered so far (late registrants observe
+    /// the open gate directly in their poll).
+    pub(crate) fn release(&self) {
+        let waiters = std::mem::take(&mut *self.waiters.lock().expect("dep gate poisoned"));
+        for w in waiters {
+            w.wake();
+        }
+    }
+
+    /// A future resolving once the gate is open.
+    pub(crate) fn wait(&self) -> Wait<'_> {
+        Wait { gate: self }
+    }
+}
+
+/// Future returned by [`DepGate::wait`].
+pub(crate) struct Wait<'a> {
+    gate: &'a DepGate,
+}
+
+impl Future for Wait<'_> {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.gate.remaining.load(Ordering::Acquire) == 0 {
+            return Poll::Ready(());
+        }
+        self.gate.waiters.lock().expect("dep gate poisoned").push(cx.waker().clone());
+        // Register-then-recheck: if the release ran between the first
+        // check and the registration, the drained waiter list missed
+        // us — this second look closes the lost-wakeup window. (The
+        // symmetric race leaves a stale waker behind; waking a done
+        // task is a no-op.)
+        if self.gate.remaining.load(Ordering::Acquire) == 0 {
+            Poll::Ready(())
+        } else {
+            Poll::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    /// Runs `futures` to completion on `drivers` threads.
+    fn run_all(futures: Vec<TaskFuture<'_>>, drivers: usize) -> Vec<DriverRecord> {
+        let sched = Sched::new(futures.len());
+        let slots: Vec<TaskSlot<'_>> = futures.into_iter().map(TaskSlot::new).collect();
+        let epoch = Instant::now();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..drivers)
+                .map(|id| {
+                    let sched = Arc::clone(&sched);
+                    let slots = &slots;
+                    s.spawn(move || drive(id, &sched, slots, epoch))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("driver panicked")).collect()
+        })
+    }
+
+    #[test]
+    fn yields_interleave_cooperative_tasks() {
+        // Two tasks alternating yields on ONE driver must interleave:
+        // the run queue is FIFO and a yield goes to the back.
+        let log = Mutex::new(Vec::new());
+        let mk = |tag: u32| {
+            let log = &log;
+            Box::pin(async move {
+                for step in 0..3u32 {
+                    log.lock().unwrap().push((tag, step));
+                    yield_now().await;
+                }
+            }) as TaskFuture<'_>
+        };
+        run_all(vec![mk(0), mk(1)], 1);
+        let got = log.into_inner().unwrap();
+        assert_eq!(got, vec![(0, 0), (1, 0), (0, 1), (1, 1), (0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn dep_gate_orders_producer_before_consumers() {
+        for drivers in [1, 3] {
+            let gate = DepGate::new(1);
+            let value = AtomicU64::new(0);
+            let seen: Vec<AtomicU64> = (0..4).map(|_| AtomicU64::new(0)).collect();
+            let mut futures: Vec<TaskFuture<'_>> = Vec::new();
+            for s in &seen {
+                let (gate, value) = (&gate, &value);
+                futures.push(Box::pin(async move {
+                    gate.wait().await;
+                    s.store(value.load(Ordering::Acquire), Ordering::Release);
+                }));
+            }
+            let (gate_ref, value_ref) = (&gate, &value);
+            futures.push(Box::pin(async move {
+                // Let the consumers register with the gate first.
+                for _ in 0..5 {
+                    yield_now().await;
+                }
+                value_ref.store(42, Ordering::Release);
+                if gate_ref.arrive() {
+                    gate_ref.release();
+                }
+            }));
+            run_all(futures, drivers);
+            for s in &seen {
+                assert_eq!(s.load(Ordering::Acquire), 42, "consumer ran before gate opened");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_dep_gate_is_open() {
+        let gate = DepGate::new(0);
+        let hit = AtomicU64::new(0);
+        let (g, h) = (&gate, &hit);
+        run_all(
+            vec![Box::pin(async move {
+                g.wait().await;
+                h.fetch_add(1, Ordering::Relaxed);
+            })],
+            2,
+        );
+        assert_eq!(hit.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn many_tasks_complete_on_few_drivers() {
+        // 64 yielding tasks multiplexed over 2 drivers: all complete,
+        // poll counts cover at least one poll per yield.
+        let counter = AtomicU64::new(0);
+        let futures: Vec<TaskFuture<'_>> = (0..64)
+            .map(|_| {
+                let counter = &counter;
+                Box::pin(async move {
+                    for _ in 0..4 {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        yield_now().await;
+                    }
+                }) as TaskFuture<'_>
+            })
+            .collect();
+        let records = run_all(futures, 2);
+        assert_eq!(counter.load(Ordering::Relaxed), 64 * 4);
+        let polls: u64 = records.iter().map(|r| r.polls).sum();
+        assert!(polls >= 64 * 4, "polls {polls} < yields");
+    }
+}

@@ -1,0 +1,474 @@
+//! Async cooperative executor backend: the expanded op DAG as futures.
+//!
+//! The third and fourth backends bracket the orchestration layer from
+//! opposite sides: [`threaded`](crate::threaded) gives every worker a
+//! preemptive OS thread; this module multiplexes *many in-flight
+//! operations* over a small pool of driver threads running hand-rolled
+//! futures (see [`driver`] — no tokio, in the spirit of the in-tree
+//! shims). Ops become futures that `await` their DAG predecessors via
+//! readiness counters ([`driver::DepGate`]), and chunk claims reuse
+//! the existing [`ChunkQueue`] machinery — lock-free fixed schedules,
+//! TAPER behind its short mutex — but **yield at chunk boundaries**
+//! instead of blocking, so a driver interleaves chunks of every ready
+//! op and the exactly-once claim invariants get stressed by
+//! interleavings real threads rarely produce (each op gets *more
+//! claimer futures than drivers*, deliberately oversubscribed).
+//!
+//! Two properties the differential suites pin down:
+//!
+//! * **Exactly-once**: a task index is executed once no matter how
+//!   claimer futures interleave — the claim is the serialization
+//!   point (`ChunkQueue::claim`), and a claimed chunk is executed to
+//!   completion between two yield points by a single future.
+//! * **Determinism at one driver**: with `drivers = 1` the run queue
+//!   is FIFO, every yield goes to the back, and the adaptive policies
+//!   are fed *deterministic cost hints* (like the dist backend's
+//!   control plane), so the whole schedule — chunk sizes, claim
+//!   order, yield counts — replays identically run over run.
+
+pub(crate) mod driver;
+
+use crate::chunking::PolicyKind;
+use crate::executor::{costs_of_node, ExecutionReport, ExecutorOptions, NodeReport};
+use crate::stats::OnlineStats;
+use crate::threaded::queue::ChunkQueue;
+use crate::threaded::{build_plan, TaskCtx, TaskKernel};
+use driver::{DepGate, DriverRecord, Sched, TaskFuture, TaskSlot};
+use orchestra_delirium::{DelirGraph, GraphError, Node};
+use orchestra_machine::{ProcStats, RunStats};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One operation instance, shared by its claimer futures.
+struct AsyncOp {
+    name: String,
+    node: usize,
+    iter: usize,
+    costs: Vec<f64>,
+    queue: ChunkQueue,
+    /// Opens when every DAG predecessor has completed.
+    gate: DepGate,
+    dependents: Vec<usize>,
+    /// Tasks not yet accounted by a finished claimer; the claimer that
+    /// drops this to zero completes the op.
+    outstanding: AtomicUsize,
+    output: Vec<AtomicU64>,
+    executed: Vec<AtomicU32>,
+    /// First-claim time, µs since run start (f64 bits; MAX = never).
+    started_bits: AtomicU64,
+    /// Completion time, µs since run start (f64 bits; MAX = never).
+    finished_bits: AtomicU64,
+    /// Chunk-boundary yields taken by this op's claimers.
+    yields: AtomicU64,
+}
+
+/// Per-driver task/chunk counters, attributed by the claimer futures
+/// via [`driver::current_driver`] (busy time is measured by the driver
+/// loop itself).
+#[derive(Default)]
+struct DriverCell {
+    tasks: AtomicU64,
+    chunks: AtomicU64,
+}
+
+/// Everything the claimer futures borrow for the duration of the run.
+struct AsyncShared<'g> {
+    ops: Vec<AsyncOp>,
+    nodes: &'g [Node],
+    cells: Vec<DriverCell>,
+    epoch: Instant,
+}
+
+/// Per-op record of an async run.
+#[derive(Debug, Clone)]
+pub struct AsyncOpRecord {
+    /// Instance name.
+    pub name: String,
+    /// First chunk claim, µs after run start.
+    pub start_us: f64,
+    /// Completion, µs after run start.
+    pub finish_us: f64,
+    /// Task count.
+    pub tasks: usize,
+    /// Chunks dispatched by the queue.
+    pub chunks: u64,
+    /// Cooperative yields taken at this op's chunk boundaries.
+    pub yields: u64,
+}
+
+/// The result of executing a graph on the cooperative executor —
+/// the async counterpart of [`ThreadedRun`](crate::ThreadedRun).
+#[derive(Debug, Clone)]
+pub struct AsyncRun {
+    /// Measured wall-clock time, µs.
+    pub wall_us: f64,
+    /// Driver threads used.
+    pub drivers: usize,
+    /// Per-driver busy/tasks/chunks, assembled with
+    /// [`RunStats::from_procs`] like every other backend.
+    pub stats: RunStats,
+    /// Per-op timings, aligned with the plan's op order.
+    pub ops: Vec<AsyncOpRecord>,
+    /// Output buffers, aligned with the plan's op order.
+    pub outputs: Vec<Vec<f64>>,
+    /// Per-task execution counts, aligned with the plan's op order
+    /// (all 1 in a correct run).
+    pub exec_counts: Vec<Vec<u32>>,
+    /// Σ of the tasks' simulated cost hints (µs).
+    pub hinted_serial_us: f64,
+    /// Chunk claims across all ops (scheduling events).
+    pub claims: u64,
+    /// Cooperative yields across all ops (one per executed chunk).
+    pub yields: u64,
+    /// Future polls across all drivers. A poll executes at most one
+    /// chunk and every claimer's last poll claims nothing, so this is
+    /// at least `claims + spawned`; the excess beyond that is
+    /// dependency-gate registrations and stale-claimer wakeups.
+    pub polls: u64,
+    /// Claimer futures spawned (every op is oversubscribed:
+    /// more claimers than drivers).
+    pub spawned: usize,
+}
+
+impl AsyncRun {
+    /// Measured speedup: total busy time across drivers over wall
+    /// time; `drivers` is the ceiling.
+    pub fn measured_speedup(&self) -> f64 {
+        if self.wall_us <= 0.0 {
+            return 1.0;
+        }
+        self.stats.total_busy() / self.wall_us
+    }
+
+    /// Fraction of driver-seconds spent polling futures (busy /
+    /// (drivers × wall)) — how well the cooperative pool was fed.
+    pub fn driver_utilization(&self) -> f64 {
+        if self.wall_us <= 0.0 {
+            return 0.0;
+        }
+        self.stats.total_busy() / (self.drivers as f64 * self.wall_us)
+    }
+
+    /// Converts the run into the executor's report shape so callers
+    /// consume all four backends uniformly.
+    pub fn to_report(&self) -> ExecutionReport {
+        ExecutionReport {
+            finish: self.wall_us,
+            nodes: self
+                .ops
+                .iter()
+                .map(|op| NodeReport {
+                    name: op.name.clone(),
+                    start: op.start_us,
+                    finish: op.finish_us,
+                    procs: self.drivers,
+                })
+                .collect(),
+            serial_work: self.stats.total_busy(),
+            processors: self.drivers,
+        }
+    }
+}
+
+/// Driver-count resolution: `opts.drivers`, else `opts.threads`, else
+/// a small pool (available parallelism capped at 4 — the point of the
+/// backend is a handful of drivers multiplexing many ops).
+pub fn resolve_drivers(opts: &ExecutorOptions) -> usize {
+    if opts.drivers > 0 {
+        return opts.drivers;
+    }
+    if opts.threads > 0 {
+        return opts.threads;
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2).min(4)
+}
+
+/// Claimer futures spawned per op: deliberately more than the driver
+/// count (oversubscription stresses the exactly-once claim invariant
+/// with interleavings preemptive threads rarely produce), but never
+/// more than the op has tasks.
+fn claimers_for(tasks: usize, drivers: usize) -> usize {
+    (drivers * 2).min(tasks).max(1)
+}
+
+fn us_since(epoch: Instant) -> f64 {
+    epoch.elapsed().as_secs_f64() * 1e6
+}
+
+/// One claimer's life: await the op's dependency gate, then loop
+/// claim → execute chunk → yield until the queue is drained. The
+/// yield between chunks is the backend's entire scheduling story:
+/// between any two chunks the driver is free to run *any* ready op.
+async fn run_claimer(shared: &AsyncShared<'_>, op_idx: usize, kernel: &(dyn TaskKernel + Sync)) {
+    let op = &shared.ops[op_idx];
+    op.gate.wait().await;
+    if op.costs.is_empty() {
+        // Degenerate op: its single claimer (see `claimers_for`)
+        // completes it directly.
+        let now = us_since(shared.epoch);
+        stamp_min(&op.started_bits, now);
+        complete_op(shared, op_idx, now);
+        return;
+    }
+    let node = &shared.nodes[op.node];
+    let adaptive = !op.queue.is_lock_free();
+    let mut done = 0usize;
+    while let Some(chunk) = op.queue.claim() {
+        stamp_min(&op.started_bits, us_since(shared.epoch));
+        let mut chunk_stats = OnlineStats::new();
+        for task in chunk.start..chunk.start + chunk.len {
+            let cost = op.costs[task];
+            let ctx = TaskCtx { node, iter: op.iter, task, cost_hint: cost };
+            let value = kernel.run_task(&ctx);
+            op.output[task].store(value.to_bits(), Ordering::Relaxed);
+            op.executed[task].fetch_add(1, Ordering::Relaxed);
+            if adaptive {
+                chunk_stats.observe(cost);
+            }
+        }
+        if adaptive {
+            // Feed TAPER the deterministic cost *hints*, not wall
+            // clock — the same choice the dist backend's control plane
+            // makes, so chunk sequences are reproducible (and, at one
+            // driver, the whole schedule is).
+            op.queue.observe_chunk(chunk.start, chunk.len, &chunk_stats);
+        }
+        if let Some(d) = driver::current_driver() {
+            shared.cells[d].tasks.fetch_add(chunk.len as u64, Ordering::Relaxed);
+            shared.cells[d].chunks.fetch_add(1, Ordering::Relaxed);
+        }
+        done += chunk.len;
+        op.yields.fetch_add(1, Ordering::Relaxed);
+        driver::yield_now().await;
+    }
+    // Account this claimer's work in one batched decrement; whoever
+    // zeroes the counter has proof every task ran and completes the op
+    // (same protocol as the threaded pool).
+    if done > 0 && op.outstanding.fetch_sub(done, Ordering::AcqRel) == done {
+        complete_op(shared, op_idx, us_since(shared.epoch));
+    }
+}
+
+fn stamp_min(bits: &AtomicU64, t_us: f64) {
+    let b = t_us.to_bits();
+    if bits.load(Ordering::Relaxed) > b {
+        bits.fetch_min(b, Ordering::AcqRel);
+    }
+}
+
+/// Runs exactly once per op: stamps the finish and arrives at every
+/// dependent's gate, releasing the ones this op was the last
+/// predecessor of (their parked claimers wake through the gate's
+/// wakers).
+fn complete_op(shared: &AsyncShared<'_>, op_idx: usize, t_end: f64) {
+    let op = &shared.ops[op_idx];
+    op.finished_bits.fetch_min(t_end.to_bits(), Ordering::AcqRel);
+    for &d in &op.dependents {
+        let gate = &shared.ops[d].gate;
+        if gate.arrive() {
+            gate.release();
+        }
+    }
+}
+
+/// Executes a graph on the cooperative futures executor.
+///
+/// # Errors
+///
+/// Returns the graph's validation error when it is malformed.
+pub fn execute_async(
+    g: &DelirGraph,
+    opts: &ExecutorOptions,
+    kernel: &(dyn TaskKernel + Sync),
+) -> Result<AsyncRun, GraphError> {
+    let plan = build_plan(g, opts)?;
+    let drivers = resolve_drivers(opts);
+    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); plan.ops.len()];
+    for (i, op) in plan.ops.iter().enumerate() {
+        for &d in &op.deps {
+            dependents[d].push(i);
+        }
+    }
+    let mut hinted_serial_us = 0.0;
+    let mut ops: Vec<AsyncOp> = Vec::with_capacity(plan.ops.len());
+    for (op, deps_out) in plan.ops.iter().zip(&mut dependents) {
+        let node = &g.nodes[op.node];
+        let costs = costs_of_node(node, opts.seed);
+        hinted_serial_us += costs.iter().sum::<f64>();
+        let policy = match opts.policy {
+            // Static has no dynamic queue; same approximation as the
+            // threaded backend.
+            PolicyKind::Static => PolicyKind::Gss.instantiate(op.tasks),
+            p => p.instantiate(op.tasks),
+        };
+        ops.push(AsyncOp {
+            name: op.name.clone(),
+            node: op.node,
+            iter: op.iter,
+            queue: ChunkQueue::new(policy, op.tasks, drivers),
+            costs,
+            gate: DepGate::new(op.deps.len()),
+            dependents: std::mem::take(deps_out),
+            outstanding: AtomicUsize::new(op.tasks),
+            output: (0..op.tasks).map(|_| AtomicU64::new(0)).collect(),
+            executed: (0..op.tasks).map(|_| AtomicU32::new(0)).collect(),
+            started_bits: AtomicU64::new(u64::MAX),
+            finished_bits: AtomicU64::new(u64::MAX),
+            yields: AtomicU64::new(0),
+        });
+    }
+
+    let shared = AsyncShared {
+        ops,
+        nodes: &g.nodes,
+        cells: (0..drivers).map(|_| DriverCell::default()).collect(),
+        epoch: Instant::now(),
+    };
+    // Spawn claimer futures op-major: ready ops start interleaved at
+    // the front of the FIFO run queue; blocked ones park in their
+    // gates on first poll.
+    let mut futures: Vec<TaskFuture<'_>> = Vec::new();
+    for (i, op) in shared.ops.iter().enumerate() {
+        for _ in 0..claimers_for(op.costs.len(), drivers) {
+            futures.push(Box::pin(run_claimer(&shared, i, kernel)));
+        }
+    }
+    let spawned = futures.len();
+    let sched = Sched::new(spawned);
+    let records: Vec<DriverRecord> = {
+        let slots: Vec<TaskSlot<'_>> = futures.into_iter().map(TaskSlot::new).collect();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..drivers)
+                .map(|id| {
+                    let sched = Arc::clone(&sched);
+                    let slots = &slots;
+                    let epoch = shared.epoch;
+                    s.spawn(move || driver::drive(id, &sched, slots, epoch))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("driver panicked")).collect()
+        })
+    };
+    let wall_us = us_since(shared.epoch);
+
+    let polls: u64 = records.iter().map(|r| r.polls).sum();
+    let procs: Vec<ProcStats> = records
+        .into_iter()
+        .zip(&shared.cells)
+        .map(|(rec, cell)| {
+            rec.into_proc(cell.tasks.load(Ordering::Relaxed), cell.chunks.load(Ordering::Relaxed))
+        })
+        .collect();
+    let stats = RunStats::from_procs(procs, wall_us);
+    let op_records: Vec<AsyncOpRecord> = shared
+        .ops
+        .iter()
+        .map(|op| AsyncOpRecord {
+            name: op.name.clone(),
+            start_us: f64::from_bits(op.started_bits.load(Ordering::Acquire)),
+            finish_us: f64::from_bits(op.finished_bits.load(Ordering::Acquire)),
+            tasks: op.costs.len(),
+            chunks: op.queue.chunks_claimed(),
+            yields: op.yields.load(Ordering::Relaxed),
+        })
+        .collect();
+    let claims: u64 = op_records.iter().map(|o| o.chunks).sum();
+    let yields: u64 = op_records.iter().map(|o| o.yields).sum();
+    let outputs: Vec<Vec<f64>> = shared
+        .ops
+        .iter()
+        .map(|op| op.output.iter().map(|b| f64::from_bits(b.load(Ordering::Acquire))).collect())
+        .collect();
+    let exec_counts: Vec<Vec<u32>> = shared
+        .ops
+        .iter()
+        .map(|op| op.executed.iter().map(|c| c.load(Ordering::Acquire)).collect())
+        .collect();
+    Ok(AsyncRun {
+        wall_us,
+        drivers,
+        stats,
+        ops: op_records,
+        outputs,
+        exec_counts,
+        hinted_serial_us,
+        claims,
+        yields,
+        polls,
+        spawned,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::threaded::{execute_sequential, SpinKernel};
+    use orchestra_delirium::{DataAnno, NodeKind};
+
+    fn small_graph() -> DelirGraph {
+        let mut g = DelirGraph::new();
+        let a = g.add_node("A", NodeKind::Task { cost: 5.0 }, None);
+        let b =
+            g.add_node("B", NodeKind::DataParallel { tasks: 100, mean_cost: 3.0, cv: 0.8 }, None);
+        let c = g.add_node("C", NodeKind::Merge { cost: 2.0 }, None);
+        g.add_edge(a, b, DataAnno::array("x", 100));
+        g.add_edge(b, c, DataAnno::array("y", 100));
+        g
+    }
+
+    #[test]
+    fn async_executes_every_task_once() {
+        let g = small_graph();
+        let opts = ExecutorOptions { drivers: 3, ..ExecutorOptions::default() };
+        let kernel = SpinKernel::with_scale(4.0);
+        let r = execute_async(&g, &opts, &kernel).unwrap();
+        assert_eq!(r.stats.total_tasks(), 102);
+        for counts in &r.exec_counts {
+            assert!(counts.iter().all(|&c| c == 1));
+        }
+        assert!(r.wall_us > 0.0);
+        assert!(r.yields > 0, "chunk boundaries must yield");
+        assert_eq!(r.claims, r.yields, "one yield per executed chunk");
+        assert!(r.polls >= r.claims + r.spawned as u64);
+        assert!(r.measured_speedup() <= r.drivers as f64 + 1e-9);
+        assert!(r.driver_utilization() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn async_matches_sequential_bitwise() {
+        let g = small_graph();
+        let opts = ExecutorOptions { drivers: 2, ..ExecutorOptions::default() };
+        let kernel = SpinKernel::with_scale(4.0);
+        let seq = execute_sequential(&g, &opts, &kernel).unwrap();
+        let run = execute_async(&g, &opts, &kernel).unwrap();
+        assert_eq!(seq.outputs, run.outputs);
+    }
+
+    #[test]
+    fn oversubscribed_claimers_spawned() {
+        let g = small_graph();
+        let opts = ExecutorOptions { drivers: 2, ..ExecutorOptions::default() };
+        let r = execute_async(&g, &opts, &SpinKernel::with_scale(2.0)).unwrap();
+        // B (100 tasks) gets 2×drivers claimers; A and C one each.
+        assert_eq!(r.spawned, 4 + 1 + 1);
+    }
+
+    #[test]
+    fn driver_resolution_prefers_explicit_knob() {
+        let mut opts = ExecutorOptions::default();
+        assert!(resolve_drivers(&opts) >= 1);
+        opts.threads = 7;
+        assert_eq!(resolve_drivers(&opts), 7);
+        opts.drivers = 3;
+        assert_eq!(resolve_drivers(&opts), 3);
+    }
+
+    #[test]
+    fn invalid_graph_rejected() {
+        let mut g = DelirGraph::new();
+        let a = g.add_node("A", NodeKind::Task { cost: 1.0 }, None);
+        g.add_edge(a, a, DataAnno::scalar("self"));
+        assert!(execute_async(&g, &ExecutorOptions::default(), &SpinKernel::default()).is_err());
+    }
+}

@@ -51,6 +51,10 @@ pub struct ExecutorOptions {
     /// available parallelism). Ignored by the simulator, which sizes
     /// itself from [`MachineConfig::processors`].
     pub threads: usize,
+    /// Driver threads for the async cooperative backend (0 = fall back
+    /// to `threads`, then to a small pool — available parallelism
+    /// capped at 4). Ignored by every other backend.
+    pub drivers: usize,
     /// Pin each worker thread to its topology-assigned CPU
     /// (`sched_setaffinity`; best-effort, off by default). The
     /// `ORCHESTRA_PIN_WORKERS` environment variable (any value but
@@ -78,6 +82,7 @@ impl Default for ExecutorOptions {
             seed: 0x5eed,
             backend: ExecutorBackend::Simulated,
             threads: 0,
+            drivers: 0,
             pin_workers: false,
             topology: TopologyMode::Auto,
             steal_order: StealOrder::Hierarchical,
@@ -274,6 +279,11 @@ pub fn execute_graph(
         // nCUBE-2 and does not apply.
         let kernel = crate::threaded::SpinKernel::default();
         let run = crate::threaded::execute_threaded(g, opts, &kernel)?;
+        return Ok(run.to_report());
+    }
+    if opts.backend == ExecutorBackend::Async {
+        let kernel = crate::threaded::SpinKernel::default();
+        let run = crate::asynch::execute_async(g, opts, &kernel)?;
         return Ok(run.to_report());
     }
     g.validate()?;
@@ -777,5 +787,47 @@ mod tests {
         let a = g.add_node("A", NodeKind::Task { cost: 1.0 }, None);
         g.add_edge(a, a, DataAnno::scalar("self"));
         assert!(execute_graph(&g, &MachineConfig::ncube2(4), &ExecutorOptions::default()).is_err());
+    }
+
+    #[test]
+    fn simulator_policy_state_is_per_op() {
+        // DESIGN §12's sampling contract, simulator side: every node's
+        // scheduling loop instantiates a fresh policy, so swapping the
+        // upstream node's variance must shift only B's *start* (via
+        // A's finish), never B's duration — if TAPER's µ/σ leaked
+        // across ops, B would inherit A's high cv and carve different
+        // chunks. (The only joint pool is an overlapped pipeline
+        // group, which is modelled as a single fused operation.)
+        let graph_with_upstream_cv = |cv: f64| {
+            let mut g = DelirGraph::new();
+            let a =
+                g.add_node("A", NodeKind::DataParallel { tasks: 256, mean_cost: 4.0, cv }, None);
+            let b = g.add_node(
+                "B",
+                NodeKind::DataParallel { tasks: 1024, mean_cost: 2.0, cv: 0.3 },
+                None,
+            );
+            g.add_edge(a, b, DataAnno::array("x", 1024));
+            g
+        };
+        let cfg = MachineConfig::ncube2(64);
+        let opts = ExecutorOptions::default(); // policy = Taper
+        let b_times = |g: &DelirGraph| {
+            let r = execute_graph(g, &cfg, &opts).unwrap();
+            let b = r.nodes.iter().find(|n| n.name == "B").unwrap();
+            (b.start, b.finish - b.start)
+        };
+        let (skewed_start, skewed_dur) = b_times(&graph_with_upstream_cv(1.2));
+        let (uniform_start, uniform_dur) = b_times(&graph_with_upstream_cv(0.0));
+        assert!(
+            (skewed_dur - uniform_dur).abs() <= 1e-9 * skewed_dur.max(1.0),
+            "B's duration depends on A's variance: {skewed_dur} vs {uniform_dur}"
+        );
+        // Sanity: A's variance did change the timeline (B starts later
+        // after the skewed A), so the invariance above is not vacuous.
+        assert!(
+            (skewed_start - uniform_start).abs() > 1e-6,
+            "upstream cv never reached the schedule"
+        );
     }
 }

@@ -24,9 +24,14 @@
 //!   the above;
 //! * [`threaded`] — the real-thread execution backend: the same graphs
 //!   and chunk policies driving actual `std::thread` workers over real
-//!   buffers, for differential testing against the simulator.
+//!   buffers, for differential testing against the simulator;
+//! * [`asynch`] — the cooperative futures backend: a dependency-free
+//!   hand-rolled executor multiplexing the op DAG over a few driver
+//!   threads, ops awaiting predecessors and yielding at chunk
+//!   boundaries.
 
 pub mod alloc;
+pub mod asynch;
 pub mod chunking;
 pub mod dist_taper;
 pub mod executor;
@@ -37,6 +42,7 @@ pub mod stats;
 pub mod threaded;
 
 pub use alloc::{allocate_many, allocate_pair, AllocParams, Allocation};
+pub use asynch::{execute_async, resolve_drivers, AsyncOpRecord, AsyncRun};
 pub use chunking::{ChunkPolicy, Factoring, Gss, PolicyKind, SelfSched, Taper, REASSIGN_CV_GATE};
 pub use dist_taper::{simulate_dist_taper, simulate_dist_taper_at, DistResult};
 pub use executor::{execute_graph, ExecutionReport, ExecutorOptions, NodeReport};

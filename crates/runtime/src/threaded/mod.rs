@@ -48,6 +48,10 @@ pub enum ExecutorBackend {
     /// queues with epoch-token migration instead of a shared claim
     /// queue — see [`dist::DistQueue`].
     ThreadedDist,
+    /// Cooperative futures executor: ops await their DAG predecessors
+    /// and yield at chunk boundaries, a few driver threads multiplexing
+    /// many in-flight ops — see [`crate::asynch`].
+    Async,
 }
 
 /// Everything a kernel needs to compute one task.

@@ -25,6 +25,13 @@ const POLICIES: [PolicyKind; 5] = [
     PolicyKind::TaperCostFn,
 ];
 
+/// A flat shape: one wide data-parallel node, nothing else.
+fn flat_graph() -> (DelirGraph, ExecutorOptions) {
+    let mut g = DelirGraph::new();
+    g.add_node("F", NodeKind::DataParallel { tasks: 256, mean_cost: 1.5, cv: 0.6 }, None);
+    (g, ExecutorOptions { threads: 2, ..ExecutorOptions::default() })
+}
+
 /// A plain DAG: task → data-parallel fan-out → merge.
 fn dag_graph() -> (DelirGraph, ExecutorOptions) {
     let mut g = DelirGraph::new();
@@ -82,10 +89,11 @@ fn mixture_graph() -> (DelirGraph, ExecutorOptions) {
 }
 
 fn graphs() -> Vec<(&'static str, DelirGraph, ExecutorOptions)> {
+    let (g0, o0) = flat_graph();
     let (g1, o1) = dag_graph();
     let (g2, o2) = pipeline_graph();
     let (g3, o3) = mixture_graph();
-    vec![("dag", g1, o1), ("pipeline", g2, o2), ("mixture", g3, o3)]
+    vec![("flat", g0, o0), ("dag", g1, o1), ("pipeline", g2, o2), ("mixture", g3, o3)]
 }
 
 #[test]
@@ -188,6 +196,32 @@ fn barrier_mode_matches_too() {
     let seq = execute_sequential(&g, &opts, &kernel).unwrap();
     let thr = execute_threaded(&g, &opts, &kernel).unwrap();
     assert_eq!(seq.outputs, thr.outputs);
+}
+
+/// The headline cross-backend invariant: threaded, threaded-dist, and
+/// async execution all produce buffers bit-identical to the sequential
+/// reference on every shape (flat / DAG / pipeline / skewed mixture).
+/// Kernels are pure in `(node, iter, task)`, so this holds regardless
+/// of which thread, home queue, or driver ran each task.
+#[test]
+fn all_backends_bit_identical_on_all_shapes() {
+    use orchestra_runtime::execute_async;
+    use orchestra_runtime::threaded::ExecutorBackend;
+    let kernel = SpinKernel::with_scale(2.0);
+    for (name, g, opts) in graphs() {
+        for policy in [PolicyKind::SelfSched, PolicyKind::Taper] {
+            let opts = ExecutorOptions { policy, ..opts.clone() };
+            let seq = execute_sequential(&g, &opts, &kernel).unwrap();
+            let thr = execute_threaded(&g, &opts, &kernel).unwrap();
+            let dist_opts =
+                ExecutorOptions { backend: ExecutorBackend::ThreadedDist, ..opts.clone() };
+            let dist = execute_threaded(&g, &dist_opts, &kernel).unwrap();
+            let asy = execute_async(&g, &opts, &kernel).unwrap();
+            assert_eq!(seq.outputs, thr.outputs, "{name}/{}: threaded", policy.name());
+            assert_eq!(seq.outputs, dist.outputs, "{name}/{}: threaded-dist", policy.name());
+            assert_eq!(seq.outputs, asy.outputs, "{name}/{}: async", policy.name());
+        }
+    }
 }
 
 #[test]
