@@ -24,7 +24,13 @@
 //! * **steals** — the DAG shape under hierarchical vs ring steal
 //!   order at 4 and 8 workers, bucketing successful steals by machine
 //!   distance (SMT sibling / same node / remote) and counting tokens
-//!   taken by remote steal batching.
+//!   taken by remote steal batching;
+//! * **recovery** — one crash + snapshot-resume cycle (schema v5): a
+//!   crash-mode fault kills the run mid-flight with checkpointing on,
+//!   and `execute_graph_resumable` restores from the latest snapshot
+//!   and replays the rest. Records the recovery wall time, restored
+//!   task count, and on-disk snapshot footprint. Trend data only — the
+//!   regression gate reads throughput metrics and ignores this block.
 //!
 //! Each run also records a host fingerprint (cpu model, core count,
 //! OS/arch) plus the probed machine topology, so `BENCH_threaded.json`
@@ -56,7 +62,10 @@ use orchestra_runtime::executor::ExecutorOptions;
 use orchestra_runtime::stats::OnlineStats;
 use orchestra_runtime::threaded::queue::ChunkQueue;
 use orchestra_runtime::threaded::{execute_threaded, ExecutorBackend, SpinKernel};
-use orchestra_runtime::{execute_async, CpuTopology, PolicyKind, StealOrder, StealStats};
+use orchestra_runtime::{
+    execute_async, execute_graph_resumable, CheckpointSpec, CpuTopology, FaultPlan, FaultTrigger,
+    PolicyKind, StealOrder, StealStats,
+};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -201,6 +210,17 @@ struct AsyncRow {
     driver_util: f64,
 }
 
+/// One crash + snapshot-resume cycle (the schema-v5 addition): total
+/// and post-crash wall time, how many tasks the snapshot restored vs
+/// replayed, and the on-disk snapshot footprint at the end of the run.
+struct RecoveryRow {
+    wall_us: f64,
+    recovery_us: f64,
+    resumed_tasks: usize,
+    attempts: usize,
+    snapshot_bytes: u64,
+}
+
 struct RunResults {
     claim_ns_per_task: PolicyMap,
     /// workload → policy → workers → tasks/sec.
@@ -213,6 +233,47 @@ struct RunResults {
     asynch: BTreeMap<&'static str, AsyncRow>,
     /// "order/wN" → steal-distance counters on the DAG shape.
     steals: BTreeMap<String, StealRow>,
+    /// Crash + snapshot-resume cycle on the flat workload at 4 workers.
+    recovery: RecoveryRow,
+}
+
+/// Crash a checkpointed run mid-flight and resume it from the latest
+/// snapshot: the row records how expensive coming back is (restore +
+/// replay vs total wall) and how much state the snapshots held.
+/// One worker + self-scheduling makes the cycle deterministic: the
+/// lone worker is the victim and claims every size-1 chunk itself, so
+/// killing it at its `tasks/2`-th claim always fires and always lands
+/// far past many snapshot cadences — the resumed-task count measures
+/// real restored work (~half the workload) instead of racing thread
+/// scheduling for the first snapshot write. Trend data only — the
+/// regression gate never reads this section, so a slow disk can't
+/// fail the build.
+fn measure_recovery(scale: &Scale) -> RecoveryRow {
+    let tasks = scale.small_tasks / 4;
+    let g = flat_graph(tasks, 4.0);
+    let dir =
+        std::env::temp_dir().join(format!("orchestra-sched-bench-ckpt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let opts = ExecutorOptions {
+        policy: PolicyKind::SelfSched,
+        threads: 1,
+        faults: Some(FaultPlan::crash(0, FaultTrigger::AfterClaims(tasks as u64 / 2))),
+        checkpoint: Some(CheckpointSpec { dir: dir.clone(), every_claims: 16, keep: 4 }),
+        ..ExecutorOptions::default()
+    };
+    let kernel = SpinKernel::with_scale(8.0);
+    let run = execute_graph_resumable(&g, &opts, &kernel).expect("bench graph valid");
+    let snapshot_bytes = std::fs::read_dir(&dir)
+        .map(|rd| rd.flatten().filter_map(|e| e.metadata().ok()).map(|m| m.len()).sum())
+        .unwrap_or(0);
+    let _ = std::fs::remove_dir_all(&dir);
+    RecoveryRow {
+        wall_us: run.wall_us,
+        recovery_us: run.recovery_us,
+        resumed_tasks: run.resumed_tasks,
+        attempts: run.attempts,
+        snapshot_bytes,
+    }
 }
 
 /// A uniform-cost flat op: the cv gate must keep the dist coordinator
@@ -397,6 +458,16 @@ fn measure(scale: &Scale) -> RunResults {
         }
     }
 
+    let recovery = measure_recovery(scale);
+    eprintln!(
+        "recov  wall={:9.0}µs recovery={:9.0}µs resumed={:5} attempts={} snapshots={}B",
+        recovery.wall_us,
+        recovery.recovery_us,
+        recovery.resumed_tasks,
+        recovery.attempts,
+        recovery.snapshot_bytes
+    );
+
     RunResults {
         claim_ns_per_task: claim,
         tasks_per_sec: tps,
@@ -404,6 +475,7 @@ fn measure(scale: &Scale) -> RunResults {
         dist,
         asynch,
         steals,
+        recovery,
     }
 }
 
@@ -514,6 +586,16 @@ fn render_run(r: &RunResults, quick: bool) -> String {
         );
     }
     let _ = writeln!(s, "      }},");
+    let rv = &r.recovery;
+    let _ = writeln!(
+        s,
+        "      \"recovery\": {{\"wall_us\": {}, \"recovery_us\": {}, \"resumed_tasks\": {}, \"attempts\": {}, \"snapshot_bytes\": {}}},",
+        json_f64(rv.wall_us),
+        json_f64(rv.recovery_us),
+        rv.resumed_tasks,
+        rv.attempts,
+        rv.snapshot_bytes
+    );
     let _ = writeln!(s, "      \"steals\": {{");
     let nst = r.steals.len();
     for (i, (key, row)) in r.steals.iter().enumerate() {

@@ -20,8 +20,12 @@ use crate::json::Json;
 use std::fmt::Write as _;
 
 /// Schema tag stamped on every emitted file. v4 added the `async`
-/// backend section with its `yields` column.
-pub const SCHED_SCHEMA: &str = "orchestra-sched-bench/v4";
+/// backend section with its `yields` column; v5 added the `recovery`
+/// section (one crash + snapshot-resume cycle per run, recording the
+/// recovery wall time, restored-task count, and snapshot footprint).
+/// Recovery columns are trend data only — [`check_regression`] reads
+/// throughput metrics and ignores them.
+pub const SCHED_SCHEMA: &str = "orchestra-sched-bench/v5";
 
 /// Extracts every `"label": { … }` block at the top level of the runs
 /// object, in file order, by string-aware brace matching: braces
@@ -304,6 +308,65 @@ mod tests {
         let runs: Vec<(String, String)> =
             blocks.iter().map(|(l, b)| (l.to_string(), b.clone())).collect();
         emit_runs(&runs)
+    }
+
+    #[test]
+    fn empty_history_passes_with_nothing_to_say() {
+        for text in ["", "not json at all", "{\"schema\": \"x\", \"runs\": {}}"] {
+            let r = check_regression(text, 0.2);
+            assert_eq!(r.compared, 0, "{text:?}");
+            assert!(!r.regressed, "{text:?}");
+            assert!(r.lines.is_empty(), "{text:?}: {:?}", r.lines);
+        }
+    }
+
+    #[test]
+    fn single_run_is_a_fresh_baseline_not_a_failure() {
+        let file = file_with(&[("only", run_block("cpu-a", 1000.0))]);
+        let r = check_regression(&file, 0.2);
+        assert_eq!(r.compared, 0);
+        assert!(!r.regressed);
+        // The lone run is reported, so CI logs show why nothing was
+        // compared.
+        assert_eq!(r.lines.len(), 1);
+        assert!(
+            r.lines[0].starts_with("note:") && r.lines[0].contains("\"only\""),
+            "{:?}",
+            r.lines
+        );
+    }
+
+    #[test]
+    fn exactly_at_threshold_is_allowed_just_past_it_is_not() {
+        // The gate is strict (`change < -max_drop`): a drop of exactly
+        // the allowance passes, one tick past it fails. `run_block`
+        // scales every rate linearly, so the geomean change equals the
+        // scale change.
+        let at = file_with(&[
+            ("before", run_block("cpu-a", 1000.0)),
+            ("after", run_block("cpu-a", 800.0)),
+        ]);
+        let r = check_regression(&at, 0.2);
+        assert_eq!(r.compared, 1);
+        assert!(!r.regressed, "drop of exactly 20% must pass: {:?}", r.lines);
+
+        let past = file_with(&[
+            ("before", run_block("cpu-a", 1000.0)),
+            ("after", run_block("cpu-a", 799.0)),
+        ]);
+        let r = check_regression(&past, 0.2);
+        assert!(r.regressed, "20.1% drop must fail: {:?}", r.lines);
+    }
+
+    #[test]
+    fn quick_and_full_runs_have_different_fingerprints() {
+        // Same machine, but a --quick run must never be diffed against
+        // a full run: the scales differ by design.
+        let full = run_block("cpu-a", 1000.0).replace("\"quick\": true", "\"quick\": false");
+        let file = file_with(&[("before", full), ("after", run_block("cpu-a", 100.0))]);
+        let r = check_regression(&file, 0.2);
+        assert_eq!(r.compared, 0);
+        assert!(!r.regressed, "{:?}", r.lines);
     }
 
     #[test]

@@ -34,7 +34,7 @@ use std::cell::Cell;
 use std::collections::VecDeque;
 use std::future::Future;
 use std::pin::Pin;
-use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::task::{Context, Poll, Wake, Waker};
 use std::time::Instant;
@@ -74,6 +74,10 @@ pub(crate) struct Sched {
     states: Vec<AtomicU8>,
     /// Tasks not yet complete; drivers exit when this reaches zero.
     live: AtomicUsize,
+    /// Crash abort: when set, drivers stop popping tasks and exit even
+    /// though parked futures (claimers awaiting a dependency gate that
+    /// will now never open) are still live.
+    aborted: AtomicBool,
 }
 
 impl Sched {
@@ -86,7 +90,18 @@ impl Sched {
             available: Condvar::new(),
             states: (0..tasks).map(|_| AtomicU8::new(QUEUED)).collect(),
             live: AtomicUsize::new(tasks),
+            aborted: AtomicBool::new(false),
         })
+    }
+
+    /// Aborts the run: drivers exit at their next pop instead of
+    /// waiting for parked futures that can no longer make progress
+    /// (used by crash-mode fault injection — a simulated process death
+    /// takes the whole executor down, gates and all).
+    pub(crate) fn abort(&self) {
+        self.aborted.store(true, Ordering::SeqCst);
+        let _guard = self.queue.lock().expect("driver queue poisoned");
+        self.available.notify_all();
     }
 
     /// Makes task `i` runnable (the waker entry point). Idle tasks are
@@ -123,6 +138,9 @@ impl Sched {
     fn next_task(&self) -> Option<usize> {
         let mut q = self.queue.lock().expect("driver queue poisoned");
         loop {
+            if self.aborted.load(Ordering::SeqCst) {
+                return None;
+            }
             if let Some(i) = q.pop_front() {
                 return Some(i);
             }

@@ -28,16 +28,17 @@
 
 pub(crate) mod driver;
 
+use crate::checkpoint::{op_snapshot, plan_fingerprint, OpSnapshot, ResumeState, RunCtl};
 use crate::chunking::PolicyKind;
 use crate::executor::{costs_of_node, ExecutionReport, ExecutorOptions, NodeReport};
 use crate::stats::OnlineStats;
-use crate::threaded::queue::ChunkQueue;
+use crate::threaded::queue::{Chunk, ChunkQueue};
 use crate::threaded::{build_plan, TaskCtx, TaskKernel};
 use driver::{DepGate, DriverRecord, Sched, TaskFuture, TaskSlot};
 use orchestra_delirium::{DelirGraph, GraphError, Node};
 use orchestra_machine::{ProcStats, RunStats};
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 /// One operation instance, shared by its claimer futures.
@@ -61,6 +62,41 @@ struct AsyncOp {
     finished_bits: AtomicU64,
     /// Chunk-boundary yields taken by this op's claimers.
     yields: AtomicU64,
+    /// Per-task restored-from-snapshot flags (empty on a fresh run).
+    restored: Vec<bool>,
+    /// Queue-index → task-index translation for resumed ops (`None` =
+    /// identity; the queue schedules only the pending tasks, packed).
+    remap: Option<Vec<usize>>,
+    /// Orphaned-chunk hand-off between this op's claimer futures under
+    /// fault injection.
+    board: Mutex<OrphanBoard>,
+}
+
+impl AsyncOp {
+    /// Translates a queue index to the op-local task index.
+    #[inline]
+    fn task_of(&self, qi: usize) -> usize {
+        match &self.remap {
+            Some(r) => r[qi],
+            None => qi,
+        }
+    }
+}
+
+/// Lease accounting for one op's claimer futures: chunks orphaned by
+/// killed claimers, and how many claimers have neither died nor
+/// retired. A claimer retires (decrements `live`) only when the queue
+/// is drained *and* no orphans remain — both checked under this lock,
+/// the same lock a kill takes to orphan its chunk — so every orphan is
+/// replayed by exactly one surviving claimer, and the last live
+/// claimer of an op suppresses its own kill rather than stranding the
+/// queue.
+#[derive(Default)]
+struct OrphanBoard {
+    /// Orphaned chunks, as real (op-local) task indices.
+    orphans: Vec<Vec<usize>>,
+    /// Claimers of this op still running.
+    live: usize,
 }
 
 /// Per-driver task/chunk counters, attributed by the claimer futures
@@ -78,6 +114,12 @@ struct AsyncShared<'g> {
     nodes: &'g [Node],
     cells: Vec<DriverCell>,
     epoch: Instant,
+    /// Fault-injection and checkpoint control (inert on normal runs).
+    ctl: RunCtl,
+    /// Back-reference to the scheduler, set once futures are spawned —
+    /// a crash-mode kill aborts it so drivers don't wait forever on
+    /// gate-parked claimers.
+    sched: OnceLock<Arc<Sched>>,
 }
 
 /// Per-op record of an async run.
@@ -129,6 +171,10 @@ pub struct AsyncRun {
     /// Claimer futures spawned (every op is oversubscribed:
     /// more claimers than drivers).
     pub spawned: usize,
+    /// Whether an injected crash-mode fault aborted the run (the
+    /// outputs are then partial; see
+    /// [`execute_graph_resumable`](crate::checkpoint::execute_graph_resumable)).
+    pub crashed: bool,
 }
 
 impl AsyncRun {
@@ -196,11 +242,75 @@ fn us_since(epoch: Instant) -> f64 {
     epoch.elapsed().as_secs_f64() * 1e6
 }
 
+/// What the post-claim fault/checkpoint hook decided for a claimer.
+enum ClaimFate {
+    /// Execute the chunk normally (includes suppressed kills).
+    Run,
+    /// The claimer dies; the chunk was orphaned (lease mode) or
+    /// dropped (crash mode).
+    Die,
+}
+
+/// The async claim hook: fires planned kills at the claim boundary and
+/// drives the checkpoint cadence. `cid` is the claimer's spawn index —
+/// the async backend's notion of a "worker" for [`KillSpec::worker`].
+fn on_claim_async(shared: &AsyncShared<'_>, cid: usize, op_idx: usize, chunk: &Chunk) -> ClaimFate {
+    let ctl = &shared.ctl;
+    if let Some(f) = &ctl.faults {
+        if f.crashed() {
+            // Another claimer crashed the run: exit at this boundary,
+            // dropping the claimed-but-unexecuted chunk (the partial
+            // run is discarded anyway).
+            return ClaimFate::Die;
+        }
+        if f.on_claim(cid, None) {
+            if f.crash_mode() {
+                f.try_die(cid);
+                if let Some(s) = shared.sched.get() {
+                    s.abort();
+                }
+                return ClaimFate::Die;
+            }
+            let op = &shared.ops[op_idx];
+            let mut board = op.board.lock().expect("orphan board poisoned");
+            if board.live >= 2 && f.try_die(cid) {
+                board.live -= 1;
+                board.orphans.push(
+                    (chunk.start..chunk.start + chunk.len).map(|qi| op.task_of(qi)).collect(),
+                );
+                return ClaimFate::Die;
+            }
+            // Suppressed: the op's last live claimer keeps executing —
+            // a fault plan can never strand a queue.
+        }
+    }
+    if let Some(ck) = &ctl.ckpt {
+        if ck.note_claim(None) {
+            ck.commit(snapshot_async_ops(&shared.ops));
+        }
+    }
+    ClaimFate::Run
+}
+
+/// Captures every op's completed-task bitmap, outputs, and cost stats
+/// for a checkpoint commit.
+fn snapshot_async_ops(ops: &[AsyncOp]) -> Vec<OpSnapshot> {
+    ops.iter().map(|op| op_snapshot(&op.costs, &op.restored, &op.executed, &op.output)).collect()
+}
+
 /// One claimer's life: await the op's dependency gate, then loop
 /// claim → execute chunk → yield until the queue is drained. The
 /// yield between chunks is the backend's entire scheduling story:
 /// between any two chunks the driver is free to run *any* ready op.
-async fn run_claimer(shared: &AsyncShared<'_>, op_idx: usize, kernel: &(dyn TaskKernel + Sync)) {
+/// Under fault injection the claimer additionally checks for its
+/// planned death after every claim, and on retirement adopts chunks
+/// orphaned by killed siblings.
+async fn run_claimer(
+    shared: &AsyncShared<'_>,
+    op_idx: usize,
+    cid: usize,
+    kernel: &(dyn TaskKernel + Sync),
+) {
     let op = &shared.ops[op_idx];
     op.gate.wait().await;
     if op.costs.is_empty() {
@@ -211,18 +321,33 @@ async fn run_claimer(shared: &AsyncShared<'_>, op_idx: usize, kernel: &(dyn Task
         complete_op(shared, op_idx, now);
         return;
     }
+    let hooked = shared.ctl.hooked();
     let node = &shared.nodes[op.node];
     let adaptive = !op.queue.is_lock_free();
     let mut done = 0usize;
     while let Some(chunk) = op.queue.claim() {
+        if hooked {
+            if let ClaimFate::Die = on_claim_async(shared, cid, op_idx, &chunk) {
+                // The `done > 0` guard matters: `fetch_sub(0) == 0`
+                // would spuriously re-complete a completed op.
+                if done > 0 && op.outstanding.fetch_sub(done, Ordering::AcqRel) == done {
+                    complete_op(shared, op_idx, us_since(shared.epoch));
+                }
+                return;
+            }
+        }
         stamp_min(&op.started_bits, us_since(shared.epoch));
         let mut chunk_stats = OnlineStats::new();
-        for task in chunk.start..chunk.start + chunk.len {
+        for qi in chunk.start..chunk.start + chunk.len {
+            let task = op.task_of(qi);
             let cost = op.costs[task];
             let ctx = TaskCtx { node, iter: op.iter, task, cost_hint: cost };
             let value = kernel.run_task(&ctx);
-            op.output[task].store(value.to_bits(), Ordering::Relaxed);
-            op.executed[task].fetch_add(1, Ordering::Relaxed);
+            // Release: pairs with the snapshot scanner's Acquire loads
+            // — a task counted as executed must have its output
+            // visible.
+            op.output[task].store(value.to_bits(), Ordering::Release);
+            op.executed[task].fetch_add(1, Ordering::Release);
             if adaptive {
                 chunk_stats.observe(cost);
             }
@@ -241,6 +366,39 @@ async fn run_claimer(shared: &AsyncShared<'_>, op_idx: usize, kernel: &(dyn Task
         done += chunk.len;
         op.yields.fetch_add(1, Ordering::Relaxed);
         driver::yield_now().await;
+    }
+    // Queue drained. Under fault injection, adopt orphaned chunks
+    // before retiring: the pop and the retirement share the board
+    // lock with the kill path, so every orphan is replayed exactly
+    // once and none can appear after the last claimer retires.
+    if hooked && shared.ctl.faults.is_some() {
+        loop {
+            let orphan = {
+                let mut board = op.board.lock().expect("orphan board poisoned");
+                match board.orphans.pop() {
+                    Some(o) => Some(o),
+                    None => {
+                        board.live = board.live.saturating_sub(1);
+                        None
+                    }
+                }
+            };
+            let Some(tasks) = orphan else {
+                break;
+            };
+            for &task in &tasks {
+                let cost = op.costs[task];
+                let ctx = TaskCtx { node, iter: op.iter, task, cost_hint: cost };
+                let value = kernel.run_task(&ctx);
+                op.output[task].store(value.to_bits(), Ordering::Release);
+                op.executed[task].fetch_add(1, Ordering::Release);
+            }
+            if let Some(d) = driver::current_driver() {
+                shared.cells[d].tasks.fetch_add(tasks.len() as u64, Ordering::Relaxed);
+                shared.cells[d].chunks.fetch_add(1, Ordering::Relaxed);
+            }
+            done += tasks.len();
+        }
     }
     // Account this claimer's work in one batched decrement; whoever
     // zeroes the counter has proof every task ran and completes the op
@@ -282,60 +440,126 @@ pub fn execute_async(
     opts: &ExecutorOptions,
     kernel: &(dyn TaskKernel + Sync),
 ) -> Result<AsyncRun, GraphError> {
+    execute_async_resumed(g, opts, kernel, None)
+}
+
+/// [`execute_async`] with an optional restore image: restored tasks
+/// keep their snapshot outputs and are excluded from the queues'
+/// iteration spaces, fully restored ops spawn no claimers and arrive
+/// pre-completed at their dependents' gates, and the adaptive chunk
+/// policies warm-start from the snapshot's per-op µ/σ.
+pub(crate) fn execute_async_resumed(
+    g: &DelirGraph,
+    opts: &ExecutorOptions,
+    kernel: &(dyn TaskKernel + Sync),
+    resume: Option<&ResumeState>,
+) -> Result<AsyncRun, GraphError> {
     let plan = build_plan(g, opts)?;
     let drivers = resolve_drivers(opts);
+    // Which ops the snapshot already finished whole: excluded from
+    // scheduling entirely — no claimers, no gate edges.
+    let pre_done: Vec<bool> = plan
+        .ops
+        .iter()
+        .enumerate()
+        .map(|(i, op)| {
+            resume
+                .and_then(|r| r.ops.get(i))
+                .is_some_and(|o| op.tasks > 0 && o.completed.iter().all(|&c| c))
+        })
+        .collect();
     let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); plan.ops.len()];
     for (i, op) in plan.ops.iter().enumerate() {
+        if pre_done[i] {
+            continue; // Never scheduled, so never needs enabling.
+        }
         for &d in &op.deps {
             dependents[d].push(i);
         }
     }
     let mut hinted_serial_us = 0.0;
     let mut ops: Vec<AsyncOp> = Vec::with_capacity(plan.ops.len());
-    for (op, deps_out) in plan.ops.iter().zip(&mut dependents) {
+    let mut n_claimers: Vec<usize> = Vec::with_capacity(plan.ops.len());
+    for (i, (op, deps_out)) in plan.ops.iter().zip(&mut dependents).enumerate() {
         let node = &g.nodes[op.node];
         let costs = costs_of_node(node, opts.seed);
         hinted_serial_us += costs.iter().sum::<f64>();
+        let res_op = resume.and_then(|r| r.ops.get(i)).filter(|o| o.completed.iter().any(|&c| c));
+        let restored: Vec<bool> = res_op.map(|o| o.completed.clone()).unwrap_or_default();
+        let remap: Option<Vec<usize>> = if restored.iter().any(|&c| c) {
+            Some((0..op.tasks).filter(|&t| !restored[t]).collect())
+        } else {
+            None
+        };
+        let pending = remap.as_ref().map_or(op.tasks, Vec::len);
         let policy = match opts.policy {
             // Static has no dynamic queue; same approximation as the
             // threaded backend.
-            PolicyKind::Static => PolicyKind::Gss.instantiate(op.tasks),
-            p => p.instantiate(op.tasks),
+            PolicyKind::Static => PolicyKind::Gss.instantiate(pending),
+            p => p.instantiate(pending),
         };
+        let queue = ChunkQueue::new(policy, pending, drivers);
+        if let Some(r) = res_op.filter(|o| o.stats.count() > 0) {
+            queue.observe_chunk(0, 0, &r.stats);
+        }
+        let effective_deps = op.deps.iter().filter(|&&d| !pre_done[d]).count();
+        let output: Vec<AtomicU64> = (0..op.tasks)
+            .map(|t| {
+                let bits = if restored.get(t).copied().unwrap_or(false) {
+                    res_op.map_or(0, |o| o.outputs[t].to_bits())
+                } else {
+                    0
+                };
+                AtomicU64::new(bits)
+            })
+            .collect();
+        let claimers = if pre_done[i] { 0 } else { claimers_for(pending, drivers) };
+        let stamp = if pre_done[i] { 0u64 } else { u64::MAX };
+        n_claimers.push(claimers);
         ops.push(AsyncOp {
             name: op.name.clone(),
             node: op.node,
             iter: op.iter,
-            queue: ChunkQueue::new(policy, op.tasks, drivers),
+            queue,
             costs,
-            gate: DepGate::new(op.deps.len()),
+            gate: DepGate::new(effective_deps),
             dependents: std::mem::take(deps_out),
-            outstanding: AtomicUsize::new(op.tasks),
-            output: (0..op.tasks).map(|_| AtomicU64::new(0)).collect(),
+            outstanding: AtomicUsize::new(pending),
+            output,
             executed: (0..op.tasks).map(|_| AtomicU32::new(0)).collect(),
-            started_bits: AtomicU64::new(u64::MAX),
-            finished_bits: AtomicU64::new(u64::MAX),
+            started_bits: AtomicU64::new(stamp),
+            finished_bits: AtomicU64::new(stamp),
             yields: AtomicU64::new(0),
+            restored,
+            remap,
+            board: Mutex::new(OrphanBoard { orphans: Vec::new(), live: claimers }),
         });
     }
 
+    let spawned: usize = n_claimers.iter().sum();
+    let fingerprint = plan_fingerprint(&plan, opts.seed);
     let shared = AsyncShared {
         ops,
         nodes: &g.nodes,
         cells: (0..drivers).map(|_| DriverCell::default()).collect(),
         epoch: Instant::now(),
+        ctl: RunCtl::new(opts.faults.as_ref(), opts.checkpoint.as_ref(), spawned, fingerprint),
+        sched: OnceLock::new(),
     };
     // Spawn claimer futures op-major: ready ops start interleaved at
     // the front of the FIFO run queue; blocked ones park in their
-    // gates on first poll.
+    // gates on first poll. Each claimer's spawn index is its fault-
+    // injection identity.
     let mut futures: Vec<TaskFuture<'_>> = Vec::new();
-    for (i, op) in shared.ops.iter().enumerate() {
-        for _ in 0..claimers_for(op.costs.len(), drivers) {
-            futures.push(Box::pin(run_claimer(&shared, i, kernel)));
+    for (i, &n) in n_claimers.iter().enumerate() {
+        for _ in 0..n {
+            let cid = futures.len();
+            futures.push(Box::pin(run_claimer(&shared, i, cid, kernel)));
         }
     }
-    let spawned = futures.len();
+    debug_assert_eq!(futures.len(), spawned);
     let sched = Sched::new(spawned);
+    let _ = shared.sched.set(Arc::clone(&sched));
     let records: Vec<DriverRecord> = {
         let slots: Vec<TaskSlot<'_>> = futures.into_iter().map(TaskSlot::new).collect();
         std::thread::scope(|s| {
@@ -397,6 +621,7 @@ pub fn execute_async(
         yields,
         polls,
         spawned,
+        crashed: shared.ctl.crashed(),
     })
 }
 

@@ -1,0 +1,176 @@
+//! Checkpointing, fault injection, and deterministic replay for the
+//! real execution backends.
+//!
+//! The paper's kernels are pure functions of `(node, iter, task,
+//! cost_hint)`, so recovery after a fault is *bitwise-verifiable by
+//! construction*: any claimed-but-unfinished chunk can be replayed
+//! from scratch (the split-annotation view of ops as restartable pure
+//! splits) and the result compared bit-for-bit against the sequential
+//! reference. This module adds the three pieces that turn that
+//! property into fault tolerance:
+//!
+//! * **Snapshots** ([`snapshot`]) — versioned, crc-checked, fsync'd
+//!   on-disk images of the claim frontier: each op's completed-task
+//!   bitmap, the completed tasks' output values, and the per-op
+//!   [`OnlineStats`](crate::stats::OnlineStats) that warm-start the
+//!   adaptive chunk policies on resume. Under distributed TAPER the
+//!   snapshot cadence piggybacks on the epoch tokens of §4.1.1: every
+//!   global-epoch increment is a ready-made consistent-cut barrier.
+//! * **Fault plans** ([`FaultPlan`]) — injectable, deterministic
+//!   worker kills (at epoch `e` / after `n` claims / on a steal)
+//!   threaded through
+//!   [`ExecutorOptions`](crate::executor::ExecutorOptions). A killed
+//!   worker's freshly claimed chunk becomes an orphaned *lease* that a
+//!   survivor re-executes exactly once; in crash mode the whole run
+//!   aborts instead, simulating a process death.
+//! * **Resume** ([`execute_graph_resumable`]) — runs a graph, and on a
+//!   crash restores from the latest valid snapshot (falling back past
+//!   torn or corrupt files) and replays to completion.
+
+mod fault;
+mod resume;
+mod snapshot;
+
+pub use fault::{FaultPlan, FaultTrigger, KillSpec};
+pub(crate) use fault::{FaultState, Lease};
+pub(crate) use resume::ResumeState;
+pub use resume::{execute_graph_resumable, ResumableRun};
+pub use snapshot::{graph_fingerprint, load_latest, plan_fingerprint, snapshot_versions, Snapshot};
+pub(crate) use snapshot::{op_snapshot, OpSnapshot};
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Where and how often a run persists snapshots.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointSpec {
+    /// Snapshot directory (created on first write if missing).
+    pub dir: PathBuf,
+    /// Claim-count cadence: a snapshot is attempted every
+    /// `every_claims` chunk claims, in addition to every distributed
+    /// TAPER global-epoch boundary. `0` disables the claim cadence
+    /// (epoch barriers still snapshot).
+    pub every_claims: u64,
+    /// Snapshot versions retained on disk; older ones are pruned after
+    /// each successful write.
+    pub keep: usize,
+}
+
+impl CheckpointSpec {
+    /// A spec with the default cadence: snapshot every 16 claims (and
+    /// at every dist-TAPER epoch), keep the last 4 versions.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        CheckpointSpec { dir: dir.into(), every_claims: 16, keep: 4 }
+    }
+}
+
+/// Runtime checkpoint state for one execution: cadence tracking and
+/// the single-writer slot. Version numbers continue from whatever is
+/// already on disk, so snapshots stay monotone across resume attempts.
+pub(crate) struct CheckpointCtl {
+    spec: CheckpointSpec,
+    fingerprint: u64,
+    next_version: AtomicU64,
+    claims: AtomicU64,
+    last_epoch: AtomicU64,
+    writing: AtomicBool,
+}
+
+impl CheckpointCtl {
+    pub(crate) fn new(spec: CheckpointSpec, fingerprint: u64) -> Self {
+        let next = snapshot::snapshot_versions(&spec.dir).last().map_or(1, |v| v + 1);
+        CheckpointCtl {
+            spec,
+            fingerprint,
+            next_version: AtomicU64::new(next),
+            claims: AtomicU64::new(0),
+            last_epoch: AtomicU64::new(0),
+            writing: AtomicBool::new(false),
+        }
+    }
+
+    /// Notes one chunk claim (tagged with the dist-TAPER global epoch
+    /// when the claim came from a [`DistQueue`](crate::threaded::dist::DistQueue)).
+    /// Returns `true` when this caller won the single-writer slot and
+    /// must follow up with [`commit`](Self::commit).
+    pub(crate) fn note_claim(&self, epoch: Option<u64>) -> bool {
+        let mut due = false;
+        if let Some(e) = epoch {
+            // The first claim that observes a new global epoch crossed
+            // a consistent-cut barrier: every worker holding older
+            // work has tokened in. Snapshot there.
+            let last = self.last_epoch.load(Ordering::Relaxed);
+            if e > last
+                && self
+                    .last_epoch
+                    .compare_exchange(last, e, Ordering::Relaxed, Ordering::Relaxed)
+                    .is_ok()
+            {
+                due = true;
+            }
+        }
+        let c = self.claims.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.spec.every_claims > 0 && c.is_multiple_of(self.spec.every_claims) {
+            due = true;
+        }
+        due && self
+            .writing
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    /// Persists a snapshot (write-ahead to a temp file, fsync, rename),
+    /// prunes old versions, and releases the writer slot taken by
+    /// [`note_claim`](Self::note_claim). Disk errors are swallowed:
+    /// checkpointing is best-effort and must never fail a run.
+    pub(crate) fn commit(&self, ops: Vec<OpSnapshot>) {
+        let version = self.next_version.fetch_add(1, Ordering::Relaxed);
+        let snap = Snapshot { fingerprint: self.fingerprint, version, ops };
+        let _ = snapshot::write_snapshot(&self.spec.dir, &snap);
+        snapshot::prune(&self.spec.dir, self.spec.keep);
+        self.writing.store(false, Ordering::Release);
+    }
+}
+
+/// Per-run fault-injection and checkpoint state threaded through the
+/// threaded pool and the async driver. With neither a fault plan nor a
+/// checkpoint spec configured (the default) both hooks are `None`,
+/// keeping the claim hot path at one `Option` check.
+pub(crate) struct RunCtl {
+    /// Fault-injection state, `None` when no plan was configured.
+    pub(crate) faults: Option<FaultState>,
+    /// Orphaned claims of dead workers, re-executed exactly once by a
+    /// survivor (drained under the lock with `mem::take`).
+    pub(crate) leases: Mutex<Vec<Lease>>,
+    /// Snapshot cadence + writer slot, `None` when checkpointing is
+    /// off.
+    pub(crate) ckpt: Option<CheckpointCtl>,
+}
+
+impl RunCtl {
+    pub(crate) fn new(
+        faults: Option<&FaultPlan>,
+        checkpoint: Option<&CheckpointSpec>,
+        workers: usize,
+        fingerprint: u64,
+    ) -> Self {
+        RunCtl {
+            faults: faults.map(|p| FaultState::new(p.clone(), workers)),
+            leases: Mutex::new(Vec::new()),
+            ckpt: checkpoint.map(|s| CheckpointCtl::new(s.clone(), fingerprint)),
+        }
+    }
+
+    /// Whether any fault/checkpoint hook is active (claim loops build
+    /// the claimed-task list only when this is true).
+    pub(crate) fn hooked(&self) -> bool {
+        self.faults.is_some() || self.ckpt.is_some()
+    }
+
+    /// Whether a crash-mode kill has fired: the run is aborting and
+    /// every worker exits at its next claim boundary.
+    pub(crate) fn crashed(&self) -> bool {
+        self.faults.as_ref().is_some_and(FaultState::crashed)
+    }
+}

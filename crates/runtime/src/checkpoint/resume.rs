@@ -1,0 +1,180 @@
+//! Crash recovery: restore from the latest valid snapshot and replay
+//! to completion.
+
+use super::snapshot::{load_latest, plan_fingerprint, Snapshot};
+use crate::executor::ExecutorOptions;
+use crate::stats::OnlineStats;
+use crate::threaded::{build_plan, ExecutorBackend, Plan, TaskKernel};
+use orchestra_delirium::{DelirGraph, GraphError};
+
+/// The restore image handed to a backend: per-op completed-task masks,
+/// the completed tasks' outputs, and the warm-start statistics. Built
+/// from a [`Snapshot`] only after validating it against the plan.
+pub(crate) struct ResumeState {
+    pub(crate) ops: Vec<OpResume>,
+}
+
+/// One op's restore image.
+pub(crate) struct OpResume {
+    /// Per-task completed-before-this-run flag.
+    pub(crate) completed: Vec<bool>,
+    /// Output values for completed slots (others are 0.0 and unused).
+    pub(crate) outputs: Vec<f64>,
+    /// Cost-hint µ/σ of the completed tasks, merged into the adaptive
+    /// chunk policy so it resumes with its learned state.
+    pub(crate) stats: OnlineStats,
+}
+
+impl ResumeState {
+    /// Validates a snapshot against the plan (op count and per-op task
+    /// counts must match — the fingerprint should already guarantee
+    /// this, but a hash collision must degrade to a fresh start, not
+    /// an out-of-bounds restore).
+    pub(crate) fn from_snapshot(snap: Snapshot, plan: &Plan) -> Option<Self> {
+        if snap.ops.len() != plan.ops.len() {
+            return None;
+        }
+        if snap.ops.iter().zip(&plan.ops).any(|(s, p)| s.completed.len() != p.tasks) {
+            return None;
+        }
+        Some(ResumeState {
+            ops: snap
+                .ops
+                .into_iter()
+                .map(|o| OpResume { completed: o.completed, outputs: o.outputs, stats: o.stats })
+                .collect(),
+        })
+    }
+
+    /// Tasks restored (skipped on replay), summed over ops.
+    pub(crate) fn restored_tasks(&self) -> usize {
+        self.ops.iter().map(|o| o.completed.iter().filter(|&&c| c).count()).sum()
+    }
+}
+
+/// The result of a resumable execution: the completed run plus the
+/// recovery story that produced it.
+#[derive(Debug, Clone)]
+pub struct ResumableRun {
+    /// Output buffers, aligned with the plan's op order — bitwise what
+    /// an uninterrupted run produces (kernels are pure).
+    pub outputs: Vec<Vec<f64>>,
+    /// Per-task execution counts *of the final attempt*: restored
+    /// tasks show 0 (they were never re-executed), replayed tasks 1.
+    pub exec_counts: Vec<Vec<u32>>,
+    /// Op names, aligned with the plan's op order.
+    pub op_names: Vec<String>,
+    /// Per-task restored-from-snapshot masks of the final attempt
+    /// (all-false when the final attempt started fresh).
+    pub restored: Vec<Vec<bool>>,
+    /// Executions launched, including the crashed ones (1 = no crash).
+    pub attempts: usize,
+    /// Tasks restored from the snapshot into the final attempt.
+    pub resumed_tasks: usize,
+    /// Total wall-clock time across all attempts, µs.
+    pub wall_us: f64,
+    /// Wall-clock time spent in post-crash attempts (restore +
+    /// replay), µs; 0.0 when nothing crashed.
+    pub recovery_us: f64,
+}
+
+struct Attempt {
+    crashed: bool,
+    wall_us: f64,
+    outputs: Vec<Vec<f64>>,
+    exec_counts: Vec<Vec<u32>>,
+}
+
+fn run_attempt(
+    g: &DelirGraph,
+    opts: &ExecutorOptions,
+    kernel: &(dyn TaskKernel + Sync),
+    resume: Option<&ResumeState>,
+) -> Result<Attempt, GraphError> {
+    if opts.backend == ExecutorBackend::Async {
+        let r = crate::asynch::execute_async_resumed(g, opts, kernel, resume)?;
+        Ok(Attempt {
+            crashed: r.crashed,
+            wall_us: r.wall_us,
+            outputs: r.outputs,
+            exec_counts: r.exec_counts,
+        })
+    } else {
+        let r = crate::threaded::execute_threaded_resumed(g, opts, kernel, resume)?;
+        Ok(Attempt {
+            crashed: r.crashed,
+            wall_us: r.wall_us,
+            outputs: r.outputs,
+            exec_counts: r.exec_counts,
+        })
+    }
+}
+
+/// Executes a graph with crash recovery: run, and if a crash-mode
+/// fault aborts the attempt, restore from the latest valid snapshot in
+/// `opts.checkpoint.dir` (falling back past torn or corrupt files) and
+/// replay the remaining tasks. The injected faults apply only to the
+/// first attempt — a simulated process crash happens once — so the
+/// replay runs clean.
+///
+/// Backends: [`Threaded`](ExecutorBackend::Threaded) /
+/// [`ThreadedDist`](ExecutorBackend::ThreadedDist) /
+/// [`Async`](ExecutorBackend::Async); the default
+/// [`Simulated`](ExecutorBackend::Simulated) backend executes on the
+/// threaded engine (simulation has no real state to checkpoint).
+/// Without a checkpoint spec a crash simply restarts from scratch.
+///
+/// # Errors
+///
+/// Returns the graph's validation error when it is malformed.
+pub fn execute_graph_resumable(
+    g: &DelirGraph,
+    opts: &ExecutorOptions,
+    kernel: &(dyn TaskKernel + Sync),
+) -> Result<ResumableRun, GraphError> {
+    let plan = build_plan(g, opts)?;
+    let fingerprint = plan_fingerprint(&plan, opts.seed);
+    let op_names: Vec<String> = plan.ops.iter().map(|o| o.name.clone()).collect();
+    // Every kill fires at most once, so attempts are bounded even if a
+    // plan manages to crash a replay (it can't — replays run clean).
+    let max_attempts = opts.faults.as_ref().map_or(0, |f| f.kills.len()) + 2;
+    let mut attempts = 0usize;
+    let mut wall_us = 0.0;
+    let mut recovery_us = 0.0;
+    let mut resume: Option<ResumeState> = None;
+    loop {
+        attempts += 1;
+        let run_opts = if attempts == 1 {
+            opts.clone()
+        } else {
+            ExecutorOptions { faults: None, ..opts.clone() }
+        };
+        let attempt = run_attempt(g, &run_opts, kernel, resume.as_ref())?;
+        wall_us += attempt.wall_us;
+        if attempts > 1 {
+            recovery_us += attempt.wall_us;
+        }
+        if !attempt.crashed || attempts >= max_attempts {
+            let restored: Vec<Vec<bool>> = match &resume {
+                Some(r) => r.ops.iter().map(|o| o.completed.clone()).collect(),
+                None => plan.ops.iter().map(|o| vec![false; o.tasks]).collect(),
+            };
+            let resumed_tasks = resume.as_ref().map_or(0, ResumeState::restored_tasks);
+            return Ok(ResumableRun {
+                outputs: attempt.outputs,
+                exec_counts: attempt.exec_counts,
+                op_names,
+                restored,
+                attempts,
+                resumed_tasks,
+                wall_us,
+                recovery_us,
+            });
+        }
+        resume = opts
+            .checkpoint
+            .as_ref()
+            .and_then(|spec| load_latest(&spec.dir, fingerprint))
+            .and_then(|snap| ResumeState::from_snapshot(snap, &plan));
+    }
+}

@@ -13,6 +13,12 @@
 //! processor owning them at the beginning of the parallel operation;
 //! thus, the algorithm reduces task transfer costs and maintains
 //! communication locality."
+//!
+//! The epoch tokens earn a second job in the real threaded backend:
+//! every global-epoch increment is a consistent-cut barrier (all p
+//! workers have tokened in for the previous epoch), so the
+//! [`checkpoint`](crate::checkpoint) layer snapshots at each epoch
+//! boundary in addition to its claim-count cadence.
 
 use crate::chunking::{ChunkPolicy, Taper};
 use orchestra_machine::{EventQueue, MachineConfig, RunStats};

@@ -68,6 +68,19 @@ pub struct ExecutorOptions {
     /// (sibling → node → remote, the default) or the legacy ring.
     /// Ignored by the simulator.
     pub steal_order: StealOrder,
+    /// Deterministic fault-injection schedule for the real backends
+    /// (threaded / threaded-dist / async): planned worker kills at
+    /// claim boundaries, recovered in-process via claim leases — or,
+    /// in crash mode, aborting the run for
+    /// [`execute_graph_resumable`](crate::checkpoint::execute_graph_resumable)
+    /// to recover from snapshots. `None` (the default) injects
+    /// nothing; the simulator ignores this.
+    pub faults: Option<crate::checkpoint::FaultPlan>,
+    /// On-disk checkpointing for the real backends: where snapshots go
+    /// and how often they are cut (every dist-TAPER epoch barrier plus
+    /// a claim-count cadence). `None` (the default) disables
+    /// checkpointing; the simulator ignores this.
+    pub checkpoint: Option<crate::checkpoint::CheckpointSpec>,
 }
 
 impl Default for ExecutorOptions {
@@ -86,6 +99,8 @@ impl Default for ExecutorOptions {
             pin_workers: false,
             topology: TopologyMode::Auto,
             steal_order: StealOrder::Hierarchical,
+            faults: None,
+            checkpoint: None,
         }
     }
 }

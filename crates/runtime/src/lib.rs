@@ -28,10 +28,15 @@
 //! * [`asynch`] — the cooperative futures backend: a dependency-free
 //!   hand-rolled executor multiplexing the op DAG over a few driver
 //!   threads, ops awaiting predecessors and yielding at chunk
-//!   boundaries.
+//!   boundaries;
+//! * [`checkpoint`] — fault tolerance for the real backends: versioned
+//!   crc-checked snapshots piggybacked on dist-TAPER epoch barriers,
+//!   deterministic fault injection ([`FaultPlan`]), and crash recovery
+//!   via [`execute_graph_resumable`].
 
 pub mod alloc;
 pub mod asynch;
+pub mod checkpoint;
 pub mod chunking;
 pub mod dist_taper;
 pub mod executor;
@@ -43,6 +48,10 @@ pub mod threaded;
 
 pub use alloc::{allocate_many, allocate_pair, AllocParams, Allocation};
 pub use asynch::{execute_async, resolve_drivers, AsyncOpRecord, AsyncRun};
+pub use checkpoint::{
+    execute_graph_resumable, graph_fingerprint, load_latest, plan_fingerprint, snapshot_versions,
+    CheckpointSpec, FaultPlan, FaultTrigger, KillSpec, ResumableRun, Snapshot,
+};
 pub use chunking::{ChunkPolicy, Factoring, Gss, PolicyKind, SelfSched, Taper, REASSIGN_CV_GATE};
 pub use dist_taper::{simulate_dist_taper, simulate_dist_taper_at, DistResult};
 pub use executor::{execute_graph, ExecutionReport, ExecutorOptions, NodeReport};

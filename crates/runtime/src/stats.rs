@@ -102,6 +102,24 @@ impl OnlineStats {
             None
         }
     }
+
+    /// The second central moment Σ(x−µ)² — the third number (besides
+    /// `count` and `mean`) a checkpoint must persist to reconstruct
+    /// the accumulator exactly.
+    pub fn m2(&self) -> f64 {
+        self.m2
+    }
+
+    /// Rebuilds an accumulator from persisted moments: the inverse of
+    /// reading [`count`](Self::count) / [`mean`](Self::mean) /
+    /// [`m2`](Self::m2). `merge`-ing the result behaves exactly like
+    /// the original accumulator (checkpoint restore path).
+    pub fn from_parts(count: u64, mean: f64, m2: f64) -> Self {
+        if count == 0 {
+            return OnlineStats::new();
+        }
+        OnlineStats { n: count, mean, m2: m2.max(0.0) }
+    }
 }
 
 /// Work-stealing counters bucketed by machine-hierarchy distance.

@@ -68,6 +68,10 @@ struct Coord {
     /// Per-worker home queues. Owned here so queue membership and the
     /// token counters can never disagree mid-reassignment.
     homes: Vec<VecDeque<usize>>,
+    /// Workers the fault layer has declared dead: their tokens are no
+    /// longer required for epoch completion (a dead worker would
+    /// otherwise freeze the global epoch forever).
+    retired: Vec<bool>,
     policy: Taper,
     global_epoch: usize,
     /// counts[e][worker]: epoch-e tokens seen by the root.
@@ -127,6 +131,7 @@ impl DistQueue {
         DistQueue {
             coord: Mutex::new(Coord {
                 homes,
+                retired: vec![false; workers],
                 policy: Taper::new(),
                 global_epoch: 0,
                 counts: vec![vec![0; workers]],
@@ -201,8 +206,11 @@ impl DistQueue {
                 }
             }
         }
-        // Epoch completion: every worker has tokened epoch e.
-        if e == c.global_epoch && c.counts[e].iter().all(|&x| x > 0) {
+        // Epoch completion: every worker has tokened epoch e (retired
+        // workers are excused — the dead can't token).
+        if e == c.global_epoch
+            && c.counts[e].iter().enumerate().all(|(w, &x)| x > 0 || c.retired[w])
+        {
             c.global_epoch += 1;
             // Clamp to the previous increment: callers read their
             // clock before taking the lock, so two racing claims can
@@ -306,6 +314,63 @@ impl DistQueue {
     /// Home-queue (worker) count.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// Unclaimed tasks currently in `worker`'s home queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker >= workers`.
+    pub fn home_len(&self, worker: usize) -> usize {
+        assert!(worker < self.workers, "worker {worker} out of range");
+        self.coord.lock().expect("dist coordinator poisoned").homes[worker].len()
+    }
+
+    /// Excuses a dead worker from epoch completion: subsequent epochs
+    /// close without its tokens. Idempotent; part of the fault layer's
+    /// recovery path (a dead worker would otherwise freeze the global
+    /// epoch, and with it the checkpoint barrier, forever).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker >= workers`.
+    pub fn retire_worker(&self, worker: usize) {
+        assert!(worker < self.workers, "worker {worker} out of range");
+        self.coord.lock().expect("dist coordinator poisoned").retired[worker] = true;
+    }
+
+    /// Moves every unclaimed task from `dead`'s home queue into
+    /// `heir`'s, returning how many moved. The self-delivery invariant
+    /// holds — the heir is the claiming survivor adopting an orphaned
+    /// home — and exactly-once is preserved (the move happens under
+    /// the coordinator lock, pop-then-push like re-assignment).
+    /// Adopted tasks count as migrated when claimed, exactly like
+    /// re-assigned ones. Unlike the cv-gated re-assignment path this
+    /// is unconditional: a dead worker's home must drain even on
+    /// perfectly uniform costs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dead >= workers` or `heir >= workers`.
+    pub fn adopt_home(&self, dead: usize, heir: usize) -> usize {
+        assert!(dead < self.workers, "worker {dead} out of range");
+        assert!(heir < self.workers, "worker {heir} out of range");
+        if dead == heir {
+            return 0;
+        }
+        let mut c = self.coord.lock().expect("dist coordinator poisoned");
+        let moved = c.homes[dead].len();
+        while let Some(t) = c.homes[dead].pop_front() {
+            c.homes[heir].push_back(t);
+        }
+        moved
+    }
+
+    /// Merges previously persisted cost statistics into the TAPER
+    /// policy so a resumed operation restarts with the µ/σ (and so the
+    /// chunk-size schedule) it had already learned before the crash.
+    pub fn warm(&self, stats: &crate::stats::OnlineStats) {
+        self.coord.lock().expect("dist coordinator poisoned").policy.observe_chunk(0, 0, stats);
     }
 }
 

@@ -23,6 +23,7 @@ pub mod pool;
 pub mod queue;
 pub mod topology;
 
+use crate::checkpoint::{plan_fingerprint, ResumeState, RunCtl};
 use crate::chunking::PolicyKind;
 use crate::executor::{costs_of_node, ExecutionReport, ExecutorOptions, NodeReport};
 use crate::stats::{OnlineStats, StealStats};
@@ -343,6 +344,10 @@ pub struct ThreadedRun {
     pub pinned_workers: usize,
     /// The machine layout the run was scheduled against.
     pub topology: TopologyFingerprint,
+    /// Whether an injected crash-mode fault aborted the run (the
+    /// outputs are then partial; see
+    /// [`execute_graph_resumable`](crate::checkpoint::execute_graph_resumable)).
+    pub crashed: bool,
 }
 
 impl ThreadedRun {
@@ -408,6 +413,19 @@ pub fn execute_threaded(
     opts: &ExecutorOptions,
     kernel: &(dyn TaskKernel + Sync),
 ) -> Result<ThreadedRun, GraphError> {
+    execute_threaded_resumed(g, opts, kernel, None)
+}
+
+/// [`execute_threaded`] with an optional restore image: restored tasks
+/// keep their snapshot outputs and are excluded from the queues'
+/// iteration spaces, fully restored ops are pre-completed, and the
+/// adaptive chunk policies warm-start from the snapshot's per-op µ/σ.
+pub(crate) fn execute_threaded_resumed(
+    g: &DelirGraph,
+    opts: &ExecutorOptions,
+    kernel: &(dyn TaskKernel + Sync),
+    resume: Option<&ResumeState>,
+) -> Result<ThreadedRun, GraphError> {
     let plan = build_plan(g, opts)?;
     let workers = resolve_workers(opts);
     let topo = opts.topology.resolve();
@@ -416,52 +434,118 @@ pub fn execute_threaded(
     // CI uses it to smoke the affinity path without touching configs.
     let pin = opts.pin_workers
         || std::env::var("ORCHESTRA_PIN_WORKERS").is_ok_and(|v| !v.is_empty() && v != "0");
+    // Which ops the snapshot already finished whole: they are excluded
+    // from scheduling entirely — no queue entries, no dependency
+    // edges, pre-counted as completed.
+    let pre_done: Vec<bool> = plan
+        .ops
+        .iter()
+        .enumerate()
+        .map(|(i, op)| {
+            resume
+                .and_then(|r| r.ops.get(i))
+                .is_some_and(|o| op.tasks > 0 && o.completed.iter().all(|&c| c))
+        })
+        .collect();
     let mut instances: Vec<OpInstance> = Vec::with_capacity(plan.ops.len());
     let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); plan.ops.len()];
     for (i, op) in plan.ops.iter().enumerate() {
+        if pre_done[i] {
+            continue; // Never scheduled, so never needs enabling.
+        }
         for &d in &op.deps {
             dependents[d].push(i);
         }
     }
     let mut hinted_serial_us = 0.0;
-    for (op, deps_out) in plan.ops.iter().zip(&mut dependents) {
+    for (i, (op, deps_out)) in plan.ops.iter().zip(&mut dependents).enumerate() {
         let node = &g.nodes[op.node];
         let costs = costs_of_node(node, opts.seed);
         hinted_serial_us += costs.iter().sum::<f64>();
+        let res_op = resume.and_then(|r| r.ops.get(i)).filter(|o| o.completed.iter().any(|&c| c));
+        let restored: Vec<bool> = res_op.map(|o| o.completed.clone()).unwrap_or_default();
+        // The queue schedules only the pending tasks, packed; `remap`
+        // translates its indices back to task space.
+        let remap: Option<Vec<usize>> = if restored.iter().any(|&c| c) {
+            Some((0..op.tasks).filter(|&t| !restored[t]).collect())
+        } else {
+            None
+        };
+        let pending = remap.as_ref().map_or(op.tasks, Vec::len);
+        let queue_costs: Option<Vec<f64>> =
+            remap.as_ref().map(|r| r.iter().map(|&t| costs[t]).collect());
         // Distributed TAPER only pays off (and only makes sense) for
         // genuinely parallel ops: single-task ops keep a shared queue
         // so a lone Task/Merge node doesn't token every worker.
-        let queue = if opts.backend == ExecutorBackend::ThreadedDist && op.tasks > 1 {
-            OpQueue::Dist(DistQueue::with_nodes(op.tasks, workers, wt.node_of_worker.clone()))
+        let queue = if opts.backend == ExecutorBackend::ThreadedDist && pending > 1 {
+            OpQueue::Dist(DistQueue::with_nodes(pending, workers, wt.node_of_worker.clone()))
         } else {
             let policy = match opts.policy {
                 // Static has no dynamic queue; one equal chunk per
                 // worker approximates block decomposition on a shared
                 // queue.
-                PolicyKind::Static => PolicyKind::Gss.instantiate(op.tasks),
-                p => p.instantiate(op.tasks),
+                PolicyKind::Static => PolicyKind::Gss.instantiate(pending),
+                p => p.instantiate(pending),
             };
-            OpQueue::Shared(ChunkQueue::new(policy, op.tasks, workers))
+            OpQueue::Shared(ChunkQueue::new(policy, pending, workers))
         };
+        if let Some(r) = res_op.filter(|o| o.stats.count() > 0) {
+            // Warm-start the chunk policy with the snapshot's µ/σ so
+            // the resumed run sizes chunks as if it had kept sampling.
+            match &queue {
+                OpQueue::Shared(q) => q.observe_chunk(0, 0, &r.stats),
+                OpQueue::Dist(q) => q.warm(&r.stats),
+            }
+        }
+        let effective_deps = op.deps.iter().filter(|&&d| !pre_done[d]).count();
+        let output: Vec<AtomicU64> = (0..op.tasks)
+            .map(|t| {
+                let bits = if restored.get(t).copied().unwrap_or(false) {
+                    res_op.map_or(0, |o| o.outputs[t].to_bits())
+                } else {
+                    0
+                };
+                AtomicU64::new(bits)
+            })
+            .collect();
+        let stamp = if pre_done[i] { 0u64 } else { u64::MAX };
         instances.push(OpInstance {
             name: op.name.clone(),
             node: op.node,
             iter: op.iter,
             queue,
             costs,
-            deps: AtomicUsize::new(op.deps.len()),
+            deps: AtomicUsize::new(effective_deps),
             dependents: std::mem::take(deps_out),
-            outstanding: AtomicUsize::new(op.tasks),
-            output: (0..op.tasks).map(|_| AtomicU64::new(0)).collect(),
+            outstanding: AtomicUsize::new(pending),
+            output,
             executed: (0..op.tasks).map(|_| AtomicU32::new(0)).collect(),
-            started_bits: AtomicU64::new(u64::MAX),
-            finished_bits: AtomicU64::new(u64::MAX),
+            started_bits: AtomicU64::new(stamp),
+            finished_bits: AtomicU64::new(stamp),
+            restored,
+            remap,
+            queue_costs,
         });
     }
-    let ready0: Vec<usize> = (0..plan.ops.len()).filter(|&i| plan.ops[i].deps.is_empty()).collect();
+    let ready0: Vec<usize> = (0..plan.ops.len())
+        .filter(|&i| !pre_done[i] && plan.ops[i].deps.iter().all(|&d| pre_done[d]))
+        .collect();
+    let pre_completed = pre_done.iter().filter(|&&p| p).count();
+    let fingerprint = plan_fingerprint(&plan, opts.seed);
+    let ctl = RunCtl::new(opts.faults.as_ref(), opts.checkpoint.as_ref(), workers, fingerprint);
 
     let t0 = Instant::now();
-    let records = pool::run_pool(&instances, &g.nodes, ready0, workers, &wt, pin, kernel);
+    let records = pool::run_pool(
+        &instances,
+        &g.nodes,
+        ready0,
+        workers,
+        &wt,
+        pin,
+        kernel,
+        &ctl,
+        pre_completed,
+    );
     let wall_us = t0.elapsed().as_secs_f64() * 1e6;
 
     let mut steal = StealStats::new();
@@ -520,6 +604,7 @@ pub fn execute_threaded(
         steal,
         pinned_workers,
         topology: wt.fingerprint(),
+        crashed: ctl.crashed(),
     })
 }
 

@@ -45,6 +45,7 @@ use super::dist::DistQueue;
 use super::queue::ChunkQueue;
 use super::topology::{pin_current_thread, StealDistance, WorkerTopo};
 use super::{TaskCtx, TaskKernel};
+use crate::checkpoint::{op_snapshot, Lease, OpSnapshot, RunCtl};
 use crate::stats::{OnlineStats, StealStats};
 use orchestra_delirium::Node;
 use orchestra_machine::ProcStats;
@@ -113,6 +114,16 @@ pub(crate) struct OpInstance {
     pub started_bits: AtomicU64,
     /// Completion time, µs since run start (f64 bits; MAX = never).
     pub finished_bits: AtomicU64,
+    /// Per-task restored-from-snapshot flags (empty on a fresh run):
+    /// restored tasks have their outputs pre-stored and are excluded
+    /// from the queue's iteration space.
+    pub restored: Vec<bool>,
+    /// Queue-index → task-index translation for resumed ops (`None` =
+    /// identity): the queue schedules only the pending tasks, packed.
+    pub remap: Option<Vec<usize>>,
+    /// Cost hints over the *queue's* index space when remapped
+    /// (`None` = use `costs` directly).
+    pub queue_costs: Option<Vec<f64>>,
 }
 
 impl OpInstance {
@@ -122,6 +133,20 @@ impl OpInstance {
 
     pub(crate) fn exec_counts(&self) -> Vec<u32> {
         self.executed.iter().map(|c| c.load(Ordering::Acquire)).collect()
+    }
+
+    /// Translates a queue index to the op-local task index.
+    #[inline]
+    fn task_of(&self, qi: usize) -> usize {
+        match &self.remap {
+            Some(r) => r[qi],
+            None => qi,
+        }
+    }
+
+    /// The cost hints in the queue's index space.
+    fn claim_costs(&self) -> &[f64] {
+        self.queue_costs.as_deref().unwrap_or(&self.costs)
     }
 }
 
@@ -163,6 +188,8 @@ struct Shared<'a> {
     topo: &'a WorkerTopo,
     /// Pin each worker to its assigned CPU at startup.
     pin: bool,
+    /// Fault-injection and checkpoint control (inert on normal runs).
+    ctl: &'a RunCtl,
     /// One padded deque per worker.
     workers: Vec<CachePadded<WorkerState>>,
     completed: AtomicUsize,
@@ -208,7 +235,10 @@ fn us_since(epoch: Instant, t: Instant) -> f64 {
 /// Executes the op DAG on `workers` threads; `ready0` holds the
 /// indices whose dependency count is already zero. `topo` supplies the
 /// per-worker steal schedules (and pin targets when `pin` is set); it
-/// must have been built for the same worker count.
+/// must have been built for the same worker count. `ctl` carries the
+/// fault plan and checkpoint state (inert on normal runs), and
+/// `pre_completed` counts ops already whole from a restored snapshot.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_pool(
     ops: &[OpInstance],
     nodes: &[Node],
@@ -217,6 +247,8 @@ pub(crate) fn run_pool(
     topo: &WorkerTopo,
     pin: bool,
     kernel: &(dyn TaskKernel + Sync),
+    ctl: &RunCtl,
+    pre_completed: usize,
 ) -> Vec<WorkerRecord> {
     let workers = workers.max(1);
     debug_assert_eq!(topo.workers(), workers, "topology built for a different pool size");
@@ -247,8 +279,9 @@ pub(crate) fn run_pool(
         nodes,
         topo,
         pin,
+        ctl,
         workers: deques,
-        completed: AtomicUsize::new(0),
+        completed: AtomicUsize::new(pre_completed),
         sleepers: AtomicUsize::new(0),
         wake_seq: Mutex::new(0),
         wake: Condvar::new(),
@@ -314,6 +347,24 @@ fn find_token(shared: &Shared<'_>, id: usize, steal: &mut StealStats) -> Option<
     None
 }
 
+/// What a claim-loop visit did to the calling worker.
+enum Flow {
+    /// Keep scheduling.
+    Continue,
+    /// The worker hit an injected fault and must exit its loop.
+    Died,
+}
+
+/// What a recovery sweep accomplished.
+enum Recover {
+    /// Nothing to recover — safe to park.
+    Idle,
+    /// Recovered leases or queues; rescan for tokens before parking.
+    Progress,
+    /// The recovering worker itself hit an injected fault.
+    Died,
+}
+
 fn worker_loop(shared: &Shared<'_>, id: usize, kernel: &(dyn TaskKernel + Sync)) -> WorkerRecord {
     // Pinning is best-effort: a failed pin (CPU offline, synthetic
     // topology wider than the host, restrictive cgroup mask) leaves
@@ -322,37 +373,263 @@ fn worker_loop(shared: &Shared<'_>, id: usize, kernel: &(dyn TaskKernel + Sync))
     let mut proc = ProcStats::default();
     let mut timing = OnlineStats::new();
     let mut steal = StealStats::new();
+    let hooked = shared.ctl.hooked();
     loop {
+        if hooked && shared.ctl.crashed() {
+            break;
+        }
+        let steals0 = steal.steals;
         let Some(op_idx) = find_token(shared, id, &mut steal) else {
-            if shared.all_done() {
-                return WorkerRecord { proc, timing, steal, pinned };
+            match recover(shared, id, kernel, &mut proc, &mut timing) {
+                Recover::Progress => continue,
+                Recover::Died => break,
+                Recover::Idle => {
+                    if shared.all_done() {
+                        break;
+                    }
+                    park(shared, id);
+                    continue;
+                }
             }
-            park(shared, id);
-            continue;
         };
-        run_op(shared, id, op_idx, kernel, &mut proc, &mut timing);
+        // An `OnSteal` kill fires the instant the theft lands, before
+        // the stolen token is honoured. The dropped token is always a
+        // shared-queue op (dist tokens are never stealable), whose
+        // remaining chunks survivors reach through the recovery sweep's
+        // direct `has_more` claims.
+        if hooked && steal.steals > steals0 {
+            if let Some(f) = &shared.ctl.faults {
+                if f.on_steal(id) && f.try_die(id) {
+                    announce_death(shared);
+                    break;
+                }
+            }
+        }
+        match run_op(shared, id, op_idx, kernel, &mut proc, &mut timing) {
+            Flow::Continue => {}
+            Flow::Died => break,
+        }
     }
+    WorkerRecord { proc, timing, steal, pinned }
 }
 
 /// Parks until new work is signalled. The wake-sequence protocol makes
 /// the scan-then-sleep race benign: any token pushed after `seq0` was
 /// read either bumps the sequence (we don't sleep) or was pushed by a
 /// producer that saw no sleepers — and our post-registration rescan
-/// is then guaranteed to see it.
+/// is then guaranteed to see it. Work made visible by a worker's
+/// *death* (orphaned leases, stranded queues) has no token, so the
+/// scan also covers recovery work; the dying worker always bumps the
+/// sequence and broadcasts, closing the same race for deaths.
 fn park(shared: &Shared<'_>, id: usize) {
     let seq0 = { *shared.wake_seq.lock().expect("wake lock poisoned") };
     shared.sleepers.fetch_add(1, Ordering::SeqCst);
     let visible_work =
         !shared.workers[id].0.dist_ready.lock().expect("dist list poisoned").is_empty()
             || (0..shared.workers.len())
-                .any(|w| !shared.workers[w].0.ready.lock().expect("deque poisoned").is_empty());
-    if !visible_work && !shared.all_done() {
+                .any(|w| !shared.workers[w].0.ready.lock().expect("deque poisoned").is_empty())
+            || recovery_visible(shared, id);
+    if !visible_work && !shared.all_done() && !shared.ctl.crashed() {
         let mut seq = shared.wake_seq.lock().expect("wake lock poisoned");
-        while *seq == seq0 && !shared.all_done() {
+        while *seq == seq0 && !shared.all_done() && !shared.ctl.crashed() {
             seq = shared.wake.wait(seq).expect("wake lock poisoned");
         }
     }
     shared.sleepers.fetch_sub(1, Ordering::SeqCst);
+}
+
+/// Whether any fault-recovery work is reachable from this worker:
+/// orphaned leases, a stranded shared queue with unclaimed chunks, or
+/// a dist home queue (this worker's own, or a dead worker's awaiting
+/// adoption). Restricted to homes this worker may touch so an idle
+/// pool doesn't busy-wake on another live worker's backlog.
+fn recovery_visible(shared: &Shared<'_>, id: usize) -> bool {
+    let ctl = shared.ctl;
+    let Some(f) = &ctl.faults else {
+        return false;
+    };
+    if !f.any_dead() {
+        return false;
+    }
+    if !ctl.leases.lock().expect("lease lock poisoned").is_empty() {
+        return true;
+    }
+    let dead = f.dead_workers();
+    shared.ops.iter().any(|op| {
+        op.outstanding.load(Ordering::Acquire) > 0
+            && op.deps.load(Ordering::Acquire) == 0
+            && match &op.queue {
+                OpQueue::Shared(q) => q.has_more(),
+                OpQueue::Dist(q) => q.home_len(id) > 0 || dead.iter().any(|&d| q.home_len(d) > 0),
+            }
+    })
+}
+
+/// Announces an injected death: unconditional sequence bump plus
+/// broadcast, mirroring last-op completion. `signal` would be wrong
+/// here — it no-ops at `sleepers == 0`, and a worker mid-park-protocol
+/// (registered but pre-scan) must still observe the bump to rescan for
+/// the recovery work this death just created.
+fn announce_death(shared: &Shared<'_>) {
+    {
+        let mut seq = shared.wake_seq.lock().expect("wake lock poisoned");
+        *seq += 1;
+    }
+    shared.wake.notify_all();
+}
+
+/// The post-claim fault/checkpoint hook, called after every successful
+/// chunk claim with the chunk's *task-space* indices. Returns `true`
+/// when the calling worker must exit (it was killed, or the run is
+/// crashing). A killed worker in lease mode records its claimed-but-
+/// unexecuted chunk as an orphaned [`Lease`] for survivors to replay.
+fn after_claim(
+    shared: &Shared<'_>,
+    id: usize,
+    op_idx: usize,
+    tasks: impl FnOnce() -> Vec<usize>,
+    epoch: Option<u64>,
+) -> bool {
+    let ctl = shared.ctl;
+    if let Some(f) = &ctl.faults {
+        if f.crashed() {
+            return true;
+        }
+        if f.on_claim(id, epoch) && f.try_die(id) {
+            if !f.crash_mode() {
+                ctl.leases
+                    .lock()
+                    .expect("lease lock poisoned")
+                    .push(Lease { op_idx, tasks: tasks() });
+            }
+            announce_death(shared);
+            return true;
+        }
+    }
+    if let Some(ck) = &ctl.ckpt {
+        if ck.note_claim(epoch) {
+            ck.commit(snapshot_ops(shared.ops));
+        }
+    }
+    false
+}
+
+/// Captures every op's completed-task bitmap, outputs, and cost stats
+/// for a checkpoint commit.
+fn snapshot_ops(ops: &[OpInstance]) -> Vec<OpSnapshot> {
+    ops.iter().map(|op| op_snapshot(&op.costs, &op.restored, &op.executed, &op.output)).collect()
+}
+
+/// Replays one orphaned lease: the chunk a killed worker claimed but
+/// never executed. Kernels are pure functions of (node, iter, task,
+/// cost_hint), so replaying from scratch is bitwise-identical to what
+/// the dead worker would have produced.
+fn execute_lease(
+    shared: &Shared<'_>,
+    id: usize,
+    lease: Lease,
+    kernel: &(dyn TaskKernel + Sync),
+    proc: &mut ProcStats,
+    timing: &mut OnlineStats,
+) {
+    let op = &shared.ops[lease.op_idx];
+    let node = &shared.nodes[op.node];
+    let t0 = Instant::now();
+    let start_bits = us_since(shared.epoch, t0).to_bits();
+    if op.started_bits.load(Ordering::Relaxed) > start_bits {
+        op.started_bits.fetch_min(start_bits, Ordering::AcqRel);
+    }
+    for &task in &lease.tasks {
+        let ctx = TaskCtx { node, iter: op.iter, task, cost_hint: op.costs[task] };
+        let value = kernel.run_task(&ctx);
+        op.output[task].store(value.to_bits(), Ordering::Release);
+        op.executed[task].fetch_add(1, Ordering::Release);
+    }
+    let now = Instant::now();
+    let n = lease.tasks.len();
+    if n > 0 {
+        let span_us = now.duration_since(t0).as_secs_f64() * 1e6;
+        timing.observe_n(span_us / n as f64, n as u64);
+        proc.tasks += n as u64;
+        proc.chunks += 1;
+        proc.busy += span_us;
+    }
+    let t_end = us_since(shared.epoch, now);
+    proc.free_at = proc.free_at.max(t_end);
+    if n > 0 && op.outstanding.fetch_sub(n, Ordering::AcqRel) == n {
+        complete_op(shared, id, op, t_end);
+    }
+}
+
+/// The recovery sweep, run by an idle worker before parking: drains
+/// orphaned leases (take-all under the mutex, so each is replayed
+/// exactly once), retires dead workers from epoch accounting, adopts
+/// their dist home queues, and claims directly into any enabled op
+/// with unclaimed work — the paths a dropped token would have covered.
+fn recover(
+    shared: &Shared<'_>,
+    id: usize,
+    kernel: &(dyn TaskKernel + Sync),
+    proc: &mut ProcStats,
+    timing: &mut OnlineStats,
+) -> Recover {
+    let ctl = shared.ctl;
+    let Some(f) = &ctl.faults else {
+        return Recover::Idle;
+    };
+    if !f.any_dead() {
+        return Recover::Idle;
+    }
+    let mut progress = false;
+    let leases: Vec<Lease> = std::mem::take(&mut *ctl.leases.lock().expect("lease lock poisoned"));
+    for lease in leases {
+        execute_lease(shared, id, lease, kernel, proc, timing);
+        progress = true;
+    }
+    let dead = f.dead_workers();
+    for (op_idx, op) in shared.ops.iter().enumerate() {
+        // Only enabled (deps == 0), unfinished ops: claiming from an
+        // op whose dependencies are still running would break the
+        // dependency order the DAG promises.
+        if op.outstanding.load(Ordering::Acquire) == 0 || op.deps.load(Ordering::Acquire) != 0 {
+            continue;
+        }
+        match &op.queue {
+            OpQueue::Dist(q) => {
+                for &d in &dead {
+                    // Excuse the dead worker from epoch completion and
+                    // take over its home queue. Adoption is
+                    // unconditional — unlike the coordinator's
+                    // cv-gated reassignment — because under uniform
+                    // costs the gate never opens and a dead worker's
+                    // home would otherwise strand forever.
+                    q.retire_worker(d);
+                    if q.adopt_home(d, id) > 0 {
+                        progress = true;
+                    }
+                }
+                if q.home_len(id) > 0 {
+                    if let Flow::Died = run_op(shared, id, op_idx, kernel, proc, timing) {
+                        return Recover::Died;
+                    }
+                    progress = true;
+                }
+            }
+            OpQueue::Shared(q) => {
+                if q.has_more() {
+                    if let Flow::Died = run_op(shared, id, op_idx, kernel, proc, timing) {
+                        return Recover::Died;
+                    }
+                    progress = true;
+                }
+            }
+        }
+    }
+    if progress {
+        Recover::Progress
+    } else {
+        Recover::Idle
+    }
 }
 
 /// Per-task clock reads a worker spends on one adaptive op before
@@ -363,7 +640,7 @@ fn park(shared: &Shared<'_>, id: usize) {
 const SAMPLE_BUDGET: usize = 48;
 
 /// Claims and executes chunks of one op until this worker can get no
-/// more from it.
+/// more from it (or an injected fault kills it mid-claim-loop).
 fn run_op(
     shared: &Shared<'_>,
     id: usize,
@@ -371,7 +648,7 @@ fn run_op(
     kernel: &(dyn TaskKernel + Sync),
     proc: &mut ProcStats,
     timing: &mut OnlineStats,
-) {
+) -> Flow {
     match &shared.ops[op_idx].queue {
         OpQueue::Shared(q) => run_op_shared(shared, id, op_idx, q, kernel, proc, timing),
         OpQueue::Dist(q) => run_op_dist(shared, id, op_idx, q, kernel, proc, timing),
@@ -389,12 +666,23 @@ fn run_op_shared(
     kernel: &(dyn TaskKernel + Sync),
     proc: &mut ProcStats,
     timing: &mut OnlineStats,
-) {
+) -> Flow {
     let op = &shared.ops[op_idx];
+    let hooked = shared.ctl.hooked();
     let Some(first) = queue.claim() else {
         // Stale token: the op drained while this token circulated.
-        return;
+        return Flow::Continue;
     };
+    // Kills land at the claim boundary: the chunk is claimed (so no
+    // other worker can reach it through the queue) but not executed —
+    // exactly the window where work would be lost without leases.
+    if hooked {
+        let lease_tasks =
+            || (first.start..first.start + first.len).map(|qi| op.task_of(qi)).collect();
+        if after_claim(shared, id, op_idx, lease_tasks, None) {
+            return Flow::Died;
+        }
+    }
     // Re-advertise the op before executing so idle workers can steal
     // into its remaining chunks; one push per op visit, not per chunk.
     if queue.has_more() {
@@ -422,24 +710,28 @@ fn run_op_shared(
         let chunk_t0 = prev;
         let mut chunk_stats = OnlineStats::new();
         if adaptive && sampled < SAMPLE_BUDGET {
-            for task in chunk.start..chunk.start + chunk.len {
+            for qi in chunk.start..chunk.start + chunk.len {
+                let task = op.task_of(qi);
                 let ctx = TaskCtx { node, iter: op.iter, task, cost_hint: op.costs[task] };
                 let value = kernel.run_task(&ctx);
                 let now = Instant::now();
                 chunk_stats.observe(now.duration_since(prev).as_secs_f64() * 1e6);
                 prev = now;
                 op.output[task].store(value.to_bits(), Ordering::Release);
-                // Relaxed: exec counts are read only after the pool
-                // joins, and the RMW still catches duplicate claims.
-                op.executed[task].fetch_add(1, Ordering::Relaxed);
+                // Release: pairs with the snapshot scanner's Acquire
+                // load of `executed` — a task counted as done must have
+                // its output visible; the RMW still catches duplicate
+                // claims.
+                op.executed[task].fetch_add(1, Ordering::Release);
             }
             sampled += chunk.len;
         } else {
-            for task in chunk.start..chunk.start + chunk.len {
+            for qi in chunk.start..chunk.start + chunk.len {
+                let task = op.task_of(qi);
                 let ctx = TaskCtx { node, iter: op.iter, task, cost_hint: op.costs[task] };
                 let value = kernel.run_task(&ctx);
                 op.output[task].store(value.to_bits(), Ordering::Release);
-                op.executed[task].fetch_add(1, Ordering::Relaxed);
+                op.executed[task].fetch_add(1, Ordering::Release);
             }
             let now = Instant::now();
             let span_us = now.duration_since(prev).as_secs_f64() * 1e6;
@@ -455,7 +747,25 @@ fn run_op_shared(
         proc.busy += prev.duration_since(chunk_t0).as_secs_f64() * 1e6;
         done += chunk.len;
         match queue.claim() {
-            Some(c) => chunk = c,
+            Some(c) => {
+                if hooked {
+                    let lease_tasks =
+                        || (c.start..c.start + c.len).map(|qi| op.task_of(qi)).collect();
+                    if after_claim(shared, id, op_idx, lease_tasks, None) {
+                        // Dying mid-loop: fold the batch executed so
+                        // far into `outstanding` — the `done > 0`
+                        // guard matters, since `fetch_sub(0) == 0`
+                        // would spuriously re-complete a completed op.
+                        let t_end = us_since(shared.epoch, prev);
+                        proc.free_at = proc.free_at.max(t_end);
+                        if done > 0 && op.outstanding.fetch_sub(done, Ordering::AcqRel) == done {
+                            complete_op(shared, id, op, t_end);
+                        }
+                        return Flow::Died;
+                    }
+                }
+                chunk = c;
+            }
             None => break,
         }
     }
@@ -466,6 +776,7 @@ fn run_op_shared(
     if op.outstanding.fetch_sub(done, Ordering::AcqRel) == done {
         complete_op(shared, id, op, t_end);
     }
+    Flow::Continue
 }
 
 /// The distributed-TAPER claim loop: this worker drains its own home
@@ -487,14 +798,23 @@ fn run_op_dist(
     kernel: &(dyn TaskKernel + Sync),
     proc: &mut ProcStats,
     timing: &mut OnlineStats,
-) {
+) -> Flow {
     let op = &shared.ops[_op_idx];
+    let hooked = shared.ctl.hooked();
     let t0 = Instant::now();
     let start_bits = us_since(shared.epoch, t0).to_bits();
-    let Some(first) = queue.claim(id, &op.costs, f64::from_bits(start_bits)) else {
+    let Some(first) = queue.claim(id, op.claim_costs(), f64::from_bits(start_bits)) else {
         // Empty home queue (stale token, or fewer tasks than workers).
-        return;
+        return Flow::Continue;
     };
+    // Dist claims carry their epoch token: `AtEpoch` faults key off it,
+    // and checkpoints use the epoch boundary as their barrier.
+    if hooked {
+        let lease_tasks = || first.tasks.iter().map(|&qi| op.task_of(qi)).collect();
+        if after_claim(shared, id, _op_idx, lease_tasks, Some(first.epoch)) {
+            return Flow::Died;
+        }
+    }
     if op.started_bits.load(Ordering::Relaxed) > start_bits {
         op.started_bits.fetch_min(start_bits, Ordering::AcqRel);
     }
@@ -504,11 +824,12 @@ fn run_op_dist(
     let mut prev = t0;
     loop {
         let chunk_t0 = prev;
-        for &task in &chunk.tasks {
+        for &qi in &chunk.tasks {
+            let task = op.task_of(qi);
             let ctx = TaskCtx { node, iter: op.iter, task, cost_hint: op.costs[task] };
             let value = kernel.run_task(&ctx);
             op.output[task].store(value.to_bits(), Ordering::Release);
-            op.executed[task].fetch_add(1, Ordering::Relaxed);
+            op.executed[task].fetch_add(1, Ordering::Release);
         }
         let now = Instant::now();
         let span_us = now.duration_since(prev).as_secs_f64() * 1e6;
@@ -518,8 +839,21 @@ fn run_op_dist(
         proc.chunks += 1;
         proc.busy += prev.duration_since(chunk_t0).as_secs_f64() * 1e6;
         done += chunk.tasks.len();
-        match queue.claim(id, &op.costs, us_since(shared.epoch, prev)) {
-            Some(c) => chunk = c,
+        match queue.claim(id, op.claim_costs(), us_since(shared.epoch, prev)) {
+            Some(c) => {
+                if hooked {
+                    let lease_tasks = || c.tasks.iter().map(|&qi| op.task_of(qi)).collect();
+                    if after_claim(shared, id, _op_idx, lease_tasks, Some(c.epoch)) {
+                        let t_end = us_since(shared.epoch, prev);
+                        proc.free_at = proc.free_at.max(t_end);
+                        if done > 0 && op.outstanding.fetch_sub(done, Ordering::AcqRel) == done {
+                            complete_op(shared, id, op, t_end);
+                        }
+                        return Flow::Died;
+                    }
+                }
+                chunk = c;
+            }
             None => break,
         }
     }
@@ -528,6 +862,7 @@ fn run_op_dist(
     if op.outstanding.fetch_sub(done, Ordering::AcqRel) == done {
         complete_op(shared, id, op, t_end);
     }
+    Flow::Continue
 }
 
 /// Runs exactly once per op (by whichever worker drops `outstanding`

@@ -15,13 +15,17 @@
 //! * per-op policy state: TAPER's µ/σ sampling starts fresh for every
 //!   operation (DESIGN §12), so an upstream op's variance cannot leak
 //!   into a downstream op's chunk sizes.
+//!
+//! Graph shapes come from the shared builders in `common::shapes`.
 
-use orchestra_delirium::{DataAnno, DelirGraph, NodeKind, Population};
+mod common;
+
+use common::shapes;
+use orchestra_delirium::DelirGraph;
 use orchestra_runtime::chunking::PolicyKind;
 use orchestra_runtime::executor::ExecutorOptions;
 use orchestra_runtime::threaded::{execute_sequential, SpinKernel};
 use orchestra_runtime::{execute_async, AsyncRun};
-use std::collections::HashMap;
 
 const POLICIES: [PolicyKind; 5] = [
     PolicyKind::SelfSched,
@@ -32,63 +36,23 @@ const POLICIES: [PolicyKind; 5] = [
 ];
 
 fn flat_graph() -> (DelirGraph, ExecutorOptions) {
-    let mut g = DelirGraph::new();
-    g.add_node("F", NodeKind::DataParallel { tasks: 256, mean_cost: 1.5, cv: 0.6 }, None);
-    (g, ExecutorOptions { drivers: 2, ..ExecutorOptions::default() })
+    (shapes::flat(256, 1.5, 0.6), ExecutorOptions { drivers: 2, ..ExecutorOptions::default() })
 }
 
 fn dag_graph() -> (DelirGraph, ExecutorOptions) {
-    let mut g = DelirGraph::new();
-    let a = g.add_node("A", NodeKind::Task { cost: 4.0 }, None);
-    let b = g.add_node("B", NodeKind::DataParallel { tasks: 160, mean_cost: 2.0, cv: 0.9 }, None);
-    let c = g.add_node("C", NodeKind::DataParallel { tasks: 96, mean_cost: 1.5, cv: 0.2 }, None);
-    let d = g.add_node("D", NodeKind::Merge { cost: 2.0 }, None);
-    g.add_edge(a, b, DataAnno::array("x", 160));
-    g.add_edge(a, c, DataAnno::array("y", 96));
-    g.add_edge(b, d, DataAnno::array("r1", 160));
-    g.add_edge(c, d, DataAnno::array("r2", 96));
+    let g = shapes::diamond(4.0, (160, 2.0, 0.9), (96, 1.5, 0.2), 2.0);
     (g, ExecutorOptions { drivers: 2, ..ExecutorOptions::default() })
 }
 
 fn pipeline_graph() -> (DelirGraph, ExecutorOptions) {
-    let mut g = DelirGraph::new();
-    let ai = g.add_node(
-        "A_I",
-        NodeKind::DataParallel { tasks: 48, mean_cost: 2.0, cv: 0.5 },
-        Some("A".into()),
-    );
-    let ad = g.add_node(
-        "A_D",
-        NodeKind::DataParallel { tasks: 12, mean_cost: 2.0, cv: 0.5 },
-        Some("A".into()),
-    );
-    let am = g.add_node("A_M", NodeKind::Merge { cost: 1.0 }, Some("A".into()));
-    g.add_edge(ai, am, DataAnno::array("r1", 48));
-    g.add_edge(ad, am, DataAnno::array("r2", 12));
-    g.add_carried_edge(am, ad, DataAnno::array("carried", 48));
-    let b = g.add_node("B", NodeKind::DataParallel { tasks: 64, mean_cost: 1.0, cv: 0.1 }, None);
-    g.add_edge(am, b, DataAnno::array("out", 64));
-    let mut pipeline_iters = HashMap::new();
-    pipeline_iters.insert("A".to_string(), 4);
+    let (g, pipeline_iters) = shapes::pipeline((48, 2.0, 0.5), (12, 2.0, 0.5), 4, Some(64));
     (g, ExecutorOptions { drivers: 2, pipeline_iters, ..ExecutorOptions::default() })
 }
 
 /// The skewed shape: a two-population mixture (many cheap tasks, a few
 /// 6× heavier ones).
 fn mixture_graph() -> (DelirGraph, ExecutorOptions) {
-    let mut g = DelirGraph::new();
-    let m = g.add_node(
-        "M",
-        NodeKind::Mixture {
-            populations: vec![
-                Population { tasks: 90, mean_cost: 1.0, cv: 0.1 },
-                Population { tasks: 30, mean_cost: 6.0, cv: 0.8 },
-            ],
-        },
-        None,
-    );
-    let s = g.add_node("S", NodeKind::Merge { cost: 1.0 }, None);
-    g.add_edge(m, s, DataAnno::array("z", 120));
+    let g = shapes::mixture(&[(90, 1.0, 0.1), (30, 6.0, 0.8)], true);
     (g, ExecutorOptions { drivers: 2, ..ExecutorOptions::default() })
 }
 
@@ -251,16 +215,7 @@ fn barrier_mode_matches_too() {
 /// must hold up (all complete exactly once, utilization is sane).
 #[test]
 fn many_inflight_ops_multiplex_over_two_drivers() {
-    let mut g = DelirGraph::new();
-    let src = g.add_node("src", NodeKind::Task { cost: 1.0 }, None);
-    for i in 0..16 {
-        let n = g.add_node(
-            format!("w{i}"),
-            NodeKind::DataParallel { tasks: 24, mean_cost: 1.0, cv: 0.5 },
-            None,
-        );
-        g.add_edge(src, n, DataAnno::array("x", 24));
-    }
+    let g = shapes::fanout(16, 24, 0, 1.0, 0.5, false);
     let opts = ExecutorOptions { drivers: 2, ..ExecutorOptions::default() };
     let kernel = SpinKernel::with_scale(2.0);
     let run = execute_async(&g, &opts, &kernel).unwrap();

@@ -8,14 +8,17 @@
 //! in `(node, iter, task)`, so any divergence is a scheduling bug, not
 //! floating-point noise.
 //!
-//! Worker counts are capped at 2 so results don't depend on how many
+//! Graph shapes come from the shared builders in `common::shapes`;
+//! worker counts are capped at 2 so results don't depend on how many
 //! cores CI happens to give us.
 
-use orchestra_delirium::{DataAnno, DelirGraph, NodeKind};
+mod common;
+
+use common::shapes;
+use orchestra_delirium::DelirGraph;
 use orchestra_runtime::chunking::PolicyKind;
 use orchestra_runtime::executor::ExecutorOptions;
 use orchestra_runtime::threaded::{execute_sequential, execute_threaded, SpinKernel};
-use std::collections::HashMap;
 
 const POLICIES: [PolicyKind; 5] = [
     PolicyKind::SelfSched,
@@ -27,64 +30,24 @@ const POLICIES: [PolicyKind; 5] = [
 
 /// A flat shape: one wide data-parallel node, nothing else.
 fn flat_graph() -> (DelirGraph, ExecutorOptions) {
-    let mut g = DelirGraph::new();
-    g.add_node("F", NodeKind::DataParallel { tasks: 256, mean_cost: 1.5, cv: 0.6 }, None);
-    (g, ExecutorOptions { threads: 2, ..ExecutorOptions::default() })
+    (shapes::flat(256, 1.5, 0.6), ExecutorOptions { threads: 2, ..ExecutorOptions::default() })
 }
 
 /// A plain DAG: task → data-parallel fan-out → merge.
 fn dag_graph() -> (DelirGraph, ExecutorOptions) {
-    let mut g = DelirGraph::new();
-    let a = g.add_node("A", NodeKind::Task { cost: 4.0 }, None);
-    let b = g.add_node("B", NodeKind::DataParallel { tasks: 160, mean_cost: 2.0, cv: 0.9 }, None);
-    let c = g.add_node("C", NodeKind::DataParallel { tasks: 96, mean_cost: 1.5, cv: 0.2 }, None);
-    let d = g.add_node("D", NodeKind::Merge { cost: 2.0 }, None);
-    g.add_edge(a, b, DataAnno::array("x", 160));
-    g.add_edge(a, c, DataAnno::array("y", 96));
-    g.add_edge(b, d, DataAnno::array("r1", 160));
-    g.add_edge(c, d, DataAnno::array("r2", 96));
+    let g = shapes::diamond(4.0, (160, 2.0, 0.9), (96, 1.5, 0.2), 2.0);
     (g, ExecutorOptions { threads: 2, ..ExecutorOptions::default() })
 }
 
 /// A pipeline group with a carried edge, plus a downstream consumer.
 fn pipeline_graph() -> (DelirGraph, ExecutorOptions) {
-    let mut g = DelirGraph::new();
-    let ai = g.add_node(
-        "A_I",
-        NodeKind::DataParallel { tasks: 48, mean_cost: 2.0, cv: 0.5 },
-        Some("A".into()),
-    );
-    let ad = g.add_node(
-        "A_D",
-        NodeKind::DataParallel { tasks: 12, mean_cost: 2.0, cv: 0.5 },
-        Some("A".into()),
-    );
-    let am = g.add_node("A_M", NodeKind::Merge { cost: 1.0 }, Some("A".into()));
-    g.add_edge(ai, am, DataAnno::array("r1", 48));
-    g.add_edge(ad, am, DataAnno::array("r2", 12));
-    g.add_carried_edge(am, ad, DataAnno::array("carried", 48));
-    let b = g.add_node("B", NodeKind::DataParallel { tasks: 64, mean_cost: 1.0, cv: 0.1 }, None);
-    g.add_edge(am, b, DataAnno::array("out", 64));
-    let mut pipeline_iters = HashMap::new();
-    pipeline_iters.insert("A".to_string(), 4);
+    let (g, pipeline_iters) = shapes::pipeline((48, 2.0, 0.5), (12, 2.0, 0.5), 4, Some(64));
     (g, ExecutorOptions { threads: 2, pipeline_iters, ..ExecutorOptions::default() })
 }
 
 /// A mixture node (two cost populations) feeding a merge.
 fn mixture_graph() -> (DelirGraph, ExecutorOptions) {
-    let mut g = DelirGraph::new();
-    let m = g.add_node(
-        "M",
-        NodeKind::Mixture {
-            populations: vec![
-                orchestra_delirium::Population { tasks: 90, mean_cost: 1.0, cv: 0.1 },
-                orchestra_delirium::Population { tasks: 30, mean_cost: 6.0, cv: 0.8 },
-            ],
-        },
-        None,
-    );
-    let s = g.add_node("S", NodeKind::Merge { cost: 1.0 }, None);
-    g.add_edge(m, s, DataAnno::array("z", 120));
+    let g = shapes::mixture(&[(90, 1.0, 0.1), (30, 6.0, 0.8)], true);
     (g, ExecutorOptions { threads: 2, ..ExecutorOptions::default() })
 }
 

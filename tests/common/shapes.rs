@@ -1,0 +1,129 @@
+//! Parameterized graph-shape builders shared by the differential,
+//! stress, and chaos suites.
+//!
+//! Every suite exercises the same four structural families — a flat
+//! wide op, a diamond DAG, a pipeline group with a carried edge, and a
+//! skewed cost mixture — but each backend wants different sizes and
+//! cost shapes (the dist suite needs uniform costs to pin the cv gate
+//! shut, the stress suite needs 12k tiny tasks, the chaos suite needs
+//! graphs small enough to replay hundreds of times in debug mode).
+//! These builders take the shape parameters and leave the invariants
+//! to the callers.
+
+use orchestra_delirium::{DataAnno, DelirGraph, NodeKind, Population};
+use std::collections::HashMap;
+
+/// A `(tasks, mean_cost, cv)` triple describing one data-parallel op
+/// or one mixture population.
+pub type ParShape = (usize, f64, f64);
+
+/// One wide data-parallel op `F`, nothing else.
+pub fn flat(tasks: usize, mean_cost: f64, cv: f64) -> DelirGraph {
+    let mut g = DelirGraph::new();
+    g.add_node("F", NodeKind::DataParallel { tasks, mean_cost, cv }, None);
+    g
+}
+
+/// A diamond DAG: task `A` → data-parallel `B` and `C` → merge `D`.
+pub fn diamond(src_cost: f64, left: ParShape, right: ParShape, sink_cost: f64) -> DelirGraph {
+    let mut g = DelirGraph::new();
+    let a = g.add_node("A", NodeKind::Task { cost: src_cost }, None);
+    let b = g.add_node(
+        "B",
+        NodeKind::DataParallel { tasks: left.0, mean_cost: left.1, cv: left.2 },
+        None,
+    );
+    let c = g.add_node(
+        "C",
+        NodeKind::DataParallel { tasks: right.0, mean_cost: right.1, cv: right.2 },
+        None,
+    );
+    let d = g.add_node("D", NodeKind::Merge { cost: sink_cost }, None);
+    g.add_edge(a, b, DataAnno::array("x", left.0 as u64));
+    g.add_edge(a, c, DataAnno::array("y", right.0 as u64));
+    g.add_edge(b, d, DataAnno::array("r1", left.0 as u64));
+    g.add_edge(c, d, DataAnno::array("r2", right.0 as u64));
+    g
+}
+
+/// A pipeline group `A` with a carried edge: independent piece `A_I`,
+/// dependent piece `A_D`, merge `A_M`, unrolled over `iters`
+/// iterations; `downstream` optionally adds a consumer op `B` with
+/// that many near-uniform tasks after the group. Returns the graph and
+/// the `pipeline_iters` map to splice into `ExecutorOptions`.
+pub fn pipeline(
+    indep: ParShape,
+    dep: ParShape,
+    iters: usize,
+    downstream: Option<usize>,
+) -> (DelirGraph, HashMap<String, usize>) {
+    let mut g = DelirGraph::new();
+    let ai = g.add_node(
+        "A_I",
+        NodeKind::DataParallel { tasks: indep.0, mean_cost: indep.1, cv: indep.2 },
+        Some("A".into()),
+    );
+    let ad = g.add_node(
+        "A_D",
+        NodeKind::DataParallel { tasks: dep.0, mean_cost: dep.1, cv: dep.2 },
+        Some("A".into()),
+    );
+    let am = g.add_node("A_M", NodeKind::Merge { cost: 1.0 }, Some("A".into()));
+    g.add_edge(ai, am, DataAnno::array("r1", indep.0 as u64));
+    g.add_edge(ad, am, DataAnno::array("r2", dep.0 as u64));
+    g.add_carried_edge(am, ad, DataAnno::array("carried", dep.0 as u64));
+    if let Some(tasks) = downstream {
+        let b = g.add_node("B", NodeKind::DataParallel { tasks, mean_cost: 1.0, cv: 0.1 }, None);
+        g.add_edge(am, b, DataAnno::array("out", tasks as u64));
+    }
+    let mut pipeline_iters = HashMap::new();
+    pipeline_iters.insert("A".to_string(), iters);
+    (g, pipeline_iters)
+}
+
+/// A cost-mixture op `M` over the given populations (the skewed
+/// shape), optionally feeding a merge sink `S`.
+pub fn mixture(populations: &[ParShape], sink: bool) -> DelirGraph {
+    let mut g = DelirGraph::new();
+    let total: usize = populations.iter().map(|p| p.0).sum();
+    let m = g.add_node(
+        "M",
+        NodeKind::Mixture {
+            populations: populations
+                .iter()
+                .map(|&(tasks, mean_cost, cv)| Population { tasks, mean_cost, cv })
+                .collect(),
+        },
+        None,
+    );
+    if sink {
+        let s = g.add_node("S", NodeKind::Merge { cost: 1.0 }, None);
+        g.add_edge(m, s, DataAnno::array("z", total as u64));
+    }
+    g
+}
+
+/// A source task fanning out into `ops` independent data-parallel ops
+/// (op `i` has `tasks_base + i * tasks_step` tasks), optionally merged
+/// back into a sink — the ready-deque / park-wake hammer shape.
+pub fn fanout(
+    ops: usize,
+    tasks_base: usize,
+    tasks_step: usize,
+    mean_cost: f64,
+    cv: f64,
+    sink: bool,
+) -> DelirGraph {
+    let mut g = DelirGraph::new();
+    let src = g.add_node("src", NodeKind::Task { cost: 1.0 }, None);
+    let snk = sink.then(|| g.add_node("sink", NodeKind::Merge { cost: 1.0 }, None));
+    for i in 0..ops {
+        let tasks = tasks_base + tasks_step * i;
+        let n = g.add_node(format!("op{i}"), NodeKind::DataParallel { tasks, mean_cost, cv }, None);
+        g.add_edge(src, n, DataAnno::array(format!("in{i}"), tasks as u64));
+        if let Some(s) = snk {
+            g.add_edge(n, s, DataAnno::array(format!("out{i}"), tasks as u64));
+        }
+    }
+    g
+}

@@ -6,8 +6,17 @@
 //! concentrated ones, and monotone epoch times. Outputs are compared
 //! bitwise against the independent sequential reference on every graph
 //! shape, exactly like the shared-queue differential suite.
+//!
+//! Graph shapes come from the shared builders in `common::shapes`,
+//! parameterized for the dist backend: the flat shape uses uniform
+//! costs (cv = 0) to pin the cv gate shut, and the skewed shape
+//! interleaves 400× heavier tasks into worker 0's home block to force
+//! it open.
 
-use orchestra_delirium::{DataAnno, DelirGraph, NodeKind, Population};
+mod common;
+
+use common::shapes;
+use orchestra_delirium::DelirGraph;
 use orchestra_runtime::executor::ExecutorOptions;
 use orchestra_runtime::threaded::{
     execute_sequential, execute_threaded, ExecutorBackend, SpinKernel, ThreadedRun,
@@ -58,46 +67,21 @@ fn run_and_check(g: &DelirGraph, opts: &ExecutorOptions, label: &str) -> Threade
 
 /// One wide uniform op: cv = 0, so the gate must stay shut.
 fn flat_graph(tasks: usize) -> DelirGraph {
-    let mut g = DelirGraph::new();
-    g.add_node("flat", NodeKind::DataParallel { tasks, mean_cost: 3.0, cv: 0.0 }, None);
-    g
+    shapes::flat(tasks, 3.0, 0.0)
 }
 
 /// Task → two parallel ops → merge: dist ops behind dependencies, so
 /// enabling must token every worker (the migration-aware wakeup path).
 fn dag_graph() -> DelirGraph {
-    let mut g = DelirGraph::new();
-    let src = g.add_node("src", NodeKind::Task { cost: 2.0 }, None);
-    let a = g.add_node("A", NodeKind::DataParallel { tasks: 96, mean_cost: 2.0, cv: 0.6 }, None);
-    let b = g.add_node("B", NodeKind::DataParallel { tasks: 64, mean_cost: 3.0, cv: 0.3 }, None);
-    let sink = g.add_node("sink", NodeKind::Merge { cost: 1.0 }, None);
-    g.add_edge(src, a, DataAnno::array("xa", 96));
-    g.add_edge(src, b, DataAnno::array("xb", 64));
-    g.add_edge(a, sink, DataAnno::array("ra", 96));
-    g.add_edge(b, sink, DataAnno::array("rb", 64));
-    g
+    shapes::diamond(2.0, (96, 2.0, 0.6), (64, 3.0, 0.3), 1.0)
 }
 
 /// A pipeline group with a carried edge, unrolled over 4 iterations:
 /// many small dist-op instances racing through the enable path.
 fn pipeline_graph() -> (DelirGraph, ExecutorOptions) {
-    let mut g = DelirGraph::new();
-    let ai = g.add_node(
-        "A_I",
-        NodeKind::DataParallel { tasks: 24, mean_cost: 2.0, cv: 0.4 },
-        Some("A".into()),
-    );
-    let ad = g.add_node(
-        "A_D",
-        NodeKind::DataParallel { tasks: 8, mean_cost: 2.0, cv: 0.4 },
-        Some("A".into()),
-    );
-    let am = g.add_node("A_M", NodeKind::Merge { cost: 1.0 }, Some("A".into()));
-    g.add_edge(ai, am, DataAnno::array("r1", 24));
-    g.add_edge(ad, am, DataAnno::array("r2", 8));
-    g.add_carried_edge(am, ad, DataAnno::array("q", 8));
+    let (g, pipeline_iters) = shapes::pipeline((24, 2.0, 0.4), (8, 2.0, 0.4), 4, None);
     let mut opts = dist_opts(2);
-    opts.pipeline_iters.insert("A".into(), 4);
+    opts.pipeline_iters = pipeline_iters;
     (g, opts)
 }
 
@@ -107,18 +91,7 @@ fn pipeline_graph() -> (DelirGraph, ExecutorOptions) {
 /// and must force the coordinator to re-assign worker 0's unstarted
 /// work.
 fn skewed_graph() -> DelirGraph {
-    let mut g = DelirGraph::new();
-    g.add_node(
-        "skew",
-        NodeKind::Mixture {
-            populations: vec![
-                Population { tasks: 32, mean_cost: 400.0, cv: 0.0 },
-                Population { tasks: 224, mean_cost: 1.0, cv: 0.0 },
-            ],
-        },
-        None,
-    );
-    g
+    shapes::mixture(&[(32, 400.0, 0.0), (224, 1.0, 0.0)], false)
 }
 
 #[test]

@@ -7,8 +7,16 @@
 //! up as a hang, a wrong execution count, or a diverging buffer.
 //! Unlike the differential suite (capped at 2 workers), these tests
 //! deliberately oversubscribe the machine with 8 workers.
+//!
+//! The task-cost RNG seed comes from `ORCHESTRA_TEST_SEED` (decimal or
+//! `0x` hex; default fixed) and is printed in every failure message,
+//! so a seed that exposes an interleaving bug can be replayed with
+//! `ORCHESTRA_TEST_SEED=<seed> cargo test --test sched_stress`.
 
-use orchestra_delirium::{DataAnno, DelirGraph, NodeKind};
+mod common;
+
+use common::shapes;
+use orchestra_delirium::DelirGraph;
 use orchestra_runtime::chunking::PolicyKind;
 use orchestra_runtime::executor::ExecutorOptions;
 use orchestra_runtime::threaded::{execute_sequential, execute_threaded, SpinKernel, ThreadedRun};
@@ -25,30 +33,25 @@ const POLICIES: [PolicyKind; 6] = [
 
 const WORKERS: usize = 8;
 
+/// Stress options: `WORKERS` threads and the suite's replayable seed.
+fn stress_opts(policy: PolicyKind) -> ExecutorOptions {
+    ExecutorOptions {
+        policy,
+        threads: WORKERS,
+        seed: common::test_seed(),
+        ..ExecutorOptions::default()
+    }
+}
+
 /// One wide op of tiny tasks: every worker hammers one chunk queue.
 fn flat_tiny_graph() -> DelirGraph {
-    let mut g = DelirGraph::new();
-    g.add_node("flat", NodeKind::DataParallel { tasks: 12_000, mean_cost: 1.0, cv: 1.2 }, None);
-    g
+    shapes::flat(12_000, 1.0, 1.2)
 }
 
 /// A task fanning out into many small independent ops: every worker
 /// hammers the ready deques and the park/wake path instead.
 fn wide_dag_graph() -> DelirGraph {
-    let mut g = DelirGraph::new();
-    let src = g.add_node("src", NodeKind::Task { cost: 1.0 }, None);
-    let sink = g.add_node("sink", NodeKind::Merge { cost: 1.0 }, None);
-    for i in 0..12usize {
-        let tasks = 160 + 16 * i;
-        let n = g.add_node(
-            format!("op{i}"),
-            NodeKind::DataParallel { tasks, mean_cost: 1.0, cv: 0.8 },
-            None,
-        );
-        g.add_edge(src, n, DataAnno::array(format!("in{i}"), tasks as u64));
-        g.add_edge(n, sink, DataAnno::array(format!("out{i}"), tasks as u64));
-    }
-    g
+    shapes::fanout(12, 160, 16, 1.0, 0.8, true)
 }
 
 fn assert_exactly_once_and_bitwise(
@@ -56,6 +59,7 @@ fn assert_exactly_once_and_bitwise(
     opts: &ExecutorOptions,
     label: &str,
 ) -> ThreadedRun {
+    let label = format!("{label}/seed={:#x}", opts.seed);
     let kernel = SpinKernel::with_scale(1.0);
     let seq = execute_sequential(g, opts, &kernel).expect("sequential reference");
     let thr = execute_threaded(g, opts, &kernel).expect("threaded run");
@@ -77,7 +81,7 @@ fn assert_exactly_once_and_bitwise(
 fn contended_flat_op_every_policy() {
     let g = flat_tiny_graph();
     for policy in POLICIES {
-        let opts = ExecutorOptions { policy, threads: WORKERS, ..ExecutorOptions::default() };
+        let opts = stress_opts(policy);
         assert_exactly_once_and_bitwise(&g, &opts, policy.name());
     }
 }
@@ -86,7 +90,7 @@ fn contended_flat_op_every_policy() {
 fn contended_wide_dag_every_policy() {
     let g = wide_dag_graph();
     for policy in POLICIES {
-        let opts = ExecutorOptions { policy, threads: WORKERS, ..ExecutorOptions::default() };
+        let opts = stress_opts(policy);
         assert_exactly_once_and_bitwise(&g, &opts, policy.name());
     }
 }
@@ -156,11 +160,9 @@ fn steal_storm_single_loaded_victim() {
         ] {
             for round in 0..3 {
                 let opts = ExecutorOptions {
-                    policy: PolicyKind::Taper,
-                    threads: WORKERS,
                     steal_order: order,
                     topology,
-                    ..ExecutorOptions::default()
+                    ..stress_opts(PolicyKind::Taper)
                 };
                 let label = format!("storm/{order:?}/{tname}/round{round}");
                 let thr = assert_exactly_once_and_bitwise(&g, &opts, &label);
@@ -207,16 +209,16 @@ fn steal_storm_single_loaded_victim() {
 #[test]
 fn repeated_self_sched_churn() {
     let g = flat_tiny_graph();
-    let opts = ExecutorOptions {
-        policy: PolicyKind::SelfSched,
-        threads: WORKERS,
-        ..ExecutorOptions::default()
-    };
+    let opts = stress_opts(PolicyKind::SelfSched);
     let kernel = SpinKernel::with_scale(1.0);
     for round in 0..5 {
         let thr = execute_threaded(&g, &opts, &kernel).expect("threaded run");
         let counts = &thr.exec_counts[0];
-        assert!(counts.iter().all(|&c| c == 1), "round {round}: lost or duplicated task");
+        assert!(
+            counts.iter().all(|&c| c == 1),
+            "round {round}/seed={:#x}: lost or duplicated task",
+            opts.seed
+        );
         assert_eq!(thr.ops[0].chunks, 12_000, "round {round}: self-scheduling chunk count");
     }
 }
