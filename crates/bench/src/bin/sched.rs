@@ -21,6 +21,11 @@
 //!   wall time, tasks/sec, chunk claims, the yield count (one per
 //!   claimed chunk: the backend's cooperation invariant), and driver
 //!   utilization;
+//! * **rayon** — a head-to-head against the scheduler the ecosystem
+//!   would reach for: a hand-rolled rayon-equivalent join splitter
+//!   (lazy binary splitting, per-worker range stacks, steal-oldest —
+//!   see `orchestra_bench::splitter`) on the same flat workloads and
+//!   worker counts as the tasks/sec table (schema v6);
 //! * **steals** — the DAG shape under hierarchical vs ring steal
 //!   order at 4 and 8 workers, bucketing successful steals by machine
 //!   distance (SMT sibling / same node / remote) and counting tokens
@@ -57,6 +62,7 @@
 use orchestra_bench::runs::{
     check_regression, emit_runs, merge_runs, runs_from_text, SCHED_SCHEMA,
 };
+use orchestra_bench::splitter::{default_grain, run_join_split};
 use orchestra_delirium::{DataAnno, DelirGraph, NodeKind, Population};
 use orchestra_runtime::executor::ExecutorOptions;
 use orchestra_runtime::stats::OnlineStats;
@@ -94,7 +100,7 @@ struct Scale {
 impl Scale {
     fn new(quick: bool) -> Self {
         if quick {
-            Scale { claim_tasks: 20_000, small_tasks: 8_000, large_tasks: 400, reps: 2 }
+            Scale { claim_tasks: 100_000, small_tasks: 16_000, large_tasks: 400, reps: 4 }
         } else {
             Scale { claim_tasks: 200_000, small_tasks: 40_000, large_tasks: 1_500, reps: 5 }
         }
@@ -104,7 +110,11 @@ impl Scale {
 /// Single-threaded queue drain: claim every chunk and feed task times
 /// back, exactly as one worker's hot path does. Returns ns/task.
 fn claim_latency_ns(policy: PolicyKind, total: usize, reps: usize) -> f64 {
-    let mut best = f64::INFINITY;
+    // Median, not min: this column feeds the trend gate, and best-of-N
+    // occasionally catches one lucky quiet slice of a shared host —
+    // a downward outlier that makes the *next* honest run read as a
+    // regression. The median is robust in both directions.
+    let mut samples = Vec::with_capacity(reps);
     for _ in 0..reps {
         let q = ChunkQueue::new(policy.instantiate(total), total, 4);
         let t0 = Instant::now();
@@ -115,10 +125,10 @@ fn claim_latency_ns(policy: PolicyKind, total: usize, reps: usize) -> f64 {
             }
             q.observe_chunk(c.start, c.len, &stats);
         }
-        let dt = t0.elapsed().as_nanos() as f64 / total as f64;
-        best = best.min(dt);
+        samples.push(t0.elapsed().as_nanos() as f64 / total as f64);
     }
-    best
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
 }
 
 /// One wide data-parallel node: the pure scheduling-throughput shape.
@@ -231,6 +241,10 @@ struct RunResults {
     dist: BTreeMap<&'static str, DistRow>,
     /// workload → cooperative-backend row at 4 drivers.
     asynch: BTreeMap<&'static str, AsyncRow>,
+    /// workload → workers → tasks/sec for the hand-rolled
+    /// rayon-equivalent join splitter (the non-adaptive baseline the
+    /// TAPER rows are gated against).
+    rayon: BTreeMap<&'static str, BTreeMap<usize, f64>>,
     /// "order/wN" → steal-distance counters on the DAG shape.
     steals: BTreeMap<String, StealRow>,
     /// Crash + snapshot-resume cycle on the flat workload at 4 workers.
@@ -357,7 +371,12 @@ fn measure_async(g: &DelirGraph, tasks: usize, kernel: &SpinKernel, reps: usize)
 fn measure(scale: &Scale) -> RunResults {
     let mut claim = PolicyMap::new();
     for p in POLICIES {
-        let ns = claim_latency_ns(p, scale.claim_tasks, scale.reps);
+        // Each rep is only milliseconds, but the trend gate holds this
+        // column to the same 20% band as the throughput rows — on a
+        // busy single-core host, best-of-few is not enough to find a
+        // quiet slice, so the claim microbench takes many more reps
+        // than the wall-clock measurements.
+        let ns = claim_latency_ns(p, scale.claim_tasks, scale.reps * 8);
         eprintln!("claim {:<16} {ns:8.1} ns/task", p.name());
         claim.insert(p.name(), ns);
     }
@@ -429,6 +448,29 @@ fn measure(scale: &Scale) -> RunResults {
         asynch.insert(wl, row);
     }
 
+    // Rayon-equivalent baseline: the same flat workloads and worker
+    // counts as the threaded tasks/sec table, scheduled by the
+    // hand-rolled join splitter — fixed grain, no cost feedback. The
+    // gap between these rows and the policy rows is the measured value
+    // of adaptive chunking.
+    let mut rayon: BTreeMap<&'static str, BTreeMap<usize, f64>> = BTreeMap::new();
+    for (wl, tasks, mean_cost, kscale) in workloads {
+        let g = flat_graph(tasks, mean_cost);
+        let node = &g.nodes[0];
+        let costs = orchestra_runtime::costs_of_node(node, ExecutorOptions::default().seed);
+        let kernel = SpinKernel::with_scale(kscale);
+        for w in WORKER_COUNTS {
+            let mut best = f64::INFINITY;
+            for _ in 0..scale.reps {
+                let run = run_join_split(node, &costs, &kernel, w, default_grain(tasks, w));
+                best = best.min(run.wall_us);
+            }
+            let rate = tasks as f64 / (best * 1e-6);
+            eprintln!("rayon  {wl:<6} w={w} {rate:12.0} tasks/sec");
+            rayon.entry(wl).or_default().insert(w, rate);
+        }
+    }
+
     // Steal-distance profile: the DAG shape exercises token stealing
     // (a completer enqueues newly-enabled ops locally; everyone else
     // must steal into them). Counters accumulate over the reps — a
@@ -474,6 +516,7 @@ fn measure(scale: &Scale) -> RunResults {
         graph_wall_us: shapes,
         dist,
         asynch,
+        rayon,
         steals,
         recovery,
     }
@@ -584,6 +627,15 @@ fn render_run(r: &RunResults, quick: bool) -> String {
             row.yields,
             row.driver_util
         );
+    }
+    let _ = writeln!(s, "      }},");
+    let _ = writeln!(s, "      \"rayon\": {{");
+    let nr = r.rayon.len();
+    for (i, (wl, by_w)) in r.rayon.iter().enumerate() {
+        let cells: Vec<String> =
+            by_w.iter().map(|(w, v)| format!("\"{w}\": {}", json_f64(*v))).collect();
+        let comma = if i + 1 < nr { "," } else { "" };
+        let _ = writeln!(s, "        \"{wl}\": {{{}}}{comma}", cells.join(", "));
     }
     let _ = writeln!(s, "      }},");
     let rv = &r.recovery;

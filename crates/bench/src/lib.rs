@@ -17,6 +17,7 @@
 
 pub mod json;
 pub mod runs;
+pub mod splitter;
 
 use orchestra_apps::AppWorkload;
 use orchestra_machine::MachineConfig;

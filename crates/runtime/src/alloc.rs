@@ -16,9 +16,19 @@
 //! ```
 //!
 //! "In practice, using a max_count of four has been sufficient."
+//!
+//! This module also owns the runtime's other allocation concern: the
+//! [`OutputArena`], a single slab holding every operation's output
+//! buffer. Workers write task results in place through disjoint
+//! `&mut [f64]` chunk views (one per claimed chunk) instead of going
+//! through per-task atomic stores, and downstream operations read
+//! their inputs by slice reference out of the same slab — the
+//! zero-copy data plane described in DESIGN §14.
 
 use crate::finish::{finish_estimate, OpSpec};
 use orchestra_machine::MachineConfig;
+use std::cell::UnsafeCell;
+use std::ops::Range;
 
 /// Parameters of the iterative equalizer.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -138,6 +148,213 @@ pub fn allocate_many(
         alloc[hi] += transfer;
     }
     alloc
+}
+
+/// One output cell: a plain `f64` the runtime coordinates access to.
+///
+/// `Sync` is sound because every access pattern the runtime uses is
+/// race-free by construction: concurrent *writers* hold disjoint cell
+/// ranges (the chunk queue hands each task index out exactly once),
+/// and *readers* only touch a cell after observing, with `Acquire`
+/// ordering, the `Release` bump of the task's `executed` counter that
+/// the writer performs after its plain store — or after the pool has
+/// joined, when no writer exists at all.
+#[repr(transparent)]
+struct OutputCell(UnsafeCell<f64>);
+
+// SAFETY: see the type-level comment — all concurrent access is
+// coordinated externally (disjoint claims for writers, executed-counter
+// Release/Acquire for readers).
+unsafe impl Sync for OutputCell {}
+
+/// A single slab backing every operation's output buffer: the
+/// zero-copy data plane.
+///
+/// Built once from the expanded plan's op sizes, then shared by
+/// reference across the worker pool (or the async drivers). Writers
+/// obtain per-chunk [`chunk_view`](Self::chunk_view)s, the checkpoint
+/// scanner reads completed cells via [`read`](Self::read), downstream
+/// ops see a whole finished op through [`op_slice`](Self::op_slice),
+/// and the run's final owned buffers come out of
+/// [`into_outputs`](Self::into_outputs) once the pool has joined.
+pub struct OutputArena {
+    cells: Box<[OutputCell]>,
+    spans: Vec<Range<usize>>,
+}
+
+impl OutputArena {
+    /// An arena with one zero-initialized span of `sizes[i]` cells per
+    /// operation.
+    pub fn for_ops<I: IntoIterator<Item = usize>>(sizes: I) -> Self {
+        let mut spans = Vec::new();
+        let mut acc = 0usize;
+        for n in sizes {
+            spans.push(acc..acc + n);
+            acc += n;
+        }
+        let cells: Box<[OutputCell]> = (0..acc).map(|_| OutputCell(UnsafeCell::new(0.0))).collect();
+        OutputArena { cells, spans }
+    }
+
+    /// Number of operations the arena was sized for.
+    pub fn ops(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Task count of operation `op`.
+    pub fn op_len(&self, op: usize) -> usize {
+        self.spans[op].len()
+    }
+
+    /// Writes one cell through exclusive access — used to pre-fill
+    /// restored outputs before the arena is shared with any worker.
+    pub fn set(&mut self, op: usize, task: usize, value: f64) {
+        let span = self.spans[op].clone();
+        assert!(task < span.len(), "task {task} out of op {op} bounds {}", span.len());
+        *self.cells[span.start + task].0.get_mut() = value;
+    }
+
+    /// A mutable view of operation `op`'s cells `[start, start+len)`,
+    /// the per-chunk write window of the data plane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the operation's span.
+    ///
+    /// # Safety
+    ///
+    /// The caller must hold exclusive write access to exactly these
+    /// cells for the view's lifetime: in the runtime that is the claim
+    /// queue's exactly-once chunk hand-out. No [`op_slice`] of the same
+    /// op may be created while the view is live.
+    // The `&self → &mut` shape is the point of the interior-mutability
+    // arena: disjointness comes from the claim protocol, not the borrow
+    // checker, which is why the method is `unsafe`.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn chunk_view(&self, op: usize, start: usize, len: usize) -> &mut [f64] {
+        let span = &self.spans[op];
+        assert!(
+            start.checked_add(len).is_some_and(|end| end <= span.len()),
+            "chunk [{start}, {start}+{len}) out of op {op} bounds {}",
+            span.len()
+        );
+        let base = self.cells[span.start + start].0.get();
+        // SAFETY: range checked above; exclusivity is the caller's
+        // contract. Cells are `repr(transparent)` over `UnsafeCell<f64>`,
+        // which has the layout of `f64`, so consecutive cells form a
+        // valid `[f64]`.
+        unsafe { std::slice::from_raw_parts_mut(base, len) }
+    }
+
+    /// Writes a single task's output — the scattered-write fallback
+    /// for resumed ops whose queue indices are remapped non-contiguously.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`chunk_view`](Self::chunk_view) for the one
+    /// cell: the caller must be the task's exactly-once claimant.
+    pub unsafe fn write(&self, op: usize, task: usize, value: f64) {
+        let span = &self.spans[op];
+        assert!(task < span.len(), "task {task} out of op {op} bounds {}", span.len());
+        // SAFETY: in-bounds; exclusivity is the caller's contract.
+        unsafe { *self.cells[span.start + task].0.get() = value };
+    }
+
+    /// Reads a single task's output.
+    ///
+    /// # Safety
+    ///
+    /// The cell must be quiescent: the caller must have observed the
+    /// task's completion through an `Acquire` load of its `executed`
+    /// counter (pairing with the writer's post-store `Release` bump),
+    /// or otherwise know no writer can touch it.
+    pub unsafe fn read(&self, op: usize, task: usize) -> f64 {
+        let span = &self.spans[op];
+        assert!(task < span.len(), "task {task} out of op {op} bounds {}", span.len());
+        // SAFETY: in-bounds; quiescence is the caller's contract.
+        unsafe { *self.cells[span.start + task].0.get() }
+    }
+
+    /// The whole output slice of a *finished* operation, handed to
+    /// downstream ops as their input — no copy.
+    ///
+    /// # Safety
+    ///
+    /// Every task of `op` must have completed, and that completion must
+    /// have been observed with `Acquire` ordering (in the runtime:
+    /// dependency counters reach zero before any dependent runs). No
+    /// [`chunk_view`](Self::chunk_view) of this op may be live.
+    pub unsafe fn op_slice(&self, op: usize) -> &[f64] {
+        let span = &self.spans[op];
+        if span.is_empty() {
+            return &[];
+        }
+        let base = self.cells[span.start].0.get() as *const f64;
+        // SAFETY: in-bounds by construction; quiescence is the
+        // caller's contract.
+        unsafe { std::slice::from_raw_parts(base, span.len()) }
+    }
+
+    /// Consumes the arena into one owned `Vec<f64>` per operation.
+    /// Safe: ownership proves no view or writer can still exist.
+    pub fn into_outputs(mut self) -> Vec<Vec<f64>> {
+        let spans = std::mem::take(&mut self.spans);
+        spans.into_iter().map(|span| span.map(|i| *self.cells[i].0.get_mut()).collect()).collect()
+    }
+}
+
+#[cfg(test)]
+mod arena_tests {
+    use super::OutputArena;
+
+    #[test]
+    fn spans_are_disjoint_and_sized() {
+        let arena = OutputArena::for_ops([3, 0, 5]);
+        assert_eq!(arena.ops(), 3);
+        assert_eq!(arena.op_len(0), 3);
+        assert_eq!(arena.op_len(1), 0);
+        assert_eq!(arena.op_len(2), 5);
+        // SAFETY: single-threaded test, views dropped before reads.
+        unsafe {
+            arena.chunk_view(0, 0, 3).copy_from_slice(&[1.0, 2.0, 3.0]);
+            arena.chunk_view(2, 1, 2).copy_from_slice(&[9.0, 8.0]);
+        }
+        let out = arena.into_outputs();
+        assert_eq!(out, vec![vec![1.0, 2.0, 3.0], vec![], vec![0.0, 9.0, 8.0, 0.0, 0.0]]);
+    }
+
+    #[test]
+    fn restored_fill_then_slice_reference() {
+        let mut arena = OutputArena::for_ops([4, 2]);
+        arena.set(0, 2, 7.5);
+        // SAFETY: no concurrent writers in this test.
+        let s = unsafe { arena.op_slice(0) };
+        assert_eq!(s, &[0.0, 0.0, 7.5, 0.0]);
+        assert_eq!(unsafe { arena.read(0, 2) }, 7.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of op 0 bounds")]
+    fn chunk_view_bounds_checked() {
+        let arena = OutputArena::for_ops([4]);
+        // SAFETY: panics before any aliasing could occur.
+        let _ = unsafe { arena.chunk_view(0, 2, 3) };
+    }
+
+    #[test]
+    #[should_panic(expected = "out of op 1 bounds")]
+    fn write_bounds_checked() {
+        let arena = OutputArena::for_ops([4, 1]);
+        // SAFETY: panics before the store.
+        unsafe { arena.write(1, 1, 0.0) };
+    }
+
+    #[test]
+    fn empty_ops_yield_empty_slices() {
+        let arena = OutputArena::for_ops([0, 0]);
+        assert_eq!(unsafe { arena.op_slice(0) }, &[] as &[f64]);
+        assert_eq!(arena.into_outputs(), vec![Vec::<f64>::new(), Vec::new()]);
+    }
 }
 
 #[cfg(test)]

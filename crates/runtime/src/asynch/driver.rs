@@ -19,8 +19,8 @@
 //! running, with a "notified" flag for wakes that land mid-poll). The
 //! invariants it maintains:
 //!
-//! * an index is in the run queue at most once (only the idle→queued
-//!   transition pushes);
+//! * an index is runnable at most once (only the idle→queued
+//!   transition enqueues);
 //! * at most one driver polls a given future at a time (only a pop
 //!   moves queued→running, and a requeue happens only after the
 //!   polling driver released the future's lock);
@@ -28,6 +28,22 @@
 //!   polling driver converts into a requeue; a wake before a poll is
 //!   subsumed by that poll (futures re-check their readiness
 //!   condition, they never rely on wake counting).
+//!
+//! Runnable tasks live in **per-driver run queues** rather than one
+//! shared injector: each driver owns a cache-padded FIFO deque plus a
+//! single-entry **LIFO slot**. A wake raised *from* a driver thread
+//! (the common case — a dependency gate released by the op that just
+//! completed there) lands in that driver's LIFO slot, so the freshly
+//! unblocked dependent runs next while its inputs are still warm; the
+//! slot's previous occupant is demoted to the back of the same
+//! driver's deque. Cooperative yields requeue at the *back* of the
+//! yielding driver's own deque (FIFO — at one driver this reproduces
+//! the canonical interleaving exactly). Wakes from outside any driver
+//! are distributed round-robin. A driver out of local work **steals
+//! half** a victim's deque from the back; only when the LIFO slot, the
+//! own deque, and every victim come up empty does it park on the
+//! condvar (re-checking a wake sequence number to close the
+//! scan-then-sleep race).
 
 use orchestra_machine::ProcStats;
 use std::cell::Cell;
@@ -64,11 +80,40 @@ const RUNNING: u8 = 2;
 const NOTIFIED: u8 = 3;
 const DONE: u8 = 4;
 
+/// Sentinel for an empty LIFO slot.
+const NO_TASK: usize = usize::MAX;
+
+/// Cache-line padding so neighbouring drivers' queue state never
+/// false-shares.
+#[repr(align(64))]
+struct Pad<T>(T);
+
+/// One driver's local run-queue state.
+struct DriverQueue {
+    /// Single-entry LIFO slot (`NO_TASK` = empty). Written **only by
+    /// the owning driver's thread** — wakes raised from thread `d` go
+    /// to slot `d` — so there is no write race to reason about, and a
+    /// driver always drains its own slot before parking.
+    lifo: AtomicUsize,
+    /// The driver's FIFO deque: yields requeue at the back, thieves
+    /// take from the back.
+    deque: Mutex<VecDeque<usize>>,
+}
+
 /// The `'static` scheduling core shared by drivers and wakers.
 pub(crate) struct Sched {
-    /// Run queue of task indices; an index appears at most once.
-    queue: Mutex<VecDeque<usize>>,
-    /// Signalled on every push and when the last task completes.
+    /// Per-driver run queues (LIFO slot + deque).
+    queues: Vec<Pad<DriverQueue>>,
+    /// Round-robin cursor for wakes raised outside any driver thread.
+    external: AtomicUsize,
+    /// Bumped on every enqueue; parking drivers re-check it under the
+    /// park lock so a push between "scanned everything empty" and
+    /// "wait" is never lost.
+    wake_seq: AtomicUsize,
+    /// Park lock — protects nothing but the condvar protocol; queue
+    /// locks are never held while parked.
+    park: Mutex<()>,
+    /// Signalled on every enqueue and when the last task completes.
     available: Condvar,
     /// One state byte per task.
     states: Vec<AtomicU8>,
@@ -81,12 +126,24 @@ pub(crate) struct Sched {
 }
 
 impl Sched {
-    /// A scheduler over `tasks` tasks, all initially queued in index
-    /// order — the deterministic canonical interleaving a single
-    /// driver replays exactly.
-    pub(crate) fn new(tasks: usize) -> Arc<Self> {
+    /// A scheduler over `tasks` tasks for `drivers` driver threads,
+    /// initially dealt round-robin across the per-driver deques in
+    /// index order (at one driver: a single FIFO queue in index order
+    /// — the deterministic canonical interleaving).
+    pub(crate) fn new(tasks: usize, drivers: usize) -> Arc<Self> {
+        let drivers = drivers.max(1);
+        let mut deques: Vec<VecDeque<usize>> = (0..drivers).map(|_| VecDeque::new()).collect();
+        for i in 0..tasks {
+            deques[i % drivers].push_back(i);
+        }
         Arc::new(Sched {
-            queue: Mutex::new((0..tasks).collect()),
+            queues: deques
+                .into_iter()
+                .map(|q| Pad(DriverQueue { lifo: AtomicUsize::new(NO_TASK), deque: Mutex::new(q) }))
+                .collect(),
+            external: AtomicUsize::new(0),
+            wake_seq: AtomicUsize::new(0),
+            park: Mutex::new(()),
             available: Condvar::new(),
             states: (0..tasks).map(|_| AtomicU8::new(QUEUED)).collect(),
             live: AtomicUsize::new(tasks),
@@ -100,7 +157,7 @@ impl Sched {
     /// takes the whole executor down, gates and all).
     pub(crate) fn abort(&self) {
         self.aborted.store(true, Ordering::SeqCst);
-        let _guard = self.queue.lock().expect("driver queue poisoned");
+        let _guard = self.park.lock().expect("park lock poisoned");
         self.available.notify_all();
     }
 
@@ -119,7 +176,7 @@ impl Sched {
             match s.compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Acquire) {
                 Ok(_) => {
                     if next == QUEUED {
-                        self.push(i);
+                        self.enqueue(i);
                     }
                     return;
                 }
@@ -128,33 +185,106 @@ impl Sched {
         }
     }
 
-    fn push(&self, i: usize) {
-        self.queue.lock().expect("driver queue poisoned").push_back(i);
+    /// Routes a newly-runnable task: wakes from a driver thread take
+    /// that driver's LIFO slot (demoting its previous occupant to the
+    /// deque back); wakes from anywhere else round-robin over the
+    /// deques.
+    fn enqueue(&self, i: usize) {
+        match current_driver().filter(|&d| d < self.queues.len()) {
+            Some(d) => {
+                let q = &self.queues[d].0;
+                let prev = q.lifo.swap(i, Ordering::AcqRel);
+                if prev != NO_TASK {
+                    q.deque.lock().expect("driver deque poisoned").push_back(prev);
+                }
+            }
+            None => {
+                let d = self.external.fetch_add(1, Ordering::Relaxed) % self.queues.len();
+                self.queues[d].0.deque.lock().expect("driver deque poisoned").push_back(i);
+            }
+        }
+        self.notify();
+    }
+
+    /// Requeues a mid-poll-notified task at the back of driver `id`'s
+    /// own deque — cooperative yields stay FIFO on their home driver.
+    fn requeue_local(&self, id: usize, i: usize) {
+        self.queues[id].0.deque.lock().expect("driver deque poisoned").push_back(i);
+        self.notify();
+    }
+
+    fn notify(&self) {
+        self.wake_seq.fetch_add(1, Ordering::Release);
+        // Taking the park lock orders this notify after any in-flight
+        // "re-check seq, then wait" on the sleeper side.
+        let _guard = self.park.lock().expect("park lock poisoned");
         self.available.notify_one();
     }
 
-    /// Pops the next runnable task, parking until one arrives or every
+    /// Pops driver `id`'s next runnable task: own LIFO slot, then own
+    /// deque front, then stealing; parks until work arrives or every
     /// task is done (`None` = shut down).
-    fn next_task(&self) -> Option<usize> {
-        let mut q = self.queue.lock().expect("driver queue poisoned");
+    fn next_task(&self, id: usize, steals: &mut u64) -> Option<usize> {
         loop {
             if self.aborted.load(Ordering::SeqCst) {
                 return None;
             }
-            if let Some(i) = q.pop_front() {
-                return Some(i);
+            let seq = self.wake_seq.load(Ordering::Acquire);
+            let own = &self.queues[id].0;
+            let t = own.lifo.swap(NO_TASK, Ordering::AcqRel);
+            if t != NO_TASK {
+                return Some(t);
+            }
+            if let Some(t) = own.deque.lock().expect("driver deque poisoned").pop_front() {
+                return Some(t);
+            }
+            if let Some(t) = self.steal(id) {
+                *steals += 1;
+                return Some(t);
             }
             if self.live.load(Ordering::Acquire) == 0 {
                 return None;
             }
-            q = self.available.wait(q).expect("driver queue poisoned");
+            let guard = self.park.lock().expect("park lock poisoned");
+            if self.wake_seq.load(Ordering::Acquire) == seq
+                && !self.aborted.load(Ordering::SeqCst)
+                && self.live.load(Ordering::Acquire) != 0
+            {
+                drop(self.available.wait(guard).expect("park lock poisoned"));
+            }
         }
+    }
+
+    /// Steals half of the first non-empty victim's deque (from the
+    /// back), keeping one task and parking the rest in the thief's own
+    /// deque. Victims' LIFO slots are never touched — only the owner
+    /// writes those.
+    fn steal(&self, id: usize) -> Option<usize> {
+        let n = self.queues.len();
+        for off in 1..n {
+            let victim = &self.queues[(id + off) % n].0;
+            let mut taken = {
+                let mut vq = victim.deque.lock().expect("driver deque poisoned");
+                let len = vq.len();
+                if len == 0 {
+                    continue;
+                }
+                vq.split_off(len - len.div_ceil(2))
+            };
+            let first = taken.pop_front().expect("stole at least one task");
+            if !taken.is_empty() {
+                let mut own = self.queues[id].0.deque.lock().expect("driver deque poisoned");
+                own.extend(taken);
+            }
+            return Some(first);
+        }
+        None
     }
 
     fn finish_one(&self) {
         if self.live.fetch_sub(1, Ordering::AcqRel) == 1 {
             // Last task done: every parked driver must wake and exit.
-            let _guard = self.queue.lock().expect("driver queue poisoned");
+            let _guard = self.park.lock().expect("park lock poisoned");
             self.available.notify_all();
         }
     }
@@ -201,6 +331,8 @@ pub(crate) struct DriverRecord {
     /// Futures polled (including polls that immediately returned
     /// `Pending`, e.g. a dependency-gate registration).
     pub(crate) polls: u64,
+    /// Pops satisfied by raiding another driver's deque.
+    pub(crate) steals: u64,
 }
 
 impl DriverRecord {
@@ -220,8 +352,8 @@ pub(crate) fn drive(
     epoch: Instant,
 ) -> DriverRecord {
     DRIVER_ID.with(|d| d.set(id));
-    let mut rec = DriverRecord { busy_us: 0.0, free_at_us: 0.0, polls: 0 };
-    while let Some(i) = sched.next_task() {
+    let mut rec = DriverRecord { busy_us: 0.0, free_at_us: 0.0, polls: 0, steals: 0 };
+    while let Some(i) = sched.next_task(id, &mut rec.steals) {
         sched.states[i].store(RUNNING, Ordering::Release);
         let waker = Waker::from(Arc::new(WakeHandle { sched: Arc::clone(sched), index: i }));
         let mut cx = Context::from_waker(&waker);
@@ -241,9 +373,11 @@ pub(crate) fn drive(
             .is_err()
         {
             // A wake landed mid-poll: the future saw stale state, so
-            // requeue it (at the back — yields are cooperative).
+            // requeue it at the back of this driver's own deque —
+            // yields are cooperative and stay FIFO on their home
+            // driver.
             sched.states[i].store(QUEUED, Ordering::Release);
-            sched.push(i);
+            sched.requeue_local(id, i);
         }
     }
     DRIVER_ID.with(|d| d.set(usize::MAX));
@@ -346,7 +480,7 @@ mod tests {
 
     /// Runs `futures` to completion on `drivers` threads.
     fn run_all(futures: Vec<TaskFuture<'_>>, drivers: usize) -> Vec<DriverRecord> {
-        let sched = Sched::new(futures.len());
+        let sched = Sched::new(futures.len(), drivers);
         let slots: Vec<TaskSlot<'_>> = futures.into_iter().map(TaskSlot::new).collect();
         let epoch = Instant::now();
         std::thread::scope(|s| {
@@ -425,6 +559,30 @@ mod tests {
             2,
         );
         assert_eq!(hit.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn steal_takes_half_from_victim_back() {
+        // 6 tasks dealt over 2 drivers: deque0 = [0,2,4], deque1 =
+        // [1,3,5]. Zero the live count so an exhausted scheduler
+        // returns None instead of parking.
+        let sched = Sched::new(6, 2);
+        for _ in 0..6 {
+            sched.finish_one();
+        }
+        let mut steals = 0u64;
+        let mut order = Vec::new();
+        while let Some(t) = sched.next_task(1, &mut steals) {
+            order.push(t);
+        }
+        // Own deque FIFO first; then one steal grabs the back half of
+        // deque0 ([2,4] — keeps 2, parks 4 locally), then the parked
+        // remainder, then a second steal for the last task.
+        assert_eq!(order, vec![1, 3, 5, 2, 4, 0]);
+        assert_eq!(steals, 2);
+        let mut untouched = 0;
+        assert_eq!(sched.next_task(0, &mut untouched), None);
+        assert_eq!(untouched, 0);
     }
 
     #[test]

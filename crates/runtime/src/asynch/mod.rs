@@ -20,14 +20,18 @@
 //!   claimer futures interleave — the claim is the serialization
 //!   point (`ChunkQueue::claim`), and a claimed chunk is executed to
 //!   completion between two yield points by a single future.
-//! * **Determinism at one driver**: with `drivers = 1` the run queue
-//!   is FIFO, every yield goes to the back, and the adaptive policies
-//!   are fed *deterministic cost hints* (like the dist backend's
-//!   control plane), so the whole schedule — chunk sizes, claim
-//!   order, yield counts — replays identically run over run.
+//! * **Determinism at one driver**: with `drivers = 1` there is a
+//!   single run queue, every yield requeues FIFO at its back, gate
+//!   wakes route through the driver's LIFO slot in a fixed order, and
+//!   the adaptive policies are fed *deterministic cost hints* (like
+//!   the dist backend's control plane), so the whole schedule — chunk
+//!   sizes, claim order, yield counts — replays identically run over
+//!   run. At several drivers the run queues are per-driver with
+//!   LIFO-slot wakes and steal-half balancing (see [`driver`]).
 
 pub(crate) mod driver;
 
+use crate::alloc::OutputArena;
 use crate::checkpoint::{op_snapshot, plan_fingerprint, OpSnapshot, ResumeState, RunCtl};
 use crate::chunking::PolicyKind;
 use crate::executor::{costs_of_node, ExecutionReport, ExecutorOptions, NodeReport};
@@ -54,7 +58,9 @@ struct AsyncOp {
     /// Tasks not yet accounted by a finished claimer; the claimer that
     /// drops this to zero completes the op.
     outstanding: AtomicUsize,
-    output: Vec<AtomicU64>,
+    /// Plan indices of this op's predecessors, in dep order — the
+    /// arena slices handed to claimers as [`TaskCtx::inputs`].
+    input_ops: Vec<usize>,
     executed: Vec<AtomicU32>,
     /// First-claim time, µs since run start (f64 bits; MAX = never).
     started_bits: AtomicU64,
@@ -112,6 +118,9 @@ struct DriverCell {
 struct AsyncShared<'g> {
     ops: Vec<AsyncOp>,
     nodes: &'g [Node],
+    /// Shared output slab: every op's tasks write disjoint cells, and
+    /// finished ops hand their slices downstream by reference.
+    arena: &'g OutputArena,
     cells: Vec<DriverCell>,
     epoch: Instant,
     /// Fault-injection and checkpoint control (inert on normal runs).
@@ -120,6 +129,17 @@ struct AsyncShared<'g> {
     /// a crash-mode kill aborts it so drivers don't wait forever on
     /// gate-parked claimers.
     sched: OnceLock<Arc<Sched>>,
+}
+
+impl<'g> AsyncShared<'g> {
+    /// Arena slices of `op`'s predecessors, in dep order.
+    ///
+    /// Sound to read: the caller's dependency gate has already
+    /// released, and the gate arrival/release protocol orders every
+    /// predecessor task's plain store before this read.
+    fn inputs_of(&self, op_idx: usize) -> Vec<&'g [f64]> {
+        self.ops[op_idx].input_ops.iter().map(|&d| unsafe { self.arena.op_slice(d) }).collect()
+    }
 }
 
 /// Per-op record of an async run.
@@ -171,6 +191,9 @@ pub struct AsyncRun {
     /// Claimer futures spawned (every op is oversubscribed:
     /// more claimers than drivers).
     pub spawned: usize,
+    /// Pops satisfied by stealing from another driver's run queue
+    /// (always 0 at one driver).
+    pub steals: u64,
     /// Whether an injected crash-mode fault aborted the run (the
     /// outputs are then partial; see
     /// [`execute_graph_resumable`](crate::checkpoint::execute_graph_resumable)).
@@ -286,16 +309,23 @@ fn on_claim_async(shared: &AsyncShared<'_>, cid: usize, op_idx: usize, chunk: &C
     }
     if let Some(ck) = &ctl.ckpt {
         if ck.note_claim(None) {
-            ck.commit(snapshot_async_ops(&shared.ops));
+            ck.commit(snapshot_async_ops(&shared.ops, shared.arena));
         }
     }
     ClaimFate::Run
 }
 
 /// Captures every op's completed-task bitmap, outputs, and cost stats
-/// for a checkpoint commit.
-fn snapshot_async_ops(ops: &[AsyncOp]) -> Vec<OpSnapshot> {
-    ops.iter().map(|op| op_snapshot(&op.costs, &op.restored, &op.executed, &op.output)).collect()
+/// for a checkpoint commit. Output values are read straight from the
+/// arena — sound for any task the scanner observes as executed (the
+/// Release bump on `executed` orders the cell's store before it).
+fn snapshot_async_ops(ops: &[AsyncOp], arena: &OutputArena) -> Vec<OpSnapshot> {
+    ops.iter()
+        .enumerate()
+        .map(|(i, op)| {
+            op_snapshot(&op.costs, &op.restored, &op.executed, |t| unsafe { arena.read(i, t) })
+        })
+        .collect()
 }
 
 /// One claimer's life: await the op's dependency gate, then loop
@@ -323,7 +353,10 @@ async fn run_claimer(
     }
     let hooked = shared.ctl.hooked();
     let node = &shared.nodes[op.node];
-    let adaptive = !op.queue.is_lock_free();
+    let adaptive = op.queue.is_adaptive();
+    // The gate has released, so every predecessor's arena slice is
+    // complete and immutable for the rest of the run.
+    let inputs = shared.inputs_of(op_idx);
     let mut done = 0usize;
     while let Some(chunk) = op.queue.claim() {
         if hooked {
@@ -338,15 +371,26 @@ async fn run_claimer(
         }
         stamp_min(&op.started_bits, us_since(shared.epoch));
         let mut chunk_stats = OnlineStats::new();
+        // Identity-mapped ops take the zero-copy path: the claimed
+        // chunk is a contiguous, exclusively-owned arena window.
+        // Exclusivity comes from the exactly-once claim; remapped
+        // (resumed) ops scatter through per-task writes instead.
+        let mut view = match op.remap {
+            None => Some(unsafe { shared.arena.chunk_view(op_idx, chunk.start, chunk.len) }),
+            Some(_) => None,
+        };
         for qi in chunk.start..chunk.start + chunk.len {
             let task = op.task_of(qi);
             let cost = op.costs[task];
-            let ctx = TaskCtx { node, iter: op.iter, task, cost_hint: cost };
+            let ctx = TaskCtx { node, iter: op.iter, task, cost_hint: cost, inputs: &inputs };
             let value = kernel.run_task(&ctx);
+            match &mut view {
+                Some(v) => v[qi - chunk.start] = value,
+                None => unsafe { shared.arena.write(op_idx, task, value) },
+            }
             // Release: pairs with the snapshot scanner's Acquire loads
             // — a task counted as executed must have its output
             // visible.
-            op.output[task].store(value.to_bits(), Ordering::Release);
             op.executed[task].fetch_add(1, Ordering::Release);
             if adaptive {
                 chunk_stats.observe(cost);
@@ -388,9 +432,10 @@ async fn run_claimer(
             };
             for &task in &tasks {
                 let cost = op.costs[task];
-                let ctx = TaskCtx { node, iter: op.iter, task, cost_hint: cost };
+                let ctx = TaskCtx { node, iter: op.iter, task, cost_hint: cost, inputs: &inputs };
                 let value = kernel.run_task(&ctx);
-                op.output[task].store(value.to_bits(), Ordering::Release);
+                // Orphans are arbitrary task sets — always scattered.
+                unsafe { shared.arena.write(op_idx, task, value) };
                 op.executed[task].fetch_add(1, Ordering::Release);
             }
             if let Some(d) = driver::current_driver() {
@@ -478,6 +523,9 @@ pub(crate) fn execute_async_resumed(
         }
     }
     let mut hinted_serial_us = 0.0;
+    // One slab for every op's outputs; spans are disjoint per op and
+    // handed downstream by reference once the producer completes.
+    let mut arena = OutputArena::for_ops(plan.ops.iter().map(|o| o.tasks));
     let mut ops: Vec<AsyncOp> = Vec::with_capacity(plan.ops.len());
     let mut n_claimers: Vec<usize> = Vec::with_capacity(plan.ops.len());
     for (i, (op, deps_out)) in plan.ops.iter().zip(&mut dependents).enumerate() {
@@ -503,16 +551,16 @@ pub(crate) fn execute_async_resumed(
             queue.observe_chunk(0, 0, &r.stats);
         }
         let effective_deps = op.deps.iter().filter(|&&d| !pre_done[d]).count();
-        let output: Vec<AtomicU64> = (0..op.tasks)
-            .map(|t| {
-                let bits = if restored.get(t).copied().unwrap_or(false) {
-                    res_op.map_or(0, |o| o.outputs[t].to_bits())
-                } else {
-                    0
-                };
-                AtomicU64::new(bits)
-            })
-            .collect();
+        // Restored tasks keep their snapshot outputs: prefilled while
+        // the arena is still exclusively owned, before any claimer can
+        // observe it.
+        if let Some(o) = res_op {
+            for t in 0..op.tasks {
+                if restored.get(t).copied().unwrap_or(false) {
+                    arena.set(i, t, o.outputs[t]);
+                }
+            }
+        }
         let claimers = if pre_done[i] { 0 } else { claimers_for(pending, drivers) };
         let stamp = if pre_done[i] { 0u64 } else { u64::MAX };
         n_claimers.push(claimers);
@@ -525,7 +573,7 @@ pub(crate) fn execute_async_resumed(
             gate: DepGate::new(effective_deps),
             dependents: std::mem::take(deps_out),
             outstanding: AtomicUsize::new(pending),
-            output,
+            input_ops: op.deps.clone(),
             executed: (0..op.tasks).map(|_| AtomicU32::new(0)).collect(),
             started_bits: AtomicU64::new(stamp),
             finished_bits: AtomicU64::new(stamp),
@@ -541,6 +589,7 @@ pub(crate) fn execute_async_resumed(
     let shared = AsyncShared {
         ops,
         nodes: &g.nodes,
+        arena: &arena,
         cells: (0..drivers).map(|_| DriverCell::default()).collect(),
         epoch: Instant::now(),
         ctl: RunCtl::new(opts.faults.as_ref(), opts.checkpoint.as_ref(), spawned, fingerprint),
@@ -558,7 +607,7 @@ pub(crate) fn execute_async_resumed(
         }
     }
     debug_assert_eq!(futures.len(), spawned);
-    let sched = Sched::new(spawned);
+    let sched = Sched::new(spawned, drivers);
     let _ = shared.sched.set(Arc::clone(&sched));
     let records: Vec<DriverRecord> = {
         let slots: Vec<TaskSlot<'_>> = futures.into_iter().map(TaskSlot::new).collect();
@@ -577,6 +626,7 @@ pub(crate) fn execute_async_resumed(
     let wall_us = us_since(shared.epoch);
 
     let polls: u64 = records.iter().map(|r| r.polls).sum();
+    let steals: u64 = records.iter().map(|r| r.steals).sum();
     let procs: Vec<ProcStats> = records
         .into_iter()
         .zip(&shared.cells)
@@ -599,16 +649,17 @@ pub(crate) fn execute_async_resumed(
         .collect();
     let claims: u64 = op_records.iter().map(|o| o.chunks).sum();
     let yields: u64 = op_records.iter().map(|o| o.yields).sum();
-    let outputs: Vec<Vec<f64>> = shared
-        .ops
-        .iter()
-        .map(|op| op.output.iter().map(|b| f64::from_bits(b.load(Ordering::Acquire))).collect())
-        .collect();
     let exec_counts: Vec<Vec<u32>> = shared
         .ops
         .iter()
         .map(|op| op.executed.iter().map(|c| c.load(Ordering::Acquire)).collect())
         .collect();
+    let crashed = shared.ctl.crashed();
+    // End the arena borrow (the drivers have joined) so the slab can
+    // be carved into owned per-op buffers without a copy pass through
+    // atomics.
+    drop(shared);
+    let outputs = arena.into_outputs();
     Ok(AsyncRun {
         wall_us,
         drivers,
@@ -621,7 +672,8 @@ pub(crate) fn execute_async_resumed(
         yields,
         polls,
         spawned,
-        crashed: shared.ctl.crashed(),
+        steals,
+        crashed,
     })
 }
 

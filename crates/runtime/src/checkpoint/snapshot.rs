@@ -30,7 +30,7 @@ use orchestra_delirium::{DelirGraph, GraphError};
 use std::fs;
 use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, Ordering};
 
 const MAGIC: &[u8; 8] = b"ORCHSNAP";
 const FORMAT: u32 = 1;
@@ -95,15 +95,18 @@ impl Snapshot {
 
 /// Captures one op's live execution state for a snapshot. A task
 /// counts as complete when it was restored from a previous snapshot or
-/// its `executed` counter is visible — executors publish the output
-/// value with `Release` *before* the `Release` bump of `executed`, so
-/// an `Acquire` read of `executed > 0` guarantees the paired output
-/// load sees the final value: the bitmap is a consistent cut.
+/// its `executed` counter is visible — executors store the output cell
+/// *before* the `Release` bump of `executed`, so an `Acquire` read of
+/// `executed > 0` guarantees `read_output` sees a quiescent final
+/// value: the bitmap is a consistent cut, and the copy taken here is
+/// the snapshot's own (the arena keeps no history). `read_output` is
+/// only invoked for tasks proven complete, which is what makes the
+/// arena's raw cell read race-free.
 pub(crate) fn op_snapshot(
     costs: &[f64],
     restored: &[bool],
     executed: &[AtomicU32],
-    output: &[AtomicU64],
+    read_output: impl Fn(usize) -> f64,
 ) -> OpSnapshot {
     let n = costs.len();
     let mut completed = vec![false; n];
@@ -114,7 +117,7 @@ pub(crate) fn op_snapshot(
             restored.get(t).copied().unwrap_or(false) || executed[t].load(Ordering::Acquire) > 0;
         if done {
             completed[t] = true;
-            outputs[t] = f64::from_bits(output[t].load(Ordering::Acquire));
+            outputs[t] = read_output(t);
             stats.observe(costs[t]);
         }
     }

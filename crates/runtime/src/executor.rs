@@ -217,7 +217,10 @@ fn op_spec(kind: &NodeKind, policy: PolicyKind, bytes_per_task: u64) -> OpSpec {
 /// sampled separately (with per-population sub-seeds) and interleaved
 /// round-robin, matching a masked loop's distribution of heavy
 /// iterations across the index space.
-pub(crate) fn costs_of_node(node: &orchestra_delirium::Node, seed: u64) -> Vec<f64> {
+///
+/// Public so out-of-tree harnesses (e.g. the bench crate's scheduler
+/// baselines) can drive the exact workloads the backends see.
+pub fn costs_of_node(node: &orchestra_delirium::Node, seed: u64) -> Vec<f64> {
     match &node.kind {
         NodeKind::Task { cost } | NodeKind::Merge { cost } => vec![*cost],
         NodeKind::DataParallel { tasks, mean_cost, cv } => {

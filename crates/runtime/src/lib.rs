@@ -17,7 +17,8 @@
 //! * [`finish`] — the finishing-time estimate
 //!   `finish = setup + compute + lag + comm + sched` (equation 1);
 //! * [`alloc`] — the iterative processor-allocation equalizer
-//!   (ε = 5%, max_count = 4);
+//!   (ε = 5%, max_count = 4) and the zero-copy [`OutputArena`] backing
+//!   every operation's output buffer;
 //! * [`granularity`] — communication batch-size choice for pipelined
 //!   operation pairs;
 //! * [`executor`] — level-structured graph execution combining all of
@@ -46,7 +47,7 @@ pub mod par_op;
 pub mod stats;
 pub mod threaded;
 
-pub use alloc::{allocate_many, allocate_pair, AllocParams, Allocation};
+pub use alloc::{allocate_many, allocate_pair, AllocParams, Allocation, OutputArena};
 pub use asynch::{execute_async, resolve_drivers, AsyncOpRecord, AsyncRun};
 pub use checkpoint::{
     execute_graph_resumable, graph_fingerprint, load_latest, plan_fingerprint, snapshot_versions,
@@ -54,7 +55,7 @@ pub use checkpoint::{
 };
 pub use chunking::{ChunkPolicy, Factoring, Gss, PolicyKind, SelfSched, Taper, REASSIGN_CV_GATE};
 pub use dist_taper::{simulate_dist_taper, simulate_dist_taper_at, DistResult};
-pub use executor::{execute_graph, ExecutionReport, ExecutorOptions, NodeReport};
+pub use executor::{costs_of_node, execute_graph, ExecutionReport, ExecutorOptions, NodeReport};
 pub use finish::{finish_estimate, FinishEstimate, OpSpec};
 pub use granularity::{batch_cost, choose_batch, pipelined_stage_time};
 pub use par_op::{
@@ -67,6 +68,6 @@ pub use threaded::topology::{
     TopologyFingerprint, TopologyMode, TopologySource, WorkerTopo,
 };
 pub use threaded::{
-    execute_sequential, execute_threaded, ExecutorBackend, SequentialRun, SpinKernel, TaskCtx,
-    TaskKernel, ThreadedRun,
+    execute_sequential, execute_threaded, ExecutorBackend, ReduceKernel, SequentialRun, SpinKernel,
+    TaskCtx, TaskKernel, ThreadedRun,
 };

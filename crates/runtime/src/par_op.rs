@@ -114,6 +114,8 @@ pub fn simulate_dynamic(
     let mut chunks = 0u64;
     let mut migrated = 0u64;
     let mut finish = opts.start_time;
+    // Reused across chunks — the hot loop allocates nothing.
+    let mut taken: Vec<usize> = Vec::new();
 
     // All processors request work at the start.
     for q in 0..p {
@@ -126,9 +128,10 @@ pub fn simulate_dynamic(
         let next_hint = n - remaining;
         let k = policy.next_chunk(next_hint, remaining, p).clamp(1, remaining);
         let mut transfer = 0.0;
-        let taken: Vec<usize> = if !local[q].is_empty() {
+        taken.clear();
+        if !local[q].is_empty() {
             let take = k.min(local[q].len());
-            (0..take).map(|_| local[q].pop_front().expect("len checked")).collect()
+            taken.extend((0..take).map(|_| local[q].pop_front().expect("len checked")));
         } else {
             // Steal from the most-loaded processor (at most half its
             // remaining block, never more than the chunk).
@@ -137,13 +140,11 @@ pub fn simulate_dynamic(
                 continue;
             }
             let take = k.min(local[victim].len().div_ceil(2));
-            let tasks: Vec<usize> =
-                (0..take).map(|_| local[victim].pop_back().expect("len checked")).collect();
-            let bytes = tasks.len() as u64 * opts.bytes_per_task;
+            taken.extend((0..take).map(|_| local[victim].pop_back().expect("len checked")));
+            let bytes = taken.len() as u64 * opts.bytes_per_task;
             transfer = cfg.msg_time(opts.proc_offset + victim, opts.proc_offset + q, bytes);
-            migrated += tasks.len() as u64;
-            tasks
-        };
+            migrated += taken.len() as u64;
+        }
         if taken.is_empty() {
             continue;
         }

@@ -23,6 +23,7 @@ pub mod pool;
 pub mod queue;
 pub mod topology;
 
+use crate::alloc::OutputArena;
 use crate::checkpoint::{plan_fingerprint, ResumeState, RunCtl};
 use crate::chunking::PolicyKind;
 use crate::executor::{costs_of_node, ExecutionReport, ExecutorOptions, NodeReport};
@@ -66,12 +67,18 @@ pub struct TaskCtx<'a> {
     /// The cost (µs) the simulator would charge this task — kernels
     /// emulating a workload scale their arithmetic by this.
     pub cost_hint: f64,
+    /// Finished output buffers of this op's upstream dependencies, in
+    /// the plan's dependency order — slice references straight into
+    /// the shared [`OutputArena`](crate::alloc::OutputArena), no copy.
+    /// Empty for source ops.
+    pub inputs: &'a [&'a [f64]],
 }
 
 /// A real compute kernel: the function the threaded backend runs per
-/// task. Implementations MUST be pure in `(node, iter, task)` — the
-/// differential test suite asserts threaded and sequential execution
-/// produce bit-identical buffers.
+/// task. Implementations MUST be pure in `(node, iter, task, inputs)` —
+/// the differential test suite asserts threaded and sequential
+/// execution produce bit-identical buffers. (`inputs` are themselves
+/// deterministic, so consuming them preserves purity.)
 pub trait TaskKernel: Sync {
     /// Computes task `ctx.task`, returning the value stored in the
     /// operation's output buffer at that index.
@@ -108,6 +115,44 @@ impl TaskKernel for SpinKernel {
         let mut x = (ctx.task as f64 + 1.0) * 1e-3 + ctx.iter as f64;
         for _ in 0..steps {
             x = x * 0.999_999_7 + 1e-9;
+        }
+        std::hint::black_box(x)
+    }
+}
+
+/// A kernel that actually consumes its upstream data: the spin
+/// recurrence of [`SpinKernel`] folded with one sampled cell from each
+/// input slice. Exercises the zero-copy input path — the value depends
+/// on upstream *outputs*, so a backend that mis-plumbed, reordered, or
+/// torn-read the arena slices diverges bitwise from the sequential
+/// reference instead of passing vacuously.
+#[derive(Debug, Clone, Copy)]
+pub struct ReduceKernel {
+    /// Arithmetic steps per simulated µs of cost (see [`SpinKernel`]).
+    pub steps_per_us: f64,
+}
+
+impl ReduceKernel {
+    /// A data-consuming kernel doing `steps_per_us` steps per µs.
+    pub fn with_scale(steps_per_us: f64) -> Self {
+        ReduceKernel { steps_per_us }
+    }
+}
+
+impl TaskKernel for ReduceKernel {
+    fn run_task(&self, ctx: &TaskCtx<'_>) -> f64 {
+        let steps = (ctx.cost_hint * self.steps_per_us).max(1.0) as u64;
+        let mut x = (ctx.task as f64 + 1.0) * 1e-3 + ctx.iter as f64;
+        for _ in 0..steps {
+            x = x * 0.999_999_7 + 1e-9;
+        }
+        // Deterministic sample of each input: one cell chosen by the
+        // task index, so every task reads upstream data but the
+        // access stays O(#inputs) per task.
+        for input in ctx.inputs {
+            if let Some(&v) = input.get(ctx.task % input.len().max(1)) {
+                x = x * 0.5 + v * 0.5;
+            }
         }
         std::hint::black_box(x)
     }
@@ -447,6 +492,10 @@ pub(crate) fn execute_threaded_resumed(
                 .is_some_and(|o| op.tasks > 0 && o.completed.iter().all(|&c| c))
         })
         .collect();
+    // One slab for every op's outputs: workers write chunk views in
+    // place, dependents read finished slices by reference, and the
+    // run's owned buffers come out at the end without a copy.
+    let mut arena = OutputArena::for_ops(plan.ops.iter().map(|o| o.tasks));
     let mut instances: Vec<OpInstance> = Vec::with_capacity(plan.ops.len());
     let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); plan.ops.len()];
     for (i, op) in plan.ops.iter().enumerate() {
@@ -498,16 +547,16 @@ pub(crate) fn execute_threaded_resumed(
             }
         }
         let effective_deps = op.deps.iter().filter(|&&d| !pre_done[d]).count();
-        let output: Vec<AtomicU64> = (0..op.tasks)
-            .map(|t| {
-                let bits = if restored.get(t).copied().unwrap_or(false) {
-                    res_op.map_or(0, |o| o.outputs[t].to_bits())
-                } else {
-                    0
-                };
-                AtomicU64::new(bits)
-            })
-            .collect();
+        // Pre-fill restored outputs while the arena is still exclusive
+        // — workers and the snapshot scanner only ever see them as
+        // quiescent completed cells.
+        if let Some(o) = res_op {
+            for t in 0..op.tasks {
+                if restored.get(t).copied().unwrap_or(false) {
+                    arena.set(i, t, o.outputs[t]);
+                }
+            }
+        }
         let stamp = if pre_done[i] { 0u64 } else { u64::MAX };
         instances.push(OpInstance {
             name: op.name.clone(),
@@ -517,8 +566,8 @@ pub(crate) fn execute_threaded_resumed(
             costs,
             deps: AtomicUsize::new(effective_deps),
             dependents: std::mem::take(deps_out),
+            input_ops: op.deps.clone(),
             outstanding: AtomicUsize::new(pending),
-            output,
             executed: (0..op.tasks).map(|_| AtomicU32::new(0)).collect(),
             started_bits: AtomicU64::new(stamp),
             finished_bits: AtomicU64::new(stamp),
@@ -538,6 +587,7 @@ pub(crate) fn execute_threaded_resumed(
     let records = pool::run_pool(
         &instances,
         &g.nodes,
+        &arena,
         ready0,
         workers,
         &wt,
@@ -586,7 +636,9 @@ pub(crate) fn execute_threaded_resumed(
         instances.iter().filter(|op| op.queue.is_dist()).map(|op| op.costs.len() as u64).sum();
     let locality =
         if dist_tasks == 0 { 1.0 } else { 1.0 - migrated_tasks as f64 / dist_tasks as f64 };
-    let outputs = instances.iter().map(OpInstance::output_values).collect();
+    // The pool has joined: the arena's cells are quiescent and the
+    // consuming conversion hands back one owned buffer per op.
+    let outputs = arena.into_outputs();
     let exec_counts = instances.iter().map(OpInstance::exec_counts).collect();
     Ok(ThreadedRun {
         wall_us,
@@ -622,14 +674,20 @@ pub fn execute_sequential(
 ) -> Result<SequentialRun, GraphError> {
     let plan = build_plan(g, opts)?;
     let t0 = Instant::now();
-    let mut outputs = Vec::with_capacity(plan.ops.len());
+    let mut outputs: Vec<Vec<f64>> = Vec::with_capacity(plan.ops.len());
     for op in &plan.ops {
         let node = &g.nodes[op.node];
         let costs = costs_of_node(node, opts.seed);
         let mut out = Vec::with_capacity(op.tasks);
-        for (task, &cost) in costs.iter().enumerate().take(op.tasks) {
-            let ctx = TaskCtx { node, iter: op.iter, task, cost_hint: cost };
-            out.push(kernel.run_task(&ctx));
+        {
+            // The owned-buffer reference path: inputs are slices of
+            // the already-finished upstream vectors (the plan is in
+            // dependency order), mirroring the arena hand-off.
+            let inputs: Vec<&[f64]> = op.deps.iter().map(|&d| outputs[d].as_slice()).collect();
+            for (task, &cost) in costs.iter().enumerate().take(op.tasks) {
+                let ctx = TaskCtx { node, iter: op.iter, task, cost_hint: cost, inputs: &inputs };
+                out.push(kernel.run_task(&ctx));
+            }
         }
         outputs.push(out);
     }

@@ -21,11 +21,14 @@
 //!   `notify_one` only when a sleeper is registered; the all-busy
 //!   steady state does zero wake syscalls, and completion of the last
 //!   op broadcasts once.
-//! * **Batched sampling** — workers time every task with a chained
-//!   clock read (N tasks cost N+1 `Instant::now` calls, not 2N),
-//!   accumulate µ/σ into a stack-local [`OnlineStats`], and merge it
-//!   into the chunk policy once per chunk via
-//!   [`ChunkQueue::observe_chunk`].
+//! * **Batched sampling** — workers time only a bounded prefix of
+//!   tasks per op visit (48, chained clock reads so N samples cost
+//!   N+1 `Instant::now` calls), bulk-time the rest one read per
+//!   chunk, accumulate µ/σ into a stack-local [`OnlineStats`], and
+//!   merge buffered per-chunk feedback into the chunk policy only
+//!   when its lock is free
+//!   ([`ChunkQueue::try_observe_pending`]) — the claim loop never
+//!   blocks on feedback.
 //! * **Cache-line padding** — per-worker shared state is 64-byte
 //!   aligned so one worker's deque lock never false-shares with its
 //!   neighbour's.
@@ -45,6 +48,7 @@ use super::dist::DistQueue;
 use super::queue::ChunkQueue;
 use super::topology::{pin_current_thread, StealDistance, WorkerTopo};
 use super::{TaskCtx, TaskKernel};
+use crate::alloc::OutputArena;
 use crate::checkpoint::{op_snapshot, Lease, OpSnapshot, RunCtl};
 use crate::stats::{OnlineStats, StealStats};
 use orchestra_delirium::Node;
@@ -103,10 +107,12 @@ pub(crate) struct OpInstance {
     pub deps: AtomicUsize,
     /// Ops to notify when this one completes.
     pub dependents: Vec<usize>,
+    /// Upstream ops (plan indices) whose finished output slices are
+    /// handed to this op's kernel as [`TaskCtx::inputs`] — by
+    /// reference out of the shared [`OutputArena`], no copy.
+    pub input_ops: Vec<usize>,
     /// Tasks not yet executed; the op is complete at 0.
     pub outstanding: AtomicUsize,
-    /// Output buffer: one f64 (as bits) per task.
-    pub output: Vec<AtomicU64>,
     /// Execution count per task (differential-testing evidence that no
     /// chunk was lost or duplicated).
     pub executed: Vec<AtomicU32>,
@@ -127,10 +133,6 @@ pub(crate) struct OpInstance {
 }
 
 impl OpInstance {
-    pub(crate) fn output_values(&self) -> Vec<f64> {
-        self.output.iter().map(|b| f64::from_bits(b.load(Ordering::Acquire))).collect()
-    }
-
     pub(crate) fn exec_counts(&self) -> Vec<u32> {
         self.executed.iter().map(|c| c.load(Ordering::Acquire)).collect()
     }
@@ -184,6 +186,9 @@ struct WorkerState {
 struct Shared<'a> {
     ops: &'a [OpInstance],
     nodes: &'a [Node],
+    /// The zero-copy output slab every op writes into and reads its
+    /// inputs from; spans are indexed by op.
+    arena: &'a OutputArena,
     /// Worker→CPU placement and precomputed steal schedules.
     topo: &'a WorkerTopo,
     /// Pin each worker to its assigned CPU at startup.
@@ -205,7 +210,17 @@ struct Shared<'a> {
     epoch: Instant,
 }
 
-impl Shared<'_> {
+impl<'a> Shared<'a> {
+    /// The finished upstream output slices for one op — zero-copy
+    /// references into the arena. Sound because an op is only executed
+    /// after its dependency counter reached zero (`AcqRel` decrements
+    /// by the completers), which happens-after every upstream write.
+    fn inputs_of(&self, op: &OpInstance) -> Vec<&'a [f64]> {
+        // SAFETY: every input op completed before this op was enabled;
+        // no live chunk views exist for a completed op.
+        op.input_ops.iter().map(|&d| unsafe { self.arena.op_slice(d) }).collect()
+    }
+
     /// Wakes sleeping workers after making work visible. `all` only
     /// when several ops became ready at once or the run completed.
     fn signal(&self, all: bool) {
@@ -242,6 +257,7 @@ fn us_since(epoch: Instant, t: Instant) -> f64 {
 pub(crate) fn run_pool(
     ops: &[OpInstance],
     nodes: &[Node],
+    arena: &OutputArena,
     ready0: Vec<usize>,
     workers: usize,
     topo: &WorkerTopo,
@@ -277,6 +293,7 @@ pub(crate) fn run_pool(
     let shared = Shared {
         ops,
         nodes,
+        arena,
         topo,
         pin,
         ctl,
@@ -508,16 +525,26 @@ fn after_claim(
     }
     if let Some(ck) = &ctl.ckpt {
         if ck.note_claim(epoch) {
-            ck.commit(snapshot_ops(shared.ops));
+            ck.commit(snapshot_ops(shared.ops, shared.arena));
         }
     }
     false
 }
 
 /// Captures every op's completed-task bitmap, outputs, and cost stats
-/// for a checkpoint commit.
-fn snapshot_ops(ops: &[OpInstance]) -> Vec<OpSnapshot> {
-    ops.iter().map(|op| op_snapshot(&op.costs, &op.restored, &op.executed, &op.output)).collect()
+/// for a checkpoint commit. The snapshot copies arena cells into its
+/// own buffers — checkpoints keep owned data, the arena keeps none.
+fn snapshot_ops(ops: &[OpInstance], arena: &OutputArena) -> Vec<OpSnapshot> {
+    ops.iter()
+        .enumerate()
+        .map(|(i, op)| {
+            // SAFETY: `op_snapshot` reads a cell only after observing
+            // the task's `executed` counter with `Acquire`, pairing
+            // with the writer's post-store `Release` bump — the cell
+            // is quiescent by then.
+            op_snapshot(&op.costs, &op.restored, &op.executed, |t| unsafe { arena.read(i, t) })
+        })
+        .collect()
 }
 
 /// Replays one orphaned lease: the chunk a killed worker claimed but
@@ -534,15 +561,18 @@ fn execute_lease(
 ) {
     let op = &shared.ops[lease.op_idx];
     let node = &shared.nodes[op.node];
+    let inputs = shared.inputs_of(op);
     let t0 = Instant::now();
     let start_bits = us_since(shared.epoch, t0).to_bits();
     if op.started_bits.load(Ordering::Relaxed) > start_bits {
         op.started_bits.fetch_min(start_bits, Ordering::AcqRel);
     }
     for &task in &lease.tasks {
-        let ctx = TaskCtx { node, iter: op.iter, task, cost_hint: op.costs[task] };
+        let ctx = TaskCtx { node, iter: op.iter, task, cost_hint: op.costs[task], inputs: &inputs };
         let value = kernel.run_task(&ctx);
-        op.output[task].store(value.to_bits(), Ordering::Release);
+        // SAFETY: a lease's tasks were claimed exactly once by the dead
+        // worker and are replayed exactly once here (take-all drain).
+        unsafe { shared.arena.write(lease.op_idx, task, value) };
         op.executed[task].fetch_add(1, Ordering::Release);
     }
     let now = Instant::now();
@@ -689,11 +719,16 @@ fn run_op_shared(
         shared.workers[id].0.ready.lock().expect("deque poisoned").push_back(op_idx);
         shared.signal(false);
     }
-    let adaptive = !queue.is_lock_free();
+    let adaptive = queue.is_adaptive();
     let node = &shared.nodes[op.node];
+    let inputs = shared.inputs_of(op);
     let mut chunk = first;
     let mut done = 0usize;
     let mut sampled = 0usize;
+    // Per-chunk feedback buffered locally and merged only when the
+    // policy lock is free — a blocking lock per chunk stalls the whole
+    // claim loop whenever the lock holder is descheduled.
+    let mut pending: Vec<(usize, usize, OnlineStats)> = Vec::new();
     // One fresh clock read per op visit; every later timestamp chains
     // off the previous one, so N tasks under per-task sampling cost
     // N+1 reads (not 2N) and a whole chunk outside the sampling
@@ -709,37 +744,74 @@ fn run_op_shared(
     loop {
         let chunk_t0 = prev;
         let mut chunk_stats = OnlineStats::new();
-        if adaptive && sampled < SAMPLE_BUDGET {
-            for qi in chunk.start..chunk.start + chunk.len {
-                let task = op.task_of(qi);
-                let ctx = TaskCtx { node, iter: op.iter, task, cost_hint: op.costs[task] };
-                let value = kernel.run_task(&ctx);
-                let now = Instant::now();
-                chunk_stats.observe(now.duration_since(prev).as_secs_f64() * 1e6);
-                prev = now;
-                op.output[task].store(value.to_bits(), Ordering::Release);
-                // Release: pairs with the snapshot scanner's Acquire
-                // load of `executed` — a task counted as done must have
-                // its output visible; the RMW still catches duplicate
-                // claims.
-                op.executed[task].fetch_add(1, Ordering::Release);
+        // The zero-copy write window: for unremapped ops the chunk's
+        // queue span IS its task span, so the whole chunk writes
+        // through one disjoint `&mut [f64]` view — a plain store per
+        // task, no atomics. Resumed (remapped) ops scatter through
+        // per-task cell writes instead.
+        //
+        // SAFETY: the claim handed `[start, start+len)` to this worker
+        // exactly once, so no other thread touches these cells while
+        // the view is live.
+        let mut view = match op.remap {
+            None => Some(unsafe { shared.arena.chunk_view(op_idx, chunk.start, chunk.len) }),
+            Some(_) => None,
+        };
+        // Per-task timing is budgeted *across* chunks, and the budget
+        // caps the prefix *within* a chunk too: a large first chunk
+        // must not clock every task — two clock reads around a tiny
+        // task cost more than the task, and the budget's worth of
+        // samples pins µ/σ well enough. Tasks past the prefix are
+        // timed in bulk, one clock read per chunk.
+        let sample_n =
+            if adaptive { SAMPLE_BUDGET.saturating_sub(sampled).min(chunk.len) } else { 0 };
+        for qi in chunk.start..chunk.start + sample_n {
+            let task = op.task_of(qi);
+            let ctx =
+                TaskCtx { node, iter: op.iter, task, cost_hint: op.costs[task], inputs: &inputs };
+            let value = kernel.run_task(&ctx);
+            let now = Instant::now();
+            chunk_stats.observe(now.duration_since(prev).as_secs_f64() * 1e6);
+            prev = now;
+            match &mut view {
+                Some(v) => v[qi - chunk.start] = value,
+                // SAFETY: exactly-once claim of `task`.
+                None => unsafe { shared.arena.write(op_idx, task, value) },
             }
-            sampled += chunk.len;
-        } else {
-            for qi in chunk.start..chunk.start + chunk.len {
+            // Release: pairs with the snapshot scanner's Acquire
+            // load of `executed` — a task counted as done must have
+            // its output store visible; the RMW still catches
+            // duplicate claims.
+            op.executed[task].fetch_add(1, Ordering::Release);
+        }
+        sampled += sample_n;
+        let rest = chunk.len - sample_n;
+        if rest > 0 {
+            for qi in chunk.start + sample_n..chunk.start + chunk.len {
                 let task = op.task_of(qi);
-                let ctx = TaskCtx { node, iter: op.iter, task, cost_hint: op.costs[task] };
+                let ctx = TaskCtx {
+                    node,
+                    iter: op.iter,
+                    task,
+                    cost_hint: op.costs[task],
+                    inputs: &inputs,
+                };
                 let value = kernel.run_task(&ctx);
-                op.output[task].store(value.to_bits(), Ordering::Release);
+                match &mut view {
+                    Some(v) => v[qi - chunk.start] = value,
+                    // SAFETY: exactly-once claim of `task`.
+                    None => unsafe { shared.arena.write(op_idx, task, value) },
+                }
                 op.executed[task].fetch_add(1, Ordering::Release);
             }
             let now = Instant::now();
             let span_us = now.duration_since(prev).as_secs_f64() * 1e6;
             prev = now;
-            chunk_stats.observe_n(span_us / chunk.len as f64, chunk.len as u64);
+            chunk_stats.observe_n(span_us / rest as f64, rest as u64);
         }
         if adaptive {
-            queue.observe_chunk(chunk.start, chunk.len, &chunk_stats);
+            pending.push((chunk.start, chunk.len, chunk_stats));
+            queue.try_observe_pending(&mut pending);
         }
         timing.merge(&chunk_stats);
         proc.tasks += chunk.len as u64;
@@ -819,6 +891,7 @@ fn run_op_dist(
         op.started_bits.fetch_min(start_bits, Ordering::AcqRel);
     }
     let node = &shared.nodes[op.node];
+    let inputs = shared.inputs_of(op);
     let mut chunk = first;
     let mut done = 0usize;
     let mut prev = t0;
@@ -826,9 +899,14 @@ fn run_op_dist(
         let chunk_t0 = prev;
         for &qi in &chunk.tasks {
             let task = op.task_of(qi);
-            let ctx = TaskCtx { node, iter: op.iter, task, cost_hint: op.costs[task] };
+            let ctx =
+                TaskCtx { node, iter: op.iter, task, cost_hint: op.costs[task], inputs: &inputs };
             let value = kernel.run_task(&ctx);
-            op.output[task].store(value.to_bits(), Ordering::Release);
+            // SAFETY: dist home queues hand each queue index out
+            // exactly once; migrated tasks move queues, never
+            // duplicate. (Dist chunks list arbitrary indices, so the
+            // scattered per-cell write is the right shape here.)
+            unsafe { shared.arena.write(_op_idx, task, value) };
             op.executed[task].fetch_add(1, Ordering::Release);
         }
         let now = Instant::now();

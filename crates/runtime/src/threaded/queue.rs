@@ -17,13 +17,19 @@
 //!   anywhere on the per-task or per-chunk hot path, task-time
 //!   feedback is a no-op, and a claim on an exhausted queue is a pure
 //!   load (stale steal attempts never write the contended line).
-//! * **Adaptive** — TAPER resizes chunks from live µ/σ samples, so its
-//!   policy object sits behind a mutex; the critical section is one
-//!   `next_chunk` call per claim plus one batched
-//!   [`observe_chunk`](ChunkPolicy::observe_chunk) merge per
-//!   *completed chunk* (workers accumulate task times into a local
-//!   [`OnlineStats`] and fold them in at chunk end), never a lock per
-//!   task.
+//! * **Adaptive** — TAPER resizes chunks from live µ/σ samples, but its
+//!   claim path is lock-free too: the policy's latest chunk-size
+//!   decision is published in a padded atomic *epoch descriptor*
+//!   (`epoch_end << 32 | chunk_len`), and a claim is one `fetch_add`
+//!   on a task cursor plus a bounds check. Only when a claim crosses
+//!   the published epoch end does the claiming worker `try_lock` the
+//!   policy, recompute the chunk size at the new frontier, and publish
+//!   the next descriptor — losers of that race keep claiming at the
+//!   (one epoch stale) size and never block. Batched
+//!   [`observe_chunk`](ChunkPolicy::observe_chunk) feedback — one merge
+//!   per *completed chunk*, from a worker-local [`OnlineStats`] — is
+//!   the only other place the policy mutex is taken, and it is never
+//!   on the claim path.
 
 use crate::chunking::ChunkPolicy;
 use crate::stats::OnlineStats;
@@ -39,30 +45,65 @@ pub struct Chunk {
     pub len: usize,
 }
 
-/// State of an observation-driven (TAPER) queue, all behind one short
-/// critical section.
-struct AdaptiveState {
-    policy: Box<dyn ChunkPolicy + Send>,
-    next: usize,
-    remaining: usize,
+/// Pads a hot atomic onto its own cache line so the claim cursor and
+/// the epoch descriptor never false-share with each other or with the
+/// policy mutex.
+#[repr(align(64))]
+struct Padded<T>(T);
+
+/// State of an observation-driven (TAPER) queue: a lock-free claim
+/// cursor over the task space, the published epoch descriptor, and the
+/// policy object behind a mutex that the claim path only ever
+/// `try_lock`s (on epoch rollover).
+struct AdaptiveMode {
+    /// Next unclaimed task index; a claim is one `fetch_add` of the
+    /// published chunk length.
+    cursor: Padded<AtomicUsize>,
+    /// The published decision: `(epoch_end << 32) | chunk_len`, where
+    /// `epoch_end` is the task index at which the size should be
+    /// recomputed (one decision serves ~`workers` chunks).
+    plan: Padded<AtomicU64>,
+    /// Locked to publish the next epoch's decision (`try_lock`; the
+    /// loser keeps claiming at the stale size) and by `observe_chunk`
+    /// feedback — never blocking on the claim path.
+    policy: Mutex<Box<dyn ChunkPolicy + Send>>,
+}
+
+/// Packs an epoch descriptor. Task indices are asserted to fit 32 bits
+/// at construction.
+fn pack_plan(epoch_end: usize, chunk_len: usize) -> u64 {
+    debug_assert!(epoch_end <= u32::MAX as usize && chunk_len <= u32::MAX as usize);
+    ((epoch_end as u64) << 32) | chunk_len as u64
+}
+
+/// How far one published decision is allowed to reach: about one chunk
+/// per worker, but never more than half the remaining space — TAPER's
+/// early no-feedback decision is `remaining/p`, and letting p such
+/// chunks stand would freeze the size for the whole operation. The
+/// half-space cap keeps the decreasing-chunk shape (size recomputed at
+/// a geometrically shrinking frontier) while still amortizing one
+/// policy call over many claims. With one worker every chunk is its
+/// own epoch, which reproduces per-claim decisions exactly.
+fn epoch_span(chunk_len: usize, remaining: usize, workers: usize) -> usize {
+    (chunk_len * workers).min((remaining / 2).max(chunk_len))
+}
+
+fn unpack_plan(d: u64) -> (usize, usize) {
+    ((d >> 32) as usize, (d & u64::from(u32::MAX)) as usize)
 }
 
 enum Mode {
     /// Precomputed schedule: chunk `i` spans `bounds[i]..bounds[i+1]`;
     /// claiming is a lock-free cursor increment.
     Fixed { bounds: Vec<usize>, cursor: AtomicUsize },
-    /// Observation-driven schedule behind a mutex.
-    Adaptive(Mutex<AdaptiveState>),
+    /// Observation-driven schedule claimed through the epoch
+    /// descriptor.
+    Adaptive(AdaptiveMode),
 }
 
 /// Claim-next-chunk queue over one operation's iteration space.
 pub struct ChunkQueue {
     mode: Mode,
-    /// Tasks not yet handed out (hint for [`Self::has_more`]), kept in
-    /// sync *inside* the adaptive claim's critical section; the fixed
-    /// path derives the hint from the cursor instead and never touches
-    /// this.
-    remaining_hint: AtomicUsize,
     chunks: AtomicU64,
     total: usize,
     workers: usize,
@@ -87,15 +128,28 @@ impl ChunkQueue {
                 debug_assert_eq!(acc, total, "fixed schedule must cover the iteration space");
                 Mode::Fixed { bounds, cursor: AtomicUsize::new(0) }
             }
-            None => Mode::Adaptive(Mutex::new(AdaptiveState { policy, next: 0, remaining: total })),
+            None => {
+                let mut policy = policy;
+                assert!(
+                    total < u32::MAX as usize,
+                    "adaptive epoch descriptor packs task indices into 32 bits"
+                );
+                // Publish the first decision up front so claim never
+                // needs the lock to get started.
+                let plan = if total == 0 {
+                    pack_plan(0, 0)
+                } else {
+                    let k = policy.next_chunk(0, total, workers).clamp(1, total);
+                    pack_plan(epoch_span(k, total, workers).min(total), k)
+                };
+                Mode::Adaptive(AdaptiveMode {
+                    cursor: Padded(AtomicUsize::new(0)),
+                    plan: Padded(AtomicU64::new(plan)),
+                    policy: Mutex::new(policy),
+                })
+            }
         };
-        ChunkQueue {
-            mode,
-            remaining_hint: AtomicUsize::new(total),
-            chunks: AtomicU64::new(0),
-            total,
-            workers,
-        }
+        ChunkQueue { mode, chunks: AtomicU64::new(0), total, workers }
     }
 
     /// Claims the next chunk, or `None` when the iteration space is
@@ -127,25 +181,58 @@ impl ChunkQueue {
                 }
                 Chunk { start: bounds[i], len: bounds[i + 1] - bounds[i] }
             }
-            Mode::Adaptive(state) => {
-                let mut s = state.lock().expect("chunk queue poisoned");
-                if s.remaining == 0 {
+            Mode::Adaptive(ad) => {
+                // Pure-load precheck: a claim on an exhausted queue (a
+                // stale steal attempt, or a claim storm after the run)
+                // never writes the contended cursor line.
+                if ad.cursor.0.load(Ordering::Relaxed) >= self.total {
                     return None;
                 }
-                let (next, remaining) = (s.next, s.remaining);
-                let k = s.policy.next_chunk(next, remaining, self.workers).clamp(1, remaining);
-                s.next += k;
-                s.remaining -= k;
-                // The hint update stays inside the critical section:
-                // once the final chunk has been handed out (lock
-                // released with `remaining == 0`), no observer can
-                // read a stale `has_more() == true`.
-                self.remaining_hint.store(s.remaining, Ordering::Release);
-                Chunk { start: next, len: k }
+                let (end, k) = unpack_plan(ad.plan.0.load(Ordering::Acquire));
+                let start = ad.cursor.0.fetch_add(k, Ordering::Relaxed);
+                if start >= self.total {
+                    // Lost the exhaustion race by a whisker; the
+                    // precheck stops any further RMWs from this point.
+                    return None;
+                }
+                let len = k.min(self.total - start);
+                // Crossing the published epoch end is the one place a
+                // critical section exists — and it is a `try_lock`:
+                // the winner recomputes the size at the new frontier,
+                // everyone else claims on at the stale size.
+                if start + len >= end {
+                    self.advance_epoch(ad);
+                }
+                Chunk { start, len }
             }
         };
         self.chunks.fetch_add(1, Ordering::Relaxed);
         Some(chunk)
+    }
+
+    /// Publishes the next epoch descriptor: chunk size recomputed by
+    /// the policy at the current claim frontier, valid for roughly one
+    /// chunk per worker. Non-blocking — if another worker is already
+    /// publishing (or a feedback merge holds the lock), this claimant
+    /// simply keeps the stale size for one more chunk.
+    fn advance_epoch(&self, ad: &AdaptiveMode) {
+        let Ok(mut policy) = ad.policy.try_lock() else {
+            return;
+        };
+        let next = ad.cursor.0.load(Ordering::Relaxed);
+        if next >= self.total {
+            return;
+        }
+        // Another claimant may have published past the frontier while
+        // we raced for the lock; never move the descriptor backwards.
+        let (end, _) = unpack_plan(ad.plan.0.load(Ordering::Relaxed));
+        if end > next {
+            return;
+        }
+        let remaining = self.total - next;
+        let k = policy.next_chunk(next, remaining, self.workers).clamp(1, remaining);
+        let new_end = next.saturating_add(epoch_span(k, remaining, self.workers)).min(self.total);
+        ad.plan.0.store(pack_plan(new_end, k), Ordering::Release);
     }
 
     /// Feeds one completed chunk's task-time statistics back to the
@@ -153,9 +240,36 @@ impl ChunkQueue {
     /// in one short critical section. No-op (and no lock) for fixed
     /// schedules.
     pub fn observe_chunk(&self, start: usize, len: usize, stats: &OnlineStats) {
-        if let Mode::Adaptive(state) = &self.mode {
-            let mut s = state.lock().expect("chunk queue poisoned");
-            s.policy.observe_chunk(start, len, stats);
+        if let Mode::Adaptive(ad) = &self.mode {
+            let mut policy = ad.policy.lock().expect("chunk queue poisoned");
+            policy.observe_chunk(start, len, stats);
+        }
+    }
+
+    /// Non-blocking feedback for the claim hot path: drains a worker's
+    /// locally buffered per-chunk statistics into the policy only if
+    /// the lock is free right now. On an oversubscribed host a
+    /// blocking `lock()` per chunk means a futex sleep whenever the
+    /// holder is descheduled — worth microseconds per chunk, which
+    /// dwarfs tiny tasks. Buffering keeps the feedback *exact* (the
+    /// same `observe_chunk` calls, merely time-shifted); feedback that
+    /// never wins the lock before the queue drains is dropped, which
+    /// is sound because the policy only uses it to size this op's
+    /// remaining chunks. Clears the buffer without locking for fixed
+    /// schedules (which ignore feedback entirely).
+    pub fn try_observe_pending(&self, pending: &mut Vec<(usize, usize, OnlineStats)>) {
+        if pending.is_empty() {
+            return;
+        }
+        match &self.mode {
+            Mode::Adaptive(ad) => {
+                if let Ok(mut policy) = ad.policy.try_lock() {
+                    for (start, len, stats) in pending.drain(..) {
+                        policy.observe_chunk(start, len, &stats);
+                    }
+                }
+            }
+            Mode::Fixed { .. } => pending.clear(),
         }
     }
 
@@ -163,13 +277,14 @@ impl ChunkQueue {
     /// use it to decide if an operation is worth advertising to
     /// thieves; exactness is guaranteed by [`Self::claim`], not here).
     /// One direction *is* exact: once the final chunk has been handed
-    /// out, this never reports `true` again — the fixed cursor is
-    /// capped at the chunk count, and the adaptive hint is updated
-    /// inside the claim's critical section.
+    /// out, this never reports `true` again — both paths derive the
+    /// hint from the same atomic cursor a claim advances, so the hint
+    /// flips in the very `fetch_add`/CAS that hands the final chunk
+    /// out, with no window for a stale `true`.
     pub fn has_more(&self) -> bool {
         match &self.mode {
             Mode::Fixed { bounds, cursor } => cursor.load(Ordering::Relaxed) + 1 < bounds.len(),
-            Mode::Adaptive(_) => self.remaining_hint.load(Ordering::Acquire) > 0,
+            Mode::Adaptive(ad) => ad.cursor.0.load(Ordering::Relaxed) < self.total,
         }
     }
 
@@ -184,9 +299,13 @@ impl ChunkQueue {
         }
     }
 
-    /// Whether this queue serves a precomputed schedule lock-free.
-    pub fn is_lock_free(&self) -> bool {
-        matches!(self.mode, Mode::Fixed { .. })
+    /// Whether this queue resizes chunks from live observations
+    /// (TAPER). Adaptive queues want per-chunk timing feedback through
+    /// [`Self::observe_chunk`]; fixed-schedule queues ignore it. Both
+    /// kinds claim lock-free — the distinction is about feedback, not
+    /// about locking.
+    pub fn is_adaptive(&self) -> bool {
+        matches!(self.mode, Mode::Adaptive(_))
     }
 
     /// Chunks handed out so far.
@@ -271,15 +390,59 @@ mod tests {
     }
 
     #[test]
-    fn fixed_policies_take_the_lock_free_path() {
+    fn adaptive_detection_per_policy() {
         for kind in [PolicyKind::SelfSched, PolicyKind::Gss, PolicyKind::Factoring] {
             let q = ChunkQueue::new(kind.instantiate(100), 100, 4);
-            assert!(q.is_lock_free(), "{}", kind.name());
+            assert!(!q.is_adaptive(), "{}", kind.name());
         }
         for kind in [PolicyKind::Taper, PolicyKind::TaperCostFn] {
             let q = ChunkQueue::new(kind.instantiate(100), 100, 4);
-            assert!(!q.is_lock_free(), "{}", kind.name());
+            assert!(q.is_adaptive(), "{}", kind.name());
         }
+    }
+
+    #[test]
+    fn adaptive_epochs_span_one_chunk_per_worker() {
+        // Single claimant, 4 workers: the descriptor's decision serves
+        // ~4 chunks, so runs of equal chunk sizes appear in groups and
+        // the whole space is still covered tightly.
+        let q = ChunkQueue::new(PolicyKind::Taper.instantiate(1000), 1000, 4);
+        let mut next = 0usize;
+        let mut sizes = Vec::new();
+        while let Some(c) = q.claim() {
+            assert_eq!(c.start, next, "claims must be contiguous");
+            next += c.len;
+            sizes.push(c.len);
+        }
+        assert_eq!(next, 1000);
+        assert!(sizes.len() > 4, "1000 tasks over 4 workers must take many chunks");
+        // TAPER with no feedback decays like GSS: sizes never grow
+        // within the drain (each epoch recomputes at a smaller
+        // remaining count).
+        assert!(sizes.windows(2).all(|w| w[1] <= w[0]), "sizes grew: {sizes:?}");
+    }
+
+    #[test]
+    fn adaptive_rollover_republish_is_monotone() {
+        // Force many rollovers with tiny chunks (self-sched-like TAPER
+        // tail) and verify the descriptor never hands out overlapping
+        // or out-of-range chunks even when every claim crosses an
+        // epoch boundary (workers = 1 makes every chunk its own epoch).
+        let q = ChunkQueue::new(PolicyKind::TaperCostFn.instantiate(257), 257, 1);
+        let mut covered = vec![false; 257];
+        while let Some(c) = q.claim() {
+            assert!(c.start + c.len <= 257, "chunk out of range: {c:?}");
+            for slot in &mut covered[c.start..c.start + c.len] {
+                assert!(!*slot, "task handed out twice");
+                *slot = true;
+            }
+            let mut stats = OnlineStats::new();
+            for i in 0..c.len {
+                stats.observe(1.0 + (i % 3) as f64);
+            }
+            q.observe_chunk(c.start, c.len, &stats);
+        }
+        assert!(covered.iter().all(|&b| b), "iteration space not covered");
     }
 
     #[test]
@@ -336,9 +499,9 @@ mod tests {
         // Single-threaded version of the invariant (the concurrent
         // storm lives in tests/sched_stress.rs): after each claim,
         // `has_more` must agree with whether the claim drained the
-        // queue — the hint is updated inside the critical section, so
-        // there is no window where the final chunk is out but the
-        // hint still says more work exists.
+        // queue — the hint is derived from the same cursor the claim's
+        // `fetch_add` advances, so there is no window where the final
+        // chunk is out but the hint still says more work exists.
         let q = ChunkQueue::new(PolicyKind::Taper.instantiate(100), 100, 4);
         let mut handed = 0usize;
         while let Some(c) = q.claim() {

@@ -7,12 +7,13 @@
 //! cargo run --release --example scheduler_comparison
 //! ```
 
+use orchestra_bench::splitter::{default_grain, run_join_split};
 use orchestra_delirium::{DataAnno, DelirGraph, NodeKind};
 use orchestra_machine::{CostDistribution, MachineConfig};
 use orchestra_runtime::executor::{execute_graph, ExecutorOptions};
 use orchestra_runtime::threaded::{execute_threaded, ExecutorBackend, SpinKernel};
 use orchestra_runtime::{
-    execute_async, simulate_dist_taper, simulate_policy, OpOptions, PolicyKind,
+    costs_of_node, execute_async, simulate_dist_taper, simulate_policy, OpOptions, PolicyKind,
 };
 
 fn main() {
@@ -140,6 +141,23 @@ fn simulated_vs_measured() {
         asy.claims,
         asy.yields,
         asy.driver_utilization() * 100.0,
+    );
+    // Rayon-equivalent baseline: node A's irregular population under a
+    // hand-rolled join splitter (lazy binary splitting, fixed grain,
+    // steal-oldest) — no cost feedback, no adaptive chunking.
+    let node_a = &g.nodes[0];
+    let costs_a = costs_of_node(node_a, ExecutorOptions::default().seed);
+    let grain = default_grain(costs_a.len(), threads);
+    let ray = run_join_split(node_a, &costs_a, &kernel, threads, grain);
+    println!(
+        "{:<22} {:>13} {:>12} {:>12.1}   {} chunks / {} splits / {} steals (op A only)",
+        "rayon-like (splitter)",
+        "-",
+        "-",
+        ray.wall_us / 1000.0,
+        ray.chunks,
+        ray.splits,
+        ray.steals,
     );
     println!(
         "  (measured speedup = Σ worker busy time / wall time; all runs\n   \

@@ -19,6 +19,7 @@ use orchestra_delirium::DelirGraph;
 use orchestra_runtime::chunking::PolicyKind;
 use orchestra_runtime::executor::ExecutorOptions;
 use orchestra_runtime::threaded::{execute_sequential, execute_threaded, SpinKernel};
+use proptest::prelude::*;
 
 const POLICIES: [PolicyKind; 5] = [
     PolicyKind::SelfSched,
@@ -201,4 +202,70 @@ fn backend_dispatch_runs_threaded_from_execute_graph() {
     assert_eq!(report.nodes.len(), 4);
     assert!(report.finish > 0.0);
     assert!(report.speedup() <= 2.0 + 1e-9);
+}
+
+/// The zero-copy data plane made observable: [`ReduceKernel`] folds a
+/// value read from every upstream input slice into each task, so a
+/// stale, truncated, or mis-offset arena hand-off changes output bits
+/// on DAG-shaped graphs. All four backends must still match the
+/// sequential owned-buffer reference exactly.
+#[test]
+fn reduce_kernel_dataplane_bitwise_across_backends() {
+    use orchestra_runtime::execute_async;
+    use orchestra_runtime::threaded::ExecutorBackend;
+    use orchestra_runtime::ReduceKernel;
+    let kernel = ReduceKernel::with_scale(2.0);
+    for (name, g, opts) in graphs() {
+        for policy in POLICIES {
+            let opts = ExecutorOptions { policy, ..opts.clone() };
+            let seq = execute_sequential(&g, &opts, &kernel).unwrap();
+            let thr = execute_threaded(&g, &opts, &kernel).unwrap();
+            let dist_opts =
+                ExecutorOptions { backend: ExecutorBackend::ThreadedDist, ..opts.clone() };
+            let dist = execute_threaded(&g, &dist_opts, &kernel).unwrap();
+            let asy = execute_async(&g, &opts, &kernel).unwrap();
+            assert_eq!(seq.outputs, thr.outputs, "{name}/{}: threaded inputs", policy.name());
+            assert_eq!(seq.outputs, dist.outputs, "{name}/{}: dist inputs", policy.name());
+            assert_eq!(seq.outputs, asy.outputs, "{name}/{}: async inputs", policy.name());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Arena aliasing/bounds fuzz: random fan-out DAGs give the output
+    /// arena ragged spans (op `i` has `base + i·step` tasks) and give
+    /// every sink real multi-input reads. If any backend's chunk views
+    /// overlapped, scattered writes crossed a span, or an input slice
+    /// came from the wrong span, the [`ReduceKernel`] fold would
+    /// diverge from the sequential owned-buffer reference bitwise (or
+    /// the arena's bounds checks would panic the run outright).
+    #[test]
+    fn arena_dataplane_matches_owned_buffers_on_random_fanouts(
+        ops in 1usize..5,
+        tasks_base in 1usize..64,
+        tasks_step in 0usize..32,
+        mean_cost in 0.5f64..4.0,
+        cv in 0.0f64..1.2,
+        sink in proptest::bool::ANY,
+    ) {
+        use orchestra_runtime::execute_async;
+        use orchestra_runtime::threaded::ExecutorBackend;
+        use orchestra_runtime::ReduceKernel;
+        let g = shapes::fanout(ops, tasks_base, tasks_step, mean_cost, cv, sink);
+        let kernel = ReduceKernel::with_scale(1.0);
+        for policy in [PolicyKind::SelfSched, PolicyKind::Taper] {
+            let opts = ExecutorOptions { policy, threads: 2, ..ExecutorOptions::default() };
+            let seq = execute_sequential(&g, &opts, &kernel).unwrap();
+            let thr = execute_threaded(&g, &opts, &kernel).unwrap();
+            let dist_opts =
+                ExecutorOptions { backend: ExecutorBackend::ThreadedDist, ..opts.clone() };
+            let dist = execute_threaded(&g, &dist_opts, &kernel).unwrap();
+            let asy = execute_async(&g, &opts, &kernel).unwrap();
+            prop_assert_eq!(&seq.outputs, &thr.outputs);
+            prop_assert_eq!(&seq.outputs, &dist.outputs);
+            prop_assert_eq!(&seq.outputs, &asy.outputs);
+        }
+    }
 }

@@ -140,6 +140,71 @@ fn post_exhaustion_claim_storm() {
     }
 }
 
+/// A live claim storm against the lock-free adaptive path: 8 threads
+/// hammer one adaptive queue over a tiny-task space, feeding Welford
+/// stats back after every chunk so the winner keeps republishing new
+/// epoch descriptors under fire. The decreasing chunk series (and the
+/// half-remaining epoch cap) forces many epoch rollovers — the only
+/// place the adaptive claim path takes its short critical section —
+/// while the `fetch_add` fast path races it from every other thread.
+/// Every task index must be handed out exactly once across all
+/// threads, whatever the interleaving.
+#[test]
+fn adaptive_live_claim_storm_exactly_once() {
+    use orchestra_runtime::stats::OnlineStats;
+    use orchestra_runtime::threaded::queue::ChunkQueue;
+    use std::sync::Arc;
+    const TASKS: usize = 12_000;
+    for policy in [PolicyKind::Taper, PolicyKind::TaperCostFn] {
+        let q = Arc::new(ChunkQueue::new(policy.instantiate(TASKS), TASKS, WORKERS));
+        assert!(q.is_adaptive(), "{}: expected the adaptive path", policy.name());
+        let handles: Vec<_> = (0..WORKERS)
+            .map(|t| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut claimed: Vec<(usize, usize)> = Vec::new();
+                    while let Some(c) = q.claim() {
+                        // Tiny synthetic task costs, varied per thread
+                        // so concurrent feedback pushes the policy
+                        // state around while descriptors republish.
+                        let mut stats = OnlineStats::new();
+                        for i in c.start..c.start + c.len {
+                            stats.observe(1.0 + ((i + t) % 5) as f64);
+                        }
+                        q.observe_chunk(c.start, c.len, &stats);
+                        claimed.push((c.start, c.len));
+                    }
+                    claimed
+                })
+            })
+            .collect();
+        let mut seen = vec![0u32; TASKS];
+        let mut chunks = 0u64;
+        for h in handles {
+            for (start, len) in h.join().expect("claimer thread panicked") {
+                chunks += 1;
+                for slot in &mut seen[start..start + len] {
+                    *slot += 1;
+                }
+            }
+        }
+        let dupes = seen.iter().filter(|&&c| c > 1).count();
+        let missed = seen.iter().filter(|&&c| c == 0).count();
+        assert_eq!(
+            (dupes, missed),
+            (0, 0),
+            "{}: {dupes} duplicated / {missed} missed tasks under the claim storm",
+            policy.name()
+        );
+        assert_eq!(q.chunks_claimed(), chunks, "{}: chunk counter drifted", policy.name());
+        assert!(!q.has_more(), "{}: drained queue advertises work", policy.name());
+        assert!(q.claim().is_none(), "{}: claim after drain", policy.name());
+        // Tiny tasks over 8 workers must have crossed many epoch
+        // boundaries — the republish path, not just the fast path.
+        assert!(chunks > WORKERS as u64 * 4, "{}: only {chunks} chunks claimed", policy.name());
+    }
+}
+
 /// A steal storm against one loaded victim: completing `src` enables
 /// all 12 fan-out ops at once, and the completer pushes every token
 /// onto its OWN deque — so seven empty thieves hammer a single
