@@ -26,6 +26,15 @@
 //!   (lazy binary splitting, per-worker range stacks, steal-oldest —
 //!   see `orchestra_bench::splitter`) on the same flat workloads and
 //!   worker counts as the tasks/sec table (schema v6);
+//! * **alloc** — the §4.1.2 finishing-time equalizer against the
+//!   naive shared pool on an asymmetric concurrent level (two
+//!   data-parallel ops at one depth, one 8× heavier), tasks/sec at 4
+//!   and 8 workers (schema v7). With allocation on, each op's chunk
+//!   schedule is sized for its partition and freed workers migrate to
+//!   the laggard; with it off, both ops share the whole pool and
+//!   every chunk schedule is sized for all workers. Measured as
+//!   paired back-to-back runs (median wall ratio) so the few-percent
+//!   overhead difference survives shared-host noise;
 //! * **steals** — the DAG shape under hierarchical vs ring steal
 //!   order at 4 and 8 workers, bucketing successful steals by machine
 //!   distance (SMT sibling / same node / remote) and counting tokens
@@ -220,6 +229,14 @@ struct AsyncRow {
     driver_util: f64,
 }
 
+/// One equalizer-vs-shared-pool cell (the schema-v7 addition):
+/// tasks/sec over the asymmetric concurrent level with
+/// `use_allocation` on and off at the same worker count.
+struct AllocRow {
+    equalizer: f64,
+    shared: f64,
+}
+
 /// One crash + snapshot-resume cycle (the schema-v5 addition): total
 /// and post-crash wall time, how many tasks the snapshot restored vs
 /// replayed, and the on-disk snapshot footprint at the end of the run.
@@ -245,6 +262,9 @@ struct RunResults {
     /// rayon-equivalent join splitter (the non-adaptive baseline the
     /// TAPER rows are gated against).
     rayon: BTreeMap<&'static str, BTreeMap<usize, f64>>,
+    /// "wN" → equalizer vs naive shared pool on the asymmetric
+    /// concurrent level.
+    alloc: BTreeMap<String, AllocRow>,
     /// "order/wN" → steal-distance counters on the DAG shape.
     steals: BTreeMap<String, StealRow>,
     /// Crash + snapshot-resume cycle on the flat workload at 4 workers.
@@ -288,6 +308,79 @@ fn measure_recovery(scale: &Scale) -> RecoveryRow {
         attempts: run.attempts,
         snapshot_bytes,
     }
+}
+
+/// The equalizer's home turf: one concurrent level holding a heavy op
+/// (8× the tasks of the light one) so an even split leaves half the
+/// pool finishing early. Fed by a source task and drained by a merge,
+/// like the differential suite's asymmetric diamond.
+fn alloc_graph(light_tasks: usize) -> DelirGraph {
+    let heavy_tasks = light_tasks * 8;
+    let mut g = DelirGraph::new();
+    let a = g.add_node("A", NodeKind::Task { cost: 2.0 }, None);
+    let h = g.add_node(
+        "H",
+        NodeKind::DataParallel { tasks: heavy_tasks, mean_cost: 1.0, cv: 0.5 },
+        None,
+    );
+    let l = g.add_node(
+        "L",
+        NodeKind::DataParallel { tasks: light_tasks, mean_cost: 1.0, cv: 0.5 },
+        None,
+    );
+    let d = g.add_node("D", NodeKind::Merge { cost: 2.0 }, None);
+    g.add_edge(a, h, DataAnno::array("x", heavy_tasks as u64));
+    g.add_edge(a, l, DataAnno::array("y", light_tasks as u64));
+    g.add_edge(h, d, DataAnno::array("r1", heavy_tasks as u64));
+    g.add_edge(l, d, DataAnno::array("r2", light_tasks as u64));
+    g
+}
+
+/// Tasks/sec on the asymmetric concurrent level with the §4.1.2
+/// equalizer on vs the naive shared pool, same policy and worker
+/// count.
+///
+/// The two modes differ by a few percent of scheduling overhead (the
+/// partition roughly halves the level's scheduling events: each op's
+/// chunk schedule is sized for its own processors, not the whole
+/// pool), which best-of-N walls measured minutes apart cannot resolve
+/// on a shared host. So the cell is measured *paired*: each rep runs
+/// both modes back to back (alternating which goes first), host drift
+/// cancels in the per-rep wall ratio, and the recorded equalizer rate
+/// is the shared rate scaled by the median paired ratio. The policy
+/// is TAPER with cost functions — the richest per-claim path, where
+/// halving scheduling events is worth the most.
+fn measure_alloc(
+    g: &DelirGraph,
+    tasks: usize,
+    workers: usize,
+    kernel: &SpinKernel,
+    reps: usize,
+) -> AllocRow {
+    let mut ratios = Vec::with_capacity(reps);
+    let mut shared_walls = Vec::with_capacity(reps);
+    for rep in 0..reps {
+        let mut wall = [0.0f64; 2];
+        let order = if rep % 2 == 0 { [true, false] } else { [false, true] };
+        for use_allocation in order {
+            let opts = ExecutorOptions {
+                policy: PolicyKind::TaperCostFn,
+                threads: workers,
+                use_allocation,
+                ..ExecutorOptions::default()
+            };
+            let run = execute_threaded(g, &opts, kernel).expect("bench graph valid");
+            wall[usize::from(!use_allocation)] = run.wall_us;
+        }
+        ratios.push(wall[1] / wall[0]);
+        shared_walls.push(wall[1]);
+    }
+    let median = |v: &mut Vec<f64>| {
+        v.sort_by(f64::total_cmp);
+        v[v.len() / 2]
+    };
+    let shared = tasks as f64 / (median(&mut shared_walls) * 1e-6);
+    AllocRow { equalizer: shared * median(&mut ratios), shared }
 }
 
 /// A uniform-cost flat op: the cv gate must keep the dist coordinator
@@ -471,6 +564,29 @@ fn measure(scale: &Scale) -> RunResults {
         }
     }
 
+    // Equalizer vs naive shared pool on the asymmetric concurrent
+    // level, at the worker counts where a partition is meaningful.
+    let mut alloc: BTreeMap<String, AllocRow> = BTreeMap::new();
+    let alloc_light = scale.small_tasks / 16;
+    let alloc_g = alloc_graph(alloc_light);
+    let alloc_tasks = alloc_light * 9;
+    let kernel = SpinKernel::with_scale(1.0);
+    // Each paired rep is two sub-millisecond runs, so the cell can
+    // afford far more reps than the wall-clock sections — and needs
+    // them: the paired-median estimator resolves a few-percent effect
+    // only with a deep sample.
+    let alloc_reps = scale.reps * 40;
+    for w in [4usize, 8] {
+        let row = measure_alloc(&alloc_g, alloc_tasks, w, &kernel, alloc_reps);
+        eprintln!(
+            "alloc  w={w} equalizer={:12.0} tasks/sec shared={:12.0} tasks/sec ({:+.1}%)",
+            row.equalizer,
+            row.shared,
+            (row.equalizer / row.shared - 1.0) * 100.0
+        );
+        alloc.insert(format!("w{w}"), row);
+    }
+
     // Steal-distance profile: the DAG shape exercises token stealing
     // (a completer enqueues newly-enabled ops locally; everyone else
     // must steal into them). Counters accumulate over the reps — a
@@ -517,6 +633,7 @@ fn measure(scale: &Scale) -> RunResults {
         dist,
         asynch,
         rayon,
+        alloc,
         steals,
         recovery,
     }
@@ -636,6 +753,18 @@ fn render_run(r: &RunResults, quick: bool) -> String {
             by_w.iter().map(|(w, v)| format!("\"{w}\": {}", json_f64(*v))).collect();
         let comma = if i + 1 < nr { "," } else { "" };
         let _ = writeln!(s, "        \"{wl}\": {{{}}}{comma}", cells.join(", "));
+    }
+    let _ = writeln!(s, "      }},");
+    let _ = writeln!(s, "      \"alloc\": {{");
+    let nal = r.alloc.len();
+    for (i, (key, row)) in r.alloc.iter().enumerate() {
+        let comma = if i + 1 < nal { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "        \"{key}\": {{\"equalizer\": {}, \"shared\": {}}}{comma}",
+            json_f64(row.equalizer),
+            json_f64(row.shared)
+        );
     }
     let _ = writeln!(s, "      }},");
     let rv = &r.recovery;

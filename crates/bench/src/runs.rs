@@ -26,9 +26,12 @@ use std::fmt::Write as _;
 /// v6 added the `rayon` section (the hand-rolled join-splitter
 /// baseline, tasks/sec per workload and worker count) and pulled both
 /// it and the `claim_ns_per_task` table into the regression gate.
+/// v7 added the `alloc` section (the §4.1.2 finishing-time equalizer
+/// vs the naive shared pool on an asymmetric concurrent level,
+/// tasks/sec per worker count), gated like every throughput column.
 /// Recovery columns are trend data only — [`check_regression`] reads
 /// throughput metrics and ignores them.
-pub const SCHED_SCHEMA: &str = "orchestra-sched-bench/v6";
+pub const SCHED_SCHEMA: &str = "orchestra-sched-bench/v7";
 
 /// Extracts every `"label": { … }` block at the top level of the runs
 /// object, in file order, by string-aware brace matching: braces
@@ -202,7 +205,11 @@ fn geomean(values: &[f64]) -> Option<f64> {
 /// * `claim_rate/<policy>` — the inverted claim latency, tasks per µs
 ///   of pure scheduling hot path (schema v6: a claim-latency increase
 ///   past the allowance now fails the gate, not just whole-run
-///   throughput).
+///   throughput);
+/// * `alloc/<wN>/{equalizer,shared}` — tasks/sec on the asymmetric
+///   concurrent level with the §4.1.2 equalizer on vs the naive
+///   shared pool (schema v7): the shared row keeps the baseline
+///   honest, the equalizer row keeps the allocator paying its way.
 fn throughput_metrics(run: &Json) -> Vec<(String, f64)> {
     let mut out = Vec::new();
     if let Some(tps) = run.get("tasks_per_sec") {
@@ -239,6 +246,17 @@ fn throughput_metrics(run: &Json) -> Vec<(String, f64)> {
             if let Some(ns) = ns.as_f64() {
                 if ns.is_finite() && ns > 0.0 {
                     out.push((format!("claim_rate/{policy}"), 1e3 / ns));
+                }
+            }
+        }
+    }
+    if let Some(alloc) = run.get("alloc") {
+        for (cell, row) in alloc.members() {
+            for (mode, rate) in row.members() {
+                if let Some(rate) = rate.as_f64() {
+                    if rate.is_finite() && rate > 0.0 {
+                        out.push((format!("alloc/{cell}/{mode}"), rate));
+                    }
                 }
             }
         }
@@ -355,9 +373,10 @@ mod tests {
     use super::*;
 
     /// A minimal run block with one threaded workload, one async row,
-    /// one rayon-baseline row, and one claim-latency cell, every
-    /// throughput metric scaling linearly with `rate` (claim latency
-    /// scales inversely, so its derived claim_rate is linear too).
+    /// one rayon-baseline row, one claim-latency cell, and one alloc
+    /// (equalizer vs shared pool) row, every throughput metric scaling
+    /// linearly with `rate` (claim latency scales inversely, so its
+    /// derived claim_rate is linear too).
     fn run_block(cpu: &str, rate: f64) -> String {
         format!(
             "{{\"host\": {{\"cpu\": \"{cpu}\", \"cores\": 4, \"os\": \"linux x86_64\"}}, \
@@ -366,7 +385,8 @@ mod tests {
              \"tasks_per_sec\": {{\"small\": {{\"taper\": {{\"2\": {r1}, \"4\": {r2}}}, \
              \"self-sched\": {{\"2\": {r3}}}}}}}, \
              \"async\": {{\"small\": {{\"tasks_per_sec\": {r4}, \"yields\": 12}}}}, \
-             \"rayon\": {{\"small\": {{\"2\": {r5}, \"4\": {r6}}}}}}}",
+             \"rayon\": {{\"small\": {{\"2\": {r5}, \"4\": {r6}}}}}, \
+             \"alloc\": {{\"w4\": {{\"equalizer\": {r7}, \"shared\": {r8}}}}}}}",
             ns = 1e6 / rate,
             r1 = rate,
             r2 = rate * 2.0,
@@ -374,6 +394,8 @@ mod tests {
             r4 = rate * 0.8,
             r5 = rate * 0.6,
             r6 = rate * 1.1,
+            r7 = rate * 1.3,
+            r8 = rate * 0.9,
         )
     }
 
@@ -532,6 +554,31 @@ mod tests {
         let r = check_regression(&file, 0.2);
         assert!(r.regressed, "{:?}", r.lines);
         assert!(r.lines.iter().any(|l| l.starts_with("REGRESSION") && l.contains("rayon/small")));
+    }
+
+    #[test]
+    fn alloc_rate_alone_can_regress() {
+        // Every other column holds; the equalizer row on the
+        // asymmetric concurrent level tanks (say a partition bug
+        // serialized the two ops) — the v7 alloc metrics must trip
+        // the gate on their own.
+        let mut bad = run_block("cpu-a", 1000.0);
+        bad = bad.replace(
+            &format!("\"alloc\": {{\"w4\": {{\"equalizer\": {}, \"shared\": {}}}}}", 1300.0, 900.0),
+            "\"alloc\": {\"w4\": {\"equalizer\": 130.0, \"shared\": 900.0}}",
+        );
+        let file = file_with(&[("before", run_block("cpu-a", 1000.0)), ("after", bad)]);
+        let r = check_regression(&file, 0.2);
+        assert!(r.regressed, "{:?}", r.lines);
+        assert!(r
+            .lines
+            .iter()
+            .any(|l| l.starts_with("REGRESSION") && l.contains("alloc/w4/equalizer")));
+        assert!(
+            !r.lines.iter().any(|l| l.starts_with("REGRESSION") && l.contains("alloc/w4/shared")),
+            "the untouched shared row must not flag: {:?}",
+            r.lines
+        );
     }
 
     #[test]

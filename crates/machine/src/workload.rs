@@ -145,14 +145,32 @@ pub struct CostSummary {
     pub total: f64,
 }
 
-/// Computes summary statistics.
+impl CostSummary {
+    /// The summary of an empty cost vector: every statistic is zero.
+    /// Callers that must distinguish "no tasks" from "all tasks free"
+    /// should use [`try_summarize`] instead.
+    pub const EMPTY: CostSummary = CostSummary { mean: 0.0, std_dev: 0.0, cv: 0.0, total: 0.0 };
+}
+
+/// Computes summary statistics. An empty slice yields
+/// [`CostSummary::EMPTY`] (all zeros) — explicitly, not as an artifact
+/// of division guards; use [`try_summarize`] when the empty case needs
+/// to be handled rather than propagated as zeros.
 pub fn summarize(costs: &[f64]) -> CostSummary {
-    let n = costs.len().max(1) as f64;
+    try_summarize(costs).unwrap_or(CostSummary::EMPTY)
+}
+
+/// Computes summary statistics, or `None` for an empty slice.
+pub fn try_summarize(costs: &[f64]) -> Option<CostSummary> {
+    if costs.is_empty() {
+        return None;
+    }
+    let n = costs.len() as f64;
     let total: f64 = costs.iter().sum();
     let mean = total / n;
     let var = costs.iter().map(|c| (c - mean).powi(2)).sum::<f64>() / n;
     let std_dev = var.sqrt();
-    CostSummary { mean, std_dev, cv: if mean > 0.0 { std_dev / mean } else { 0.0 }, total }
+    Some(CostSummary { mean, std_dev, cv: if mean > 0.0 { std_dev / mean } else { 0.0 }, total })
 }
 
 #[cfg(test)]
@@ -165,6 +183,14 @@ mod tests {
         let s = summarize(&c);
         assert_eq!(s.cv, 0.0);
         assert_eq!(s.total, 500.0);
+    }
+
+    #[test]
+    fn empty_costs_are_an_explicit_zero_summary() {
+        assert_eq!(try_summarize(&[]), None);
+        let s = summarize(&[]);
+        assert_eq!(s, CostSummary::EMPTY);
+        assert_eq!((s.mean, s.std_dev, s.cv, s.total), (0.0, 0.0, 0.0, 0.0));
     }
 
     #[test]

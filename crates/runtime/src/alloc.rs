@@ -107,6 +107,22 @@ pub fn allocate_many(
     cfg: &MachineConfig,
     params: &AllocParams,
 ) -> Vec<usize> {
+    allocate_many_with(ops, p, params, |op, procs| finish_estimate(op, procs, cfg).total())
+}
+
+/// [`allocate_many`] with a caller-supplied finishing-time estimator.
+///
+/// The simulator calls it with the modeled machine's
+/// [`finish_estimate`]; the real backends call it with
+/// [`finish_estimate_live`](crate::finish::finish_estimate_live) over
+/// live sampled statistics and host-calibrated overheads, where no
+/// `MachineConfig` exists.
+pub fn allocate_many_with(
+    ops: &[OpSpec],
+    p: usize,
+    params: &AllocParams,
+    est: impl Fn(&OpSpec, usize) -> f64,
+) -> Vec<usize> {
     let k = ops.len();
     assert!(k >= 1, "need at least one operation");
     assert!(p >= k, "need at least one processor per operation");
@@ -122,14 +138,11 @@ pub fn allocate_many(
         *a += 1;
         extra -= 1;
     }
-    let est = |ops: &[OpSpec], alloc: &[usize], i: usize| -> f64 {
-        finish_estimate(&ops[i], alloc[i].max(1), cfg).total()
-    };
     for _ in 0..params.max_count * k as u32 {
         let (mut hi, mut lo) = (0, 0);
         let (mut hi_e, mut lo_e) = (f64::MIN, f64::MAX);
         for i in 0..k {
-            let e = est(ops, &alloc, i);
+            let e = est(&ops[i], alloc[i].max(1));
             if e > hi_e {
                 hi_e = e;
                 hi = i;
@@ -444,6 +457,18 @@ mod tests {
         // Same direction of skew.
         assert!(many[0] > many[1]);
         assert!(pair.p1 > pair.p2);
+    }
+
+    #[test]
+    fn many_with_uses_the_supplied_estimator() {
+        // A trivial work/p estimator must still skew toward the op
+        // with more total work, without any MachineConfig in sight.
+        let ops = vec![spec(8000, 1.0, 0.0), spec(1000, 1.0, 0.0)];
+        let alloc = allocate_many_with(&ops, 8, &AllocParams::default(), |op, p| {
+            op.total_work() / p as f64
+        });
+        assert_eq!(alloc.iter().sum::<usize>(), 8);
+        assert!(alloc[0] > alloc[1], "8× work must earn more processors: {alloc:?}");
     }
 
     #[test]

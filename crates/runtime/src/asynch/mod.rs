@@ -31,16 +31,18 @@
 
 pub(crate) mod driver;
 
-use crate::alloc::OutputArena;
+use crate::alloc::{allocate_many_with, AllocParams, OutputArena};
 use crate::checkpoint::{op_snapshot, plan_fingerprint, OpSnapshot, ResumeState, RunCtl};
 use crate::chunking::PolicyKind;
 use crate::executor::{costs_of_node, ExecutionReport, ExecutorOptions, NodeReport};
+use crate::finish::{finish_estimate_live, HostCalibration, OpSpec};
 use crate::stats::OnlineStats;
 use crate::threaded::queue::{Chunk, ChunkQueue};
 use crate::threaded::{build_plan, TaskCtx, TaskKernel};
 use driver::{DepGate, DriverRecord, Sched, TaskFuture, TaskSlot};
 use orchestra_delirium::{DelirGraph, GraphError, Node};
 use orchestra_machine::{ProcStats, RunStats};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
@@ -157,6 +159,11 @@ pub struct AsyncOpRecord {
     pub chunks: u64,
     /// Cooperative yields taken at this op's chunk boundaries.
     pub yields: u64,
+    /// Driver share the §4.1.2 equalizer allocated to this op (the
+    /// whole driver pool when the op had its level to itself or
+    /// allocation was off): its chunk schedule and claimer
+    /// oversubscription are sized for this share.
+    pub procs: usize,
 }
 
 /// The result of executing a graph on the cooperative executor —
@@ -231,7 +238,7 @@ impl AsyncRun {
                     name: op.name.clone(),
                     start: op.start_us,
                     finish: op.finish_us,
-                    procs: self.drivers,
+                    procs: op.procs,
                 })
                 .collect(),
             serial_work: self.stats.total_busy(),
@@ -522,6 +529,52 @@ pub(crate) fn execute_async_resumed(
             dependents[d].push(i);
         }
     }
+    // §4.1.2 driver shares: when a level holds several concurrent ops
+    // and allocation is on, the equalizer rations the driver pool
+    // between them — each op's chunk schedule and claimer count are
+    // sized for its share instead of the whole pool. The split is a
+    // pure function of task counts (no sampled stats exist yet), so
+    // one-driver determinism is untouched.
+    let pending_of: Vec<usize> = plan
+        .ops
+        .iter()
+        .enumerate()
+        .map(|(i, op)| {
+            let restored = resume
+                .and_then(|r| r.ops.get(i))
+                .map_or(0, |o| o.completed.iter().filter(|&&c| c).count());
+            op.tasks.saturating_sub(restored)
+        })
+        .collect();
+    let mut op_shares: Vec<usize> = vec![drivers; plan.ops.len()];
+    if opts.use_allocation && drivers > 1 {
+        let cal = HostCalibration::get();
+        let kind = match opts.policy {
+            PolicyKind::Static => PolicyKind::Gss,
+            p => p,
+        };
+        let mut depth = vec![0usize; plan.ops.len()];
+        let mut by_depth: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for (i, op) in plan.ops.iter().enumerate() {
+            depth[i] = op.deps.iter().map(|&d| depth[d] + 1).max().unwrap_or(0);
+            if !pre_done[i] && pending_of[i] > 0 {
+                by_depth.entry(depth[i]).or_default().push(i);
+            }
+        }
+        for group in by_depth.values() {
+            if group.len() < 2 || drivers < group.len() {
+                continue;
+            }
+            let specs: Vec<OpSpec> =
+                group.iter().map(|&i| OpSpec::from_live(pending_of[i], None, kind)).collect();
+            let alloc = allocate_many_with(&specs, drivers, &AllocParams::default(), |s, p| {
+                finish_estimate_live(s, p, &cal).total()
+            });
+            for (&i, &a) in group.iter().zip(&alloc) {
+                op_shares[i] = a;
+            }
+        }
+    }
     let mut hinted_serial_us = 0.0;
     // One slab for every op's outputs; spans are disjoint per op and
     // handed downstream by reference once the producer completes.
@@ -546,7 +599,8 @@ pub(crate) fn execute_async_resumed(
             PolicyKind::Static => PolicyKind::Gss.instantiate(pending),
             p => p.instantiate(pending),
         };
-        let queue = ChunkQueue::new(policy, pending, drivers);
+        // Chunk schedules size for the op's allocated driver share.
+        let queue = ChunkQueue::new(policy, pending, op_shares[i]);
         if let Some(r) = res_op.filter(|o| o.stats.count() > 0) {
             queue.observe_chunk(0, 0, &r.stats);
         }
@@ -561,7 +615,7 @@ pub(crate) fn execute_async_resumed(
                 }
             }
         }
-        let claimers = if pre_done[i] { 0 } else { claimers_for(pending, drivers) };
+        let claimers = if pre_done[i] { 0 } else { claimers_for(pending, op_shares[i]) };
         let stamp = if pre_done[i] { 0u64 } else { u64::MAX };
         n_claimers.push(claimers);
         ops.push(AsyncOp {
@@ -638,13 +692,15 @@ pub(crate) fn execute_async_resumed(
     let op_records: Vec<AsyncOpRecord> = shared
         .ops
         .iter()
-        .map(|op| AsyncOpRecord {
+        .enumerate()
+        .map(|(i, op)| AsyncOpRecord {
             name: op.name.clone(),
             start_us: f64::from_bits(op.started_bits.load(Ordering::Acquire)),
             finish_us: f64::from_bits(op.finished_bits.load(Ordering::Acquire)),
             tasks: op.costs.len(),
             chunks: op.queue.chunks_claimed(),
             yields: op.yields.load(Ordering::Relaxed),
+            procs: op_shares[i],
         })
         .collect();
     let claims: u64 = op_records.iter().map(|o| o.chunks).sum();

@@ -49,6 +49,16 @@ pub trait ChunkPolicy {
         None
     }
 
+    /// A snapshot of the task-time statistics the policy has sampled
+    /// so far, for policies that keep them (TAPER). The allocation
+    /// equalizer reads this to build live [`finish
+    /// estimates`](crate::finish::finish_estimate_live) from the chunk
+    /// queues instead of the synthetic cost model; schedule-only
+    /// policies return `None`.
+    fn live_stats(&self) -> Option<OnlineStats> {
+        None
+    }
+
     /// Display name of the policy.
     fn name(&self) -> &'static str;
 }
@@ -255,6 +265,10 @@ impl ChunkPolicy for Taper {
         if let Some(f) = &mut self.cost_fn {
             f.observe_span(start, len, stats.mean());
         }
+    }
+
+    fn live_stats(&self) -> Option<OnlineStats> {
+        Some(self.stats.clone())
     }
 
     fn name(&self) -> &'static str {

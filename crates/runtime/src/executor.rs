@@ -213,6 +213,48 @@ fn op_spec(kind: &NodeKind, policy: PolicyKind, bytes_per_task: u64) -> OpSpec {
     }
 }
 
+/// The aggregate spec the allocator sees for a pipeline group: piece
+/// work per iteration × the group's iteration count. The task-time
+/// variance pools by the law of total variance — within-piece σᵢ²
+/// *plus* the dispersion of the piece means around the pooled mean:
+///
+/// ```text
+/// σ² = Σ nᵢ·(σᵢ² + (µᵢ − µ̄)²) / Σ nᵢ
+/// ```
+///
+/// Dropping the second term (as a naive σ²·n sum does) underestimates
+/// `lag` for heterogeneous groups: two internally regular pieces with
+/// very different means still look irregular to a scheduler drawing
+/// tasks from their union.
+fn pipeline_group_spec(
+    pieces: &[OpSpec],
+    iters: usize,
+    bytes_per_task: u64,
+    policy: PolicyKind,
+) -> OpSpec {
+    let iters = iters.max(1);
+    let per_iter_tasks: usize = pieces.iter().map(|s| s.tasks).sum();
+    if per_iter_tasks == 0 {
+        return OpSpec::empty(policy);
+    }
+    let work: f64 = pieces.iter().map(|s| s.total_work()).sum();
+    let mean = work / per_iter_tasks as f64;
+    let var = pieces
+        .iter()
+        .map(|s| s.tasks as f64 * (s.std_dev * s.std_dev + (s.mean - mean).powi(2)))
+        .sum::<f64>()
+        / per_iter_tasks as f64;
+    let tasks = per_iter_tasks * iters;
+    OpSpec {
+        tasks,
+        mean,
+        std_dev: var.sqrt(),
+        bytes_in: tasks as u64 * bytes_per_task,
+        bytes_out: tasks as u64 * bytes_per_task,
+        policy,
+    }
+}
+
 /// Samples the cost vector for any node kind. Mixture populations are
 /// sampled separately (with per-population sub-seeds) and interleaved
 /// round-robin, matching a masked loop's distribution of heavy
@@ -372,12 +414,17 @@ pub fn execute_graph(
         }
 
         // Ready time of each unit: preds' finishes plus edge transfer.
+        // `procs` is the *consuming unit's* allocation — the transfer
+        // is expanded onto the partition that will run the unit, not
+        // onto the whole machine, so a 4-proc unit receives its input
+        // at 4-way parallelism rather than `cfg.processors`-way.
         fn unit_ready(
             vs: &[NodeId],
             clock: f64,
             g: &DelirGraph,
             cfg: &MachineConfig,
             node_finish: &[f64],
+            procs: usize,
         ) -> f64 {
             let mut t = clock;
             for &v in vs {
@@ -385,10 +432,11 @@ pub fn execute_graph(
                     if vs.contains(&e.from) {
                         continue;
                     }
-                    // Distributed transfer: each processor moves its
-                    // 1/p share; the message rounds pipeline with the
-                    // data, so one latency plus the routed volume.
-                    let p = cfg.processors.max(1) as f64;
+                    // Distributed transfer: each receiving processor
+                    // moves its 1/p share; the message rounds pipeline
+                    // with the data, so one latency plus the routed
+                    // volume.
+                    let p = procs.max(1) as f64;
                     let comm = cfg.alpha
                         + cfg.beta * e.data.bytes() as f64 / p
                         + cfg.hop * cfg.diameter() as f64;
@@ -404,29 +452,12 @@ pub fn execute_graph(
             .map(|u| match u {
                 Unit::Single(v) => op_spec(&g.nodes[*v].kind, opts.policy, opts.bytes_per_task),
                 Unit::Pipeline(name, vs) => {
-                    // Aggregate spec: piece work per iteration × the
-                    // group's iteration count, so the allocator sees the
-                    // pipeline's true total load.
                     let iters = opts.pipeline_iters.get(name).copied().unwrap_or(1).max(1);
-                    let mut total_tasks = 0usize;
-                    let mut work = 0.0;
-                    let mut var = 0.0;
-                    for &v in vs {
-                        let s = op_spec(&g.nodes[v].kind, opts.policy, opts.bytes_per_task);
-                        total_tasks += s.tasks;
-                        work += s.total_work();
-                        var += (s.std_dev * s.std_dev) * s.tasks as f64;
-                    }
-                    let mean = work / total_tasks.max(1) as f64;
-                    total_tasks *= iters;
-                    OpSpec {
-                        tasks: total_tasks,
-                        mean,
-                        std_dev: (var / (total_tasks.max(1) / iters) as f64).sqrt(),
-                        bytes_in: total_tasks as u64 * opts.bytes_per_task,
-                        bytes_out: total_tasks as u64 * opts.bytes_per_task,
-                        policy: opts.policy,
-                    }
+                    let pieces: Vec<OpSpec> = vs
+                        .iter()
+                        .map(|&v| op_spec(&g.nodes[v].kind, opts.policy, opts.bytes_per_task))
+                        .collect();
+                    pipeline_group_spec(&pieces, iters, opts.bytes_per_task, opts.policy)
                 }
             })
             .collect();
@@ -492,7 +523,8 @@ pub fn execute_graph(
             for (u, &p_u) in units.iter().zip(alloc) {
                 match u {
                     Unit::Single(v) => {
-                        let start = unit_ready(std::slice::from_ref(v), clock, g, cfg, node_finish);
+                        let start =
+                            unit_ready(std::slice::from_ref(v), clock, g, cfg, node_finish, p_u);
                         let end = run_node(&g.nodes[*v], p_u, start, offset, cfg, opts);
                         finishes.push((*v, end));
                         local_reports.push(NodeReport {
@@ -504,7 +536,7 @@ pub fn execute_graph(
                         level_end = level_end.max(end);
                     }
                     Unit::Pipeline(name, vs) => {
-                        let start = unit_ready(vs, clock, g, cfg, node_finish);
+                        let start = unit_ready(vs, clock, g, cfg, node_finish, p_u);
                         let iters = opts.pipeline_iters.get(name).copied().unwrap_or(1);
                         let end = run_pipeline(g, vs, iters, p_u, start, offset, cfg, opts);
                         for &v in vs {
@@ -805,6 +837,56 @@ mod tests {
         let a = g.add_node("A", NodeKind::Task { cost: 1.0 }, None);
         g.add_edge(a, a, DataAnno::scalar("self"));
         assert!(execute_graph(&g, &MachineConfig::ncube2(4), &ExecutorOptions::default()).is_err());
+    }
+
+    #[test]
+    fn pipeline_variance_pools_between_piece_mean_dispersion() {
+        // Two pieces with the *same* within-piece σ but very different
+        // means: a scheduler drawing from their union sees task times
+        // spread across the two populations, so the pooled σ must be
+        // dominated by the mean gap, not the tiny within-piece jitter.
+        let sigma = 2.0;
+        let pieces = [
+            OpSpec {
+                tasks: 100,
+                mean: 1.0,
+                std_dev: sigma,
+                bytes_in: 0,
+                bytes_out: 0,
+                policy: PolicyKind::Taper,
+            },
+            OpSpec {
+                tasks: 100,
+                mean: 101.0,
+                std_dev: sigma,
+                bytes_in: 0,
+                bytes_out: 0,
+                policy: PolicyKind::Taper,
+            },
+        ];
+        let agg = pipeline_group_spec(&pieces, 3, 32, PolicyKind::Taper);
+        assert_eq!(agg.tasks, 600);
+        assert!((agg.mean - 51.0).abs() < 1e-12);
+        // Law of total variance: σ² = avg σᵢ² + avg (µᵢ−µ̄)²
+        //                          = 4 + 50² = 2504.
+        let expect = (sigma * sigma + 50.0 * 50.0).sqrt();
+        assert!(
+            (agg.std_dev - expect).abs() < 1e-9,
+            "pooled σ {} should equal {expect}",
+            agg.std_dev
+        );
+        // The old σ²·n-only pooling would have reported σ = 2 here;
+        // heterogeneous groups must look irregular.
+        assert!(agg.std_dev > 10.0 * sigma);
+        // Homogeneous groups are unchanged by the new term.
+        let same = [pieces[0], pieces[0]];
+        let h = pipeline_group_spec(&same, 1, 32, PolicyKind::Taper);
+        assert!((h.std_dev - sigma).abs() < 1e-12);
+        // Empty groups collapse to the explicit empty spec.
+        assert_eq!(
+            pipeline_group_spec(&[], 4, 32, PolicyKind::Taper),
+            OpSpec::empty(PolicyKind::Taper)
+        );
     }
 
     #[test]

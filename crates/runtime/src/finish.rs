@@ -18,7 +18,9 @@
 //!   divided across processors.
 
 use crate::chunking::{predicted_chunks, PolicyKind};
+use crate::stats::OnlineStats;
 use orchestra_machine::MachineConfig;
+use std::sync::OnceLock;
 
 /// The runtime profile of one parallel operation, as known when the
 /// allocation decision is made.
@@ -39,9 +41,22 @@ pub struct OpSpec {
 }
 
 impl OpSpec {
-    /// A spec from sampled costs.
+    /// The spec of an operation with no tasks: every field zero. It
+    /// is the identity for aggregation and [`finish_estimate`] maps it
+    /// to an all-zero estimate, so degenerate ops never skew an
+    /// allocation decision.
+    pub const fn empty(policy: PolicyKind) -> Self {
+        OpSpec { tasks: 0, mean: 0.0, std_dev: 0.0, bytes_in: 0, bytes_out: 0, policy }
+    }
+
+    /// A spec from sampled costs. An empty slice yields
+    /// [`OpSpec::empty`] — explicitly, rather than by letting
+    /// `summarize`'s division guards leak zeros into a spec that still
+    /// claims tasks.
     pub fn from_costs(costs: &[f64], bytes_per_task: u64, policy: PolicyKind) -> Self {
-        let s = orchestra_machine::summarize(costs);
+        let Some(s) = orchestra_machine::try_summarize(costs) else {
+            return OpSpec::empty(policy);
+        };
         OpSpec {
             tasks: costs.len(),
             mean: s.mean,
@@ -50,6 +65,19 @@ impl OpSpec {
             bytes_out: costs.len() as u64 * bytes_per_task,
             policy,
         }
+    }
+
+    /// A spec from a *live* operation: `remaining` unclaimed tasks and
+    /// the µ/σ sampled by its chunk queue so far. Before any samples
+    /// exist the spec falls back to unit-cost tasks (`µ = 1, σ = 0`),
+    /// so an equalizer over warm-up ops splits processors by task
+    /// count — the only signal available — instead of by zeros.
+    pub fn from_live(remaining: usize, stats: Option<&OnlineStats>, policy: PolicyKind) -> Self {
+        let (mean, std_dev) = match stats {
+            Some(s) if s.count() > 0 => (s.mean(), s.std_dev()),
+            _ => (1.0, 0.0),
+        };
+        OpSpec { tasks: remaining, mean, std_dev, bytes_in: 0, bytes_out: 0, policy }
     }
 
     /// Coefficient of variation.
@@ -96,12 +124,16 @@ impl FinishEstimate {
 const MIGRATED_FRACTION: f64 = 0.1;
 
 /// Estimates the finishing time of `op` on `p` processors of `cfg`.
+/// An op with no tasks finishes instantly: every term is zero.
 ///
 /// # Panics
 ///
 /// Panics if `p` is zero.
 pub fn finish_estimate(op: &OpSpec, p: usize, cfg: &MachineConfig) -> FinishEstimate {
     assert!(p > 0, "estimate needs at least one processor");
+    if op.tasks == 0 {
+        return FinishEstimate { setup: 0.0, compute: 0.0, lag: 0.0, comm: 0.0, sched: 0.0 };
+    }
     let p_f = p as f64;
     let n_f = op.tasks as f64;
 
@@ -134,6 +166,72 @@ pub fn finish_estimate(op: &OpSpec, p: usize, cfg: &MachineConfig) -> FinishEsti
     let sched = chunks * cfg.sched_overhead / p_f;
 
     FinishEstimate { setup, compute, lag, comm, sched }
+}
+
+/// Overhead constants measured on *this* host, replacing the nCUBE-2
+/// [`MachineConfig`] numbers when the estimate steers real threads.
+/// The synthetic config models a 1024-node hypercube; a shared-memory
+/// worker pool has no message latency and its per-claim cost is
+/// whatever one `fetch_add` on a contended queue actually takes here.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HostCalibration {
+    /// Measured cost of one scheduling event — one chunk claim on a
+    /// [`ChunkQueue`](crate::threaded::queue::ChunkQueue) — in µs.
+    pub sched_overhead_us: f64,
+}
+
+impl HostCalibration {
+    /// A calibration with a fixed overhead (for tests and replay,
+    /// where measuring would be nondeterministic).
+    pub const fn with_overhead(sched_overhead_us: f64) -> Self {
+        HostCalibration { sched_overhead_us }
+    }
+
+    /// Measures the per-claim cost by draining a throwaway
+    /// self-scheduling queue (one task per claim, so elapsed/tasks is
+    /// the pure scheduling hot path). Clamped to a sane band so a
+    /// descheduled measurement on a loaded host cannot poison every
+    /// later allocation decision.
+    pub fn measure() -> Self {
+        use crate::threaded::queue::ChunkQueue;
+        const TASKS: usize = 8192;
+        let q = ChunkQueue::new(PolicyKind::SelfSched.instantiate(TASKS), TASKS, 1);
+        let t0 = std::time::Instant::now();
+        while q.claim().is_some() {}
+        let per_claim_us = t0.elapsed().as_secs_f64() * 1e6 / TASKS as f64;
+        HostCalibration { sched_overhead_us: per_claim_us.clamp(0.001, 10.0) }
+    }
+
+    /// The process-wide calibration, measured once on first use.
+    pub fn get() -> HostCalibration {
+        static CAL: OnceLock<HostCalibration> = OnceLock::new();
+        *CAL.get_or_init(HostCalibration::measure)
+    }
+}
+
+/// Estimates the finishing time of a live operation on `p` workers of
+/// a shared-memory pool: the §4.1.2 expression with the message-passing
+/// terms dropped (`setup = comm = 0` — no data is contracted onto a
+/// partition; workers share one address space) and `sched` priced at
+/// the host's measured claim cost instead of the nCUBE-2 constant.
+/// `op` should come from [`OpSpec::from_live`] so `N`, µ, and σ are
+/// the queue's current remaining count and sampled statistics.
+///
+/// # Panics
+///
+/// Panics if `p` is zero.
+pub fn finish_estimate_live(op: &OpSpec, p: usize, cal: &HostCalibration) -> FinishEstimate {
+    assert!(p > 0, "estimate needs at least one processor");
+    if op.tasks == 0 {
+        return FinishEstimate { setup: 0.0, compute: 0.0, lag: 0.0, comm: 0.0, sched: 0.0 };
+    }
+    let p_f = p as f64;
+    let compute = op.tasks as f64 * op.mean / p_f;
+    let m = p.min(op.tasks) as f64;
+    let lag = if m <= 1.0 { 0.0 } else { op.std_dev * (2.0 * m.ln()).sqrt() };
+    let chunks = predicted_chunks(op.policy, op.tasks, p, op.cv());
+    let sched = chunks * cal.sched_overhead_us / p_f;
+    FinishEstimate { setup: 0.0, compute, lag, comm: 0.0, sched }
 }
 
 #[cfg(test)]
@@ -222,5 +320,60 @@ mod tests {
         assert!((s.mean - 4.0).abs() < 1e-12);
         assert_eq!(s.bytes_in, 300);
         assert!((s.total_work() - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_costs_yield_the_explicit_empty_spec() {
+        let s = OpSpec::from_costs(&[], 256, PolicyKind::Taper);
+        assert_eq!(s, OpSpec::empty(PolicyKind::Taper));
+        assert_eq!(s.tasks, 0);
+        assert_eq!(s.total_work(), 0.0);
+        // And the estimator maps it to a zero estimate instead of
+        // folding a zero mean into a nonzero sched/setup term.
+        let e = finish_estimate(&s, 8, &MachineConfig::ncube2(8));
+        assert_eq!(e.total(), 0.0);
+        let el = finish_estimate_live(&s, 8, &HostCalibration::with_overhead(0.5));
+        assert_eq!(el.total(), 0.0);
+    }
+
+    #[test]
+    fn live_spec_falls_back_to_task_counts_before_samples() {
+        let cold = OpSpec::from_live(100, None, PolicyKind::Taper);
+        assert_eq!((cold.tasks, cold.mean, cold.std_dev), (100, 1.0, 0.0));
+        let empty = crate::stats::OnlineStats::new();
+        let still_cold = OpSpec::from_live(100, Some(&empty), PolicyKind::Taper);
+        assert_eq!(still_cold.mean, 1.0);
+        let mut warm = crate::stats::OnlineStats::new();
+        for c in [2.0, 4.0, 6.0] {
+            warm.observe(c);
+        }
+        let live = OpSpec::from_live(50, Some(&warm), PolicyKind::Taper);
+        assert_eq!(live.tasks, 50);
+        assert!((live.mean - 4.0).abs() < 1e-12);
+        assert!(live.std_dev > 0.0);
+    }
+
+    #[test]
+    fn live_estimate_drops_message_passing_terms() {
+        let s = spec(4096, 100.0, 0.5, PolicyKind::Taper);
+        let e = finish_estimate_live(&s, 8, &HostCalibration::with_overhead(0.2));
+        assert_eq!(e.setup, 0.0);
+        assert_eq!(e.comm, 0.0);
+        assert!(e.compute > 0.0 && e.lag > 0.0 && e.sched > 0.0);
+        // More workers, less compute share; lag persists.
+        let e16 = finish_estimate_live(&s, 16, &HostCalibration::with_overhead(0.2));
+        assert!(e16.compute < e.compute);
+    }
+
+    #[test]
+    fn host_calibration_measures_within_the_clamp_band() {
+        let cal = HostCalibration::measure();
+        assert!(
+            (0.001..=10.0).contains(&cal.sched_overhead_us),
+            "claim cost {} µs outside clamp",
+            cal.sched_overhead_us
+        );
+        // The process-wide instance is stable across calls.
+        assert_eq!(HostCalibration::get(), HostCalibration::get());
     }
 }

@@ -123,15 +123,44 @@ impl DistQueue {
     /// Panics if `node_of.len() != workers.max(1)`.
     pub fn with_nodes(total: usize, workers: usize, node_of: Vec<usize>) -> Self {
         let workers = workers.max(1);
+        let members: Vec<usize> = (0..workers).collect();
+        DistQueue::with_partition(total, workers, node_of, &members)
+    }
+
+    /// Like [`with_nodes`](Self::with_nodes), but block-decomposes the
+    /// iteration space over `members` only — the §4.1.2 allocator's
+    /// partition of the pool for this operation. Non-members start
+    /// retired (their tokens are not required for epoch completion and
+    /// their homes are empty); [`admit_worker`](Self::admit_worker)
+    /// later widens the partition when the equalizer migrates freed
+    /// processors here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node_of.len() != workers.max(1)`, `members` is empty,
+    /// or any member index is out of range.
+    pub fn with_partition(
+        total: usize,
+        workers: usize,
+        node_of: Vec<usize>,
+        members: &[usize],
+    ) -> Self {
+        let workers = workers.max(1);
         assert_eq!(node_of.len(), workers, "one node per worker");
+        assert!(!members.is_empty(), "partition needs at least one member");
+        assert!(members.iter().all(|&m| m < workers), "member out of range");
         let mut homes: Vec<VecDeque<usize>> = vec![VecDeque::new(); workers];
         for i in 0..total {
-            homes[owner_of(i, total, workers)].push_back(i);
+            homes[members[owner_of(i, total, members.len())]].push_back(i);
+        }
+        let mut retired = vec![true; workers];
+        for &m in members {
+            retired[m] = false;
         }
         DistQueue {
             coord: Mutex::new(Coord {
                 homes,
-                retired: vec![false; workers],
+                retired,
                 policy: Taper::new(),
                 global_epoch: 0,
                 counts: vec![vec![0; workers]],
@@ -259,6 +288,18 @@ impl DistQueue {
         self.remaining.load(Ordering::Acquire) > 0
     }
 
+    /// Unclaimed tasks remaining across all home queues.
+    pub fn remaining(&self) -> usize {
+        self.remaining.load(Ordering::Acquire)
+    }
+
+    /// A snapshot of the TAPER policy's sampled cost statistics, or
+    /// `None` when the coordinator lock is contended — the §4.1.2
+    /// equalizer's live µ/σ feed, best-effort by design.
+    pub fn sampled_stats(&self) -> Option<crate::stats::OnlineStats> {
+        self.coord.try_lock().ok().and_then(|c| c.policy.live_stats())
+    }
+
     /// Chunks handed out so far.
     pub fn chunks_claimed(&self) -> u64 {
         self.chunks.load(Ordering::Relaxed)
@@ -364,6 +405,42 @@ impl DistQueue {
             c.homes[heir].push_back(t);
         }
         moved
+    }
+
+    /// Admits `worker` into the operation's partition: un-retires it
+    /// (its tokens now count toward epoch completion) and seeds its
+    /// home queue with half of the fullest home, returning how many
+    /// tasks moved. Unlike the cv-gated in-protocol re-assignment this
+    /// is unconditional — the §4.1.2 equalizer has already decided the
+    /// migration, so the gate must not veto it. Idempotent for a
+    /// worker that is already a member with a non-empty home (it only
+    /// re-seeds when the admitted home is empty).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker >= workers`.
+    pub fn admit_worker(&self, worker: usize) -> usize {
+        assert!(worker < self.workers, "worker {worker} out of range");
+        let mut c = self.coord.lock().expect("dist coordinator poisoned");
+        c.retired[worker] = false;
+        if !c.homes[worker].is_empty() {
+            return 0;
+        }
+        let donor = (0..self.workers)
+            .filter(|&b| b != worker)
+            .max_by_key(|&b| c.homes[b].len())
+            .filter(|&b| c.homes[b].len() > 1);
+        let Some(b) = donor else { return 0 };
+        let steal = c.homes[b].len() / 2;
+        for _ in 0..steal {
+            let t = c.homes[b].pop_back().expect("len checked");
+            c.homes[worker].push_back(t);
+        }
+        self.reassignments.fetch_add(1, Ordering::Relaxed);
+        if self.node_of[b] != self.node_of[worker] {
+            self.remote_reassignments.fetch_add(1, Ordering::Relaxed);
+        }
+        steal
     }
 
     /// Merges previously persisted cost statistics into the TAPER
@@ -595,6 +672,62 @@ mod tests {
         while q.claim(1, &costs, 0.0).is_some() {}
         assert!(q.reassignments() >= 1, "fast worker never triggered the gate");
         assert_eq!(q.remote_reassignments(), q.reassignments());
+    }
+
+    #[test]
+    fn partition_decomposes_over_members_only() {
+        // 4 workers, but the allocator gave this op only {1, 3}: every
+        // task must start in a member's home queue, the op must drain
+        // through members alone, and epochs must close without tokens
+        // from the non-members.
+        let n = 200;
+        let costs = vec![2.0; n];
+        let q = DistQueue::with_partition(n, 4, vec![0; 4], &[1, 3]);
+        assert_eq!(q.home_len(0), 0);
+        assert_eq!(q.home_len(2), 0);
+        assert_eq!(q.home_len(1) + q.home_len(3), n);
+        let mut got = 0usize;
+        let mut active = true;
+        while active {
+            active = false;
+            for w in [1usize, 3] {
+                if let Some(c) = q.claim(w, &costs, got as f64) {
+                    got += c.tasks.len();
+                    active = true;
+                }
+            }
+        }
+        assert_eq!(got, n);
+        assert!(q.epochs() >= 1, "epochs must close without non-member tokens");
+    }
+
+    #[test]
+    fn admitted_worker_inherits_half_the_fullest_home() {
+        let n = 128;
+        let costs = vec![1.0; n];
+        let q = DistQueue::with_partition(n, 4, vec![0; 4], &[0]);
+        assert_eq!(q.home_len(0), n);
+        let moved = q.admit_worker(2);
+        assert_eq!(moved, n / 2);
+        assert_eq!(q.home_len(2), n / 2);
+        // The admitted worker can now claim and the op still drains
+        // exactly once.
+        let mut got = Vec::new();
+        let mut active = true;
+        while active {
+            active = false;
+            for w in [0usize, 2] {
+                if let Some(c) = q.claim(w, &costs, got.len() as f64) {
+                    got.extend(c.tasks);
+                    active = true;
+                }
+            }
+        }
+        got.sort_unstable();
+        assert_eq!(got, (0..n).collect::<Vec<_>>());
+        // Idempotent once the home is non-empty.
+        let q2 = DistQueue::with_partition(n, 2, vec![0; 2], &[0, 1]);
+        assert_eq!(q2.admit_worker(1), 0, "member with work must not re-seed");
     }
 
     #[test]

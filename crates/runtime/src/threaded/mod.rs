@@ -23,17 +23,18 @@ pub mod pool;
 pub mod queue;
 pub mod topology;
 
-use crate::alloc::OutputArena;
+use crate::alloc::{allocate_many_with, AllocParams, OutputArena};
 use crate::checkpoint::{plan_fingerprint, ResumeState, RunCtl};
 use crate::chunking::PolicyKind;
 use crate::executor::{costs_of_node, ExecutionReport, ExecutorOptions, NodeReport};
+use crate::finish::{finish_estimate_live, HostCalibration, OpSpec};
 use crate::stats::{OnlineStats, StealStats};
 use dist::DistQueue;
 use orchestra_delirium::{DelirGraph, GraphError, Node};
 use orchestra_machine::{ProcStats, RunStats};
-use pool::{OpInstance, OpQueue};
+use pool::{OpInstance, OpQueue, Partition};
 use queue::ChunkQueue;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize};
 use std::time::Instant;
 use topology::{TopologyFingerprint, WorkerTopo};
@@ -344,6 +345,13 @@ pub struct OpRecord {
     /// Re-assignments that crossed a NUMA node boundary (≤
     /// `reassignments`; 0 for shared-queue ops and single-node runs).
     pub remote_reassignments: u64,
+    /// Workers the §4.1.2 equalizer initially allocated to this op —
+    /// the whole pool when the op had its level to itself (or
+    /// allocation was off), a partition of it when concurrent ops
+    /// split the pool. Re-equalization can later widen a partition;
+    /// this records the allocator's decision, so concurrent ops' procs
+    /// sum to the pool size.
+    pub procs: usize,
 }
 
 /// The result of executing a graph on real threads.
@@ -419,7 +427,7 @@ impl ThreadedRun {
                     name: op.name.clone(),
                     start: op.start_us,
                     finish: op.finish_us,
-                    procs: self.workers,
+                    procs: op.procs,
                 })
                 .collect(),
             serial_work: self.stats.total_busy(),
@@ -492,6 +500,72 @@ pub(crate) fn execute_threaded_resumed(
                 .is_some_and(|o| op.tasks > 0 && o.completed.iter().all(|&c| c))
         })
         .collect();
+    // ---- §4.1.2 processor allocation --------------------------------
+    // When a graph level holds several concurrent ops and allocation is
+    // on, split the pool between them with the finishing-time equalizer
+    // (over live specs: task counts before any samples exist) instead
+    // of letting every worker thrash every queue. Levels are depths in
+    // the expanded instance DAG, so overlapping pipeline iterations
+    // that can run concurrently land in the same group.
+    let pending_of: Vec<usize> = plan
+        .ops
+        .iter()
+        .enumerate()
+        .map(|(i, op)| {
+            let restored = resume
+                .and_then(|r| r.ops.get(i))
+                .map_or(0, |o| o.completed.iter().filter(|&&c| c).count());
+            op.tasks.saturating_sub(restored)
+        })
+        .collect();
+    let mut depth = vec![0usize; plan.ops.len()];
+    for (i, op) in plan.ops.iter().enumerate() {
+        depth[i] = op.deps.iter().map(|&d| depth[d] + 1).max().unwrap_or(0);
+    }
+    // Full-pool defaults; partitioned groups overwrite below. One u64
+    // mask per op caps partitioning at 64 workers (beyond that the
+    // pool falls back to the shared-everything schedule).
+    let full_mask = if workers >= 64 { u64::MAX } else { (1u64 << workers) - 1 };
+    let mut op_procs: Vec<usize> = vec![workers; plan.ops.len()];
+    let mut masks: Vec<u64> = vec![full_mask; plan.ops.len()];
+    let mut partition_live = false;
+    if opts.use_allocation && workers > 1 && workers <= 64 {
+        let cal = HostCalibration::get();
+        let kind = match opts.policy {
+            PolicyKind::Static => PolicyKind::Gss,
+            p => p,
+        };
+        let mut by_depth: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for i in 0..plan.ops.len() {
+            if !pre_done[i] && pending_of[i] > 0 {
+                by_depth.entry(depth[i]).or_default().push(i);
+            }
+        }
+        for group in by_depth.values() {
+            if group.len() < 2 || workers < group.len() {
+                continue;
+            }
+            let specs: Vec<OpSpec> =
+                group.iter().map(|&i| OpSpec::from_live(pending_of[i], None, kind)).collect();
+            let alloc = allocate_many_with(&specs, workers, &AllocParams::default(), |s, p| {
+                finish_estimate_live(s, p, &cal).total()
+            });
+            // Contiguous worker ranges per op: partitions are disjoint
+            // and cover the pool, so each level's procs sum to it.
+            let mut offset = 0u32;
+            for (&i, &a) in group.iter().zip(&alloc) {
+                op_procs[i] = a;
+                masks[i] = (((1u128 << a) - 1) << offset) as u64;
+                offset += a as u32;
+            }
+            partition_live = true;
+        }
+    }
+    let partition = if partition_live {
+        Partition::new(masks.clone())
+    } else {
+        Partition::disabled(plan.ops.len())
+    };
     // One slab for every op's outputs: workers write chunk views in
     // place, dependents read finished slices by reference, and the
     // run's owned buffers come out at the end without a copy.
@@ -527,7 +601,19 @@ pub(crate) fn execute_threaded_resumed(
         // genuinely parallel ops: single-task ops keep a shared queue
         // so a lone Task/Merge node doesn't token every worker.
         let queue = if opts.backend == ExecutorBackend::ThreadedDist && pending > 1 {
-            OpQueue::Dist(DistQueue::with_nodes(pending, workers, wt.node_of_worker.clone()))
+            if partition_live && op_procs[i] < workers {
+                // Block-decompose over the op's partition only: the
+                // other partition's workers start with no home here.
+                let members: Vec<usize> = (0..workers).filter(|&w| masks[i] >> w & 1 == 1).collect();
+                OpQueue::Dist(DistQueue::with_partition(
+                    pending,
+                    workers,
+                    wt.node_of_worker.clone(),
+                    &members,
+                ))
+            } else {
+                OpQueue::Dist(DistQueue::with_nodes(pending, workers, wt.node_of_worker.clone()))
+            }
         } else {
             let policy = match opts.policy {
                 // Static has no dynamic queue; one equal chunk per
@@ -536,7 +622,9 @@ pub(crate) fn execute_threaded_resumed(
                 PolicyKind::Static => PolicyKind::Gss.instantiate(pending),
                 p => p.instantiate(pending),
             };
-            OpQueue::Shared(ChunkQueue::new(policy, pending, workers))
+            // Chunk schedules are sized for the op's allocated
+            // partition, not the whole pool.
+            OpQueue::Shared(ChunkQueue::new(policy, pending, op_procs[i]))
         };
         if let Some(r) = res_op.filter(|o| o.stats.count() > 0) {
             // Warm-start the chunk policy with the snapshot's µ/σ so
@@ -595,6 +683,7 @@ pub(crate) fn execute_threaded_resumed(
         kernel,
         &ctl,
         pre_completed,
+        &partition,
     );
     let wall_us = t0.elapsed().as_secs_f64() * 1e6;
 
@@ -609,9 +698,11 @@ pub(crate) fn execute_threaded_resumed(
     let stats = RunStats::from_procs(procs, wall_us);
     let ops: Vec<OpRecord> = instances
         .iter()
-        .map(|op| {
+        .enumerate()
+        .map(|(i, op)| {
             let d = op.queue.as_dist();
             OpRecord {
+                procs: op_procs[i],
                 name: op.name.clone(),
                 start_us: f64::from_bits(
                     op.started_bits.load(std::sync::atomic::Ordering::Acquire),

@@ -50,6 +50,8 @@ use super::topology::{pin_current_thread, StealDistance, WorkerTopo};
 use super::{TaskCtx, TaskKernel};
 use crate::alloc::OutputArena;
 use crate::checkpoint::{op_snapshot, Lease, OpSnapshot, RunCtl};
+use crate::chunking::PolicyKind;
+use crate::finish::{finish_estimate_live, HostCalibration, OpSpec};
 use crate::stats::{OnlineStats, StealStats};
 use orchestra_delirium::Node;
 use orchestra_machine::ProcStats;
@@ -152,6 +154,80 @@ impl OpInstance {
     }
 }
 
+/// The §4.1.2 processor partition over the worker pool: bit `w` of
+/// `masks[op]` set means worker `w` may serve operation `op`.
+///
+/// When a graph level holds several concurrent operations the
+/// finishing-time equalizer splits the pool between them; the masks
+/// then restrict token routing and steal schedules to each op's
+/// partition. Masks only ever *widen* — re-equalization admits a fast
+/// op's freed workers into the laggard's partition, never evicts a
+/// worker mid-claim — so exactly-once execution and bitwise
+/// determinism are untouched: partitioning moves *where* a task runs,
+/// never *what* it computes.
+///
+/// Disabled (all-ones masks, no balancing) when allocation is off,
+/// the pool has a single worker, or more than 64 workers (one `u64`
+/// mask per op keeps the hot-path check a single atomic load).
+pub(crate) struct Partition {
+    masks: Vec<AtomicU64>,
+    /// Serializes re-equalization decisions; contended triggers skip
+    /// rather than queue (the next trigger re-evaluates anyway).
+    balance: Mutex<()>,
+    enabled: bool,
+}
+
+impl Partition {
+    /// No partitioning: every worker may serve every op.
+    pub(crate) fn disabled(n_ops: usize) -> Self {
+        Partition {
+            masks: (0..n_ops).map(|_| AtomicU64::new(u64::MAX)).collect(),
+            balance: Mutex::new(()),
+            enabled: false,
+        }
+    }
+
+    /// A live partition from one initial mask per op (each must be
+    /// non-zero: an op with no servers would never run).
+    pub(crate) fn new(masks: Vec<u64>) -> Self {
+        assert!(masks.iter().all(|&m| m != 0), "every op needs at least one worker");
+        Partition {
+            masks: masks.into_iter().map(AtomicU64::new).collect(),
+            balance: Mutex::new(()),
+            enabled: true,
+        }
+    }
+
+    pub(crate) fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// May worker `w` claim from op `op`?
+    #[inline]
+    fn allows(&self, op: usize, w: usize) -> bool {
+        !self.enabled || self.masks[op].load(Ordering::Acquire) & (1u64 << w) != 0
+    }
+
+    /// Workers currently assigned to `op` (the live allocation size).
+    fn procs(&self, op: usize, workers: usize) -> usize {
+        if !self.enabled {
+            return workers;
+        }
+        let live = if workers >= 64 { u64::MAX } else { (1u64 << workers) - 1 };
+        (self.masks[op].load(Ordering::Acquire) & live).count_ones() as usize
+    }
+
+    /// Current members of `op`'s partition.
+    fn members(&self, op: usize, workers: usize) -> Vec<usize> {
+        (0..workers).filter(|&w| self.allows(op, w)).collect()
+    }
+
+    /// Adds `w` to `op`'s partition; `true` if the bit was newly set.
+    fn admit(&self, op: usize, w: usize) -> bool {
+        self.masks[op].fetch_or(1u64 << w, Ordering::AcqRel) & (1u64 << w) == 0
+    }
+}
+
 /// Per-worker measurements from one pool run.
 pub struct WorkerRecord {
     /// Busy time / task count / chunk count, as the simulator records
@@ -195,6 +271,8 @@ struct Shared<'a> {
     pin: bool,
     /// Fault-injection and checkpoint control (inert on normal runs).
     ctl: &'a RunCtl,
+    /// The §4.1.2 worker partition (all-ones when allocation is off).
+    partition: &'a Partition,
     /// One padded deque per worker.
     workers: Vec<CachePadded<WorkerState>>,
     completed: AtomicUsize,
@@ -265,6 +343,7 @@ pub(crate) fn run_pool(
     kernel: &(dyn TaskKernel + Sync),
     ctl: &RunCtl,
     pre_completed: usize,
+    partition: &Partition,
 ) -> Vec<WorkerRecord> {
     let workers = workers.max(1);
     debug_assert_eq!(topo.workers(), workers, "topology built for a different pool size");
@@ -278,15 +357,20 @@ pub(crate) fn run_pool(
         .collect();
     // Scatter the initially ready ops round-robin so workers start on
     // distinct ops instead of brawling over one deque; distributed ops
-    // are tokened to EVERY worker (each owns a home queue of the op).
+    // are tokened to every worker in their partition (each member owns
+    // a home queue of the op), shared ops to one member each.
     let mut next = 0usize;
     for op in ready0 {
         if ops[op].queue.is_dist() {
-            for d in deques.iter_mut() {
-                d.0.dist_ready.get_mut().expect("fresh lock").push(op);
+            for (w, d) in deques.iter_mut().enumerate() {
+                if partition.allows(op, w) {
+                    d.0.dist_ready.get_mut().expect("fresh lock").push(op);
+                }
             }
         } else {
-            deques[next % workers].0.ready.get_mut().expect("fresh lock").push_back(op);
+            let members: Vec<usize> = (0..workers).filter(|&w| partition.allows(op, w)).collect();
+            let w = members[next % members.len()];
+            deques[w].0.ready.get_mut().expect("fresh lock").push_back(op);
             next += 1;
         }
     }
@@ -297,6 +381,7 @@ pub(crate) fn run_pool(
         topo,
         pin,
         ctl,
+        partition,
         workers: deques,
         completed: AtomicUsize::new(pre_completed),
         sleepers: AtomicUsize::new(0),
@@ -328,21 +413,28 @@ fn find_token(shared: &Shared<'_>, id: usize, steal: &mut StealStats) -> Option<
         return Some(i);
     }
     if let Some(i) = shared.workers[id].0.ready.lock().expect("deque poisoned").pop_front() {
+        // Own-deque tokens are always serveable: every push path
+        // (scatter, re-advertise, completion routing, admission)
+        // targets a partition member, and masks never shrink.
+        debug_assert!(shared.partition.allows(i, id), "non-member token in own deque");
         return Some(i);
     }
+    let part = shared.partition;
     for target in shared.topo.steal_schedule(id) {
         let mut extras: Vec<usize> = Vec::new();
         let first = {
             let mut victim = shared.workers[target.victim].0.ready.lock().expect("deque poisoned");
             let len = victim.len();
-            let Some(first) = victim.pop_back() else {
+            // Steal schedules are restricted to the thief's partitions:
+            // a token for an op this worker may not serve stays put.
+            let Some(first) = pop_allowed_back(&mut victim, part, id) else {
                 continue;
             };
             if target.distance == StealDistance::Remote {
                 // Batch: take ceil(len/2) tokens total, counting the
                 // one already popped.
                 for _ in 1..len.div_ceil(2) {
-                    match victim.pop_back() {
+                    match pop_allowed_back(&mut victim, part, id) {
                         Some(t) => extras.push(t),
                         None => break,
                     }
@@ -362,6 +454,17 @@ fn find_token(shared: &Shared<'_>, id: usize, steal: &mut StealStats) -> Option<
         return Some(first);
     }
     None
+}
+
+/// Pops the rearmost token the thief's partition masks allow, leaving
+/// other ops' tokens in place. Falls back to a plain `pop_back` when
+/// partitioning is disabled (the common case stays O(1)).
+fn pop_allowed_back(dq: &mut VecDeque<usize>, part: &Partition, id: usize) -> Option<usize> {
+    if !part.enabled() {
+        return dq.pop_back();
+    }
+    let i = (0..dq.len()).rev().find(|&i| part.allows(dq[i], id))?;
+    dq.remove(i)
 }
 
 /// What a claim-loop visit did to the calling worker.
@@ -404,6 +507,11 @@ fn worker_loop(shared: &Shared<'_>, id: usize, kernel: &(dyn TaskKernel + Sync))
                     if shared.all_done() {
                         break;
                     }
+                    // A drained partition frees this worker: offer it
+                    // to the laggard op before sleeping on it.
+                    if reequalize(shared, &[id]) {
+                        continue;
+                    }
                     park(shared, id);
                     continue;
                 }
@@ -443,8 +551,17 @@ fn park(shared: &Shared<'_>, id: usize) {
     shared.sleepers.fetch_add(1, Ordering::SeqCst);
     let visible_work =
         !shared.workers[id].0.dist_ready.lock().expect("dist list poisoned").is_empty()
-            || (0..shared.workers.len())
-                .any(|w| !shared.workers[w].0.ready.lock().expect("deque poisoned").is_empty())
+            || (0..shared.workers.len()).any(|w| {
+                // Only tokens this worker's partitions allow count:
+                // another partition's backlog must not busy-wake us.
+                shared.workers[w]
+                    .0
+                    .ready
+                    .lock()
+                    .expect("deque poisoned")
+                    .iter()
+                    .any(|&t| shared.partition.allows(t, id))
+            })
             || recovery_visible(shared, id);
     if !visible_work && !shared.all_done() && !shared.ctl.crashed() {
         let mut seq = shared.wake_seq.lock().expect("wake lock poisoned");
@@ -587,7 +704,7 @@ fn execute_lease(
     let t_end = us_since(shared.epoch, now);
     proc.free_at = proc.free_at.max(t_end);
     if n > 0 && op.outstanding.fetch_sub(n, Ordering::AcqRel) == n {
-        complete_op(shared, id, op, t_end);
+        complete_op(shared, id, lease.op_idx, t_end);
     }
 }
 
@@ -831,7 +948,7 @@ fn run_op_shared(
                         let t_end = us_since(shared.epoch, prev);
                         proc.free_at = proc.free_at.max(t_end);
                         if done > 0 && op.outstanding.fetch_sub(done, Ordering::AcqRel) == done {
-                            complete_op(shared, id, op, t_end);
+                            complete_op(shared, id, op_idx, t_end);
                         }
                         return Flow::Died;
                     }
@@ -846,7 +963,7 @@ fn run_op_shared(
     // One batched decrement per op visit, not one RMW per chunk;
     // whichever worker's batch reaches zero completes the op.
     if op.outstanding.fetch_sub(done, Ordering::AcqRel) == done {
-        complete_op(shared, id, op, t_end);
+        complete_op(shared, id, op_idx, t_end);
     }
     Flow::Continue
 }
@@ -895,6 +1012,7 @@ fn run_op_dist(
     let mut chunk = first;
     let mut done = 0usize;
     let mut prev = t0;
+    let mut last_epoch = chunk.epoch;
     loop {
         let chunk_t0 = prev;
         for &qi in &chunk.tasks {
@@ -925,10 +1043,19 @@ fn run_op_dist(
                         let t_end = us_since(shared.epoch, prev);
                         proc.free_at = proc.free_at.max(t_end);
                         if done > 0 && op.outstanding.fetch_sub(done, Ordering::AcqRel) == done {
-                            complete_op(shared, id, op, t_end);
+                            complete_op(shared, id, _op_idx, t_end);
                         }
                         return Flow::Died;
                     }
+                }
+                // Epoch boundary: the allocator's iterative
+                // re-equalization point. The TAPER stats are a full
+                // epoch warmer, so re-score the concurrent ops and
+                // offer this worker to the laggard (a no-op when this
+                // op *is* the laggard — its mask bit is already set).
+                if c.epoch > last_epoch {
+                    last_epoch = c.epoch;
+                    reequalize(shared, &[id]);
                 }
                 chunk = c;
             }
@@ -938,15 +1065,86 @@ fn run_op_dist(
     let t_end = us_since(shared.epoch, prev);
     proc.free_at = proc.free_at.max(t_end);
     if op.outstanding.fetch_sub(done, Ordering::AcqRel) == done {
-        complete_op(shared, id, op, t_end);
+        complete_op(shared, id, _op_idx, t_end);
     }
     Flow::Continue
+}
+
+/// The live finishing-time estimate of one unfinished op under its
+/// current allocation: remaining tasks × sampled µ/σ out of the chunk
+/// queues (task-count equalization before any samples land), scored by
+/// [`finish_estimate_live`] with host-calibrated overheads.
+fn live_estimate(shared: &Shared<'_>, op_idx: usize, cal: &HostCalibration) -> Option<f64> {
+    let op = &shared.ops[op_idx];
+    if op.deps.load(Ordering::Acquire) != 0 || op.outstanding.load(Ordering::Acquire) == 0 {
+        return None;
+    }
+    let (remaining, stats, kind) = match &op.queue {
+        OpQueue::Shared(q) => {
+            let kind = if q.is_adaptive() { PolicyKind::Taper } else { PolicyKind::Gss };
+            (q.remaining(), q.sampled_stats(), kind)
+        }
+        OpQueue::Dist(q) => (q.remaining(), q.sampled_stats(), PolicyKind::Taper),
+    };
+    if remaining == 0 {
+        return None;
+    }
+    let spec = OpSpec::from_live(remaining, stats.as_ref(), kind);
+    let p = shared.partition.procs(op_idx, shared.workers.len()).max(1);
+    Some(finish_estimate_live(&spec, p, cal).total())
+}
+
+/// One §4.1.2 re-equalization step: admit each of `freed` into the
+/// partition of the op with the largest live finishing-time estimate
+/// (re-evaluated after every admission, so consecutive workers can
+/// land on different laggards as the estimates equalize), seed dist
+/// home queues, push tokens, and wake sleepers. Returns whether any
+/// admission happened. Contended triggers skip — the next epoch
+/// boundary or completion re-evaluates from fresher state anyway.
+fn reequalize(shared: &Shared<'_>, freed: &[usize]) -> bool {
+    let part = shared.partition;
+    if !part.enabled() || freed.is_empty() {
+        return false;
+    }
+    let Ok(_guard) = part.balance.try_lock() else {
+        return false;
+    };
+    let cal = HostCalibration::get();
+    let mut progress = false;
+    for &w in freed {
+        let laggard = (0..shared.ops.len())
+            .filter(|&i| !part.allows(i, w))
+            .filter_map(|i| live_estimate(shared, i, &cal).map(|e| (e, i)))
+            .max_by(|a, b| a.0.total_cmp(&b.0));
+        let Some((_, laggard)) = laggard else { continue };
+        if !part.admit(laggard, w) {
+            continue;
+        }
+        match &shared.ops[laggard].queue {
+            OpQueue::Dist(q) => {
+                // Seed the admitted home unconditionally — the
+                // equalizer already decided this migration, so the
+                // cv gate must not veto it.
+                q.admit_worker(w);
+                shared.workers[w].0.dist_ready.lock().expect("dist list poisoned").push(laggard);
+            }
+            OpQueue::Shared(_) => {
+                shared.workers[w].0.ready.lock().expect("deque poisoned").push_back(laggard);
+            }
+        }
+        progress = true;
+    }
+    if progress {
+        shared.signal(true);
+    }
+    progress
 }
 
 /// Runs exactly once per op (by whichever worker drops `outstanding`
 /// to zero): stamps the finish, enables dependents, and counts the op
 /// as completed — broadcasting only when it was the last one.
-fn complete_op(shared: &Shared<'_>, id: usize, op: &OpInstance, t_end: f64) {
+fn complete_op(shared: &Shared<'_>, id: usize, op_idx: usize, t_end: f64) {
+    let op = &shared.ops[op_idx];
     op.finished_bits.fetch_min(t_end.to_bits(), Ordering::AcqRel);
     // Collect the newly enabled dependents first, then publish their
     // tokens one lock at a time — dist enabling locks every worker's
@@ -963,22 +1161,44 @@ fn complete_op(shared: &Shared<'_>, id: usize, op: &OpInstance, t_end: f64) {
             }
         }
     }
+    let n_workers = shared.workers.len();
     if !newly_shared.is_empty() {
-        // Push to our own deque (front — it is the hottest work we
-        // know of) and let thieves spread it.
-        let mut own = shared.workers[id].0.ready.lock().expect("deque poisoned");
+        // Push each token to a partition member's deque — our own
+        // (front: it is the hottest work we know of) when we are one,
+        // the op's first member otherwise. One lock at a time keeps
+        // lock holds disjoint.
+        let mut own: Vec<usize> = Vec::new();
+        let mut routed: Vec<(usize, usize)> = Vec::new();
         for &d in &newly_shared {
-            own.push_front(d);
+            if shared.partition.allows(d, id) {
+                own.push(d);
+            } else {
+                let w = shared.partition.members(d, n_workers)[0];
+                routed.push((w, d));
+            }
+        }
+        if !own.is_empty() {
+            let mut dq = shared.workers[id].0.ready.lock().expect("deque poisoned");
+            for &d in &own {
+                dq.push_front(d);
+            }
+        }
+        for (w, d) in routed {
+            shared.workers[w].0.ready.lock().expect("deque poisoned").push_back(d);
         }
     }
-    // A dist op needs every worker at its own home queue: token all of
-    // them (migration-aware wakeup — even a worker with no shared work
-    // must rise for its home block).
-    for w in shared.workers.iter() {
+    // A dist op needs every partition member at its own home queue:
+    // token all of them (migration-aware wakeup — even a member with
+    // no shared work must rise for its home block).
+    for (w, wk) in shared.workers.iter().enumerate() {
         if newly_dist.is_empty() {
             break;
         }
-        w.0.dist_ready.lock().expect("dist list poisoned").extend_from_slice(&newly_dist);
+        let mine: Vec<usize> =
+            newly_dist.iter().copied().filter(|&d| shared.partition.allows(d, w)).collect();
+        if !mine.is_empty() {
+            wk.0.dist_ready.lock().expect("dist list poisoned").extend_from_slice(&mine);
+        }
     }
     let newly_ready = newly_shared.len() + newly_dist.len();
     if newly_ready > 0 {
@@ -992,5 +1212,11 @@ fn complete_op(shared: &Shared<'_>, id: usize, op: &OpInstance, t_end: f64) {
             *seq += 1;
         }
         shared.wake.notify_all();
+    } else if shared.partition.enabled() {
+        // This op's workers are (as far as it is concerned) free:
+        // migrate them to the laggard's partition instead of letting
+        // them idle or thrash another partition's queue.
+        let freed = shared.partition.members(op_idx, n_workers);
+        reequalize(shared, &freed);
     }
 }

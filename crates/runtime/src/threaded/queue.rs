@@ -313,6 +313,33 @@ impl ChunkQueue {
         self.chunks.load(Ordering::Relaxed)
     }
 
+    /// Tasks not yet handed out (racy snapshot: claims in flight may
+    /// already cover some of them). The allocation equalizer uses it
+    /// as the live `N` of a finish estimate.
+    pub fn remaining(&self) -> usize {
+        match &self.mode {
+            Mode::Fixed { bounds, cursor } => {
+                let i = cursor.load(Ordering::Relaxed).min(bounds.len() - 1);
+                self.total - bounds[i]
+            }
+            Mode::Adaptive(ad) => {
+                self.total.saturating_sub(ad.cursor.0.load(Ordering::Relaxed))
+            }
+        }
+    }
+
+    /// A snapshot of the µ/σ the adaptive policy has sampled so far —
+    /// the *live* statistics the §4.1.2 equalizer estimates finishing
+    /// times from. Non-blocking (`try_lock`): returns `None` when the
+    /// policy is mid-update or keeps no statistics (fixed schedules),
+    /// in which case the caller falls back to task counts.
+    pub fn sampled_stats(&self) -> Option<OnlineStats> {
+        match &self.mode {
+            Mode::Adaptive(ad) => ad.policy.try_lock().ok().and_then(|p| p.live_stats()),
+            Mode::Fixed { .. } => None,
+        }
+    }
+
     /// Total tasks in the operation.
     pub fn total(&self) -> usize {
         self.total

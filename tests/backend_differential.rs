@@ -231,6 +231,117 @@ fn reduce_kernel_dataplane_bitwise_across_backends() {
     }
 }
 
+/// A concurrent level with two *asymmetric* data-parallel ops: `B`
+/// carries 8× the tasks of `C` at 4× the per-task cost, so the §4.1.2
+/// equalizer must give them very different processor partitions and
+/// the light op's workers migrate to the heavy op mid-level.
+fn asymmetric_concurrent_graph() -> DelirGraph {
+    shapes::diamond(2.0, (256, 4.0, 0.8), (32, 1.0, 0.2), 1.0)
+}
+
+/// The tentpole invariant: partitioning the worker pool between
+/// concurrent ops — including the re-equalization that migrates a
+/// fast op's freed workers into the laggard's partition — moves
+/// *where* a task runs, never what it computes. Every backend must
+/// stay bitwise equal to the sequential reference with the equalizer
+/// on and off, at a worker count (4) that forces a real partition.
+#[test]
+fn concurrent_level_bitwise_equal_with_and_without_allocation() {
+    use orchestra_runtime::execute_async;
+    use orchestra_runtime::threaded::ExecutorBackend;
+    let kernel = SpinKernel::with_scale(2.0);
+    let g = asymmetric_concurrent_graph();
+    for use_allocation in [true, false] {
+        for policy in [PolicyKind::SelfSched, PolicyKind::Taper] {
+            let opts = ExecutorOptions {
+                policy,
+                threads: 4,
+                use_allocation,
+                ..ExecutorOptions::default()
+            };
+            let label = format!("alloc={use_allocation}/{}", policy.name());
+            let seq = execute_sequential(&g, &opts, &kernel).unwrap();
+            let thr = execute_threaded(&g, &opts, &kernel).unwrap();
+            let dist_opts =
+                ExecutorOptions { backend: ExecutorBackend::ThreadedDist, ..opts.clone() };
+            let dist = execute_threaded(&g, &dist_opts, &kernel).unwrap();
+            let asy = execute_async(&g, &opts, &kernel).unwrap();
+            for (op, counts) in thr.ops.iter().zip(&thr.exec_counts) {
+                assert!(
+                    counts.iter().all(|&c| c == 1),
+                    "{label}: op {} task exec counts {counts:?}",
+                    op.name,
+                );
+            }
+            assert_eq!(seq.outputs, thr.outputs, "{label}: threaded");
+            assert_eq!(seq.outputs, dist.outputs, "{label}: threaded-dist");
+            assert_eq!(seq.outputs, asy.outputs, "{label}: async");
+        }
+    }
+}
+
+/// With allocation on, reported per-op processor counts must be the
+/// equalizer's actual decision, not the pool size: the two concurrent
+/// ops' `procs` sum to the pool, the 8×-heavier op gets the larger
+/// share, and single-op levels keep the whole pool. Checked on all
+/// three real backends and on the `NodeReport`s surfaced through
+/// `execute_graph`.
+#[test]
+fn equalizer_procs_sum_to_pool_size_per_concurrent_level() {
+    use orchestra_machine::MachineConfig;
+    use orchestra_runtime::execute_async;
+    use orchestra_runtime::threaded::ExecutorBackend;
+    let kernel = SpinKernel::with_scale(2.0);
+    let g = asymmetric_concurrent_graph();
+    let opts = ExecutorOptions {
+        policy: PolicyKind::Taper,
+        threads: 4,
+        use_allocation: true,
+        ..ExecutorOptions::default()
+    };
+
+    let check = |procs_of: &dyn Fn(&str) -> usize, pool: usize, label: &str| {
+        let (b, c) = (procs_of("B"), procs_of("C"));
+        assert_eq!(b + c, pool, "{label}: concurrent level must sum to the pool");
+        assert!(b >= 1 && c >= 1, "{label}: every op keeps at least one processor");
+        assert!(b > c, "{label}: the 8x-heavier op must get the larger share (B={b}, C={c})");
+        assert_eq!(procs_of("A"), pool, "{label}: single-op level keeps the pool");
+        assert_eq!(procs_of("D"), pool, "{label}: single-op level keeps the pool");
+    };
+
+    let thr = execute_threaded(&g, &opts, &kernel).unwrap();
+    check(
+        &|name| thr.ops.iter().find(|o| o.name == name).unwrap().procs,
+        thr.workers,
+        "threaded",
+    );
+
+    let dist_opts = ExecutorOptions { backend: ExecutorBackend::ThreadedDist, ..opts.clone() };
+    let dist = execute_threaded(&g, &dist_opts, &kernel).unwrap();
+    check(
+        &|name| dist.ops.iter().find(|o| o.name == name).unwrap().procs,
+        dist.workers,
+        "threaded-dist",
+    );
+
+    let asy = execute_async(&g, &opts, &kernel).unwrap();
+    check(
+        &|name| asy.ops.iter().find(|o| o.name == name).unwrap().procs,
+        asy.drivers,
+        "async",
+    );
+
+    // And the allocation must survive into the unified report.
+    let opts = ExecutorOptions { backend: ExecutorBackend::Threaded, ..opts };
+    let report =
+        orchestra_runtime::executor::execute_graph(&g, &MachineConfig::ncube2(64), &opts).unwrap();
+    check(
+        &|name| report.nodes.iter().find(|n| n.name == name).unwrap().procs,
+        report.processors,
+        "execute_graph",
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
