@@ -35,6 +35,15 @@
 //!   every chunk schedule is sized for all workers. Measured as
 //!   paired back-to-back runs (median wall ratio) so the few-percent
 //!   overhead difference survives shared-host noise;
+//! * **pipeline** — the streamed data plane against the barriered one
+//!   (schema v8): a deep chain of small equal-width element-wise ops,
+//!   run with `pipeline_overlap` on vs off at 4 workers. Every edge
+//!   streams, so consumer chunks start at the producers' watermarks
+//!   instead of at op completion and the per-boundary park/wake cycle
+//!   disappears. Measured as paired back-to-back runs (median wall
+//!   ratio, like `alloc`) so the effect survives shared-host noise;
+//!   the row also records the streamed run's watermark-publication
+//!   count (trend data, not gated);
 //! * **steals** — the DAG shape under hierarchical vs ring steal
 //!   order at 4 and 8 workers, bucketing successful steals by machine
 //!   distance (SMT sibling / same node / remote) and counting tokens
@@ -237,6 +246,17 @@ struct AllocRow {
     shared: f64,
 }
 
+/// One streamed-vs-barrier cell (the schema-v8 addition): tasks/sec
+/// over the deep small-task chain with `pipeline_overlap` on and off
+/// at the same worker count, plus how often the streamed run's
+/// producers published their watermarks.
+struct PipelineRow {
+    streamed: f64,
+    barrier: f64,
+    watermark_pubs: u64,
+    streamed_edges: usize,
+}
+
 /// One crash + snapshot-resume cycle (the schema-v5 addition): total
 /// and post-crash wall time, how many tasks the snapshot restored vs
 /// replayed, and the on-disk snapshot footprint at the end of the run.
@@ -265,6 +285,8 @@ struct RunResults {
     /// "wN" → equalizer vs naive shared pool on the asymmetric
     /// concurrent level.
     alloc: BTreeMap<String, AllocRow>,
+    /// "wN" → streamed vs barriered data plane on the deep chain.
+    pipeline: BTreeMap<String, PipelineRow>,
     /// "order/wN" → steal-distance counters on the DAG shape.
     steals: BTreeMap<String, StealRow>,
     /// Crash + snapshot-resume cycle on the flat workload at 4 workers.
@@ -381,6 +403,73 @@ fn measure_alloc(
     };
     let shared = tasks as f64 / (median(&mut shared_walls) * 1e-6);
     AllocRow { equalizer: shared * median(&mut ratios), shared }
+}
+
+/// The streamed data plane's home turf: a deep linear chain of small
+/// equal-width element-wise ops. Barriered, every one of the
+/// `depth - 1` edges is a full stop — the completing worker wakes the
+/// pool, everyone piles onto one fresh op, and with tiny tasks the
+/// boundary overhead rivals the compute. Streamed, consumer chunks
+/// open at the producers' watermarks and the chain executes as one
+/// long pipeline.
+fn chain_bench_graph(depth: usize, tasks: usize) -> DelirGraph {
+    let mut g = DelirGraph::new();
+    let mut prev = None;
+    for i in 0..depth {
+        let n = g.add_node(
+            format!("c{i}"),
+            NodeKind::DataParallel { tasks, mean_cost: 1.0, cv: 0.3 },
+            None,
+        );
+        if let Some(p) = prev {
+            g.add_edge(p, n, DataAnno::array(format!("s{i}"), tasks as u64));
+        }
+        prev = Some(n);
+    }
+    g
+}
+
+/// Tasks/sec on the deep chain with the streamed data plane on vs off,
+/// same policy and worker count. Paired like [`measure_alloc`]: each
+/// rep runs both modes back to back (alternating which goes first) so
+/// host drift cancels in the per-rep wall ratio, and the recorded
+/// streamed rate is the barrier rate scaled by the median ratio.
+fn measure_pipeline(
+    g: &DelirGraph,
+    tasks: usize,
+    workers: usize,
+    kernel: &SpinKernel,
+    reps: usize,
+) -> PipelineRow {
+    let mut ratios = Vec::with_capacity(reps);
+    let mut barrier_walls = Vec::with_capacity(reps);
+    let mut watermark_pubs = 0u64;
+    let mut streamed_edges = 0usize;
+    for rep in 0..reps {
+        let mut wall = [0.0f64; 2];
+        let order = if rep % 2 == 0 { [true, false] } else { [false, true] };
+        for pipeline_overlap in order {
+            let opts = ExecutorOptions {
+                threads: workers,
+                pipeline_overlap,
+                ..ExecutorOptions::default()
+            };
+            let run = execute_threaded(g, &opts, kernel).expect("bench graph valid");
+            wall[usize::from(!pipeline_overlap)] = run.wall_us;
+            if pipeline_overlap {
+                watermark_pubs = watermark_pubs.max(run.watermark_pubs);
+                streamed_edges = streamed_edges.max(run.streamed_edges);
+            }
+        }
+        ratios.push(wall[1] / wall[0]);
+        barrier_walls.push(wall[1]);
+    }
+    let median = |v: &mut Vec<f64>| {
+        v.sort_by(f64::total_cmp);
+        v[v.len() / 2]
+    };
+    let barrier = tasks as f64 / (median(&mut barrier_walls) * 1e-6);
+    PipelineRow { streamed: barrier * median(&mut ratios), barrier, watermark_pubs, streamed_edges }
 }
 
 /// A uniform-cost flat op: the cv gate must keep the dist coordinator
@@ -587,6 +676,29 @@ fn measure(scale: &Scale) -> RunResults {
         alloc.insert(format!("w{w}"), row);
     }
 
+    // Streamed vs barriered data plane on the deep small-task chain —
+    // at 4 workers, where the per-boundary wake traffic is worth the
+    // most. Tiny tasks: the boundary cost is the measurement.
+    let mut pipeline: BTreeMap<String, PipelineRow> = BTreeMap::new();
+    let chain_depth = if scale.reps >= 5 { 48 } else { 24 };
+    let chain_width = 64;
+    let chain_g = chain_bench_graph(chain_depth, chain_width);
+    let chain_tasks = chain_depth * chain_width;
+    let kernel = SpinKernel::with_scale(1.0);
+    let pipeline_reps = scale.reps * 8;
+    let w = 4usize;
+    let row = measure_pipeline(&chain_g, chain_tasks, w, &kernel, pipeline_reps);
+    eprintln!(
+        "pipe   w={w} streamed={:12.0} tasks/sec barrier={:12.0} tasks/sec ({:+.1}%) \
+         edges={} pubs={}",
+        row.streamed,
+        row.barrier,
+        (row.streamed / row.barrier - 1.0) * 100.0,
+        row.streamed_edges,
+        row.watermark_pubs
+    );
+    pipeline.insert(format!("w{w}"), row);
+
     // Steal-distance profile: the DAG shape exercises token stealing
     // (a completer enqueues newly-enabled ops locally; everyone else
     // must steal into them). Counters accumulate over the reps — a
@@ -634,6 +746,7 @@ fn measure(scale: &Scale) -> RunResults {
         asynch,
         rayon,
         alloc,
+        pipeline,
         steals,
         recovery,
     }
@@ -764,6 +877,20 @@ fn render_run(r: &RunResults, quick: bool) -> String {
             "        \"{key}\": {{\"equalizer\": {}, \"shared\": {}}}{comma}",
             json_f64(row.equalizer),
             json_f64(row.shared)
+        );
+    }
+    let _ = writeln!(s, "      }},");
+    let _ = writeln!(s, "      \"pipeline\": {{");
+    let npi = r.pipeline.len();
+    for (i, (key, row)) in r.pipeline.iter().enumerate() {
+        let comma = if i + 1 < npi { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "        \"{key}\": {{\"streamed\": {}, \"barrier\": {}, \"streamed_edges\": {}, \"watermark_pubs\": {}}}{comma}",
+            json_f64(row.streamed),
+            json_f64(row.barrier),
+            row.streamed_edges,
+            row.watermark_pubs
         );
     }
     let _ = writeln!(s, "      }},");

@@ -29,9 +29,13 @@ use std::fmt::Write as _;
 /// v7 added the `alloc` section (the §4.1.2 finishing-time equalizer
 /// vs the naive shared pool on an asymmetric concurrent level,
 /// tasks/sec per worker count), gated like every throughput column.
-/// Recovery columns are trend data only — [`check_regression`] reads
-/// throughput metrics and ignores them.
-pub const SCHED_SCHEMA: &str = "orchestra-sched-bench/v7";
+/// v8 added the `pipeline` section (the streamed data plane vs the
+/// barriered one on a deep small-task chain: paired median-wall-ratio
+/// tasks/sec per worker count, plus the streamed run's
+/// watermark-publication count as trend data), gated like `alloc`.
+/// Recovery columns and `watermark_pubs` are trend data only —
+/// [`check_regression`] reads throughput metrics and ignores them.
+pub const SCHED_SCHEMA: &str = "orchestra-sched-bench/v8";
 
 /// Extracts every `"label": { … }` block at the top level of the runs
 /// object, in file order, by string-aware brace matching: braces
@@ -209,7 +213,12 @@ fn geomean(values: &[f64]) -> Option<f64> {
 /// * `alloc/<wN>/{equalizer,shared}` — tasks/sec on the asymmetric
 ///   concurrent level with the §4.1.2 equalizer on vs the naive
 ///   shared pool (schema v7): the shared row keeps the baseline
-///   honest, the equalizer row keeps the allocator paying its way.
+///   honest, the equalizer row keeps the allocator paying its way;
+/// * `pipeline/<wN>/{streamed,barrier}` — tasks/sec on the deep
+///   small-task chain with chunk-granularity streaming on vs off
+///   (schema v8): the barrier row keeps the baseline honest, the
+///   streamed row keeps the watermark data plane paying its way. The
+///   row's `watermark_pubs` column is trend data, never gated.
 fn throughput_metrics(run: &Json) -> Vec<(String, f64)> {
     let mut out = Vec::new();
     if let Some(tps) = run.get("tasks_per_sec") {
@@ -256,6 +265,20 @@ fn throughput_metrics(run: &Json) -> Vec<(String, f64)> {
                 if let Some(rate) = rate.as_f64() {
                     if rate.is_finite() && rate > 0.0 {
                         out.push((format!("alloc/{cell}/{mode}"), rate));
+                    }
+                }
+            }
+        }
+    }
+    if let Some(pipe) = run.get("pipeline") {
+        for (cell, row) in pipe.members() {
+            // Only the two rate columns are gated: `watermark_pubs`
+            // is a count, not a throughput, and must not be read as
+            // one by the drop check.
+            for mode in ["streamed", "barrier"] {
+                if let Some(rate) = row.get(mode).and_then(Json::as_f64) {
+                    if rate.is_finite() && rate > 0.0 {
+                        out.push((format!("pipeline/{cell}/{mode}"), rate));
                     }
                 }
             }
@@ -373,10 +396,11 @@ mod tests {
     use super::*;
 
     /// A minimal run block with one threaded workload, one async row,
-    /// one rayon-baseline row, one claim-latency cell, and one alloc
-    /// (equalizer vs shared pool) row, every throughput metric scaling
-    /// linearly with `rate` (claim latency scales inversely, so its
-    /// derived claim_rate is linear too).
+    /// one rayon-baseline row, one claim-latency cell, one alloc
+    /// (equalizer vs shared pool) row, and one pipeline (streamed vs
+    /// barrier) row, every throughput metric scaling linearly with
+    /// `rate` (claim latency scales inversely, so its derived
+    /// claim_rate is linear too).
     fn run_block(cpu: &str, rate: f64) -> String {
         format!(
             "{{\"host\": {{\"cpu\": \"{cpu}\", \"cores\": 4, \"os\": \"linux x86_64\"}}, \
@@ -386,7 +410,9 @@ mod tests {
              \"self-sched\": {{\"2\": {r3}}}}}}}, \
              \"async\": {{\"small\": {{\"tasks_per_sec\": {r4}, \"yields\": 12}}}}, \
              \"rayon\": {{\"small\": {{\"2\": {r5}, \"4\": {r6}}}}}, \
-             \"alloc\": {{\"w4\": {{\"equalizer\": {r7}, \"shared\": {r8}}}}}}}",
+             \"alloc\": {{\"w4\": {{\"equalizer\": {r7}, \"shared\": {r8}}}}}, \
+             \"pipeline\": {{\"w4\": {{\"streamed\": {r9}, \"barrier\": {r10}, \
+             \"watermark_pubs\": 63}}}}}}",
             ns = 1e6 / rate,
             r1 = rate,
             r2 = rate * 2.0,
@@ -396,6 +422,8 @@ mod tests {
             r6 = rate * 1.1,
             r7 = rate * 1.3,
             r8 = rate * 0.9,
+            r9 = rate * 1.4,
+            r10 = rate * 1.2,
         )
     }
 
@@ -577,6 +605,44 @@ mod tests {
         assert!(
             !r.lines.iter().any(|l| l.starts_with("REGRESSION") && l.contains("alloc/w4/shared")),
             "the untouched shared row must not flag: {:?}",
+            r.lines
+        );
+    }
+
+    #[test]
+    fn pipeline_rate_alone_can_regress() {
+        // Every other column holds; the streamed row on the deep chain
+        // tanks (say a watermark bug serialized the pipeline back into
+        // a barrier) — the v8 pipeline metrics must trip the gate on
+        // their own, while the constant watermark_pubs count must
+        // never be read as a throughput.
+        let mut bad = run_block("cpu-a", 1000.0);
+        bad = bad.replace(
+            &format!(
+                "\"pipeline\": {{\"w4\": {{\"streamed\": {}, \"barrier\": {}, \
+                 \"watermark_pubs\": 63}}}}",
+                1400.0, 1200.0
+            ),
+            "\"pipeline\": {\"w4\": {\"streamed\": 140.0, \"barrier\": 1200.0, \
+             \"watermark_pubs\": 63}}",
+        );
+        let file = file_with(&[("before", run_block("cpu-a", 1000.0)), ("after", bad)]);
+        let r = check_regression(&file, 0.2);
+        assert!(r.regressed, "{:?}", r.lines);
+        assert!(r
+            .lines
+            .iter()
+            .any(|l| l.starts_with("REGRESSION") && l.contains("pipeline/w4/streamed")));
+        assert!(
+            !r.lines
+                .iter()
+                .any(|l| l.starts_with("REGRESSION") && l.contains("pipeline/w4/barrier")),
+            "the untouched barrier row must not flag: {:?}",
+            r.lines
+        );
+        assert!(
+            !r.lines.iter().any(|l| l.contains("watermark_pubs")),
+            "pubs count is trend data, not a gated metric: {:?}",
             r.lines
         );
     }

@@ -29,6 +29,8 @@ use crate::finish::{finish_estimate, OpSpec};
 use orchestra_machine::MachineConfig;
 use std::cell::UnsafeCell;
 use std::ops::Range;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Parameters of the iterative equalizer.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -193,6 +195,46 @@ unsafe impl Sync for OutputCell {}
 pub struct OutputArena {
     cells: Box<[OutputCell]>,
     spans: Vec<Range<usize>>,
+    marks: Vec<Watermark>,
+}
+
+/// One watermark publication: the published prefix moved from
+/// `previous` to `current` (both in completed-task units).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Publication {
+    /// Published prefix before this publication.
+    pub previous: usize,
+    /// Published prefix after it.
+    pub current: usize,
+}
+
+impl Publication {
+    /// True iff this publication was the op's first (the streamed-edge
+    /// enable event).
+    pub fn is_first(&self) -> bool {
+        self.previous == 0 && self.current > 0
+    }
+}
+
+/// Out-of-order completion bookkeeping behind one op's watermark: the
+/// contiguous committed prefix plus the disjoint sorted intervals
+/// completed ahead of it.
+struct Frontier {
+    frontier: usize,
+    pending: Vec<(usize, usize)>,
+}
+
+/// Per-op progress watermark: the `Release`-published length of the
+/// completed contiguous output prefix. Readers `Acquire`-load
+/// [`OutputArena::watermark`] and may then read any cell below it —
+/// before the op as a whole completes. The frontier mutex serializes
+/// interval merging, and its unlock/lock edges chain every committing
+/// worker's plain cell stores into happens-before with the `Release`
+/// store of the advanced watermark, whichever worker performs it.
+struct Watermark {
+    published: AtomicUsize,
+    pubs: AtomicU64,
+    state: Mutex<Frontier>,
 }
 
 impl OutputArena {
@@ -206,7 +248,15 @@ impl OutputArena {
             acc += n;
         }
         let cells: Box<[OutputCell]> = (0..acc).map(|_| OutputCell(UnsafeCell::new(0.0))).collect();
-        OutputArena { cells, spans }
+        let marks = spans
+            .iter()
+            .map(|_| Watermark {
+                published: AtomicUsize::new(0),
+                pubs: AtomicU64::new(0),
+                state: Mutex::new(Frontier { frontier: 0, pending: Vec::new() }),
+            })
+            .collect();
+        OutputArena { cells, spans, marks }
     }
 
     /// Number of operations the arena was sized for.
@@ -314,6 +364,118 @@ impl OutputArena {
         let spans = std::mem::take(&mut self.spans);
         spans.into_iter().map(|span| span.map(|i| *self.cells[i].0.get_mut()).collect()).collect()
     }
+
+    /// The op's published watermark: every cell below it holds its
+    /// final value and may be read concurrently with the op still
+    /// executing above it. `Acquire`: pairs with the `Release` store in
+    /// [`commit_range`](Self::commit_range) / [`publish_all`](Self::publish_all).
+    pub fn watermark(&self, op: usize) -> usize {
+        self.marks[op].published.load(Ordering::Acquire)
+    }
+
+    /// How many times the op's watermark has been published (the
+    /// cross-core store + wakeup events `choose_batch` amortizes).
+    pub fn watermark_pubs(&self, op: usize) -> u64 {
+        self.marks[op].pubs.load(Ordering::Relaxed)
+    }
+
+    /// Pre-publishes a restored prefix during single-threaded setup —
+    /// used for ops whose outputs were pre-filled from a snapshot or
+    /// that completed in a previous attempt. Not counted as a runtime
+    /// publication.
+    pub fn seed_watermark(&mut self, op: usize, len: usize) {
+        assert!(len <= self.spans[op].len(), "seed beyond op {op} bounds");
+        let mark = &mut self.marks[op];
+        mark.state.get_mut().expect("unshared arena").frontier = len;
+        *mark.published.get_mut() = len;
+    }
+
+    /// Records that tasks `[start, start+len)` of `op` committed their
+    /// outputs, and publishes the watermark when the unpublished
+    /// contiguous prefix has grown by at least `batch` tasks (or the op
+    /// just finished). Completion order across workers is arbitrary;
+    /// intervals ahead of the frontier are held back until the gap
+    /// fills. Returns the publication when one happened.
+    ///
+    /// Memory ordering: the caller's plain cell stores for this
+    /// interval happen-before its frontier-mutex unlock; any later
+    /// publisher locks the same mutex before `Release`-storing the
+    /// advanced watermark, so a reader's `Acquire` load of the
+    /// watermark makes every covered cell's final value visible.
+    pub fn commit_range(
+        &self,
+        op: usize,
+        start: usize,
+        len: usize,
+        batch: usize,
+    ) -> Option<Publication> {
+        if len == 0 {
+            return None;
+        }
+        let total = self.spans[op].len();
+        assert!(
+            start.checked_add(len).is_some_and(|end| end <= total),
+            "commit [{start}, {start}+{len}) out of op {op} bounds {total}"
+        );
+        let mark = &self.marks[op];
+        let mut st = mark.state.lock().expect("watermark state poisoned");
+        let (mut s, mut e) = (start, start + len);
+        if s == st.frontier {
+            // Fast path: the interval extends the frontier directly.
+            st.frontier = e;
+        } else {
+            debug_assert!(s > st.frontier, "interval below the committed frontier");
+            // Insert sorted, coalescing with touching neighbours.
+            let at = st.pending.partition_point(|&(ps, _)| ps < s);
+            if at < st.pending.len() && st.pending[at].0 == e {
+                e = st.pending[at].1;
+                st.pending.remove(at);
+            }
+            if at > 0 && st.pending[at - 1].1 == s {
+                s = st.pending[at - 1].0;
+                st.pending[at - 1] = (s, e);
+            } else {
+                let at = at.min(st.pending.len());
+                st.pending.insert(at, (s, e));
+            }
+        }
+        // Drain pending intervals that now touch the frontier.
+        while let Some(&(ps, pe)) = st.pending.first() {
+            if ps != st.frontier {
+                break;
+            }
+            st.frontier = pe;
+            st.pending.remove(0);
+        }
+        let frontier = st.frontier;
+        let previous = mark.published.load(Ordering::Relaxed);
+        if frontier > previous && (frontier - previous >= batch.max(1) || frontier == total) {
+            mark.published.store(frontier, Ordering::Release);
+            mark.pubs.fetch_add(1, Ordering::Relaxed);
+            drop(st);
+            return Some(Publication { previous, current: frontier });
+        }
+        None
+    }
+
+    /// Force-publishes the whole op — the completion path, which also
+    /// covers producers whose chunks never went through
+    /// [`commit_range`](Self::commit_range) (scattered writers, empty
+    /// ops). Takes the frontier lock so it serializes with in-flight
+    /// commits; idempotent once fully published.
+    pub fn publish_all(&self, op: usize) -> Publication {
+        let total = self.spans[op].len();
+        let mark = &self.marks[op];
+        let mut st = mark.state.lock().expect("watermark state poisoned");
+        st.frontier = total;
+        st.pending.clear();
+        let previous = mark.published.load(Ordering::Relaxed);
+        if previous < total {
+            mark.published.store(total, Ordering::Release);
+            mark.pubs.fetch_add(1, Ordering::Relaxed);
+        }
+        Publication { previous, current: total }
+    }
 }
 
 #[cfg(test)]
@@ -367,6 +529,68 @@ mod arena_tests {
         let arena = OutputArena::for_ops([0, 0]);
         assert_eq!(unsafe { arena.op_slice(0) }, &[] as &[f64]);
         assert_eq!(arena.into_outputs(), vec![Vec::<f64>::new(), Vec::new()]);
+    }
+
+    #[test]
+    fn watermark_advances_only_over_the_contiguous_prefix() {
+        let arena = OutputArena::for_ops([10]);
+        assert_eq!(arena.watermark(0), 0);
+        // An out-of-order interval is held back entirely.
+        assert_eq!(arena.commit_range(0, 4, 2, 1), None);
+        assert_eq!(arena.watermark(0), 0);
+        // The prefix arrives: frontier jumps over the merged pending
+        // interval in one publication.
+        let p = arena.commit_range(0, 0, 4, 1).expect("prefix publishes");
+        assert!(p.is_first());
+        assert_eq!(p, super::Publication { previous: 0, current: 6 });
+        assert_eq!(arena.watermark(0), 6);
+        // Filling the tail completes the op.
+        let p = arena.commit_range(0, 6, 4, 1).expect("tail publishes");
+        assert_eq!(p.current, 10);
+        assert_eq!(arena.watermark(0), 10);
+        assert_eq!(arena.watermark_pubs(0), 2);
+    }
+
+    #[test]
+    fn batching_coalesces_publications_and_completion_flushes() {
+        let arena = OutputArena::for_ops([8]);
+        // batch=4: three 1-task commits stay unpublished…
+        for t in 0..3 {
+            assert_eq!(arena.commit_range(0, t, 1, 4), None);
+        }
+        assert_eq!(arena.watermark(0), 0);
+        // …the fourth crosses the batch threshold.
+        let p = arena.commit_range(0, 3, 1, 4).expect("batch boundary publishes");
+        assert_eq!((p.previous, p.current), (0, 4));
+        // The final task always flushes, batch or not.
+        for t in 4..7 {
+            assert_eq!(arena.commit_range(0, t, 1, 4), None);
+        }
+        let p = arena.commit_range(0, 7, 1, 4).expect("completion publishes");
+        assert_eq!(p.current, 8);
+        assert_eq!(arena.watermark_pubs(0), 2);
+    }
+
+    #[test]
+    fn publish_all_is_idempotent_and_covers_uncommitted_ops() {
+        let arena = OutputArena::for_ops([5, 0]);
+        let p = arena.publish_all(0);
+        assert!(p.is_first());
+        assert_eq!(arena.watermark(0), 5);
+        let p = arena.publish_all(0);
+        assert_eq!((p.previous, p.current), (5, 5));
+        assert_eq!(arena.watermark_pubs(0), 1, "re-publish must not count");
+        // Empty op: watermark trivially complete, never "first".
+        assert!(!arena.publish_all(1).is_first());
+    }
+
+    #[test]
+    fn seeded_watermark_counts_no_publication() {
+        let mut arena = OutputArena::for_ops([6]);
+        arena.seed_watermark(0, 6);
+        assert_eq!(arena.watermark(0), 6);
+        assert_eq!(arena.watermark_pubs(0), 0);
+        assert!(!arena.publish_all(0).is_first());
     }
 }
 

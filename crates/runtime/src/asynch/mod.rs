@@ -31,20 +31,21 @@
 
 pub(crate) mod driver;
 
-use crate::alloc::{allocate_many_with, AllocParams, OutputArena};
+use crate::alloc::{allocate_many_with, AllocParams, OutputArena, Publication};
 use crate::checkpoint::{op_snapshot, plan_fingerprint, OpSnapshot, ResumeState, RunCtl};
 use crate::chunking::PolicyKind;
 use crate::executor::{costs_of_node, ExecutionReport, ExecutorOptions, NodeReport};
 use crate::finish::{finish_estimate_live, HostCalibration, OpSpec};
 use crate::stats::OnlineStats;
-use crate::threaded::queue::{Chunk, ChunkQueue};
-use crate::threaded::{build_plan, TaskCtx, TaskKernel};
+use crate::threaded::queue::{BoundedClaim, Chunk, ChunkQueue};
+use crate::threaded::{build_plan, AccessPattern, TaskCtx, TaskKernel};
 use driver::{DepGate, DriverRecord, Sched, TaskFuture, TaskSlot};
 use orchestra_delirium::{DelirGraph, GraphError, Node};
 use orchestra_machine::{ProcStats, RunStats};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+use std::task::{Poll, Waker};
 use std::time::Instant;
 
 /// One operation instance, shared by its claimer futures.
@@ -75,6 +76,25 @@ struct AsyncOp {
     /// Queue-index → task-index translation for resumed ops (`None` =
     /// identity; the queue schedules only the pending tasks, packed).
     remap: Option<Vec<usize>>,
+    /// Predecessors feeding this op through a *streamed* edge: claims
+    /// are bounded by the minimum of their published watermarks, so
+    /// chunks start before these producers complete. Always a subset
+    /// of `input_ops`.
+    stream_inputs: Vec<usize>,
+    /// Dependents consuming this op through a streamed edge: their
+    /// gates arrive at this op's *first watermark publication* (not at
+    /// completion), and later publications simply raise the prefix
+    /// their bounded claims may cover.
+    stream_dependents: Vec<usize>,
+    /// Completed tasks coalesced per watermark publication (the §4.1
+    /// batch size b*); `tasks` for non-streamed producers.
+    stream_batch: usize,
+    /// Wakers of consumer claimers parked because this producer's
+    /// watermark does not yet cover their next chunk. Drained (and
+    /// woken) on every publication; the waiter re-checks the watermark
+    /// after registering, so a publication racing the registration
+    /// cannot be lost.
+    stream_waiters: Mutex<Vec<Waker>>,
     /// Orphaned-chunk hand-off between this op's claimer futures under
     /// fault injection.
     board: Mutex<OrphanBoard>,
@@ -88,6 +108,23 @@ impl AsyncOp {
             Some(r) => r[qi],
             None => qi,
         }
+    }
+
+    /// Highest claimable task bound right now: the minimum watermark
+    /// across streamed inputs (`usize::MAX` when every edge is
+    /// whole-op, so the bounded claim degenerates to the plain one).
+    #[inline]
+    fn stream_limit(&self, arena: &OutputArena) -> usize {
+        self.stream_inputs.iter().map(|&p| arena.watermark(p)).min().unwrap_or(usize::MAX)
+    }
+
+    /// Whether this op commits watermarks as it runs. Remapped
+    /// (resumed) ops never stream — the classification already
+    /// excludes them, so the check is belt and braces for the
+    /// scattered-write path.
+    #[inline]
+    fn streams_output(&self) -> bool {
+        !self.stream_dependents.is_empty() && self.remap.is_none()
     }
 }
 
@@ -137,8 +174,16 @@ impl<'g> AsyncShared<'g> {
     /// Arena slices of `op`'s predecessors, in dep order.
     ///
     /// Sound to read: the caller's dependency gate has already
-    /// released, and the gate arrival/release protocol orders every
-    /// predecessor task's plain store before this read.
+    /// released. For whole-op edges the gate arrival happens at the
+    /// predecessor's completion, so the slice is complete and
+    /// immutable. For *streamed* edges the gate arrives at the
+    /// producer's first watermark publication and the slice is still
+    /// being raw-written above the watermark — sound because (1) the
+    /// consumer's claims are bounded by the Release-published /
+    /// Acquire-read watermark, (2) the `ElementWise` kernel contract
+    /// reads only cells `≤ t`, all below the watermark that admitted
+    /// task `t`, and (3) producers scatter through raw pointer stores,
+    /// never forming a `&mut` overlapping this shared slice.
     fn inputs_of(&self, op_idx: usize) -> Vec<&'g [f64]> {
         self.ops[op_idx].input_ops.iter().map(|&d| unsafe { self.arena.op_slice(d) }).collect()
     }
@@ -164,6 +209,11 @@ pub struct AsyncOpRecord {
     /// allocation was off): its chunk schedule and claimer
     /// oversubscription are sized for this share.
     pub procs: usize,
+    /// Input edges consumed through watermark streaming (0 = whole-op
+    /// gated).
+    pub streamed_inputs: usize,
+    /// Watermark publications this op performed as a producer.
+    pub watermark_pubs: u64,
 }
 
 /// The result of executing a graph on the cooperative executor —
@@ -201,6 +251,10 @@ pub struct AsyncRun {
     /// Pops satisfied by stealing from another driver's run queue
     /// (always 0 at one driver).
     pub steals: u64,
+    /// Producer→consumer edges that streamed through watermarks.
+    pub streamed_edges: usize,
+    /// Watermark publications across all ops.
+    pub watermark_pubs: u64,
     /// Whether an injected crash-mode fault aborted the run (the
     /// outputs are then partial; see
     /// [`execute_graph_resumable`](crate::checkpoint::execute_graph_resumable)).
@@ -239,6 +293,8 @@ impl AsyncRun {
                     start: op.start_us,
                     finish: op.finish_us,
                     procs: op.procs,
+                    streamed_inputs: op.streamed_inputs,
+                    watermark_pubs: op.watermark_pubs,
                 })
                 .collect(),
             serial_work: self.stats.total_busy(),
@@ -365,7 +421,51 @@ async fn run_claimer(
     // complete and immutable for the rest of the run.
     let inputs = shared.inputs_of(op_idx);
     let mut done = 0usize;
-    while let Some(chunk) = op.queue.claim() {
+    loop {
+        // Streamed consumers re-read the producers' watermarks at
+        // every claim; whole-op consumers get `usize::MAX` and the
+        // plain claim path.
+        let limit = op.stream_limit(shared.arena);
+        let chunk = match op.queue.claim_bounded(limit) {
+            BoundedClaim::Chunk(c) => c,
+            BoundedClaim::Blocked => {
+                // Tasks remain but the producer has not committed
+                // their inputs yet: park until a publication raises
+                // the watermark past the limit that blocked us, then
+                // retry the claim. Busy-yield-and-retry would also be
+                // correct here but burns the driver repolling a future
+                // that cannot progress. Register-then-recheck (as in
+                // `DepGate::wait`) closes the race with a publication
+                // landing between the claim and the registration; the
+                // park is deliberately *not* counted in `op.yields` —
+                // that counter is pinned one-per-chunk by the
+                // differential suites. If a crash-mode fault fired,
+                // the scheduler is aborted and this future simply
+                // never gets polled again, so the wait cannot hang a
+                // crashed run.
+                std::future::poll_fn(|cx| {
+                    if op.stream_limit(shared.arena) > limit {
+                        return Poll::Ready(());
+                    }
+                    for &p in &op.stream_inputs {
+                        let mut w =
+                            shared.ops[p].stream_waiters.lock().expect("stream waiters poisoned");
+                        w.push(cx.waker().clone());
+                    }
+                    if op.stream_limit(shared.arena) > limit {
+                        // A stale registration stays behind on the
+                        // producers; its wake hits an already-finished
+                        // wait and is a no-op.
+                        Poll::Ready(())
+                    } else {
+                        Poll::Pending
+                    }
+                })
+                .await;
+                continue;
+            }
+            BoundedClaim::Exhausted => break,
+        };
         if hooked {
             if let ClaimFate::Die = on_claim_async(shared, cid, op_idx, &chunk) {
                 // The `done > 0` guard matters: `fetch_sub(0) == 0`
@@ -381,10 +481,13 @@ async fn run_claimer(
         // Identity-mapped ops take the zero-copy path: the claimed
         // chunk is a contiguous, exclusively-owned arena window.
         // Exclusivity comes from the exactly-once claim; remapped
-        // (resumed) ops scatter through per-task writes instead.
-        let mut view = match op.remap {
-            None => Some(unsafe { shared.arena.chunk_view(op_idx, chunk.start, chunk.len) }),
-            Some(_) => None,
+        // (resumed) ops scatter through per-task writes instead — and
+        // so do streamed *producers*, whose consumers hold live shared
+        // slices over this span (a `&mut` view would alias them).
+        let mut view = if op.remap.is_none() && !op.streams_output() {
+            Some(unsafe { shared.arena.chunk_view(op_idx, chunk.start, chunk.len) })
+        } else {
+            None
         };
         for qi in chunk.start..chunk.start + chunk.len {
             let task = op.task_of(qi);
@@ -413,6 +516,16 @@ async fn run_claimer(
         if let Some(d) = driver::current_driver() {
             shared.cells[d].tasks.fetch_add(chunk.len as u64, Ordering::Relaxed);
             shared.cells[d].chunks.fetch_add(1, Ordering::Relaxed);
+        }
+        if op.streams_output() {
+            // Commit the chunk's span before yielding: once the b*
+            // batch fills (or the op finishes) the watermark publishes
+            // and downstream claimers may start on the prefix.
+            if let Some(p) =
+                shared.arena.commit_range(op_idx, chunk.start, chunk.len, op.stream_batch)
+            {
+                handle_publication_async(shared, op_idx, p);
+            }
         }
         done += chunk.len;
         op.yields.fetch_add(1, Ordering::Relaxed);
@@ -467,13 +580,46 @@ fn stamp_min(bits: &AtomicU64, t_us: f64) {
     }
 }
 
+/// Reacts to a watermark publication from `op_idx`: the *first*
+/// publication performs this producer's gate arrival at every streamed
+/// dependent (releasing consumers whose other deps are already in), so
+/// their claimers start on the published prefix while the producer is
+/// still running. Exactly-once for the arrival is inherited from the
+/// arena: publications are serialized by the frontier mutex, so
+/// exactly one carries `is_first()`. Every publication additionally
+/// wakes consumer claimers parked on this producer's watermark — the
+/// Release watermark store precedes the lock that drains the waiter
+/// list, and waiters re-check after registering under that same lock,
+/// so a wake can race a registration but never miss it.
+fn handle_publication_async(shared: &AsyncShared<'_>, op_idx: usize, publication: Publication) {
+    let op = &shared.ops[op_idx];
+    if publication.is_first() {
+        for &d in &op.stream_dependents {
+            let gate = &shared.ops[d].gate;
+            if gate.arrive() {
+                gate.release();
+            }
+        }
+    }
+    let waiters = std::mem::take(&mut *op.stream_waiters.lock().expect("stream waiters poisoned"));
+    for w in waiters {
+        w.wake();
+    }
+}
+
 /// Runs exactly once per op: stamps the finish and arrives at every
 /// dependent's gate, releasing the ones this op was the last
 /// predecessor of (their parked claimers wake through the gate's
-/// wakers).
+/// wakers). Streamed producers additionally publish their full
+/// watermark — idempotent, and the one publication path that covers
+/// scattered orphan-replay writes no `commit_range` accounted for.
 fn complete_op(shared: &AsyncShared<'_>, op_idx: usize, t_end: f64) {
     let op = &shared.ops[op_idx];
     op.finished_bits.fetch_min(t_end.to_bits(), Ordering::AcqRel);
+    if !op.stream_dependents.is_empty() {
+        let p = shared.arena.publish_all(op_idx);
+        handle_publication_async(shared, op_idx, p);
+    }
     for &d in &op.dependents {
         let gate = &shared.ops[d].gate;
         if gate.arrive() {
@@ -520,13 +666,35 @@ pub(crate) fn execute_async_resumed(
                 .is_some_and(|o| op.tasks > 0 && o.completed.iter().all(|&c| c))
         })
         .collect();
+    // Streamed-edge classification — identical to the threaded
+    // backend's: element-wise kernels on equal-cardinality live edges
+    // stream through watermarks; everything else (reductions, resumed
+    // remapped ops, `pipeline_overlap = false`) keeps whole-op gating.
+    let remapped: Vec<bool> = (0..plan.ops.len())
+        .map(|i| resume.and_then(|r| r.ops.get(i)).is_some_and(|o| o.completed.iter().any(|&c| c)))
+        .collect();
+    let stream_on = opts.pipeline_overlap && kernel.access() == AccessPattern::ElementWise;
+    let streamed_edge = |d: usize, c: usize| -> bool {
+        stream_on
+            && !pre_done[d]
+            && !pre_done[c]
+            && !remapped[d]
+            && !remapped[c]
+            && plan.ops[d].tasks == plan.ops[c].tasks
+            && plan.ops[d].tasks > 1
+    };
     let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); plan.ops.len()];
+    let mut stream_deps: Vec<Vec<usize>> = vec![Vec::new(); plan.ops.len()];
     for (i, op) in plan.ops.iter().enumerate() {
         if pre_done[i] {
             continue; // Never scheduled, so never needs enabling.
         }
         for &d in &op.deps {
-            dependents[d].push(i);
+            if streamed_edge(d, i) {
+                stream_deps[d].push(i);
+            } else {
+                dependents[d].push(i);
+            }
         }
     }
     // §4.1.2 driver shares: when a level holds several concurrent ops
@@ -618,6 +786,16 @@ pub(crate) fn execute_async_resumed(
         let claimers = if pre_done[i] { 0 } else { claimers_for(pending, op_shares[i]) };
         let stamp = if pre_done[i] { 0u64 } else { u64::MAX };
         n_claimers.push(claimers);
+        let stream_dependents = std::mem::take(&mut stream_deps[i]);
+        let stream_batch = if stream_dependents.is_empty() {
+            op.tasks.max(1)
+        } else {
+            opts.stream_batch
+                .unwrap_or_else(|| {
+                    HostCalibration::get().stream_batch(op.tasks, std::mem::size_of::<f64>() as u64)
+                })
+                .clamp(1, op.tasks.max(1))
+        };
         ops.push(AsyncOp {
             name: op.name.clone(),
             node: op.node,
@@ -634,6 +812,10 @@ pub(crate) fn execute_async_resumed(
             yields: AtomicU64::new(0),
             restored,
             remap,
+            stream_inputs: op.deps.iter().copied().filter(|&d| streamed_edge(d, i)).collect(),
+            stream_dependents,
+            stream_batch,
+            stream_waiters: Mutex::new(Vec::new()),
             board: Mutex::new(OrphanBoard { orphans: Vec::new(), live: claimers }),
         });
     }
@@ -701,10 +883,15 @@ pub(crate) fn execute_async_resumed(
             chunks: op.queue.chunks_claimed(),
             yields: op.yields.load(Ordering::Relaxed),
             procs: op_shares[i],
+            streamed_inputs: op.stream_inputs.len(),
+            // Read before `into_outputs` consumes the arena below.
+            watermark_pubs: shared.arena.watermark_pubs(i),
         })
         .collect();
     let claims: u64 = op_records.iter().map(|o| o.chunks).sum();
     let yields: u64 = op_records.iter().map(|o| o.yields).sum();
+    let streamed_edges: usize = op_records.iter().map(|o| o.streamed_inputs).sum();
+    let watermark_pubs: u64 = op_records.iter().map(|o| o.watermark_pubs).sum();
     let exec_counts: Vec<Vec<u32>> = shared
         .ops
         .iter()
@@ -729,6 +916,8 @@ pub(crate) fn execute_async_resumed(
         polls,
         spawned,
         steals,
+        streamed_edges,
+        watermark_pubs,
         crashed,
     })
 }

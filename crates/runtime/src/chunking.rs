@@ -268,7 +268,7 @@ impl ChunkPolicy for Taper {
     }
 
     fn live_stats(&self) -> Option<OnlineStats> {
-        Some(self.stats.clone())
+        Some(self.stats)
     }
 
     fn name(&self) -> &'static str {

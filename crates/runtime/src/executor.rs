@@ -81,6 +81,13 @@ pub struct ExecutorOptions {
     /// a claim-count cadence). `None` (the default) disables
     /// checkpointing; the simulator ignores this.
     pub checkpoint: Option<crate::checkpoint::CheckpointSpec>,
+    /// Forces the watermark publication batch (in producer tasks) on
+    /// the real backends' streamed producer→consumer edges. `None`
+    /// (the default) lets each producer choose b\* from the measured
+    /// [`HostCalibration`](crate::finish::HostCalibration) α/β via
+    /// [`choose_batch_params`](crate::granularity::choose_batch_params).
+    /// The simulator ignores this.
+    pub stream_batch: Option<usize>,
 }
 
 impl Default for ExecutorOptions {
@@ -101,6 +108,7 @@ impl Default for ExecutorOptions {
             steal_order: StealOrder::Hierarchical,
             faults: None,
             checkpoint: None,
+            stream_batch: None,
         }
     }
 }
@@ -116,6 +124,13 @@ pub struct NodeReport {
     pub finish: f64,
     /// Processors assigned.
     pub procs: usize,
+    /// Input edges this op consumed *streamed* — gated by the
+    /// producer's progress watermark instead of whole-op completion
+    /// (real backends only; the simulator reports 0).
+    pub streamed_inputs: usize,
+    /// Watermark publications this op's producer side performed (real
+    /// backends only; 0 for unstreamed ops and on the simulator).
+    pub watermark_pubs: u64,
 }
 
 /// The result of executing a graph.
@@ -532,6 +547,8 @@ pub fn execute_graph(
                             start,
                             finish: end,
                             procs: p_u,
+                            streamed_inputs: 0,
+                            watermark_pubs: 0,
                         });
                         level_end = level_end.max(end);
                     }
@@ -547,6 +564,8 @@ pub fn execute_graph(
                             start,
                             finish: end,
                             procs: p_u,
+                            streamed_inputs: 0,
+                            watermark_pubs: 0,
                         });
                         level_end = level_end.max(end);
                     }

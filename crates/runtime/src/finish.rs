@@ -178,20 +178,40 @@ pub struct HostCalibration {
     /// Measured cost of one scheduling event — one chunk claim on a
     /// [`ChunkQueue`](crate::threaded::queue::ChunkQueue) — in µs.
     pub sched_overhead_us: f64,
+    /// Measured cost of one watermark publication — one
+    /// [`commit_range`](crate::alloc::OutputArena::commit_range) that
+    /// advances the frontier — in µs. The α fed to
+    /// [`choose_batch_params`](crate::choose_batch_params) on the real
+    /// backends.
+    pub publish_alpha_us: f64,
+    /// Measured per-byte arena read/copy cost in µs/B. The β fed to
+    /// [`choose_batch_params`](crate::choose_batch_params) on the real
+    /// backends.
+    pub copy_beta_us: f64,
 }
 
+/// Clamp band for the measured per-publish cost α (µs) — the same
+/// band `finish_estimate_live` uses for per-claim overhead.
+const ALPHA_CLAMP: (f64, f64) = (0.001, 10.0);
+/// Clamp band for the measured per-byte cost β (µs/B). A modern core
+/// streams ≥ 10 GB/s (1e-4 µs/B); the band leaves two orders of
+/// headroom either side so one descheduled rep cannot poison b*.
+const BETA_CLAMP: (f64, f64) = (1e-5, 0.1);
+
 impl HostCalibration {
-    /// A calibration with a fixed overhead (for tests and replay,
-    /// where measuring would be nondeterministic).
+    /// A calibration with a fixed claim overhead and nominal α/β (for
+    /// tests and replay, where measuring would be nondeterministic).
     pub const fn with_overhead(sched_overhead_us: f64) -> Self {
-        HostCalibration { sched_overhead_us }
+        HostCalibration { sched_overhead_us, publish_alpha_us: 0.05, copy_beta_us: 1e-4 }
     }
 
     /// Measures the per-claim cost by draining a throwaway
     /// self-scheduling queue (one task per claim, so elapsed/tasks is
-    /// the pure scheduling hot path). Clamped to a sane band so a
-    /// descheduled measurement on a loaded host cannot poison every
-    /// later allocation decision.
+    /// the pure scheduling hot path), the per-publish cost by driving
+    /// a throwaway arena watermark one commit at a time, and the
+    /// per-byte cost by summing a cold slab. All three are clamped to
+    /// sane bands so a descheduled measurement on a loaded host cannot
+    /// poison every later allocation or batching decision.
     pub fn measure() -> Self {
         use crate::threaded::queue::ChunkQueue;
         const TASKS: usize = 8192;
@@ -199,13 +219,44 @@ impl HostCalibration {
         let t0 = std::time::Instant::now();
         while q.claim().is_some() {}
         let per_claim_us = t0.elapsed().as_secs_f64() * 1e6 / TASKS as f64;
-        HostCalibration { sched_overhead_us: per_claim_us.clamp(0.001, 10.0) }
+
+        // α: one-task commits with batch 1, so every commit publishes —
+        // lock, frontier bump, Release store, counter.
+        const PUBS: usize = 4096;
+        let arena = crate::alloc::OutputArena::for_ops([PUBS]);
+        let t0 = std::time::Instant::now();
+        for i in 0..PUBS {
+            arena.commit_range(0, i, 1, 1);
+        }
+        let per_publish_us = t0.elapsed().as_secs_f64() * 1e6 / PUBS as f64;
+
+        // β: stream the slab once; reading is what consumers pay.
+        // Safety: the arena is local to this function and no writer
+        // holds a view.
+        let slab = unsafe { arena.op_slice(0) };
+        let t0 = std::time::Instant::now();
+        let sum: f64 = std::hint::black_box(slab).iter().sum();
+        let bytes = (PUBS * std::mem::size_of::<f64>()) as f64;
+        let per_byte_us = t0.elapsed().as_secs_f64() * 1e6 / bytes;
+        std::hint::black_box(sum);
+
+        HostCalibration {
+            sched_overhead_us: per_claim_us.clamp(0.001, 10.0),
+            publish_alpha_us: per_publish_us.clamp(ALPHA_CLAMP.0, ALPHA_CLAMP.1),
+            copy_beta_us: per_byte_us.clamp(BETA_CLAMP.0, BETA_CLAMP.1),
+        }
     }
 
     /// The process-wide calibration, measured once on first use.
     pub fn get() -> HostCalibration {
         static CAL: OnceLock<HostCalibration> = OnceLock::new();
         *CAL.get_or_init(HostCalibration::measure)
+    }
+
+    /// b\* for a streamed edge of `tasks` items of `item_bytes` each,
+    /// priced at this host's measured α/β.
+    pub fn stream_batch(&self, tasks: usize, item_bytes: u64) -> usize {
+        crate::choose_batch_params(tasks, item_bytes, self.publish_alpha_us, self.copy_beta_us)
     }
 }
 
@@ -373,7 +424,29 @@ mod tests {
             "claim cost {} µs outside clamp",
             cal.sched_overhead_us
         );
+        assert!(
+            (0.001..=10.0).contains(&cal.publish_alpha_us),
+            "publish cost {} µs outside clamp",
+            cal.publish_alpha_us
+        );
+        assert!(
+            (1e-5..=0.1).contains(&cal.copy_beta_us),
+            "copy cost {} µs/B outside clamp",
+            cal.copy_beta_us
+        );
         // The process-wide instance is stable across calls.
         assert_eq!(HostCalibration::get(), HostCalibration::get());
+    }
+
+    #[test]
+    fn stream_batch_uses_measured_costs() {
+        // Latency-heavy host: batch aggressively. Bandwidth-heavy:
+        // stream nearly item by item.
+        let slow_pub =
+            HostCalibration { sched_overhead_us: 0.1, publish_alpha_us: 10.0, copy_beta_us: 1e-5 };
+        let slow_copy =
+            HostCalibration { sched_overhead_us: 0.1, publish_alpha_us: 0.001, copy_beta_us: 0.1 };
+        assert!(slow_pub.stream_batch(1024, 8) > slow_copy.stream_batch(1024, 8));
+        assert!(slow_copy.stream_batch(1024, 8) <= 4);
     }
 }

@@ -25,10 +25,17 @@ use orchestra_machine::MachineConfig;
 /// regardless of batching and is accounted separately by
 /// [`pipelined_stage_time`].
 pub fn batch_cost(n: usize, item_bytes: u64, b: usize, cfg: &MachineConfig) -> f64 {
+    batch_cost_params(n, item_bytes, b, cfg.alpha, cfg.beta)
+}
+
+/// [`batch_cost`] over explicit per-message latency `alpha` (µs) and
+/// per-byte cost `beta` (µs/B) — the form the real backends use with
+/// host-measured values instead of a simulated `MachineConfig`.
+pub fn batch_cost_params(n: usize, item_bytes: u64, b: usize, alpha: f64, beta: f64) -> f64 {
     let b = b.clamp(1, n.max(1));
     let msgs = (n as f64 / b as f64).ceil();
-    let fill = b as f64 * item_bytes as f64 * cfg.beta;
-    msgs * cfg.alpha + fill
+    let fill = b as f64 * item_bytes as f64 * beta;
+    msgs * alpha + fill
 }
 
 /// Chooses the batch size minimizing [`batch_cost`].
@@ -36,16 +43,24 @@ pub fn batch_cost(n: usize, item_bytes: u64, b: usize, cfg: &MachineConfig) -> f
 /// Evaluates the analytic optimum and its neighbours (the cost is
 /// unimodal in `b`, but integer rounding matters near the minimum).
 pub fn choose_batch(n: usize, item_bytes: u64, cfg: &MachineConfig) -> usize {
+    choose_batch_params(n, item_bytes, cfg.alpha, cfg.beta)
+}
+
+/// [`choose_batch`] over explicit `alpha`/`beta`. The simulated and
+/// real backends share this one decision procedure, so a measured
+/// `HostCalibration` and a `MachineConfig` cannot silently diverge in
+/// *how* they pick b\* — only in the costs they feed it.
+pub fn choose_batch_params(n: usize, item_bytes: u64, alpha: f64, beta: f64) -> usize {
     if n <= 1 {
         return n.max(1);
     }
-    if cfg.beta <= 0.0 || item_bytes == 0 {
+    if beta <= 0.0 || item_bytes == 0 {
         return n; // latency-only: one big message
     }
-    if cfg.alpha <= 0.0 {
+    if alpha <= 0.0 {
         return 1; // bandwidth-only: stream item by item
     }
-    let ideal = (n as f64 * cfg.alpha / (cfg.beta * item_bytes as f64)).sqrt();
+    let ideal = (n as f64 * alpha / (beta * item_bytes as f64)).sqrt();
     let mut best = 1usize;
     let mut best_cost = f64::INFINITY;
     // The even-divisor batch near the ideal avoids a ragged final
@@ -65,7 +80,7 @@ pub fn choose_batch(n: usize, item_bytes: u64, cfg: &MachineConfig) -> usize {
     ];
     for &b in &candidates {
         let b = b.clamp(1, n);
-        let c = batch_cost(n, item_bytes, b, cfg);
+        let c = batch_cost_params(n, item_bytes, b, alpha, beta);
         if c < best_cost {
             best_cost = c;
             best = b;
@@ -85,11 +100,27 @@ pub fn pipelined_stage_time(
     b: usize,
     cfg: &MachineConfig,
 ) -> f64 {
+    pipelined_stage_time_params(producer_time, consumer_time, n, item_bytes, b, cfg.alpha, cfg.beta)
+}
+
+/// [`pipelined_stage_time`] over explicit `alpha`/`beta` — the
+/// overlapped-stage estimate the real backends' finishing-time
+/// equalizer uses for streamed producer→consumer pairs.
+#[allow(clippy::too_many_arguments)]
+pub fn pipelined_stage_time_params(
+    producer_time: f64,
+    consumer_time: f64,
+    n: usize,
+    item_bytes: u64,
+    b: usize,
+    alpha: f64,
+    beta: f64,
+) -> f64 {
     // Steady state: compute of both stages and the byte stream overlap;
     // the slowest of the three paces the pipeline.
-    let stream = n as f64 * item_bytes as f64 * cfg.beta;
+    let stream = n as f64 * item_bytes as f64 * beta;
     // The fill of one batch (latency + its bytes) cannot overlap.
-    let fill = b.clamp(1, n.max(1)) as f64 * item_bytes as f64 * cfg.beta + cfg.alpha;
+    let fill = b.clamp(1, n.max(1)) as f64 * item_bytes as f64 * beta + alpha;
     producer_time.max(consumer_time).max(stream) + fill
 }
 
@@ -133,6 +164,28 @@ mod tests {
         assert_eq!(choose_batch(1, 64, &cfg), 1);
         let ideal = MachineConfig::ideal(2);
         assert_eq!(choose_batch(100, 64, &ideal), 100, "free comm → one message");
+    }
+
+    #[test]
+    fn config_and_params_forms_agree_exactly() {
+        let cfg = MachineConfig::ncube2(2);
+        for n in [1usize, 7, 256, 4096] {
+            for item_bytes in [1u64, 8, 64] {
+                assert_eq!(
+                    choose_batch(n, item_bytes, &cfg),
+                    choose_batch_params(n, item_bytes, cfg.alpha, cfg.beta),
+                );
+                let b = choose_batch(n, item_bytes, &cfg);
+                assert_eq!(
+                    batch_cost(n, item_bytes, b, &cfg),
+                    batch_cost_params(n, item_bytes, b, cfg.alpha, cfg.beta),
+                );
+                assert_eq!(
+                    pipelined_stage_time(10.0, 20.0, n, item_bytes, b, &cfg),
+                    pipelined_stage_time_params(10.0, 20.0, n, item_bytes, b, cfg.alpha, cfg.beta),
+                );
+            }
+        }
     }
 
     #[test]

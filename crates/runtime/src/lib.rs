@@ -47,7 +47,7 @@ pub mod par_op;
 pub mod stats;
 pub mod threaded;
 
-pub use alloc::{allocate_many, allocate_pair, AllocParams, Allocation, OutputArena};
+pub use alloc::{allocate_many, allocate_pair, AllocParams, Allocation, OutputArena, Publication};
 pub use asynch::{execute_async, resolve_drivers, AsyncOpRecord, AsyncRun};
 pub use checkpoint::{
     execute_graph_resumable, graph_fingerprint, load_latest, plan_fingerprint, snapshot_versions,
@@ -56,8 +56,11 @@ pub use checkpoint::{
 pub use chunking::{ChunkPolicy, Factoring, Gss, PolicyKind, SelfSched, Taper, REASSIGN_CV_GATE};
 pub use dist_taper::{simulate_dist_taper, simulate_dist_taper_at, DistResult};
 pub use executor::{costs_of_node, execute_graph, ExecutionReport, ExecutorOptions, NodeReport};
-pub use finish::{finish_estimate, FinishEstimate, OpSpec};
-pub use granularity::{batch_cost, choose_batch, pipelined_stage_time};
+pub use finish::{finish_estimate, finish_estimate_live, FinishEstimate, HostCalibration, OpSpec};
+pub use granularity::{
+    batch_cost, batch_cost_params, choose_batch, choose_batch_params, pipelined_stage_time,
+    pipelined_stage_time_params,
+};
 pub use par_op::{
     owner_of, simulate_dynamic, simulate_policy, simulate_static, OpOptions, OpResult,
 };
@@ -68,6 +71,6 @@ pub use threaded::topology::{
     TopologyFingerprint, TopologyMode, TopologySource, WorkerTopo,
 };
 pub use threaded::{
-    execute_sequential, execute_threaded, ExecutorBackend, ReduceKernel, SequentialRun, SpinKernel,
-    TaskCtx, TaskKernel, ThreadedRun,
+    execute_sequential, execute_threaded, AccessPattern, ExecutorBackend, ReduceKernel,
+    SequentialRun, SpinKernel, TaskCtx, TaskKernel, ThreadedRun,
 };

@@ -193,6 +193,28 @@ impl DistQueue {
     /// Panics if `worker >= workers` or `costs` is shorter than the
     /// iteration space.
     pub fn claim(&self, worker: usize, costs: &[f64], now_us: f64) -> Option<DistChunk> {
+        self.claim_bounded(worker, costs, now_us, usize::MAX)
+    }
+
+    /// Like [`claim`](Self::claim), but only draws tasks whose index
+    /// lies strictly below `limit` — the streamed-edge consumer path,
+    /// where `limit` is the minimum producer watermark at claim time.
+    ///
+    /// The draw stops at the first home-queue entry at or above the
+    /// limit (homes start sorted per owner block; after migration the
+    /// front-peek is merely conservative, which is safe — the
+    /// producer's final `publish_all` always raises the limit to the
+    /// whole space). A visit that draws nothing returns `None` exactly
+    /// like a starving visit; the epoch token it sent is harmless, and
+    /// the worker's wakeup is owed to the producer's next watermark
+    /// publication rather than the queue itself.
+    pub fn claim_bounded(
+        &self,
+        worker: usize,
+        costs: &[f64],
+        now_us: f64,
+        limit: usize,
+    ) -> Option<DistChunk> {
         assert!(worker < self.workers, "worker {worker} out of range");
         if self.remaining.load(Ordering::Acquire) == 0 {
             // Exhausted fast path: stale claims are a single load.
@@ -265,11 +287,22 @@ impl DistQueue {
         let mut tasks = Vec::with_capacity(k);
         let mut moved = 0u64;
         for _ in 0..k {
-            let t = c.homes[worker].pop_front().expect("len checked");
+            // Watermark gate: stop drawing at the first task the
+            // producer has not committed yet.
+            match c.homes[worker].front() {
+                Some(&t) if t < limit => {}
+                _ => break,
+            }
+            let t = c.homes[worker].pop_front().expect("front peeked");
             if owner_of(t, self.total, self.workers) != worker {
                 moved += 1;
             }
             tasks.push(t);
+        }
+        if tasks.is_empty() {
+            // Everything in the home queue sits at or above the
+            // watermark: treat it as a starving visit.
+            return None;
         }
         for &t in &tasks {
             c.policy.observe(t, costs[t]);
@@ -365,6 +398,24 @@ impl DistQueue {
     pub fn home_len(&self, worker: usize) -> usize {
         assert!(worker < self.workers, "worker {worker} out of range");
         self.coord.lock().expect("dist coordinator poisoned").homes[worker].len()
+    }
+
+    /// Whether the front of `worker`'s home queue lies strictly below
+    /// `limit` — i.e. whether a [`claim_bounded`](Self::claim_bounded)
+    /// at that limit could draw at least one task right now. Crash
+    /// recovery uses it to tell reachable work from work still gated
+    /// behind an unpublished producer watermark (whose publication
+    /// re-tokens the consumer anyway). Conservative after migration
+    /// reorders a home queue, exactly like the claim's own front-peek.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker >= workers`.
+    pub fn home_ready_below(&self, worker: usize, limit: usize) -> bool {
+        assert!(worker < self.workers, "worker {worker} out of range");
+        self.coord.lock().expect("dist coordinator poisoned").homes[worker]
+            .front()
+            .is_some_and(|&t| t < limit)
     }
 
     /// Excuses a dead worker from epoch completion: subsequent epochs
@@ -728,6 +779,31 @@ mod tests {
         // Idempotent once the home is non-empty.
         let q2 = DistQueue::with_partition(n, 2, vec![0; 2], &[0, 1]);
         assert_eq!(q2.admit_worker(1), 0, "member with work must not re-seed");
+    }
+
+    #[test]
+    fn bounded_claims_stop_at_the_watermark() {
+        // One worker owns all 64 tasks (sorted home queue). With the
+        // limit at 10, claims must drain exactly tasks 0..10 and then
+        // report None while has_more() stays true — blocked, not
+        // exhausted. Raising the limit drains the rest.
+        let n = 64;
+        let costs = vec![1.0; n];
+        let q = DistQueue::new(n, 1);
+        let mut got = Vec::new();
+        while let Some(c) = q.claim_bounded(0, &costs, 0.0, 10) {
+            got.extend(c.tasks);
+        }
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+        assert!(q.has_more(), "blocked must not read as exhausted");
+        assert!(!q.home_ready_below(0, 10));
+        assert!(q.home_ready_below(0, 11));
+        while let Some(c) = q.claim_bounded(0, &costs, 0.0, usize::MAX) {
+            got.extend(c.tasks);
+        }
+        got.sort_unstable();
+        assert_eq!(got, (0..n).collect::<Vec<_>>());
+        assert!(!q.has_more());
     }
 
     #[test]

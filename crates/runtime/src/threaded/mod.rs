@@ -75,6 +75,22 @@ pub struct TaskCtx<'a> {
     pub inputs: &'a [&'a [f64]],
 }
 
+/// How a kernel's task `t` addresses its input slices — the contract
+/// the streamed data plane's per-edge watermark gates rely on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AccessPattern {
+    /// Task `t` may read any cell of any input: consumers can only be
+    /// released when the producer op has completed entirely (whole-op
+    /// gating — always sound, never streamed). The default.
+    #[default]
+    WholeInput,
+    /// On an equal-length input, task `t` reads only cells with index
+    /// `≤ t` (element-wise / prefix access). Such edges can be
+    /// *streamed*: consumer task `t` is sound to run as soon as the
+    /// producer's committed-prefix watermark exceeds `t`.
+    ElementWise,
+}
+
 /// A real compute kernel: the function the threaded backend runs per
 /// task. Implementations MUST be pure in `(node, iter, task, inputs)` —
 /// the differential test suite asserts threaded and sequential
@@ -84,6 +100,15 @@ pub trait TaskKernel: Sync {
     /// Computes task `ctx.task`, returning the value stored in the
     /// operation's output buffer at that index.
     fn run_task(&self, ctx: &TaskCtx<'_>) -> f64;
+
+    /// The input-access contract of [`Self::run_task`] (see
+    /// [`AccessPattern`]). Returning [`AccessPattern::ElementWise`]
+    /// when the kernel reads past cell `ctx.task` of an equal-length
+    /// input is undefined behaviour on the real backends — when in
+    /// doubt keep the default.
+    fn access(&self) -> AccessPattern {
+        AccessPattern::WholeInput
+    }
 }
 
 /// The default kernel: a deterministic floating-point recurrence whose
@@ -118,6 +143,11 @@ impl TaskKernel for SpinKernel {
             x = x * 0.999_999_7 + 1e-9;
         }
         std::hint::black_box(x)
+    }
+
+    fn access(&self) -> AccessPattern {
+        // Reads no input cells at all — trivially prefix-bounded.
+        AccessPattern::ElementWise
     }
 }
 
@@ -156,6 +186,12 @@ impl TaskKernel for ReduceKernel {
             }
         }
         std::hint::black_box(x)
+    }
+
+    fn access(&self) -> AccessPattern {
+        // Task t reads cell `t % len` of each input, and `t % len ≤ t`
+        // for every length, so the read is always prefix-bounded.
+        AccessPattern::ElementWise
     }
 }
 
@@ -352,6 +388,13 @@ pub struct OpRecord {
     /// this records the allocator's decision, so concurrent ops' procs
     /// sum to the pool size.
     pub procs: usize,
+    /// Input edges gated by the producer's progress watermark instead
+    /// of whole-op completion — this op's tasks could start while
+    /// those producers were still running.
+    pub streamed_inputs: usize,
+    /// Watermark publications this op performed as a *producer* (0 for
+    /// ops with no streamed dependents).
+    pub watermark_pubs: u64,
 }
 
 /// The result of executing a graph on real threads.
@@ -392,6 +435,12 @@ pub struct ThreadedRun {
     /// Work-steal counters bucketed by hierarchy distance, merged over
     /// all workers.
     pub steal: StealStats,
+    /// Streamed (watermark-gated) producer→consumer edges in the plan,
+    /// summed over all ops (0 with `pipeline_overlap` off, under a
+    /// `WholeInput` kernel, and on resumed plans' remapped ops).
+    pub streamed_edges: usize,
+    /// Watermark publications performed across all producer ops.
+    pub watermark_pubs: u64,
     /// Workers whose CPU pin the kernel accepted (0 when pinning was
     /// off or every pin failed).
     pub pinned_workers: usize,
@@ -428,6 +477,8 @@ impl ThreadedRun {
                     start: op.start_us,
                     finish: op.finish_us,
                     procs: op.procs,
+                    streamed_inputs: op.streamed_inputs,
+                    watermark_pubs: op.watermark_pubs,
                 })
                 .collect(),
             serial_work: self.stats.total_busy(),
@@ -571,17 +622,43 @@ pub(crate) fn execute_threaded_resumed(
     // run's owned buffers come out at the end without a copy.
     let mut arena = OutputArena::for_ops(plan.ops.iter().map(|o| o.tasks));
     let mut instances: Vec<OpInstance> = Vec::with_capacity(plan.ops.len());
+    // ---- §4.1 streamed data plane ----------------------------------
+    // An edge p→c is *streamed* when consumer task t provably reads
+    // only cells ≤ t of p's output (element-wise kernel on equal task
+    // counts): c's tasks may then start as soon as p's committed-prefix
+    // watermark covers them, instead of waiting for all of p. Whole-op
+    // gating remains for reductions (unequal counts), remapped/resumed
+    // ops (their queue indices no longer align with task space), and
+    // under the `pipeline_overlap=false` barrier baseline.
+    let remapped: Vec<bool> = (0..plan.ops.len())
+        .map(|i| resume.and_then(|r| r.ops.get(i)).is_some_and(|o| o.completed.iter().any(|&c| c)))
+        .collect();
+    let stream_on = opts.pipeline_overlap && kernel.access() == AccessPattern::ElementWise;
+    let streamed_edge = |d: usize, c: usize| -> bool {
+        stream_on
+            && !pre_done[d]
+            && !pre_done[c]
+            && !remapped[d]
+            && !remapped[c]
+            && plan.ops[d].tasks == plan.ops[c].tasks
+            && plan.ops[d].tasks > 1
+    };
     let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); plan.ops.len()];
+    let mut stream_deps: Vec<Vec<usize>> = vec![Vec::new(); plan.ops.len()];
     for (i, op) in plan.ops.iter().enumerate() {
         if pre_done[i] {
             continue; // Never scheduled, so never needs enabling.
         }
         for &d in &op.deps {
-            dependents[d].push(i);
+            if streamed_edge(d, i) {
+                stream_deps[d].push(i);
+            } else {
+                dependents[d].push(i);
+            }
         }
     }
     let mut hinted_serial_us = 0.0;
-    for (i, (op, deps_out)) in plan.ops.iter().zip(&mut dependents).enumerate() {
+    for (i, op) in plan.ops.iter().enumerate() {
         let node = &g.nodes[op.node];
         let costs = costs_of_node(node, opts.seed);
         hinted_serial_us += costs.iter().sum::<f64>();
@@ -604,7 +681,8 @@ pub(crate) fn execute_threaded_resumed(
             if partition_live && op_procs[i] < workers {
                 // Block-decompose over the op's partition only: the
                 // other partition's workers start with no home here.
-                let members: Vec<usize> = (0..workers).filter(|&w| masks[i] >> w & 1 == 1).collect();
+                let members: Vec<usize> =
+                    (0..workers).filter(|&w| masks[i] >> w & 1 == 1).collect();
                 OpQueue::Dist(DistQueue::with_partition(
                     pending,
                     workers,
@@ -646,6 +724,20 @@ pub(crate) fn execute_threaded_resumed(
             }
         }
         let stamp = if pre_done[i] { 0u64 } else { u64::MAX };
+        let stream_dependents = std::mem::take(&mut stream_deps[i]);
+        // b\*: how many completed producer tasks coalesce per watermark
+        // publication, from the host's measured per-publish α and
+        // per-byte β (§4.1's batch-granularity model over the arena's
+        // 8-byte items) — unless the caller forced a batch.
+        let stream_batch = if stream_dependents.is_empty() {
+            op.tasks.max(1)
+        } else {
+            opts.stream_batch
+                .unwrap_or_else(|| {
+                    HostCalibration::get().stream_batch(op.tasks, std::mem::size_of::<f64>() as u64)
+                })
+                .clamp(1, op.tasks.max(1))
+        };
         instances.push(OpInstance {
             name: op.name.clone(),
             node: op.node,
@@ -653,8 +745,11 @@ pub(crate) fn execute_threaded_resumed(
             queue,
             costs,
             deps: AtomicUsize::new(effective_deps),
-            dependents: std::mem::take(deps_out),
+            dependents: std::mem::take(&mut dependents[i]),
             input_ops: op.deps.clone(),
+            stream_inputs: op.deps.iter().copied().filter(|&d| streamed_edge(d, i)).collect(),
+            stream_dependents,
+            stream_batch,
             outstanding: AtomicUsize::new(pending),
             executed: (0..op.tasks).map(|_| AtomicU32::new(0)).collect(),
             started_bits: AtomicU64::new(stamp),
@@ -703,6 +798,9 @@ pub(crate) fn execute_threaded_resumed(
             let d = op.queue.as_dist();
             OpRecord {
                 procs: op_procs[i],
+                streamed_inputs: op.stream_inputs.len(),
+                // Read before `into_outputs` consumes the arena below.
+                watermark_pubs: arena.watermark_pubs(i),
                 name: op.name.clone(),
                 start_us: f64::from_bits(
                     op.started_bits.load(std::sync::atomic::Ordering::Acquire),
@@ -723,6 +821,8 @@ pub(crate) fn execute_threaded_resumed(
     let migrated_tasks: u64 = ops.iter().map(|o| o.migrated).sum();
     let reassignments: u64 = ops.iter().map(|o| o.reassignments).sum();
     let remote_reassignments: u64 = ops.iter().map(|o| o.remote_reassignments).sum();
+    let streamed_edges: usize = ops.iter().map(|o| o.streamed_inputs).sum();
+    let watermark_pubs: u64 = ops.iter().map(|o| o.watermark_pubs).sum();
     let dist_tasks: u64 =
         instances.iter().filter(|op| op.queue.is_dist()).map(|op| op.costs.len() as u64).sum();
     let locality =
@@ -744,6 +844,8 @@ pub(crate) fn execute_threaded_resumed(
         reassignments,
         locality,
         remote_reassignments,
+        streamed_edges,
+        watermark_pubs,
         steal,
         pinned_workers,
         topology: wt.fingerprint(),

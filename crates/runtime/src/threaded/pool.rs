@@ -45,13 +45,14 @@
 //!   refill behind its owner's back.
 
 use super::dist::DistQueue;
-use super::queue::ChunkQueue;
+use super::queue::{BoundedClaim, ChunkQueue};
 use super::topology::{pin_current_thread, StealDistance, WorkerTopo};
 use super::{TaskCtx, TaskKernel};
-use crate::alloc::OutputArena;
+use crate::alloc::{OutputArena, Publication};
 use crate::checkpoint::{op_snapshot, Lease, OpSnapshot, RunCtl};
 use crate::chunking::PolicyKind;
 use crate::finish::{finish_estimate_live, HostCalibration, OpSpec};
+use crate::granularity::pipelined_stage_time_params;
 use crate::stats::{OnlineStats, StealStats};
 use orchestra_delirium::Node;
 use orchestra_machine::ProcStats;
@@ -113,6 +114,21 @@ pub(crate) struct OpInstance {
     /// handed to this op's kernel as [`TaskCtx::inputs`] — by
     /// reference out of the shared [`OutputArena`], no copy.
     pub input_ops: Vec<usize>,
+    /// The subset of `input_ops` consumed *streamed*: claims from this
+    /// op's queue are bounded by the minimum of these producers'
+    /// committed-prefix watermarks instead of waiting for whole-op
+    /// completion. Empty for whole-op-gated ops.
+    pub stream_inputs: Vec<usize>,
+    /// Streamed consumers of this op's output (disjoint from
+    /// `dependents`): their dependency arrival for this edge happens at
+    /// this op's *first* watermark publication, and every publication
+    /// re-tokens them so blocked workers resume onto the new prefix.
+    pub stream_dependents: Vec<usize>,
+    /// Watermark publication batch b\* (producer tasks coalesced per
+    /// publication), chosen by §4.1's batch model over the measured
+    /// per-publish α and per-byte β — or forced by
+    /// [`ExecutorOptions::stream_batch`](crate::executor::ExecutorOptions::stream_batch).
+    pub stream_batch: usize,
     /// Tasks not yet executed; the op is complete at 0.
     pub outstanding: AtomicUsize,
     /// Execution count per task (differential-testing evidence that no
@@ -151,6 +167,24 @@ impl OpInstance {
     /// The cost hints in the queue's index space.
     fn claim_costs(&self) -> &[f64] {
         self.queue_costs.as_deref().unwrap_or(&self.costs)
+    }
+
+    /// How far this op's claims may advance right now: the minimum of
+    /// its streamed producers' committed-prefix watermarks (`Acquire`
+    /// loads, re-read fresh at every claim), or unbounded when nothing
+    /// is streamed. Streamed consumers are never remapped, so the
+    /// queue's index space IS task space and the bound applies directly.
+    #[inline]
+    fn stream_limit(&self, arena: &OutputArena) -> usize {
+        self.stream_inputs.iter().map(|&p| arena.watermark(p)).min().unwrap_or(usize::MAX)
+    }
+
+    /// Whether this op publishes progress watermarks as a producer.
+    /// (Streamed producers are never remapped — classification excludes
+    /// resumed ops — so chunk spans are contiguous task intervals.)
+    #[inline]
+    fn streams_output(&self) -> bool {
+        !self.stream_dependents.is_empty() && self.remap.is_none()
     }
 }
 
@@ -289,13 +323,28 @@ struct Shared<'a> {
 }
 
 impl<'a> Shared<'a> {
-    /// The finished upstream output slices for one op — zero-copy
-    /// references into the arena. Sound because an op is only executed
-    /// after its dependency counter reached zero (`AcqRel` decrements
-    /// by the completers), which happens-after every upstream write.
+    /// The upstream output slices for one op — zero-copy references
+    /// into the arena.
+    ///
+    /// Whole-op-gated inputs are finished: the op only runs after its
+    /// dependency counter reached zero (`AcqRel` decrements by the
+    /// completers), which happens-after every upstream write.
+    ///
+    /// *Streamed* inputs may still be running. The slice then spans
+    /// cells the producer has not written yet, and soundness rests on
+    /// the watermark protocol: (1) every claim of this op is bounded by
+    /// the producers' committed-prefix watermarks, whose `Release`
+    /// publication happens-after the covered cells' stores and pairs
+    /// with the claim's `Acquire` load; (2) the kernel's declared
+    /// [`AccessPattern::ElementWise`](super::AccessPattern) contract
+    /// means task `t` dereferences only cells `≤ t <` watermark —
+    /// cells at or above the watermark are *in* the slice but never
+    /// read through it; (3) streamed producers write those cells
+    /// through raw per-cell stores (never a `&mut` view), so no
+    /// exclusive reference ever overlaps this shared slice.
     fn inputs_of(&self, op: &OpInstance) -> Vec<&'a [f64]> {
-        // SAFETY: every input op completed before this op was enabled;
-        // no live chunk views exist for a completed op.
+        // SAFETY: see above — whole-op inputs are quiescent; streamed
+        // inputs are only read below their watermark.
         op.input_ops.iter().map(|&d| unsafe { self.arena.op_slice(d) }).collect()
     }
 
@@ -590,12 +639,20 @@ fn recovery_visible(shared: &Shared<'_>, id: usize) -> bool {
     }
     let dead = f.dead_workers();
     shared.ops.iter().any(|op| {
-        op.outstanding.load(Ordering::Acquire) > 0
-            && op.deps.load(Ordering::Acquire) == 0
-            && match &op.queue {
-                OpQueue::Shared(q) => q.has_more(),
-                OpQueue::Dist(q) => q.home_len(id) > 0 || dead.iter().any(|&d| q.home_len(d) > 0),
+        if op.outstanding.load(Ordering::Acquire) == 0 || op.deps.load(Ordering::Acquire) != 0 {
+            return false;
+        }
+        // Work blocked on a streamed producer's watermark is not
+        // *reachable* yet: counting it here would busy-wake this
+        // worker in a park loop. The producer's next publication
+        // signals, so ignoring blocked work loses no wakeups.
+        let limit = op.stream_limit(shared.arena);
+        match &op.queue {
+            OpQueue::Shared(q) => q.has_more_below(limit),
+            OpQueue::Dist(q) => {
+                q.home_ready_below(id, limit) || dead.iter().any(|&d| q.home_len(d) > 0)
             }
+        }
     })
 }
 
@@ -741,6 +798,10 @@ fn recover(
         if op.outstanding.load(Ordering::Acquire) == 0 || op.deps.load(Ordering::Acquire) != 0 {
             continue;
         }
+        // Skip work blocked at a streamed producer's watermark: a
+        // direct claim would come back `Blocked` anyway, and reporting
+        // it as progress would spin this worker against the watermark.
+        let limit = op.stream_limit(shared.arena);
         match &op.queue {
             OpQueue::Dist(q) => {
                 for &d in &dead {
@@ -755,7 +816,7 @@ fn recover(
                         progress = true;
                     }
                 }
-                if q.home_len(id) > 0 {
+                if q.home_ready_below(id, limit) {
                     if let Flow::Died = run_op(shared, id, op_idx, kernel, proc, timing) {
                         return Recover::Died;
                     }
@@ -763,7 +824,7 @@ fn recover(
                 }
             }
             OpQueue::Shared(q) => {
-                if q.has_more() {
+                if q.has_more_below(limit) {
                     if let Flow::Died = run_op(shared, id, op_idx, kernel, proc, timing) {
                         return Recover::Died;
                     }
@@ -816,9 +877,14 @@ fn run_op_shared(
 ) -> Flow {
     let op = &shared.ops[op_idx];
     let hooked = shared.ctl.hooked();
-    let Some(first) = queue.claim() else {
+    let first = match queue.claim_bounded(op.stream_limit(shared.arena)) {
+        BoundedClaim::Chunk(c) => c,
         // Stale token: the op drained while this token circulated.
-        return Flow::Continue;
+        BoundedClaim::Exhausted => return Flow::Continue,
+        // Everything claimable sits at or above the producers'
+        // watermark. Drop the token — the next publication re-tokens
+        // this op (never busy-spin on the watermark here).
+        BoundedClaim::Blocked => return Flow::Continue,
     };
     // Kills land at the claim boundary: the chunk is claimed (so no
     // other worker can reach it through the queue) but not executed —
@@ -865,14 +931,19 @@ fn run_op_shared(
         // queue span IS its task span, so the whole chunk writes
         // through one disjoint `&mut [f64]` view — a plain store per
         // task, no atomics. Resumed (remapped) ops scatter through
-        // per-task cell writes instead.
+        // per-task cell writes instead — as do streamed producers,
+        // whose consumers concurrently hold shared slices over this
+        // op's span: a `&mut` view overlapping those would be UB
+        // regardless of cell-level disjointness, while the raw-pointer
+        // store path never forms an exclusive reference.
         //
         // SAFETY: the claim handed `[start, start+len)` to this worker
         // exactly once, so no other thread touches these cells while
         // the view is live.
-        let mut view = match op.remap {
-            None => Some(unsafe { shared.arena.chunk_view(op_idx, chunk.start, chunk.len) }),
-            Some(_) => None,
+        let mut view = if op.remap.is_none() && !op.streams_output() {
+            Some(unsafe { shared.arena.chunk_view(op_idx, chunk.start, chunk.len) })
+        } else {
+            None
         };
         // Per-task timing is budgeted *across* chunks, and the budget
         // caps the prefix *within* a chunk too: a large first chunk
@@ -926,6 +997,18 @@ fn run_op_shared(
             prev = now;
             chunk_stats.observe_n(span_us / rest as f64, rest as u64);
         }
+        if op.streams_output() {
+            // Commit this chunk's task interval and, when a full b\*
+            // batch (or the op's tail) extends the contiguous frontier,
+            // publish the watermark. This happens BEFORE the next claim
+            // — whose fault hook may kill this worker — so a committed
+            // interval is never lost to a lease.
+            if let Some(p) =
+                shared.arena.commit_range(op_idx, chunk.start, chunk.len, op.stream_batch)
+            {
+                handle_publication(shared, id, op_idx, p);
+            }
+        }
         if adaptive {
             pending.push((chunk.start, chunk.len, chunk_stats));
             queue.try_observe_pending(&mut pending);
@@ -935,8 +1018,8 @@ fn run_op_shared(
         proc.chunks += 1;
         proc.busy += prev.duration_since(chunk_t0).as_secs_f64() * 1e6;
         done += chunk.len;
-        match queue.claim() {
-            Some(c) => {
+        match queue.claim_bounded(op.stream_limit(shared.arena)) {
+            BoundedClaim::Chunk(c) => {
                 if hooked {
                     let lease_tasks =
                         || (c.start..c.start + c.len).map(|qi| op.task_of(qi)).collect();
@@ -955,7 +1038,22 @@ fn run_op_shared(
                 }
                 chunk = c;
             }
-            None => break,
+            BoundedClaim::Blocked => {
+                // The streamable prefix is exhausted but the producer
+                // is still running: fold the executed batch into
+                // `outstanding` and drop the token instead of spinning
+                // — the producer's next publication re-tokens this op.
+                // (`outstanding` cannot reach zero here: blocked means
+                // unclaimed — hence unfinished — tasks remain; the
+                // guard keeps the pattern uniform regardless.)
+                let t_end = us_since(shared.epoch, prev);
+                proc.free_at = proc.free_at.max(t_end);
+                if done > 0 && op.outstanding.fetch_sub(done, Ordering::AcqRel) == done {
+                    complete_op(shared, id, op_idx, t_end);
+                }
+                return Flow::Continue;
+            }
+            BoundedClaim::Exhausted => break,
         }
     }
     let t_end = us_since(shared.epoch, prev);
@@ -992,8 +1090,16 @@ fn run_op_dist(
     let hooked = shared.ctl.hooked();
     let t0 = Instant::now();
     let start_bits = us_since(shared.epoch, t0).to_bits();
-    let Some(first) = queue.claim(id, op.claim_costs(), f64::from_bits(start_bits)) else {
-        // Empty home queue (stale token, or fewer tasks than workers).
+    let Some(first) = queue.claim_bounded(
+        id,
+        op.claim_costs(),
+        f64::from_bits(start_bits),
+        op.stream_limit(shared.arena),
+    ) else {
+        // Empty home queue (stale token, or fewer tasks than workers),
+        // or everything drawable sits at or above the streamed
+        // producers' watermark — either way drop the token; a
+        // publication re-tokens every member's `dist_ready`.
         return Flow::Continue;
     };
     // Dist claims carry their epoch token: `AtEpoch` faults key off it,
@@ -1035,7 +1141,30 @@ fn run_op_dist(
         proc.chunks += 1;
         proc.busy += prev.duration_since(chunk_t0).as_secs_f64() * 1e6;
         done += chunk.tasks.len();
-        match queue.claim(id, op.claim_costs(), us_since(shared.epoch, prev)) {
+        if op.streams_output() {
+            // A dist chunk lists arbitrary task indices: commit them as
+            // maximal consecutive runs (home blocks are contiguous, so
+            // runs stay long in practice) — before the next claim's
+            // fault hook, as in the shared loop.
+            let mut i = 0;
+            while i < chunk.tasks.len() {
+                let start = chunk.tasks[i];
+                let mut len = 1;
+                while i + len < chunk.tasks.len() && chunk.tasks[i + len] == start + len {
+                    len += 1;
+                }
+                if let Some(p) = shared.arena.commit_range(_op_idx, start, len, op.stream_batch) {
+                    handle_publication(shared, id, _op_idx, p);
+                }
+                i += len;
+            }
+        }
+        match queue.claim_bounded(
+            id,
+            op.claim_costs(),
+            us_since(shared.epoch, prev),
+            op.stream_limit(shared.arena),
+        ) {
             Some(c) => {
                 if hooked {
                     let lease_tasks = || c.tasks.iter().map(|&qi| op.task_of(qi)).collect();
@@ -1070,11 +1199,12 @@ fn run_op_dist(
     Flow::Continue
 }
 
-/// The live finishing-time estimate of one unfinished op under its
-/// current allocation: remaining tasks × sampled µ/σ out of the chunk
-/// queues (task-count equalization before any samples land), scored by
-/// [`finish_estimate_live`] with host-calibrated overheads.
-fn live_estimate(shared: &Shared<'_>, op_idx: usize, cal: &HostCalibration) -> Option<f64> {
+/// The serial (non-overlapped) live finishing-time estimate of one
+/// unfinished op under its current allocation: remaining tasks ×
+/// sampled µ/σ out of the chunk queues (task-count equalization before
+/// any samples land), scored by [`finish_estimate_live`] with
+/// host-calibrated overheads.
+fn base_estimate(shared: &Shared<'_>, op_idx: usize, cal: &HostCalibration) -> Option<f64> {
     let op = &shared.ops[op_idx];
     if op.deps.load(Ordering::Acquire) != 0 || op.outstanding.load(Ordering::Acquire) == 0 {
         return None;
@@ -1092,6 +1222,38 @@ fn live_estimate(shared: &Shared<'_>, op_idx: usize, cal: &HostCalibration) -> O
     let spec = OpSpec::from_live(remaining, stats.as_ref(), kind);
     let p = shared.partition.procs(op_idx, shared.workers.len()).max(1);
     Some(finish_estimate_live(&spec, p, cal).total())
+}
+
+/// [`base_estimate`], made overlap-aware for streamed consumers: when
+/// one of the op's streamed producers is still running, the pair forms
+/// a pipeline, and the §4.1.2 equalizer must score the consumer by the
+/// pair's *overlapped* stage time (§4.1's [`pipelined_stage_time_params`]
+/// over the measured per-publish α / per-byte β and the producer's b\*)
+/// rather than pretend the stages serialize. This is where the
+/// allocator and the granularity model compose at runtime: the laggard
+/// pick in [`reequalize`] sees a streamed pair as one overlapped unit.
+fn live_estimate(shared: &Shared<'_>, op_idx: usize, cal: &HostCalibration) -> Option<f64> {
+    let base = base_estimate(shared, op_idx, cal)?;
+    let op = &shared.ops[op_idx];
+    let mut est = base;
+    for &p in &op.stream_inputs {
+        let producer = &shared.ops[p];
+        if producer.outstanding.load(Ordering::Acquire) == 0 {
+            continue;
+        }
+        if let Some(pe) = base_estimate(shared, p, cal) {
+            est = est.max(pipelined_stage_time_params(
+                pe,
+                base,
+                op.costs.len(),
+                std::mem::size_of::<f64>() as u64,
+                producer.stream_batch,
+                cal.publish_alpha_us,
+                cal.copy_beta_us,
+            ));
+        }
+    }
+    Some(est)
 }
 
 /// One §4.1.2 re-equalization step: admit each of `freed` into the
@@ -1140,12 +1302,78 @@ fn reequalize(shared: &Shared<'_>, freed: &[usize]) -> bool {
     progress
 }
 
+/// Reacts to one watermark publication by producer `op_idx`.
+///
+/// The *first* publication is the producer's dependency arrival for
+/// each streamed edge: it decrements the consumer's `deps` counter
+/// (exactly once — publications are serialized by the arena's frontier
+/// mutex, so `previous == 0 && current > 0` holds for one publication
+/// only). Every publication, first or later, re-tokens consumers that
+/// are enabled and unfinished: a worker that went blocked dropped its
+/// token, and this fresh token is what brings one back onto the newly
+/// streamable prefix. Lost-wakeup argument: the publisher's `Release`
+/// watermark store precedes these pushes, and a blocked worker only
+/// ever drops its *own* token — the publisher's token survives for
+/// `park`'s visible-work scan and the signalled wakeup below.
+fn handle_publication(shared: &Shared<'_>, id: usize, op_idx: usize, publication: Publication) {
+    if publication.current <= publication.previous {
+        return;
+    }
+    let op = &shared.ops[op_idx];
+    let n_workers = shared.workers.len();
+    let mut woke = 0usize;
+    let mut wake_all = false;
+    for &d in &op.stream_dependents {
+        let dep = &shared.ops[d];
+        let enabled = if publication.is_first() {
+            dep.deps.fetch_sub(1, Ordering::AcqRel) == 1
+        } else {
+            dep.deps.load(Ordering::Acquire) == 0
+        };
+        if !enabled || dep.outstanding.load(Ordering::Acquire) == 0 {
+            continue;
+        }
+        woke += 1;
+        if dep.queue.is_dist() {
+            // Every partition member owns a home queue of a dist op:
+            // re-token them all (duplicate tokens are hints — a stale
+            // one fails its claim and is dropped).
+            for (w, wk) in shared.workers.iter().enumerate() {
+                if shared.partition.allows(d, w) {
+                    wk.0.dist_ready.lock().expect("dist list poisoned").push(d);
+                }
+            }
+            wake_all = true;
+        } else if shared.partition.allows(d, id) {
+            // Freshly published producer cells are hottest in this
+            // worker's cache — front of its own deque.
+            shared.workers[id].0.ready.lock().expect("deque poisoned").push_front(d);
+        } else {
+            let w = shared.partition.members(d, n_workers)[0];
+            shared.workers[w].0.ready.lock().expect("deque poisoned").push_back(d);
+        }
+    }
+    if woke > 0 {
+        shared.signal(wake_all || woke > 1);
+    }
+}
+
 /// Runs exactly once per op (by whichever worker drops `outstanding`
 /// to zero): stamps the finish, enables dependents, and counts the op
 /// as completed — broadcasting only when it was the last one.
 fn complete_op(shared: &Shared<'_>, id: usize, op_idx: usize, t_end: f64) {
     let op = &shared.ops[op_idx];
     op.finished_bits.fetch_min(t_end.to_bits(), Ordering::AcqRel);
+    if !op.stream_dependents.is_empty() {
+        // Belt and braces for paths that never commit ranges (lease
+        // replay, dist scatter with non-contiguous runs) and for any
+        // sub-batch tail: drive the watermark to the full op and run
+        // the publication protocol once more. Idempotent — when the
+        // last commit already published the total, the publication is
+        // empty and `handle_publication` returns immediately.
+        let p = shared.arena.publish_all(op_idx);
+        handle_publication(shared, id, op_idx, p);
+    }
     // Collect the newly enabled dependents first, then publish their
     // tokens one lock at a time — dist enabling locks every worker's
     // token list, and nesting those inside a deque lock would invite a

@@ -45,6 +45,23 @@ pub struct Chunk {
     pub len: usize,
 }
 
+/// Outcome of a watermark-bounded claim ([`ChunkQueue::claim_bounded`]).
+///
+/// Distinguishes "nothing left, ever" from "more tasks exist but the
+/// producer has not published them yet" — a consumer must *park* on the
+/// latter (the producer re-tokens it at the next watermark publication)
+/// and *finish* on the former.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundedClaim {
+    /// A chunk entirely below the watermark limit was claimed.
+    Chunk(Chunk),
+    /// Unclaimed tasks remain, but the next one sits at or above the
+    /// watermark limit: the producer has not committed its input yet.
+    Blocked,
+    /// The iteration space is exhausted; no claim will ever succeed.
+    Exhausted,
+}
+
 /// Pads a hot atomic onto its own cache line so the claim cursor and
 /// the epoch descriptor never false-share with each other or with the
 /// policy mutex.
@@ -210,6 +227,109 @@ impl ChunkQueue {
         Some(chunk)
     }
 
+    /// Claims the next chunk whose task indices all lie strictly below
+    /// `limit` — the streamed-edge consumer path, where `limit` is the
+    /// minimum producer watermark read fresh at every claim.
+    ///
+    /// * **Fixed** queues never split a precomputed chunk: the claim
+    ///   blocks until the watermark covers the whole next chunk, which
+    ///   keeps the handed-out chunk sequence identical to the unbounded
+    ///   path (the differential suites replay it bitwise).
+    /// * **Adaptive** queues truncate the claimed length at the limit —
+    ///   the descriptor's size decision is a target, not a contract, so
+    ///   a shorter chunk is indistinguishable from a policy decision.
+    ///
+    /// `limit >= total` delegates to [`Self::claim`], so whole-op
+    /// (non-streamed) consumers pay nothing for the shared call site.
+    pub fn claim_bounded(&self, limit: usize) -> BoundedClaim {
+        if limit >= self.total {
+            return match self.claim() {
+                Some(c) => BoundedClaim::Chunk(c),
+                None => BoundedClaim::Exhausted,
+            };
+        }
+        let chunk = match &self.mode {
+            Mode::Fixed { bounds, cursor } => {
+                let n_chunks = bounds.len() - 1;
+                let mut i = cursor.load(Ordering::Relaxed);
+                loop {
+                    if i >= n_chunks {
+                        return BoundedClaim::Exhausted;
+                    }
+                    if bounds[i + 1] > limit {
+                        // The next precomputed chunk reaches past the
+                        // watermark; claiming it would read cells the
+                        // producer has not committed.
+                        return BoundedClaim::Blocked;
+                    }
+                    match cursor.compare_exchange_weak(
+                        i,
+                        i + 1,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => break,
+                        Err(seen) => i = seen,
+                    }
+                }
+                Chunk { start: bounds[i], len: bounds[i + 1] - bounds[i] }
+            }
+            Mode::Adaptive(ad) => {
+                // The unbounded path's `fetch_add` would overshoot the
+                // limit, handing out tasks above the watermark — so the
+                // bounded path claims by CAS with the length truncated
+                // at the limit. Slightly more contention than
+                // `fetch_add`, paid only by streamed consumers whose
+                // producer is still running.
+                let (end, k) = unpack_plan(ad.plan.0.load(Ordering::Acquire));
+                let mut start = ad.cursor.0.load(Ordering::Relaxed);
+                let len = loop {
+                    if start >= self.total {
+                        return BoundedClaim::Exhausted;
+                    }
+                    if start >= limit {
+                        return BoundedClaim::Blocked;
+                    }
+                    let len = k.min(self.total - start).min(limit - start).max(1);
+                    match ad.cursor.0.compare_exchange_weak(
+                        start,
+                        start + len,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => break len,
+                        Err(seen) => start = seen,
+                    }
+                };
+                if start + len >= end {
+                    self.advance_epoch(ad);
+                }
+                Chunk { start, len }
+            }
+        };
+        self.chunks.fetch_add(1, Ordering::Relaxed);
+        BoundedClaim::Chunk(chunk)
+    }
+
+    /// Whether an unclaimed chunk exists entirely below `limit` — the
+    /// watermark-aware variant of [`Self::has_more`], used by crash
+    /// recovery to tell *reachable* work (worth re-running an op for)
+    /// from work still gated behind an unpublished watermark (re-tokened
+    /// by the producer's next publication, so waking for it would
+    /// busy-spin). Racy in the same benign direction as `has_more`.
+    pub fn has_more_below(&self, limit: usize) -> bool {
+        match &self.mode {
+            Mode::Fixed { bounds, cursor } => {
+                let i = cursor.load(Ordering::Relaxed);
+                i + 1 < bounds.len() && bounds[i + 1] <= limit.min(self.total)
+            }
+            Mode::Adaptive(ad) => {
+                let c = ad.cursor.0.load(Ordering::Relaxed);
+                c < self.total && c < limit
+            }
+        }
+    }
+
     /// Publishes the next epoch descriptor: chunk size recomputed by
     /// the policy at the current claim frontier, valid for roughly one
     /// chunk per worker. Non-blocking — if another worker is already
@@ -322,9 +442,7 @@ impl ChunkQueue {
                 let i = cursor.load(Ordering::Relaxed).min(bounds.len() - 1);
                 self.total - bounds[i]
             }
-            Mode::Adaptive(ad) => {
-                self.total.saturating_sub(ad.cursor.0.load(Ordering::Relaxed))
-            }
+            Mode::Adaptive(ad) => self.total.saturating_sub(ad.cursor.0.load(Ordering::Relaxed)),
         }
     }
 
@@ -519,6 +637,68 @@ mod tests {
         assert_eq!(q.fixed_cursor(), Some(5), "stale claims grew the cursor");
         // Adaptive queues have no fixed cursor.
         assert_eq!(ChunkQueue::new(PolicyKind::Taper.instantiate(5), 5, 2).fixed_cursor(), None);
+    }
+
+    #[test]
+    fn bounded_claims_respect_limit_fixed() {
+        // Self-scheduling precomputes unit chunks, so the bounded path
+        // must hand out exactly `limit` tasks and then report Blocked
+        // (not Exhausted) until the limit rises.
+        let q = ChunkQueue::new(PolicyKind::SelfSched.instantiate(8), 8, 2);
+        assert_eq!(q.claim_bounded(0), BoundedClaim::Blocked);
+        assert!(!q.has_more_below(0));
+        assert!(q.has_more_below(1));
+        let mut covered = 0usize;
+        loop {
+            match q.claim_bounded(4) {
+                BoundedClaim::Chunk(c) => {
+                    assert!(c.start + c.len <= 4, "chunk past limit: {c:?}");
+                    covered += c.len;
+                }
+                BoundedClaim::Blocked => break,
+                BoundedClaim::Exhausted => panic!("exhausted with tasks above the limit"),
+            }
+        }
+        assert_eq!(covered, 4);
+        loop {
+            match q.claim_bounded(usize::MAX) {
+                BoundedClaim::Chunk(c) => covered += c.len,
+                BoundedClaim::Exhausted => break,
+                BoundedClaim::Blocked => panic!("blocked with the limit fully raised"),
+            }
+        }
+        assert_eq!(covered, 8);
+        assert_eq!(q.claim_bounded(usize::MAX), BoundedClaim::Exhausted);
+    }
+
+    #[test]
+    fn bounded_claims_truncate_adaptive() {
+        // TAPER with one worker wants `remaining/p = 100` up front; the
+        // bounded path must truncate every claim at the watermark
+        // instead of overshooting it.
+        let q = ChunkQueue::new(PolicyKind::Taper.instantiate(100), 100, 1);
+        let mut covered = 0usize;
+        loop {
+            match q.claim_bounded(10) {
+                BoundedClaim::Chunk(c) => {
+                    assert!(c.start + c.len <= 10, "chunk past limit: {c:?}");
+                    covered += c.len;
+                }
+                BoundedClaim::Blocked => break,
+                BoundedClaim::Exhausted => panic!("exhausted with tasks above the limit"),
+            }
+        }
+        assert_eq!(covered, 10, "everything below the watermark must be claimable");
+        assert!(!q.has_more_below(10));
+        assert!(q.has_more_below(11));
+        loop {
+            match q.claim_bounded(usize::MAX) {
+                BoundedClaim::Chunk(c) => covered += c.len,
+                BoundedClaim::Exhausted => break,
+                BoundedClaim::Blocked => panic!("blocked with the limit fully raised"),
+            }
+        }
+        assert_eq!(covered, 100);
     }
 
     #[test]

@@ -52,12 +52,25 @@ fn mixture_graph() -> (DelirGraph, ExecutorOptions) {
     (g, ExecutorOptions { threads: 2, ..ExecutorOptions::default() })
 }
 
+/// A deep equal-width chain: every edge streams through watermarks on
+/// the real backends (chunk-granularity pipelining on by default).
+fn chain_graph() -> (DelirGraph, ExecutorOptions) {
+    (shapes::chain(10, 24, 1.0, 0.4), ExecutorOptions { threads: 2, ..ExecutorOptions::default() })
+}
+
 fn graphs() -> Vec<(&'static str, DelirGraph, ExecutorOptions)> {
     let (g0, o0) = flat_graph();
     let (g1, o1) = dag_graph();
     let (g2, o2) = pipeline_graph();
     let (g3, o3) = mixture_graph();
-    vec![("flat", g0, o0), ("dag", g1, o1), ("pipeline", g2, o2), ("mixture", g3, o3)]
+    let (g4, o4) = chain_graph();
+    vec![
+        ("flat", g0, o0),
+        ("dag", g1, o1),
+        ("pipeline", g2, o2),
+        ("mixture", g3, o3),
+        ("chain", g4, o4),
+    ]
 }
 
 #[test]
@@ -160,6 +173,45 @@ fn barrier_mode_matches_too() {
     let seq = execute_sequential(&g, &opts, &kernel).unwrap();
     let thr = execute_threaded(&g, &opts, &kernel).unwrap();
     assert_eq!(seq.outputs, thr.outputs);
+}
+
+/// The streamed data plane engages, and `pipeline_overlap = false`
+/// really disables it on the real backends: with overlap on (the
+/// default) every chain edge streams through watermarks on threaded,
+/// dist, and async runs; with overlap off all three fall back to
+/// whole-op gating (zero streamed edges, zero publications), and both
+/// modes stay bitwise equal to the sequential reference.
+#[test]
+fn streaming_engages_on_chains_and_pipeline_overlap_gates_it() {
+    use orchestra_runtime::execute_async;
+    use orchestra_runtime::threaded::ExecutorBackend;
+    let kernel = SpinKernel::with_scale(2.0);
+    let (g, base) = chain_graph();
+    let edges = 9; // depth 10 chain
+    let seq = execute_sequential(&g, &base, &kernel).unwrap();
+    for pipeline_overlap in [true, false] {
+        let opts = ExecutorOptions { pipeline_overlap, ..base.clone() };
+        let thr = execute_threaded(&g, &opts, &kernel).unwrap();
+        let dist_opts = ExecutorOptions { backend: ExecutorBackend::ThreadedDist, ..opts.clone() };
+        let dist = execute_threaded(&g, &dist_opts, &kernel).unwrap();
+        let asy = execute_async(&g, &opts, &kernel).unwrap();
+        assert_eq!(seq.outputs, thr.outputs, "overlap={pipeline_overlap}: threaded");
+        assert_eq!(seq.outputs, dist.outputs, "overlap={pipeline_overlap}: dist");
+        assert_eq!(seq.outputs, asy.outputs, "overlap={pipeline_overlap}: async");
+        let expect = if pipeline_overlap { edges } else { 0 };
+        assert_eq!(thr.streamed_edges, expect, "overlap={pipeline_overlap}: threaded edges");
+        assert_eq!(dist.streamed_edges, expect, "overlap={pipeline_overlap}: dist edges");
+        assert_eq!(asy.streamed_edges, expect, "overlap={pipeline_overlap}: async edges");
+        if pipeline_overlap {
+            // Each of the 9 producers publishes its watermark at least
+            // once (the completion flush at minimum).
+            assert!(thr.watermark_pubs >= edges as u64, "threaded pubs {}", thr.watermark_pubs);
+            assert!(asy.watermark_pubs >= edges as u64, "async pubs {}", asy.watermark_pubs);
+        } else {
+            assert_eq!(thr.watermark_pubs, 0, "barrier mode must not publish");
+            assert_eq!(asy.watermark_pubs, 0, "barrier mode must not publish");
+        }
+    }
 }
 
 /// The headline cross-backend invariant: threaded, threaded-dist, and
@@ -310,11 +362,7 @@ fn equalizer_procs_sum_to_pool_size_per_concurrent_level() {
     };
 
     let thr = execute_threaded(&g, &opts, &kernel).unwrap();
-    check(
-        &|name| thr.ops.iter().find(|o| o.name == name).unwrap().procs,
-        thr.workers,
-        "threaded",
-    );
+    check(&|name| thr.ops.iter().find(|o| o.name == name).unwrap().procs, thr.workers, "threaded");
 
     let dist_opts = ExecutorOptions { backend: ExecutorBackend::ThreadedDist, ..opts.clone() };
     let dist = execute_threaded(&g, &dist_opts, &kernel).unwrap();
@@ -325,11 +373,7 @@ fn equalizer_procs_sum_to_pool_size_per_concurrent_level() {
     );
 
     let asy = execute_async(&g, &opts, &kernel).unwrap();
-    check(
-        &|name| asy.ops.iter().find(|o| o.name == name).unwrap().procs,
-        asy.drivers,
-        "async",
-    );
+    check(&|name| asy.ops.iter().find(|o| o.name == name).unwrap().procs, asy.drivers, "async");
 
     // And the allocation must survive into the unified report.
     let opts = ExecutorOptions { backend: ExecutorBackend::Threaded, ..opts };
@@ -377,6 +421,76 @@ proptest! {
             prop_assert_eq!(&seq.outputs, &thr.outputs);
             prop_assert_eq!(&seq.outputs, &dist.outputs);
             prop_assert_eq!(&seq.outputs, &asy.outputs);
+        }
+    }
+
+    /// Watermark-safety fuzz for the streamed data plane. On a random
+    /// chain, [`ReduceKernel`] task `t` of op `i` reads cell `t` of op
+    /// `i-1` — exactly the cell the watermark protocol must have
+    /// published before the claim that handed out `t`. A consumer
+    /// claiming at or above a producer's watermark would read an
+    /// unwritten (zero) cell, and the wrong value would propagate down
+    /// the chain into a bitwise mismatch against the sequential
+    /// reference. `forced_batch` sweeps the publication granularity
+    /// (including `Some(1)`, the publication-per-task hammer); high
+    /// `cv` skews costs so dist-TAPER migrates tasks between home
+    /// queues and the shared queues steal, stressing watermark
+    /// monotonicity under reordered commits (out-of-order commits park
+    /// in the frontier's pending list and can only *raise* the
+    /// published prefix — bounded by one publication per task).
+    #[test]
+    fn streamed_chain_reads_stay_below_watermarks(
+        depth in 2usize..7,
+        tasks in 2usize..48,
+        mean_cost in 0.5f64..3.0,
+        cv in 0.0f64..1.5,
+        forced_batch in 0usize..9,
+        threads in 2usize..4,
+    ) {
+        use orchestra_runtime::execute_async;
+        use orchestra_runtime::threaded::ExecutorBackend;
+        use orchestra_runtime::ReduceKernel;
+        let g = shapes::chain(depth, tasks, mean_cost, cv);
+        let kernel = ReduceKernel::with_scale(1.0);
+        for policy in [PolicyKind::SelfSched, PolicyKind::Taper] {
+            // 0 means "let HostCalibration choose b*".
+            let opts = ExecutorOptions {
+                policy,
+                threads,
+                stream_batch: (forced_batch > 0).then_some(forced_batch),
+                ..ExecutorOptions::default()
+            };
+            let seq = execute_sequential(&g, &opts, &kernel).unwrap();
+            let thr = execute_threaded(&g, &opts, &kernel).unwrap();
+            let dist_opts =
+                ExecutorOptions { backend: ExecutorBackend::ThreadedDist, ..opts.clone() };
+            let dist = execute_threaded(&g, &dist_opts, &kernel).unwrap();
+            let asy = execute_async(&g, &opts, &kernel).unwrap();
+            prop_assert_eq!(&seq.outputs, &thr.outputs);
+            prop_assert_eq!(&seq.outputs, &dist.outputs);
+            prop_assert_eq!(&seq.outputs, &asy.outputs);
+            for run in [&thr, &dist] {
+                prop_assert!(
+                    run.exec_counts.iter().flatten().all(|&c| c == 1),
+                    "exactly-once violated"
+                );
+                // Non-vacuousness: every chain edge actually streamed.
+                prop_assert_eq!(run.streamed_edges, depth - 1);
+                for op in &run.ops {
+                    // Monotone watermarks publish a strictly larger
+                    // prefix each time: at most one publication per
+                    // task, and producers publish at least once.
+                    prop_assert!(
+                        op.watermark_pubs <= tasks as u64,
+                        "op {} published {} times for {} tasks",
+                        &op.name, op.watermark_pubs, tasks
+                    );
+                }
+                prop_assert!(
+                    run.watermark_pubs >= (depth - 1) as u64,
+                    "every producer must publish at least once"
+                );
+            }
         }
     }
 }

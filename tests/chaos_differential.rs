@@ -64,10 +64,12 @@ fn crash_cases() -> u32 {
     }
 }
 
-const SHAPES: usize = 4;
+const SHAPES: usize = 5;
 
-/// Small instances of the four structural families — hundreds of
-/// chaos replays must stay fast with debug-mode codegen.
+/// Small instances of the five structural families — hundreds of
+/// chaos replays must stay fast with debug-mode codegen. The chain
+/// runs with a forced tiny stream batch so kills interleave with live
+/// watermark publications on every edge.
 fn chaos_graph(shape: usize) -> (&'static str, DelirGraph, ExecutorOptions) {
     let seed = common::test_seed();
     let opts = ExecutorOptions { seed, ..ExecutorOptions::default() };
@@ -78,7 +80,12 @@ fn chaos_graph(shape: usize) -> (&'static str, DelirGraph, ExecutorOptions) {
             let (g, pipeline_iters) = shapes::pipeline((16, 1.0, 0.5), (6, 1.0, 0.5), 3, None);
             ("pipeline", g, ExecutorOptions { pipeline_iters, ..opts })
         }
-        _ => ("mixture", shapes::mixture(&[(16, 40.0, 0.0), (48, 1.0, 0.0)], true), opts),
+        3 => ("mixture", shapes::mixture(&[(16, 40.0, 0.0), (48, 1.0, 0.0)], true), opts),
+        _ => (
+            "chain",
+            shapes::chain(4, 24, 1.0, 0.5),
+            ExecutorOptions { stream_batch: Some(2), ..opts },
+        ),
     }
 }
 
@@ -365,6 +372,87 @@ fn lease_kill_really_removes_the_victim() {
         96,
         "the survivor must replay every task, including the orphaned lease"
     );
+}
+
+/// The commit/publish gap under fire: with the stream batch forced to
+/// the whole op, producer chunks *commit* to the frontier on every
+/// claim boundary but the watermark can only *publish* when the
+/// frontier completes — so lease kills land squarely between a chunk's
+/// commit and its (deferred) publication. The lease replay, scattered
+/// orphan writes, and the completion-path `publish_all` must between
+/// them publish each producer's watermark exactly once: a lost
+/// publication would deadlock blocked consumers (the run would hang),
+/// a double publication would show up in the per-op counter.
+#[test]
+fn kill_between_commit_and_publish_never_double_publishes() {
+    let g = shapes::chain(4, 24, 1.0, 0.5);
+    for backend in [ExecutorBackend::Threaded, ExecutorBackend::ThreadedDist] {
+        let opts = ExecutorOptions {
+            backend,
+            threads: 3,
+            seed: common::test_seed(),
+            stream_batch: Some(usize::MAX),
+            faults: Some(FaultPlan {
+                kills: vec![
+                    KillSpec { worker: 0, trigger: FaultTrigger::AfterClaims(1) },
+                    KillSpec { worker: 1, trigger: FaultTrigger::AfterClaims(3) },
+                ],
+                crash_run: false,
+            }),
+            ..ExecutorOptions::default()
+        };
+        let k = kernel();
+        let seq = execute_sequential(&g, &opts, &k).unwrap();
+        let thr = execute_threaded(&g, &opts, &k).unwrap();
+        assert!(!thr.crashed, "{backend:?}: lease-mode run reported crashed");
+        assert!(thr.exec_counts.iter().flatten().all(|&c| c == 1), "{backend:?}: exactly-once");
+        assert_eq!(seq.outputs, thr.outputs, "{backend:?}: bitwise");
+        assert_eq!(thr.streamed_edges, 3, "{backend:?}: streaming must engage on the chain");
+        for op in &thr.ops {
+            assert!(
+                op.watermark_pubs <= 1,
+                "{backend:?}: op {} published {} times with a whole-op batch",
+                op.name,
+                op.watermark_pubs
+            );
+        }
+        let pubs: u64 = thr.ops.iter().map(|o| o.watermark_pubs).sum();
+        assert_eq!(pubs, 3, "{backend:?}: each streamed producer publishes exactly once");
+    }
+}
+
+/// Crash + resume across the streamed data plane: the first attempt
+/// dies mid-stream (watermarks partially published), and the resumed
+/// attempt's remapped ops must fall back to whole-op gating without
+/// re-publishing restored prefixes — bitwise-exact, restored tasks
+/// never re-executed.
+#[test]
+fn crash_resume_mid_stream_stays_exact() {
+    let g = shapes::chain(4, 16, 1.0, 0.3);
+    let dir = scratch_dir("stream");
+    let opts = ExecutorOptions {
+        backend: ExecutorBackend::Threaded,
+        threads: 3,
+        seed: common::test_seed(),
+        stream_batch: Some(2),
+        faults: Some(FaultPlan::crash(0, FaultTrigger::AfterClaims(3))),
+        checkpoint: Some(CheckpointSpec { dir: dir.clone(), every_claims: 1, keep: 8 }),
+        ..ExecutorOptions::default()
+    };
+    let k = kernel();
+    let seq = execute_sequential(&g, &opts, &k).unwrap();
+    let run = execute_graph_resumable(&g, &opts, &k).unwrap();
+    assert_eq!(seq.outputs, run.outputs, "mid-stream resume diverged from sequential");
+    for (i, counts) in run.exec_counts.iter().enumerate() {
+        for (t, &c) in counts.iter().enumerate() {
+            assert_eq!(
+                c,
+                u32::from(!run.restored[i][t]),
+                "op {i} task {t}: restored tasks must not re-execute"
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// A crash with no checkpoint spec must still converge: the resumable

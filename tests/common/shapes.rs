@@ -103,6 +103,25 @@ pub fn mixture(populations: &[ParShape], sink: bool) -> DelirGraph {
     g
 }
 
+/// A deep linear chain `c0 → c1 → … → c{depth-1}` of equal-width
+/// data-parallel ops — the streamed data plane's stress shape: every
+/// edge joins two element-wise ops of the same cardinality, so
+/// chunk-granularity pipelining (per-edge progress watermarks) engages
+/// on all `depth - 1` edges at once and consumer chunks start while
+/// their producers are still running.
+pub fn chain(depth: usize, tasks: usize, mean_cost: f64, cv: f64) -> DelirGraph {
+    let mut g = DelirGraph::new();
+    let mut prev = None;
+    for i in 0..depth {
+        let n = g.add_node(format!("c{i}"), NodeKind::DataParallel { tasks, mean_cost, cv }, None);
+        if let Some(p) = prev {
+            g.add_edge(p, n, DataAnno::array(format!("s{i}"), tasks as u64));
+        }
+        prev = Some(n);
+    }
+    g
+}
+
 /// A source task fanning out into `ops` independent data-parallel ops
 /// (op `i` has `tasks_base + i * tasks_step` tasks), optionally merged
 /// back into a sink — the ready-deque / park-wake hammer shape.
