@@ -44,6 +44,14 @@
 //!   ratio, like `alloc`) so the effect survives shared-host noise;
 //!   the row also records the streamed run's watermark-publication
 //!   count (trend data, not gated);
+//! * **daemon** — the `orchestrad` serving path end to end (schema
+//!   v9): a real daemon on a unix socket, clients submitting the flat
+//!   workload over the wire at 1/2/4 concurrent tenants plus a
+//!   `sequential` row that pushes the same four jobs through one
+//!   connection back to back. Records aggregate tasks/sec (gated) and
+//!   mean submission→completion latency (trend data) — the
+//!   concurrency rows price the cross-graph equalizer and session
+//!   layer, the sequential row prices the wire protocol itself;
 //! * **steals** — the DAG shape under hierarchical vs ring steal
 //!   order at 4 and 8 workers, bucketing successful steals by machine
 //!   distance (SMT sibling / same node / remote) and counting tokens
@@ -81,6 +89,7 @@ use orchestra_bench::runs::{
     check_regression, emit_runs, merge_runs, runs_from_text, SCHED_SCHEMA,
 };
 use orchestra_bench::splitter::{default_grain, run_join_split};
+use orchestra_daemon::{Client, Daemon, DaemonConfig, JobOptions};
 use orchestra_delirium::{DataAnno, DelirGraph, NodeKind, Population};
 use orchestra_runtime::executor::ExecutorOptions;
 use orchestra_runtime::stats::OnlineStats;
@@ -257,6 +266,14 @@ struct PipelineRow {
     streamed_edges: usize,
 }
 
+/// One serving-path cell (the schema-v9 addition): aggregate tasks/sec
+/// and mean submission→completion latency for a batch of jobs pushed
+/// through a live `orchestrad` over its unix socket.
+struct DaemonRow {
+    tasks_per_sec: f64,
+    latency_us: f64,
+}
+
 /// One crash + snapshot-resume cycle (the schema-v5 addition): total
 /// and post-crash wall time, how many tasks the snapshot restored vs
 /// replayed, and the on-disk snapshot footprint at the end of the run.
@@ -287,6 +304,8 @@ struct RunResults {
     alloc: BTreeMap<String, AllocRow>,
     /// "wN" → streamed vs barriered data plane on the deep chain.
     pipeline: BTreeMap<String, PipelineRow>,
+    /// "tN" / "sequential" → the `orchestrad` serving path.
+    daemon: BTreeMap<String, DaemonRow>,
     /// "order/wN" → steal-distance counters on the DAG shape.
     steals: BTreeMap<String, StealRow>,
     /// Crash + snapshot-resume cycle on the flat workload at 4 workers.
@@ -330,6 +349,102 @@ fn measure_recovery(scale: &Scale) -> RecoveryRow {
         attempts: run.attempts,
         snapshot_bytes,
     }
+}
+
+/// The serving path end to end: one live `orchestrad` on a unix
+/// socket in the temp dir, 4 shared workers, deterministic
+/// calibration. Each concurrency cell connects `tenants` clients,
+/// releases them through a barrier, and times the whole batch from
+/// first submission to last completion (aggregate tasks/sec, the
+/// gated column) plus each job's own submission→completion span (mean
+/// latency, trend data). The `sequential` row pushes the same four
+/// jobs through one connection back to back — it isolates the wire +
+/// session cost per job, so the concurrency rows read as "what the
+/// cross-graph equalizer buys" against it. Best-of-reps wall, like
+/// the other wall-clock sections; the latency recorded is the one
+/// from the best rep so the two columns describe the same batch.
+fn measure_daemon(scale: &Scale) -> BTreeMap<String, DaemonRow> {
+    use std::sync::{Arc, Barrier};
+
+    let tasks = scale.small_tasks / 8;
+    let g = Arc::new(flat_graph(tasks, 4.0));
+    let socket = std::env::temp_dir()
+        .join(format!("orchestra-sched-bench-daemon-{}.sock", std::process::id()));
+    let mut daemon = Daemon::start(DaemonConfig {
+        socket: socket.clone(),
+        workers: 4,
+        ..DaemonConfig::default()
+    })
+    .expect("bench daemon starts");
+    let mut rows = BTreeMap::new();
+    for tenants in [1usize, 2, 4] {
+        let mut best_wall = f64::INFINITY;
+        let mut best_lat = f64::NAN;
+        for _ in 0..scale.reps {
+            // Connect everyone first, then release through a barrier:
+            // connection setup is not part of the serving latency.
+            let barrier = Arc::new(Barrier::new(tenants + 1));
+            let handles: Vec<_> = (0..tenants)
+                .map(|t| {
+                    let (g, socket, barrier) = (g.clone(), socket.clone(), barrier.clone());
+                    std::thread::spawn(move || {
+                        let mut c = Client::connect(&socket, &format!("bench-{t}"), 1.0)
+                            .expect("bench client connects");
+                        barrier.wait();
+                        let t0 = Instant::now();
+                        let job = c
+                            .submit(
+                                &g,
+                                "flat",
+                                &JobOptions { seed: t as u64, ..JobOptions::default() },
+                            )
+                            .expect("bench job admitted");
+                        c.wait(job).expect("bench job completes");
+                        t0.elapsed().as_secs_f64() * 1e6
+                    })
+                })
+                .collect();
+            barrier.wait();
+            let t0 = Instant::now();
+            let lats: Vec<f64> =
+                handles.into_iter().map(|h| h.join().expect("tenant thread")).collect();
+            let wall = t0.elapsed().as_secs_f64() * 1e6;
+            if wall < best_wall {
+                best_wall = wall;
+                best_lat = lats.iter().sum::<f64>() / lats.len() as f64;
+            }
+        }
+        let rate = (tenants * tasks) as f64 / (best_wall * 1e-6);
+        eprintln!("daemon t{tenants}         {rate:12.0} tasks/sec latency={best_lat:9.0}µs");
+        rows.insert(format!("t{tenants}"), DaemonRow { tasks_per_sec: rate, latency_us: best_lat });
+    }
+    {
+        let mut c = Client::connect(&socket, "bench-seq", 1.0).expect("bench client connects");
+        let mut best_wall = f64::INFINITY;
+        let mut best_lat = f64::NAN;
+        for _ in 0..scale.reps {
+            let mut lats = Vec::with_capacity(4);
+            let t0 = Instant::now();
+            for t in 0..4u64 {
+                let s0 = Instant::now();
+                let job = c
+                    .submit(&g, "flat", &JobOptions { seed: t, ..JobOptions::default() })
+                    .expect("bench job admitted");
+                c.wait(job).expect("bench job completes");
+                lats.push(s0.elapsed().as_secs_f64() * 1e6);
+            }
+            let wall = t0.elapsed().as_secs_f64() * 1e6;
+            if wall < best_wall {
+                best_wall = wall;
+                best_lat = lats.iter().sum::<f64>() / lats.len() as f64;
+            }
+        }
+        let rate = (4 * tasks) as f64 / (best_wall * 1e-6);
+        eprintln!("daemon sequential {rate:12.0} tasks/sec latency={best_lat:9.0}µs");
+        rows.insert("sequential".into(), DaemonRow { tasks_per_sec: rate, latency_us: best_lat });
+    }
+    daemon.shutdown();
+    rows
 }
 
 /// The equalizer's home turf: one concurrent level holding a heavy op
@@ -699,6 +814,8 @@ fn measure(scale: &Scale) -> RunResults {
     );
     pipeline.insert(format!("w{w}"), row);
 
+    let daemon = measure_daemon(scale);
+
     // Steal-distance profile: the DAG shape exercises token stealing
     // (a completer enqueues newly-enabled ops locally; everyone else
     // must steal into them). Counters accumulate over the reps — a
@@ -747,6 +864,7 @@ fn measure(scale: &Scale) -> RunResults {
         rayon,
         alloc,
         pipeline,
+        daemon,
         steals,
         recovery,
     }
@@ -891,6 +1009,18 @@ fn render_run(r: &RunResults, quick: bool) -> String {
             json_f64(row.barrier),
             row.streamed_edges,
             row.watermark_pubs
+        );
+    }
+    let _ = writeln!(s, "      }},");
+    let _ = writeln!(s, "      \"daemon\": {{");
+    let nda = r.daemon.len();
+    for (i, (key, row)) in r.daemon.iter().enumerate() {
+        let comma = if i + 1 < nda { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "        \"{key}\": {{\"tasks_per_sec\": {}, \"latency_us\": {}}}{comma}",
+            json_f64(row.tasks_per_sec),
+            json_f64(row.latency_us)
         );
     }
     let _ = writeln!(s, "      }},");

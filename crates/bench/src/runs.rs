@@ -33,9 +33,16 @@ use std::fmt::Write as _;
 /// barriered one on a deep small-task chain: paired median-wall-ratio
 /// tasks/sec per worker count, plus the streamed run's
 /// watermark-publication count as trend data), gated like `alloc`.
-/// Recovery columns and `watermark_pubs` are trend data only —
-/// [`check_regression`] reads throughput metrics and ignores them.
-pub const SCHED_SCHEMA: &str = "orchestra-sched-bench/v8";
+/// v9 added the `daemon` section (the `orchestrad` serving path over
+/// a unix socket: aggregate tasks/sec and mean submission→completion
+/// latency at 1/2/4 concurrent tenants, plus a `sequential` row that
+/// submits the same jobs one at a time — the concurrency rows keep
+/// the cross-graph equalizer paying its way, the sequential row keeps
+/// the wire + session overhead honest); its `latency_us` column is
+/// trend data. Recovery columns, `watermark_pubs`, and `latency_us`
+/// are trend data only — [`check_regression`] reads throughput
+/// metrics and ignores them.
+pub const SCHED_SCHEMA: &str = "orchestra-sched-bench/v9";
 
 /// Extracts every `"label": { … }` block at the top level of the runs
 /// object, in file order, by string-aware brace matching: braces
@@ -218,7 +225,12 @@ fn geomean(values: &[f64]) -> Option<f64> {
 ///   small-task chain with chunk-granularity streaming on vs off
 ///   (schema v8): the barrier row keeps the baseline honest, the
 ///   streamed row keeps the watermark data plane paying its way. The
-///   row's `watermark_pubs` column is trend data, never gated.
+///   row's `watermark_pubs` column is trend data, never gated;
+/// * `daemon/<cell>` — aggregate tasks/sec through the `orchestrad`
+///   serving path at 1/2/4 concurrent tenants and sequentially
+///   (schema v9): a drop here means the wire protocol, admission
+///   path, or cross-graph allocator got slower end to end. The rows'
+///   `latency_us` column is trend data, never gated.
 fn throughput_metrics(run: &Json) -> Vec<(String, f64)> {
     let mut out = Vec::new();
     if let Some(tps) = run.get("tasks_per_sec") {
@@ -280,6 +292,18 @@ fn throughput_metrics(run: &Json) -> Vec<(String, f64)> {
                     if rate.is_finite() && rate > 0.0 {
                         out.push((format!("pipeline/{cell}/{mode}"), rate));
                     }
+                }
+            }
+        }
+    }
+    if let Some(daemon) = run.get("daemon") {
+        for (cell, row) in daemon.members() {
+            // Only the rate column is gated: `latency_us` is
+            // smaller-is-better and must not be read as a throughput
+            // by the drop check.
+            if let Some(rate) = row.get("tasks_per_sec").and_then(Json::as_f64) {
+                if rate.is_finite() && rate > 0.0 {
+                    out.push((format!("daemon/{cell}"), rate));
                 }
             }
         }
@@ -397,10 +421,10 @@ mod tests {
 
     /// A minimal run block with one threaded workload, one async row,
     /// one rayon-baseline row, one claim-latency cell, one alloc
-    /// (equalizer vs shared pool) row, and one pipeline (streamed vs
-    /// barrier) row, every throughput metric scaling linearly with
-    /// `rate` (claim latency scales inversely, so its derived
-    /// claim_rate is linear too).
+    /// (equalizer vs shared pool) row, one pipeline (streamed vs
+    /// barrier) row, and one daemon serving row, every throughput
+    /// metric scaling linearly with `rate` (claim latency scales
+    /// inversely, so its derived claim_rate is linear too).
     fn run_block(cpu: &str, rate: f64) -> String {
         format!(
             "{{\"host\": {{\"cpu\": \"{cpu}\", \"cores\": 4, \"os\": \"linux x86_64\"}}, \
@@ -412,7 +436,8 @@ mod tests {
              \"rayon\": {{\"small\": {{\"2\": {r5}, \"4\": {r6}}}}}, \
              \"alloc\": {{\"w4\": {{\"equalizer\": {r7}, \"shared\": {r8}}}}}, \
              \"pipeline\": {{\"w4\": {{\"streamed\": {r9}, \"barrier\": {r10}, \
-             \"watermark_pubs\": 63}}}}}}",
+             \"watermark_pubs\": 63}}}}, \
+             \"daemon\": {{\"t2\": {{\"tasks_per_sec\": {r11}, \"latency_us\": {lat}}}}}}}",
             ns = 1e6 / rate,
             r1 = rate,
             r2 = rate * 2.0,
@@ -424,6 +449,8 @@ mod tests {
             r8 = rate * 0.9,
             r9 = rate * 1.4,
             r10 = rate * 1.2,
+            r11 = rate * 0.7,
+            lat = 2e6 / rate,
         )
     }
 
@@ -643,6 +670,33 @@ mod tests {
         assert!(
             !r.lines.iter().any(|l| l.contains("watermark_pubs")),
             "pubs count is trend data, not a gated metric: {:?}",
+            r.lines
+        );
+    }
+
+    #[test]
+    fn daemon_rate_alone_can_regress() {
+        // Every other column holds; the serving-path row tanks (say a
+        // wire-protocol or admission bug serialized the tenants) — the
+        // v9 daemon metric must trip the gate on its own, while the
+        // latency_us column (smaller is better) must never be read as
+        // a throughput.
+        let mut bad = run_block("cpu-a", 1000.0);
+        bad = bad.replace(
+            &format!(
+                "\"daemon\": {{\"t2\": {{\"tasks_per_sec\": {}, \"latency_us\": {}}}}}",
+                1000.0 * 0.7,
+                2e6 / 1000.0
+            ),
+            "\"daemon\": {\"t2\": {\"tasks_per_sec\": 70.0, \"latency_us\": 2000.0}}",
+        );
+        let file = file_with(&[("before", run_block("cpu-a", 1000.0)), ("after", bad)]);
+        let r = check_regression(&file, 0.2);
+        assert!(r.regressed, "{:?}", r.lines);
+        assert!(r.lines.iter().any(|l| l.starts_with("REGRESSION") && l.contains("daemon/t2")));
+        assert!(
+            !r.lines.iter().any(|l| l.contains("latency_us")),
+            "latency is trend data, not a gated metric: {:?}",
             r.lines
         );
     }

@@ -1,0 +1,46 @@
+//! The `orchestrad` server as a CLI:
+//!
+//! ```text
+//! cargo run -p orchestra-daemon --example orchestrad -- \
+//!     [--socket /tmp/orchestrad.sock] [--workers 8] [--max-inflight 4]
+//! ```
+//!
+//! Runs until a client sends `shutdown` (see the `submit` example's
+//! `--shutdown` flag), then drains admitted work and exits.
+
+use orchestra_daemon::{AdmissionPolicy, Daemon, DaemonConfig};
+use std::path::PathBuf;
+
+fn main() {
+    let mut cfg = DaemonConfig { measure_calibration: true, ..DaemonConfig::default() };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = |flag: &str| args.next().unwrap_or_else(|| panic!("{flag} needs a value"));
+        match a.as_str() {
+            "--socket" => cfg.socket = PathBuf::from(val("--socket")),
+            "--workers" => cfg.workers = val("--workers").parse().expect("--workers: integer"),
+            "--max-inflight" => {
+                cfg.admission = AdmissionPolicy {
+                    max_inflight: val("--max-inflight").parse().expect("--max-inflight: integer"),
+                    ..cfg.admission
+                };
+            }
+            "--kernel-scale" => {
+                cfg.kernel_scale = val("--kernel-scale").parse().expect("--kernel-scale: number");
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let daemon = Daemon::start(cfg).expect("bind socket");
+    println!(
+        "orchestrad listening on {} with {} workers",
+        daemon.socket().display(),
+        daemon.workers()
+    );
+    // Serve until a client's `shutdown` request drains us.
+    daemon.join();
+    println!("orchestrad drained");
+}

@@ -1,0 +1,85 @@
+//! A client CLI for `orchestrad`:
+//!
+//! ```text
+//! # submit the built-in demo graph and print its outputs
+//! cargo run -p orchestra-daemon --example submit -- --socket /tmp/orchestrad.sock
+//!
+//! # submit a graph from a Delirium text file
+//! cargo run -p orchestra-daemon --example submit -- --graph pipeline.delir
+//!
+//! # show the daemon's job table, or drain it
+//! cargo run -p orchestra-daemon --example submit -- --stats
+//! cargo run -p orchestra-daemon --example submit -- --shutdown
+//! ```
+
+use orchestra_daemon::{Client, JobOptions};
+use orchestra_delirium::{text, DataAnno, DelirGraph, NodeKind};
+use std::path::PathBuf;
+
+/// A small two-stage demo: a data-parallel op feeding a merge.
+fn demo_graph() -> DelirGraph {
+    let mut g = DelirGraph::new();
+    let a = g.add_node("A", NodeKind::DataParallel { tasks: 64, mean_cost: 20.0, cv: 0.4 }, None);
+    let m = g.add_node("M", NodeKind::Merge { cost: 5.0 }, None);
+    g.add_edge(a, m, DataAnno { name: "x".into(), count: 64, elem_bytes: 8 });
+    g
+}
+
+fn main() {
+    let mut socket = std::env::temp_dir().join("orchestrad.sock");
+    let mut tenant = "demo".to_string();
+    let mut weight = 1.0;
+    let mut graph_file: Option<PathBuf> = None;
+    let mut action = "submit";
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = |flag: &str| args.next().unwrap_or_else(|| panic!("{flag} needs a value"));
+        match a.as_str() {
+            "--socket" => socket = PathBuf::from(val("--socket")),
+            "--tenant" => tenant = val("--tenant"),
+            "--weight" => weight = val("--weight").parse().expect("--weight: number"),
+            "--graph" => graph_file = Some(PathBuf::from(val("--graph"))),
+            "--stats" => action = "stats",
+            "--shutdown" => action = "shutdown",
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let mut client = Client::connect(&socket, &tenant, weight).expect("connect to orchestrad");
+    match action {
+        "stats" => {
+            let (workers, jobs) = client.stats().expect("stats");
+            println!("pool: {workers} workers, {} jobs", jobs.len());
+            for j in jobs {
+                println!("  job {} tenant={} state={} grant={}", j.job, j.tenant, j.state, j.grant);
+            }
+        }
+        "shutdown" => {
+            client.shutdown().expect("drain");
+            println!("daemon drained");
+        }
+        _ => {
+            let (name, graph) = match &graph_file {
+                Some(p) => {
+                    let src = std::fs::read_to_string(p).expect("read graph file");
+                    text::parse(&src).expect("parse graph file")
+                }
+                None => ("demo".to_string(), demo_graph()),
+            };
+            let job =
+                client.submit(&graph, &name, &JobOptions::default()).expect("submission admitted");
+            println!("submitted job {job}");
+            let result = client.wait(job).expect("job completed");
+            println!(
+                "job {} finished in {:.0} µs over {} attempt(s)",
+                result.job, result.wall_us, result.attempts
+            );
+            for out in &result.outputs {
+                let sum: f64 = out.values.iter().sum();
+                println!("  {}: {} values, Σ = {:.6}", out.name, out.values.len(), sum);
+            }
+        }
+    }
+}

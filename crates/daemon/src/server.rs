@@ -1,0 +1,477 @@
+//! `orchestrad`: the long-lived graph-serving daemon.
+//!
+//! One process owns one shared worker pool and serves many tenants
+//! over a unix-domain socket. Each connection is a session (`hello`
+//! names the tenant and its scheduling weight); each `submit` carries
+//! a Delirium graph that passes admission control, receives a worker
+//! grant from the cross-graph equalizer
+//! ([`PoolScheduler`](crate::sched::PoolScheduler)), and executes on
+//! a real backend under a per-job
+//! [`CancelToken`](orchestra_runtime::CancelToken). Jobs submitted
+//! with a checkpoint directory run under
+//! [`execute_graph_resumable`](orchestra_runtime::execute_graph_resumable),
+//! so a worker-pool crash mid-job restores from the latest snapshot
+//! instead of losing the tenant's work.
+//!
+//! Shutdown is a *drain*: new submissions are refused, admitted work
+//! (running and queued) finishes, and only then does the listener
+//! close. A tenant that cancels — or whose deadline expires — frees
+//! its worker partition at the next chunk-claim boundary, and the
+//! scheduler immediately re-equalizes the freed workers to the
+//! surviving graphs.
+
+use crate::sched::{graph_load_specs, graph_tasks, GraphLoad, PoolScheduler};
+use crate::session::{Admission, AdmissionPolicy, Tenant};
+use crate::wire::{
+    read_frame, write_frame, JobOptions, JobRow, Request, Response, WireOutput, WireResult,
+};
+use orchestra_runtime::executor::ExecutorOptions;
+use orchestra_runtime::threaded::ExecutorBackend;
+use orchestra_runtime::{
+    execute_graph_resumable, CancelToken, CheckpointSpec, FaultPlan, HostCalibration, RunError,
+    SpinKernel,
+};
+use std::collections::{BTreeMap, VecDeque};
+use std::io;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// How the daemon is sized and where it listens.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Unix-domain socket path. A stale file from a dead daemon is
+    /// removed on startup.
+    pub socket: PathBuf,
+    /// Shared worker pool size partitioned across graphs
+    /// (0 = the host's available parallelism).
+    pub workers: usize,
+    /// Admission limits.
+    pub admission: AdmissionPolicy,
+    /// Spin-kernel scale for served graphs (1.0 = cost hints are µs).
+    pub kernel_scale: f64,
+    /// Measure the host calibration at startup instead of using the
+    /// nominal constants (slower start, sharper estimates).
+    pub measure_calibration: bool,
+    /// Test hook: a fault plan injected into the *next* submitted job,
+    /// consumed once. This is how the recovery tests crash the worker
+    /// pool under a checkpointed tenant graph without reaching into
+    /// the daemon's internals.
+    pub chaos: Option<FaultPlan>,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            socket: std::env::temp_dir().join("orchestrad.sock"),
+            workers: 0,
+            admission: AdmissionPolicy::default(),
+            kernel_scale: 1.0,
+            measure_calibration: false,
+            chaos: None,
+        }
+    }
+}
+
+/// A job's lifecycle. Terminal states keep what `wait` needs.
+#[derive(Debug, Clone)]
+enum JobState {
+    Queued,
+    Running,
+    Done(WireResult),
+    Failed(String),
+    Cancelled,
+}
+
+impl JobState {
+    fn is_terminal(&self) -> bool {
+        matches!(self, JobState::Done(_) | JobState::Failed(_) | JobState::Cancelled)
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done(_) => "done",
+            JobState::Failed(_) => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+}
+
+struct Job {
+    tenant: Tenant,
+    graph: orchestra_delirium::DelirGraph,
+    opts: JobOptions,
+    tasks: usize,
+    submitted: Instant,
+    token: CancelToken,
+    state: JobState,
+}
+
+#[derive(Default)]
+struct State {
+    jobs: BTreeMap<u64, Job>,
+    queue: VecDeque<u64>,
+    running: usize,
+    staged_tasks: usize,
+    draining: bool,
+}
+
+struct Inner {
+    admission: AdmissionPolicy,
+    workers: usize,
+    kernel_scale: f64,
+    state: Mutex<State>,
+    changed: Condvar,
+    sched: Mutex<PoolScheduler>,
+    chaos: Mutex<Option<FaultPlan>>,
+    next_job: AtomicU64,
+    next_session: AtomicU64,
+    stop: AtomicBool,
+}
+
+/// A running daemon: hold it to keep serving, [`shutdown`] it (or send
+/// the wire `shutdown` request) to drain and exit.
+///
+/// [`shutdown`]: Daemon::shutdown
+pub struct Daemon {
+    inner: Arc<Inner>,
+    socket: PathBuf,
+    accept: Option<thread::JoinHandle<()>>,
+}
+
+impl Daemon {
+    /// Binds the socket and starts serving in background threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind/configuration failures.
+    pub fn start(cfg: DaemonConfig) -> io::Result<Daemon> {
+        let workers = if cfg.workers == 0 {
+            thread::available_parallelism().map_or(4, std::num::NonZero::get)
+        } else {
+            cfg.workers
+        };
+        let cal = if cfg.measure_calibration {
+            HostCalibration::measure()
+        } else {
+            HostCalibration::with_overhead(0.05)
+        };
+        let _ = std::fs::remove_file(&cfg.socket);
+        let listener = UnixListener::bind(&cfg.socket)?;
+        listener.set_nonblocking(true)?;
+        let inner = Arc::new(Inner {
+            admission: cfg.admission,
+            workers,
+            kernel_scale: cfg.kernel_scale,
+            state: Mutex::new(State::default()),
+            changed: Condvar::new(),
+            sched: Mutex::new(PoolScheduler::with_calibration(workers, cal)),
+            chaos: Mutex::new(cfg.chaos),
+            next_job: AtomicU64::new(1),
+            next_session: AtomicU64::new(1),
+            stop: AtomicBool::new(false),
+        });
+        let accept_inner = Arc::clone(&inner);
+        let accept = thread::spawn(move || accept_loop(&listener, &accept_inner));
+        Ok(Daemon { inner, socket: cfg.socket, accept: Some(accept) })
+    }
+
+    /// The socket path clients connect to.
+    pub fn socket(&self) -> &std::path::Path {
+        &self.socket
+    }
+
+    /// Size of the shared worker pool.
+    pub fn workers(&self) -> usize {
+        self.inner.workers
+    }
+
+    /// Blocks until a client's wire `shutdown` request drains the
+    /// daemon, then removes the socket. The server-CLI main loop.
+    pub fn join(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        let _ = std::fs::remove_file(&self.socket);
+    }
+
+    /// Drains and stops: refuses new submissions, waits for admitted
+    /// work to finish, closes the listener. Idempotent.
+    pub fn shutdown(&mut self) {
+        drain(&self.inner);
+        self.inner.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        let _ = std::fs::remove_file(&self.socket);
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Blocks until every admitted (running or queued) job is terminal.
+fn drain(inner: &Inner) {
+    let mut st = inner.state.lock().expect("daemon state poisoned");
+    st.draining = true;
+    while st.running > 0 || !st.queue.is_empty() {
+        st = inner.changed.wait(st).expect("daemon state poisoned");
+    }
+}
+
+fn accept_loop(listener: &UnixListener, inner: &Arc<Inner>) {
+    loop {
+        if inner.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let conn_inner = Arc::clone(inner);
+                thread::spawn(move || {
+                    let _ = serve_connection(stream, &conn_inner);
+                });
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Handles one client connection: a `hello` handshake, then a request
+/// loop until the peer hangs up (or a `shutdown` drains the daemon).
+fn serve_connection(mut stream: UnixStream, inner: &Arc<Inner>) -> io::Result<()> {
+    let tenant = match handshake(&mut stream, inner)? {
+        Some(t) => t,
+        None => return Ok(()),
+    };
+    while let Some(payload) = read_frame(&mut stream)? {
+        let resp = match Request::decode(&payload) {
+            Err(msg) => Response::Err { msg },
+            Ok(Request::Hello { .. }) => {
+                Response::Err { msg: "session already established".to_string() }
+            }
+            Ok(Request::Submit { opts, graph }) => submit(inner, &tenant, opts, &graph),
+            Ok(Request::Wait { job }) => wait(inner, job),
+            Ok(Request::Cancel { job }) => cancel(inner, job),
+            Ok(Request::Stats) => stats(inner),
+            Ok(Request::Shutdown) => {
+                drain(inner);
+                write_frame(&mut stream, &Response::Drained.encode())?;
+                inner.stop.store(true, Ordering::SeqCst);
+                return Ok(());
+            }
+        };
+        write_frame(&mut stream, &resp.encode())?;
+    }
+    Ok(())
+}
+
+fn handshake(stream: &mut UnixStream, inner: &Inner) -> io::Result<Option<Tenant>> {
+    let Some(payload) = read_frame(stream)? else {
+        return Ok(None);
+    };
+    match Request::decode(&payload) {
+        Ok(Request::Hello { tenant, weight }) => {
+            let session = inner.next_session.fetch_add(1, Ordering::Relaxed);
+            let t = Tenant { session, name: tenant, weight };
+            let resp = Response::Hello { session, workers: inner.workers };
+            write_frame(stream, &resp.encode())?;
+            Ok(Some(t))
+        }
+        Ok(_) => {
+            let resp = Response::Err { msg: "first request must be hello".to_string() };
+            write_frame(stream, &resp.encode())?;
+            Ok(None)
+        }
+        Err(msg) => {
+            write_frame(stream, &Response::Err { msg }.encode())?;
+            Ok(None)
+        }
+    }
+}
+
+fn submit(inner: &Arc<Inner>, tenant: &Tenant, opts: JobOptions, graph_text: &str) -> Response {
+    if opts.backend == ExecutorBackend::Simulated {
+        return Response::Err {
+            msg: "the simulator backend is not served; use threaded, dist, or async".to_string(),
+        };
+    }
+    let (_, graph) = match orchestra_delirium::text::parse(graph_text) {
+        Ok(g) => g,
+        Err(e) => return Response::Err { msg: format!("graph parse error: {e}") },
+    };
+    if let Err(e) = graph.validate() {
+        return Response::Err { msg: format!("invalid graph: {e}") };
+    }
+    let tasks = graph_tasks(&graph);
+    let mut st = inner.state.lock().expect("daemon state poisoned");
+    if st.draining {
+        return Response::Err { msg: "daemon is draining".to_string() };
+    }
+    let verdict = inner.admission.admit(tasks, st.running, st.staged_tasks);
+    let state = match verdict {
+        Admission::Reject(msg) => return Response::Err { msg },
+        Admission::Run => JobState::Running,
+        Admission::Queue => JobState::Queued,
+    };
+    let id = inner.next_job.fetch_add(1, Ordering::Relaxed);
+    let run_now = matches!(state, JobState::Running);
+    st.staged_tasks += tasks;
+    if run_now {
+        st.running += 1;
+    } else {
+        st.queue.push_back(id);
+    }
+    st.jobs.insert(
+        id,
+        Job {
+            tenant: tenant.clone(),
+            graph,
+            opts,
+            tasks,
+            submitted: Instant::now(),
+            token: CancelToken::new(),
+            state,
+        },
+    );
+    drop(st);
+    if run_now {
+        spawn_runner(inner, id);
+    }
+    Response::Submitted { job: id }
+}
+
+fn wait(inner: &Inner, job: u64) -> Response {
+    let mut st = inner.state.lock().expect("daemon state poisoned");
+    loop {
+        match st.jobs.get(&job) {
+            None => return Response::Err { msg: format!("no such job {job}") },
+            Some(j) if j.state.is_terminal() => {
+                return match &j.state {
+                    JobState::Done(r) => Response::Result(r.clone()),
+                    JobState::Failed(msg) => Response::Err { msg: msg.clone() },
+                    JobState::Cancelled => Response::Err { msg: RunError::Cancelled.to_string() },
+                    _ => unreachable!("terminal state"),
+                };
+            }
+            Some(_) => st = inner.changed.wait(st).expect("daemon state poisoned"),
+        }
+    }
+}
+
+fn cancel(inner: &Inner, job: u64) -> Response {
+    let mut st = inner.state.lock().expect("daemon state poisoned");
+    let Some(j) = st.jobs.get_mut(&job) else {
+        return Response::Err { msg: format!("no such job {job}") };
+    };
+    j.token.cancel();
+    if matches!(j.state, JobState::Queued) {
+        // Never started: retire it here — there is no runner to do it.
+        j.state = JobState::Cancelled;
+        let tasks = j.tasks;
+        st.queue.retain(|&q| q != job);
+        st.staged_tasks -= tasks;
+        inner.changed.notify_all();
+    }
+    Response::Cancelled { job }
+}
+
+fn stats(inner: &Inner) -> Response {
+    let st = inner.state.lock().expect("daemon state poisoned");
+    let sched = inner.sched.lock().expect("scheduler poisoned");
+    let jobs = st
+        .jobs
+        .iter()
+        .map(|(&id, j)| JobRow {
+            job: id,
+            tenant: j.tenant.name.clone(),
+            state: j.state.name().to_string(),
+            grant: sched.grant(id).unwrap_or(0),
+        })
+        .collect();
+    Response::Stats { workers: inner.workers, jobs }
+}
+
+fn spawn_runner(inner: &Arc<Inner>, job: u64) {
+    let inner = Arc::clone(inner);
+    thread::spawn(move || run_job(&inner, job));
+}
+
+/// Executes one admitted job end to end: grant from the cross-graph
+/// equalizer, run (resumable when checkpointed), record the terminal
+/// state, release the grant, and pull the next queued job in.
+fn run_job(inner: &Arc<Inner>, job: u64) {
+    let (graph, opts, token, weight, submitted) = {
+        let st = inner.state.lock().expect("daemon state poisoned");
+        let j = &st.jobs[&job];
+        (j.graph.clone(), j.opts.clone(), j.token.clone(), j.tenant.weight, j.submitted)
+    };
+    let grant = {
+        let mut sched = inner.sched.lock().expect("scheduler poisoned");
+        let specs = graph_load_specs(&graph, opts.policy);
+        sched.admit(GraphLoad { job, weight, specs })
+    };
+    let deadline = opts.deadline.map(|d| d.saturating_sub(submitted.elapsed()));
+    let outcome = if deadline == Some(Duration::ZERO) {
+        Err(RunError::DeadlineExceeded)
+    } else {
+        let exec_opts = ExecutorOptions {
+            backend: opts.backend,
+            policy: opts.policy,
+            seed: opts.seed,
+            threads: grant,
+            drivers: grant,
+            cancel: Some(token),
+            deadline,
+            checkpoint: opts.checkpoint_dir.as_ref().map(CheckpointSpec::new),
+            faults: inner.chaos.lock().expect("chaos poisoned").take(),
+            ..ExecutorOptions::default()
+        };
+        let kernel = SpinKernel::with_scale(inner.kernel_scale);
+        execute_graph_resumable(&graph, &exec_opts, &kernel)
+    };
+    let state = match outcome {
+        Ok(run) => JobState::Done(WireResult {
+            job,
+            wall_us: run.wall_us,
+            attempts: run.attempts,
+            resumed_tasks: run.resumed_tasks,
+            outputs: run
+                .op_names
+                .iter()
+                .zip(run.outputs)
+                .map(|(name, values)| WireOutput { name: name.clone(), values })
+                .collect(),
+        }),
+        Err(RunError::Cancelled) => JobState::Cancelled,
+        Err(e) => JobState::Failed(e.to_string()),
+    };
+    inner.sched.lock().expect("scheduler poisoned").complete(job);
+    let mut st = inner.state.lock().expect("daemon state poisoned");
+    let tasks = st.jobs[&job].tasks;
+    if let Some(j) = st.jobs.get_mut(&job) {
+        j.state = state;
+    }
+    st.running -= 1;
+    st.staged_tasks -= tasks;
+    // Pump the queue: freed capacity starts the oldest queued job.
+    while st.running < inner.admission.max_inflight {
+        let Some(next) = st.queue.pop_front() else { break };
+        if let Some(j) = st.jobs.get_mut(&next) {
+            j.state = JobState::Running;
+            st.running += 1;
+            spawn_runner(inner, next);
+        }
+    }
+    inner.changed.notify_all();
+}

@@ -1,0 +1,95 @@
+//! Tenant sessions and admission control.
+//!
+//! A connection opens a session with `hello`, naming a tenant and a
+//! scheduling weight. Admission control decides what happens to each
+//! submitted graph *before* it can touch the worker pool: run it now,
+//! queue it behind the running set, or reject it outright. The two
+//! admission currencies are in-flight graphs (bounding how many ways
+//! the pool is partitioned at once — the cross-graph equalizer
+//! degrades past one graph per worker) and total declared tasks
+//! (bounding the work a single burst can stage).
+
+/// Limits a daemon enforces at submission time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmissionPolicy {
+    /// Graphs allowed to run concurrently; further admissible graphs
+    /// queue in submission order.
+    pub max_inflight: usize,
+    /// Declared-task budget across running *and* queued graphs; a
+    /// submission pushing the total past this is rejected (not
+    /// queued — the client should retry later).
+    pub max_total_tasks: usize,
+    /// Largest single graph accepted at all, in declared tasks.
+    pub max_graph_tasks: usize,
+}
+
+impl Default for AdmissionPolicy {
+    fn default() -> Self {
+        AdmissionPolicy { max_inflight: 4, max_total_tasks: 1 << 20, max_graph_tasks: 1 << 18 }
+    }
+}
+
+/// The admission verdict for one submitted graph.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Admission {
+    /// Start executing immediately.
+    Run,
+    /// Admitted, but parked until a running graph finishes.
+    Queue,
+    /// Refused; the reason travels back in the error response.
+    Reject(String),
+}
+
+impl AdmissionPolicy {
+    /// Decides a submission given the daemon's current load
+    /// (`running` graphs in flight, `staged_tasks` declared tasks
+    /// across running + queued graphs).
+    pub fn admit(&self, graph_tasks: usize, running: usize, staged_tasks: usize) -> Admission {
+        if graph_tasks == 0 {
+            return Admission::Reject("graph has no tasks".to_string());
+        }
+        if graph_tasks > self.max_graph_tasks {
+            return Admission::Reject(format!(
+                "graph declares {graph_tasks} tasks, over the {} per-graph limit",
+                self.max_graph_tasks
+            ));
+        }
+        if staged_tasks + graph_tasks > self.max_total_tasks {
+            return Admission::Reject(format!(
+                "daemon task budget exhausted ({staged_tasks} staged of {})",
+                self.max_total_tasks
+            ));
+        }
+        if running >= self.max_inflight {
+            return Admission::Queue;
+        }
+        Admission::Run
+    }
+}
+
+/// One authenticated tenant, as established by `hello`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tenant {
+    /// Session id (unique per connection).
+    pub session: u64,
+    /// Tenant name.
+    pub name: String,
+    /// Scheduling weight for the cross-graph equalizer.
+    pub weight: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admission_orders_run_queue_reject() {
+        let p = AdmissionPolicy { max_inflight: 2, max_total_tasks: 1000, max_graph_tasks: 600 };
+        assert_eq!(p.admit(100, 0, 0), Admission::Run);
+        assert_eq!(p.admit(100, 1, 100), Admission::Run);
+        assert_eq!(p.admit(100, 2, 200), Admission::Queue, "inflight cap queues");
+        assert!(matches!(p.admit(100, 1, 950), Admission::Reject(_)), "budget rejects");
+        assert!(matches!(p.admit(601, 0, 0), Admission::Reject(_)), "oversized graph rejects");
+        assert!(matches!(p.admit(0, 0, 0), Admission::Reject(_)), "empty graph rejects");
+    }
+}

@@ -32,7 +32,10 @@
 pub(crate) mod driver;
 
 use crate::alloc::{allocate_many_with, AllocParams, OutputArena, Publication};
-use crate::checkpoint::{op_snapshot, plan_fingerprint, OpSnapshot, ResumeState, RunCtl};
+use crate::cancel::RunError;
+use crate::checkpoint::{
+    op_snapshot, plan_fingerprint, CancelCtl, KillMode, OpSnapshot, ResumeState, RunCtl,
+};
 use crate::chunking::PolicyKind;
 use crate::executor::{costs_of_node, ExecutionReport, ExecutorOptions, NodeReport};
 use crate::finish::{finish_estimate_live, HostCalibration, OpSpec};
@@ -40,7 +43,7 @@ use crate::stats::OnlineStats;
 use crate::threaded::queue::{BoundedClaim, Chunk, ChunkQueue};
 use crate::threaded::{build_plan, AccessPattern, TaskCtx, TaskKernel};
 use driver::{DepGate, DriverRecord, Sched, TaskFuture, TaskSlot};
-use orchestra_delirium::{DelirGraph, GraphError, Node};
+use orchestra_delirium::{DelirGraph, Node};
 use orchestra_machine::{ProcStats, RunStats};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
@@ -342,6 +345,16 @@ enum ClaimFate {
 /// the async backend's notion of a "worker" for [`KillSpec::worker`].
 fn on_claim_async(shared: &AsyncShared<'_>, cid: usize, op_idx: usize, chunk: &Chunk) -> ClaimFate {
     let ctl = &shared.ctl;
+    // Cancellation aborts the whole cooperative run: stop the
+    // scheduler so parked futures are never polled again, and retire
+    // this claimer at the boundary (its freshly claimed chunk is
+    // dropped with the rest of the partial run).
+    if ctl.cancel.as_ref().is_some_and(CancelCtl::requested) {
+        if let Some(s) = shared.sched.get() {
+            s.abort();
+        }
+        return ClaimFate::Die;
+    }
     if let Some(f) = &ctl.faults {
         if f.crashed() {
             // Another claimer crashed the run: exit at this boundary,
@@ -349,9 +362,9 @@ fn on_claim_async(shared: &AsyncShared<'_>, cid: usize, op_idx: usize, chunk: &C
             // run is discarded anyway).
             return ClaimFate::Die;
         }
-        if f.on_claim(cid, None) {
-            if f.crash_mode() {
-                f.try_die(cid);
+        if let Some(mode) = f.on_claim(cid, None) {
+            if mode == KillMode::Crash {
+                f.try_die(cid, mode);
                 if let Some(s) = shared.sched.get() {
                     s.abort();
                 }
@@ -359,7 +372,7 @@ fn on_claim_async(shared: &AsyncShared<'_>, cid: usize, op_idx: usize, chunk: &C
             }
             let op = &shared.ops[op_idx];
             let mut board = op.board.lock().expect("orphan board poisoned");
-            if board.live >= 2 && f.try_die(cid) {
+            if board.live >= 2 && f.try_die(cid, mode) {
                 board.live -= 1;
                 board.orphans.push(
                     (chunk.start..chunk.start + chunk.len).map(|qi| op.task_of(qi)).collect(),
@@ -637,7 +650,7 @@ pub fn execute_async(
     g: &DelirGraph,
     opts: &ExecutorOptions,
     kernel: &(dyn TaskKernel + Sync),
-) -> Result<AsyncRun, GraphError> {
+) -> Result<AsyncRun, RunError> {
     execute_async_resumed(g, opts, kernel, None)
 }
 
@@ -651,7 +664,7 @@ pub(crate) fn execute_async_resumed(
     opts: &ExecutorOptions,
     kernel: &(dyn TaskKernel + Sync),
     resume: Option<&ResumeState>,
-) -> Result<AsyncRun, GraphError> {
+) -> Result<AsyncRun, RunError> {
     let plan = build_plan(g, opts)?;
     let drivers = resolve_drivers(opts);
     // Which ops the snapshot already finished whole: excluded from
@@ -828,7 +841,13 @@ pub(crate) fn execute_async_resumed(
         arena: &arena,
         cells: (0..drivers).map(|_| DriverCell::default()).collect(),
         epoch: Instant::now(),
-        ctl: RunCtl::new(opts.faults.as_ref(), opts.checkpoint.as_ref(), spawned, fingerprint),
+        ctl: RunCtl::new(
+            opts.faults.as_ref(),
+            opts.checkpoint.as_ref(),
+            CancelCtl::from_opts(opts),
+            spawned,
+            fingerprint,
+        ),
         sched: OnceLock::new(),
     };
     // Spawn claimer futures op-major: ready ops start interleaved at
@@ -898,6 +917,12 @@ pub(crate) fn execute_async_resumed(
         .map(|op| op.executed.iter().map(|c| c.load(Ordering::Acquire)).collect())
         .collect();
     let crashed = shared.ctl.crashed();
+    // A fired cancellation aborts the run before result assembly —
+    // the partial outputs are discarded, exactly as on the threaded
+    // backend.
+    if let Some(e) = shared.ctl.cancel_error() {
+        return Err(e);
+    }
     // End the arena borrow (the drivers have joined) so the slab can
     // be carved into owned per-op buffers without a copy pass through
     // atomics.

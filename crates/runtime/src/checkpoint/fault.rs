@@ -55,22 +55,53 @@ pub struct KillSpec {
 pub struct FaultPlan {
     /// The planned kills.
     pub kills: Vec<KillSpec>,
-    /// When set, the first kill that fires marks the whole run crashed:
-    /// every worker exits at its next claim boundary and the partial
-    /// result is returned with `crashed = true`.
+    /// When set, every kill in `kills` fires in crash mode: the first
+    /// one that fires marks the whole run crashed, every worker exits
+    /// at its next claim boundary, and the partial result is returned
+    /// with `crashed = true`.
     pub crash_run: bool,
+    /// Kills that fire in crash mode regardless of `crash_run` — a
+    /// combined plan stages in-process lease recoveries (`kills` with
+    /// `crash_run = false`) *and* a later process death in the same
+    /// run, the way real incidents compound.
+    pub crash_kills: Vec<KillSpec>,
 }
 
 impl FaultPlan {
     /// A single-kill lease-mode plan.
     pub fn kill(worker: usize, trigger: FaultTrigger) -> Self {
-        FaultPlan { kills: vec![KillSpec { worker, trigger }], crash_run: false }
+        FaultPlan {
+            kills: vec![KillSpec { worker, trigger }],
+            crash_run: false,
+            crash_kills: Vec::new(),
+        }
     }
 
     /// A single-kill crash-mode plan.
     pub fn crash(worker: usize, trigger: FaultTrigger) -> Self {
-        FaultPlan { kills: vec![KillSpec { worker, trigger }], crash_run: true }
+        FaultPlan {
+            kills: vec![KillSpec { worker, trigger }],
+            crash_run: true,
+            crash_kills: Vec::new(),
+        }
     }
+
+    /// A combined plan: `lease` kills recover in-process, and the
+    /// `crash` kill aborts the run when it fires (typically later —
+    /// triggers are per-victim, so stagger the claim counts).
+    pub fn combined(lease: Vec<KillSpec>, crash: KillSpec) -> Self {
+        FaultPlan { kills: lease, crash_run: false, crash_kills: vec![crash] }
+    }
+}
+
+/// How a fired kill takes its victim down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum KillMode {
+    /// The victim dies alone; its claimed chunk becomes a lease a
+    /// survivor replays.
+    Lease,
+    /// The whole run crashes; every worker exits at its next boundary.
+    Crash,
 }
 
 /// An orphaned claim: tasks a dead worker had claimed but not started
@@ -87,7 +118,9 @@ pub(crate) struct Lease {
 /// Runtime arbitration for one run's [`FaultPlan`]: which kills have
 /// fired, which workers are dead, and whether the run crashed.
 pub(crate) struct FaultState {
-    plan: FaultPlan,
+    /// Every planned kill with its resolved mode (`kills` under the
+    /// plan-level `crash_run` flag, then `crash_kills`).
+    specs: Vec<(KillSpec, KillMode)>,
     /// One-shot latch per planned kill.
     fired: Vec<AtomicBool>,
     /// Per-worker death flag (set in lease *and* crash mode).
@@ -102,19 +135,22 @@ pub(crate) struct FaultState {
 
 impl FaultState {
     pub(crate) fn new(plan: FaultPlan, workers: usize) -> Self {
-        let kills = plan.kills.len();
+        let base = if plan.crash_run { KillMode::Crash } else { KillMode::Lease };
+        let specs: Vec<(KillSpec, KillMode)> = plan
+            .kills
+            .iter()
+            .map(|&k| (k, base))
+            .chain(plan.crash_kills.iter().map(|&k| (k, KillMode::Crash)))
+            .collect();
+        let kills = specs.len();
         FaultState {
-            plan,
+            specs,
             fired: (0..kills).map(|_| AtomicBool::new(false)).collect(),
             dead: (0..workers).map(|_| AtomicBool::new(false)).collect(),
             claims: (0..workers).map(|_| AtomicU64::new(0)).collect(),
             live: AtomicUsize::new(workers),
             crashed: AtomicBool::new(false),
         }
-    }
-
-    pub(crate) fn crash_mode(&self) -> bool {
-        self.plan.crash_run
     }
 
     pub(crate) fn crashed(&self) -> bool {
@@ -131,8 +167,8 @@ impl FaultState {
         (0..self.dead.len()).filter(|&w| self.dead[w].load(Ordering::SeqCst)).collect()
     }
 
-    fn check(&self, worker: usize, hit: impl Fn(FaultTrigger) -> bool) -> bool {
-        for (k, spec) in self.plan.kills.iter().enumerate() {
+    fn check(&self, worker: usize, hit: impl Fn(FaultTrigger) -> bool) -> Option<KillMode> {
+        for (k, (spec, mode)) in self.specs.iter().enumerate() {
             if spec.worker != worker || !hit(spec.trigger) {
                 continue;
             }
@@ -140,19 +176,20 @@ impl FaultState {
                 .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
                 .is_ok()
             {
-                return true;
+                return Some(*mode);
             }
         }
-        false
+        None
     }
 
     /// Notes one chunk claim by `worker` (`epoch` tags dist-TAPER
-    /// claims with their global epoch) and reports whether a planned
-    /// kill fires here. Firing consumes the spec; the caller must
-    /// still win [`try_die`](Self::try_die) for the death to happen.
-    pub(crate) fn on_claim(&self, worker: usize, epoch: Option<u64>) -> bool {
+    /// claims with their global epoch) and reports the mode of the
+    /// planned kill that fires here, if any. Firing consumes the spec;
+    /// the caller must still win [`try_die`](Self::try_die) for the
+    /// death to happen.
+    pub(crate) fn on_claim(&self, worker: usize, epoch: Option<u64>) -> Option<KillMode> {
         if worker >= self.claims.len() {
-            return false;
+            return None;
         }
         let c = self.claims[worker].fetch_add(1, Ordering::Relaxed) + 1;
         self.check(worker, |t| match t {
@@ -165,11 +202,11 @@ impl FaultState {
         })
     }
 
-    /// Reports whether an `OnSteal` kill fires for `worker`'s
-    /// just-completed steal.
-    pub(crate) fn on_steal(&self, worker: usize) -> bool {
+    /// Reports the mode of the `OnSteal` kill firing for `worker`'s
+    /// just-completed steal, if any.
+    pub(crate) fn on_steal(&self, worker: usize) -> Option<KillMode> {
         if worker >= self.dead.len() {
-            return false;
+            return None;
         }
         self.check(worker, |t| matches!(t, FaultTrigger::OnSteal))
     }
@@ -179,8 +216,8 @@ impl FaultState {
     /// one live slot — refusing (and suppressing the kill) when
     /// `worker` is the last live worker, so a fault plan can never
     /// wedge the pool.
-    pub(crate) fn try_die(&self, worker: usize) -> bool {
-        if self.plan.crash_run {
+    pub(crate) fn try_die(&self, worker: usize, mode: KillMode) -> bool {
+        if mode == KillMode::Crash {
             self.dead[worker].store(true, Ordering::SeqCst);
             self.crashed.store(true, Ordering::SeqCst);
             return true;
@@ -209,23 +246,23 @@ mod tests {
     #[test]
     fn after_claims_fires_once_at_the_right_count() {
         let f = FaultState::new(FaultPlan::kill(1, FaultTrigger::AfterClaims(3)), 4);
-        assert!(!f.on_claim(1, None));
-        assert!(!f.on_claim(1, None));
-        assert!(!f.on_claim(0, None), "wrong worker");
-        assert!(f.on_claim(1, None), "third claim fires");
-        assert!(!f.on_claim(1, None), "spec consumed");
+        assert!(f.on_claim(1, None).is_none());
+        assert!(f.on_claim(1, None).is_none());
+        assert!(f.on_claim(0, None).is_none(), "wrong worker");
+        assert_eq!(f.on_claim(1, None), Some(KillMode::Lease), "third claim fires");
+        assert!(f.on_claim(1, None).is_none(), "spec consumed");
     }
 
     #[test]
     fn at_epoch_matches_dist_epochs_and_degrades_to_claims() {
         let f = FaultState::new(FaultPlan::kill(0, FaultTrigger::AtEpoch(2)), 2);
-        assert!(!f.on_claim(0, Some(0)));
-        assert!(!f.on_claim(0, Some(1)));
-        assert!(f.on_claim(0, Some(2)));
+        assert!(f.on_claim(0, Some(0)).is_none());
+        assert!(f.on_claim(0, Some(1)).is_none());
+        assert!(f.on_claim(0, Some(2)).is_some());
         let g = FaultState::new(FaultPlan::kill(0, FaultTrigger::AtEpoch(2)), 2);
-        assert!(!g.on_claim(0, None));
-        assert!(!g.on_claim(0, None));
-        assert!(g.on_claim(0, None), "claim 3 > epoch 2");
+        assert!(g.on_claim(0, None).is_none());
+        assert!(g.on_claim(0, None).is_none());
+        assert!(g.on_claim(0, None).is_some(), "claim 3 > epoch 2");
     }
 
     #[test]
@@ -237,12 +274,13 @@ mod tests {
                     KillSpec { worker: 1, trigger: FaultTrigger::AfterClaims(1) },
                 ],
                 crash_run: false,
+                crash_kills: Vec::new(),
             },
             2,
         );
-        assert!(f.try_die(0));
+        assert!(f.try_die(0, KillMode::Lease));
         assert!(f.any_dead());
-        assert!(!f.try_die(1), "last live worker must survive");
+        assert!(!f.try_die(1, KillMode::Lease), "last live worker must survive");
         assert_eq!(f.dead_workers(), vec![0]);
         assert!(!f.crashed());
     }
@@ -250,7 +288,7 @@ mod tests {
     #[test]
     fn crash_mode_always_dies_and_marks_crashed() {
         let f = FaultState::new(FaultPlan::crash(0, FaultTrigger::AfterClaims(1)), 1);
-        assert!(f.try_die(0));
+        assert!(f.try_die(0, KillMode::Crash));
         assert!(f.crashed());
         assert!(!f.any_dead(), "crash deaths don't trigger lease recovery");
     }
@@ -259,9 +297,26 @@ mod tests {
     fn out_of_range_victims_never_fire() {
         let f = FaultState::new(FaultPlan::kill(7, FaultTrigger::AfterClaims(1)), 2);
         for _ in 0..10 {
-            assert!(!f.on_claim(0, None));
-            assert!(!f.on_claim(1, None));
+            assert!(f.on_claim(0, None).is_none());
+            assert!(f.on_claim(1, None).is_none());
         }
-        assert!(!f.on_steal(7));
+        assert!(f.on_steal(7).is_none());
+    }
+
+    #[test]
+    fn combined_plans_keep_lease_and_crash_modes_apart() {
+        let plan = FaultPlan::combined(
+            vec![KillSpec { worker: 0, trigger: FaultTrigger::AfterClaims(1) }],
+            KillSpec { worker: 1, trigger: FaultTrigger::AfterClaims(2) },
+        );
+        let f = FaultState::new(plan, 3);
+        assert_eq!(f.on_claim(0, None), Some(KillMode::Lease));
+        assert!(f.try_die(0, KillMode::Lease));
+        assert!(f.any_dead(), "the lease death recovers in-process");
+        assert!(!f.crashed());
+        assert!(f.on_claim(1, None).is_none(), "crash trigger not yet reached");
+        assert_eq!(f.on_claim(1, None), Some(KillMode::Crash));
+        assert!(f.try_die(1, KillMode::Crash));
+        assert!(f.crashed(), "the crash kill aborts the run");
     }
 }

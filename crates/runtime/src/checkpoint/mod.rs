@@ -32,7 +32,7 @@ mod resume;
 mod snapshot;
 
 pub use fault::{FaultPlan, FaultTrigger, KillSpec};
-pub(crate) use fault::{FaultState, Lease};
+pub(crate) use fault::{FaultState, KillMode, Lease};
 pub(crate) use resume::ResumeState;
 pub use resume::{execute_graph_resumable, ResumableRun};
 pub use snapshot::{graph_fingerprint, load_latest, plan_fingerprint, snapshot_versions, Snapshot};
@@ -133,10 +133,68 @@ impl CheckpointCtl {
     }
 }
 
-/// Per-run fault-injection and checkpoint state threaded through the
-/// threaded pool and the async driver. With neither a fault plan nor a
-/// checkpoint spec configured (the default) both hooks are `None`,
-/// keeping the claim hot path at one `Option` check.
+/// Cooperative cancellation state for one run: the caller's token,
+/// the resolved wall-clock deadline, and a latch recording whether a
+/// claim-boundary check actually observed the request (so a deadline
+/// that technically passes during result assembly does not fail a run
+/// that already finished its work).
+pub(crate) struct CancelCtl {
+    token: Option<crate::cancel::CancelToken>,
+    deadline: Option<std::time::Instant>,
+    /// 0 = not fired, 1 = token, 2 = deadline.
+    fired: std::sync::atomic::AtomicU8,
+}
+
+impl CancelCtl {
+    /// Builds the per-run state from the caller's options; `None`
+    /// when neither a token nor a deadline was configured. The
+    /// deadline clock starts here — at run setup — which is what the
+    /// daemon's submission-time semantics want.
+    pub(crate) fn from_opts(opts: &crate::executor::ExecutorOptions) -> Option<Self> {
+        if opts.cancel.is_none() && opts.deadline.is_none() {
+            return None;
+        }
+        Some(CancelCtl {
+            token: opts.cancel.clone(),
+            deadline: opts.deadline.map(|d| std::time::Instant::now() + d),
+            fired: std::sync::atomic::AtomicU8::new(0),
+        })
+    }
+
+    /// The claim-boundary check: whether the run must abort. Latches
+    /// the first observation so post-run reporting sees a stable
+    /// verdict.
+    pub(crate) fn requested(&self) -> bool {
+        if self.fired.load(Ordering::Relaxed) != 0 {
+            return true;
+        }
+        if self.token.as_ref().is_some_and(crate::cancel::CancelToken::is_cancelled) {
+            let _ = self.fired.compare_exchange(0, 1, Ordering::SeqCst, Ordering::SeqCst);
+            return true;
+        }
+        if self.deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+            let _ = self.fired.compare_exchange(0, 2, Ordering::SeqCst, Ordering::SeqCst);
+            return true;
+        }
+        false
+    }
+
+    /// What a fired cancellation aborts the run with, `None` when no
+    /// claim boundary ever observed one.
+    pub(crate) fn error(&self) -> Option<crate::cancel::RunError> {
+        match self.fired.load(Ordering::SeqCst) {
+            1 => Some(crate::cancel::RunError::Cancelled),
+            2 => Some(crate::cancel::RunError::DeadlineExceeded),
+            _ => None,
+        }
+    }
+}
+
+/// Per-run fault-injection, checkpoint, and cancellation state
+/// threaded through the threaded pool and the async driver. With no
+/// fault plan, checkpoint spec, or cancel token configured (the
+/// default) every hook is `None`, keeping the claim hot path at one
+/// `Option` check.
 pub(crate) struct RunCtl {
     /// Fault-injection state, `None` when no plan was configured.
     pub(crate) faults: Option<FaultState>,
@@ -146,12 +204,16 @@ pub(crate) struct RunCtl {
     /// Snapshot cadence + writer slot, `None` when checkpointing is
     /// off.
     pub(crate) ckpt: Option<CheckpointCtl>,
+    /// Cooperative cancellation, `None` when neither a token nor a
+    /// deadline was configured.
+    pub(crate) cancel: Option<CancelCtl>,
 }
 
 impl RunCtl {
     pub(crate) fn new(
         faults: Option<&FaultPlan>,
         checkpoint: Option<&CheckpointSpec>,
+        cancel: Option<CancelCtl>,
         workers: usize,
         fingerprint: u64,
     ) -> Self {
@@ -159,18 +221,31 @@ impl RunCtl {
             faults: faults.map(|p| FaultState::new(p.clone(), workers)),
             leases: Mutex::new(Vec::new()),
             ckpt: checkpoint.map(|s| CheckpointCtl::new(s.clone(), fingerprint)),
+            cancel,
         }
     }
 
-    /// Whether any fault/checkpoint hook is active (claim loops build
-    /// the claimed-task list only when this is true).
+    /// Whether any fault/checkpoint/cancel hook is active (claim loops
+    /// take the hook path only when this is true).
     pub(crate) fn hooked(&self) -> bool {
-        self.faults.is_some() || self.ckpt.is_some()
+        self.faults.is_some() || self.ckpt.is_some() || self.cancel.is_some()
     }
 
     /// Whether a crash-mode kill has fired: the run is aborting and
     /// every worker exits at its next claim boundary.
     pub(crate) fn crashed(&self) -> bool {
         self.faults.as_ref().is_some_and(FaultState::crashed)
+    }
+
+    /// Whether the run is stopping for *any* reason — crash-mode kill
+    /// or cancellation — and workers must exit at their next claim or
+    /// park boundary.
+    pub(crate) fn stopping(&self) -> bool {
+        self.crashed() || self.cancel.as_ref().is_some_and(CancelCtl::requested)
+    }
+
+    /// The cancellation error to abort with, if one fired.
+    pub(crate) fn cancel_error(&self) -> Option<crate::cancel::RunError> {
+        self.cancel.as_ref().and_then(CancelCtl::error)
     }
 }

@@ -2,10 +2,11 @@
 //! to completion.
 
 use super::snapshot::{load_latest, plan_fingerprint, Snapshot};
+use crate::cancel::RunError;
 use crate::executor::ExecutorOptions;
 use crate::stats::OnlineStats;
 use crate::threaded::{build_plan, ExecutorBackend, Plan, TaskKernel};
-use orchestra_delirium::{DelirGraph, GraphError};
+use orchestra_delirium::DelirGraph;
 
 /// The restore image handed to a backend: per-op completed-task masks,
 /// the completed tasks' outputs, and the warm-start statistics. Built
@@ -90,7 +91,7 @@ fn run_attempt(
     opts: &ExecutorOptions,
     kernel: &(dyn TaskKernel + Sync),
     resume: Option<&ResumeState>,
-) -> Result<Attempt, GraphError> {
+) -> Result<Attempt, RunError> {
     if opts.backend == ExecutorBackend::Async {
         let r = crate::asynch::execute_async_resumed(g, opts, kernel, resume)?;
         Ok(Attempt {
@@ -126,18 +127,21 @@ fn run_attempt(
 ///
 /// # Errors
 ///
-/// Returns the graph's validation error when it is malformed.
+/// Returns the graph's validation error when it is malformed, or the
+/// cancellation/deadline error when the caller aborted the run —
+/// cancellation is never retried: an evicted tenant's graph must not
+/// resurrect itself from its own snapshots.
 pub fn execute_graph_resumable(
     g: &DelirGraph,
     opts: &ExecutorOptions,
     kernel: &(dyn TaskKernel + Sync),
-) -> Result<ResumableRun, GraphError> {
+) -> Result<ResumableRun, RunError> {
     let plan = build_plan(g, opts)?;
     let fingerprint = plan_fingerprint(&plan, opts.seed);
     let op_names: Vec<String> = plan.ops.iter().map(|o| o.name.clone()).collect();
     // Every kill fires at most once, so attempts are bounded even if a
     // plan manages to crash a replay (it can't — replays run clean).
-    let max_attempts = opts.faults.as_ref().map_or(0, |f| f.kills.len()) + 2;
+    let max_attempts = opts.faults.as_ref().map_or(0, |f| f.kills.len() + f.crash_kills.len()) + 2;
     let mut attempts = 0usize;
     let mut wall_us = 0.0;
     let mut recovery_us = 0.0;

@@ -88,6 +88,18 @@ pub struct ExecutorOptions {
     /// [`choose_batch_params`](crate::granularity::choose_batch_params).
     /// The simulator ignores this.
     pub stream_batch: Option<usize>,
+    /// Cooperative cancellation token. When set, every real backend
+    /// checks it at chunk-claim boundaries and aborts the run with
+    /// [`RunError::Cancelled`](crate::cancel::RunError::Cancelled)
+    /// once it fires, freeing the workers within one chunk. `None`
+    /// (the default) adds no per-claim overhead; the simulator
+    /// ignores this.
+    pub cancel: Option<crate::cancel::CancelToken>,
+    /// Execution deadline, measured from the start of the run. A run
+    /// that outlives it is aborted at the next claim boundary with
+    /// [`RunError::DeadlineExceeded`](crate::cancel::RunError::DeadlineExceeded).
+    /// `None` (the default) never expires; the simulator ignores this.
+    pub deadline: Option<std::time::Duration>,
 }
 
 impl Default for ExecutorOptions {
@@ -109,6 +121,8 @@ impl Default for ExecutorOptions {
             faults: None,
             checkpoint: None,
             stream_batch: None,
+            cancel: None,
+            deadline: None,
         }
     }
 }
@@ -343,12 +357,14 @@ fn run_node(
 ///
 /// # Errors
 ///
-/// Returns the graph's validation error when it is malformed.
+/// Returns the graph's validation error when it is malformed, or a
+/// cancellation/deadline error when the caller aborted the run (real
+/// backends only — the simulator never cancels).
 pub fn execute_graph(
     g: &DelirGraph,
     cfg: &MachineConfig,
     opts: &ExecutorOptions,
-) -> Result<ExecutionReport, orchestra_delirium::GraphError> {
+) -> Result<ExecutionReport, crate::cancel::RunError> {
     if matches!(opts.backend, ExecutorBackend::Threaded | ExecutorBackend::ThreadedDist) {
         // Real execution on this machine: `cfg` describes the simulated
         // nCUBE-2 and does not apply.

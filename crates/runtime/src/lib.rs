@@ -37,6 +37,7 @@
 
 pub mod alloc;
 pub mod asynch;
+pub mod cancel;
 pub mod checkpoint;
 pub mod chunking;
 pub mod dist_taper;
@@ -49,6 +50,7 @@ pub mod threaded;
 
 pub use alloc::{allocate_many, allocate_pair, AllocParams, Allocation, OutputArena, Publication};
 pub use asynch::{execute_async, resolve_drivers, AsyncOpRecord, AsyncRun};
+pub use cancel::{CancelToken, RunError};
 pub use checkpoint::{
     execute_graph_resumable, graph_fingerprint, load_latest, plan_fingerprint, snapshot_versions,
     CheckpointSpec, FaultPlan, FaultTrigger, KillSpec, ResumableRun, Snapshot,

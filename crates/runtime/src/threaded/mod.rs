@@ -24,7 +24,8 @@ pub mod queue;
 pub mod topology;
 
 use crate::alloc::{allocate_many_with, AllocParams, OutputArena};
-use crate::checkpoint::{plan_fingerprint, ResumeState, RunCtl};
+use crate::cancel::RunError;
+use crate::checkpoint::{plan_fingerprint, CancelCtl, ResumeState, RunCtl};
 use crate::chunking::PolicyKind;
 use crate::executor::{costs_of_node, ExecutionReport, ExecutorOptions, NodeReport};
 use crate::finish::{finish_estimate_live, HostCalibration, OpSpec};
@@ -511,12 +512,13 @@ pub fn resolve_workers(opts: &ExecutorOptions) -> usize {
 ///
 /// # Errors
 ///
-/// Returns the graph's validation error when it is malformed.
+/// Returns the graph's validation error when it is malformed, or a
+/// cancellation/deadline error when the caller aborted the run.
 pub fn execute_threaded(
     g: &DelirGraph,
     opts: &ExecutorOptions,
     kernel: &(dyn TaskKernel + Sync),
-) -> Result<ThreadedRun, GraphError> {
+) -> Result<ThreadedRun, RunError> {
     execute_threaded_resumed(g, opts, kernel, None)
 }
 
@@ -529,7 +531,7 @@ pub(crate) fn execute_threaded_resumed(
     opts: &ExecutorOptions,
     kernel: &(dyn TaskKernel + Sync),
     resume: Option<&ResumeState>,
-) -> Result<ThreadedRun, GraphError> {
+) -> Result<ThreadedRun, RunError> {
     let plan = build_plan(g, opts)?;
     let workers = resolve_workers(opts);
     let topo = opts.topology.resolve();
@@ -764,7 +766,13 @@ pub(crate) fn execute_threaded_resumed(
         .collect();
     let pre_completed = pre_done.iter().filter(|&&p| p).count();
     let fingerprint = plan_fingerprint(&plan, opts.seed);
-    let ctl = RunCtl::new(opts.faults.as_ref(), opts.checkpoint.as_ref(), workers, fingerprint);
+    let ctl = RunCtl::new(
+        opts.faults.as_ref(),
+        opts.checkpoint.as_ref(),
+        CancelCtl::from_opts(opts),
+        workers,
+        fingerprint,
+    );
 
     let t0 = Instant::now();
     let records = pool::run_pool(
@@ -827,6 +835,13 @@ pub(crate) fn execute_threaded_resumed(
         instances.iter().filter(|op| op.queue.is_dist()).map(|op| op.costs.len() as u64).sum();
     let locality =
         if dist_tasks == 0 { 1.0 } else { 1.0 - migrated_tasks as f64 / dist_tasks as f64 };
+    // A fired cancellation aborts the whole run: partial outputs are
+    // discarded and the caller gets the clean error. Checked before
+    // result assembly so a cancelled run never masquerades as a
+    // short successful one.
+    if let Some(e) = ctl.cancel_error() {
+        return Err(e);
+    }
     // The pool has joined: the arena's cells are quiescent and the
     // consuming conversion hands back one owned buffer per op.
     let outputs = arena.into_outputs();
@@ -864,11 +879,21 @@ pub fn execute_sequential(
     g: &DelirGraph,
     opts: &ExecutorOptions,
     kernel: &(dyn TaskKernel + Sync),
-) -> Result<SequentialRun, GraphError> {
+) -> Result<SequentialRun, RunError> {
     let plan = build_plan(g, opts)?;
+    let cancel = CancelCtl::from_opts(opts);
     let t0 = Instant::now();
     let mut outputs: Vec<Vec<f64>> = Vec::with_capacity(plan.ops.len());
     for op in &plan.ops {
+        // The sequential backend has no chunk claims; op boundaries
+        // are its claim boundaries. Ops are small enough (the longest
+        // is one node's task loop) that this keeps cancellation
+        // prompt without clocking every task.
+        if let Some(c) = &cancel {
+            if c.requested() {
+                return Err(c.error().unwrap_or(RunError::Cancelled));
+            }
+        }
         let node = &g.nodes[op.node];
         let costs = costs_of_node(node, opts.seed);
         let mut out = Vec::with_capacity(op.tasks);

@@ -49,7 +49,7 @@ use super::queue::{BoundedClaim, ChunkQueue};
 use super::topology::{pin_current_thread, StealDistance, WorkerTopo};
 use super::{TaskCtx, TaskKernel};
 use crate::alloc::{OutputArena, Publication};
-use crate::checkpoint::{op_snapshot, Lease, OpSnapshot, RunCtl};
+use crate::checkpoint::{op_snapshot, CancelCtl, KillMode, Lease, OpSnapshot, RunCtl};
 use crate::chunking::PolicyKind;
 use crate::finish::{finish_estimate_live, HostCalibration, OpSpec};
 use crate::granularity::pipelined_stage_time_params;
@@ -544,7 +544,7 @@ fn worker_loop(shared: &Shared<'_>, id: usize, kernel: &(dyn TaskKernel + Sync))
     let mut steal = StealStats::new();
     let hooked = shared.ctl.hooked();
     loop {
-        if hooked && shared.ctl.crashed() {
+        if hooked && shared.ctl.stopping() {
             break;
         }
         let steals0 = steal.steals;
@@ -573,9 +573,11 @@ fn worker_loop(shared: &Shared<'_>, id: usize, kernel: &(dyn TaskKernel + Sync))
         // direct `has_more` claims.
         if hooked && steal.steals > steals0 {
             if let Some(f) = &shared.ctl.faults {
-                if f.on_steal(id) && f.try_die(id) {
-                    announce_death(shared);
-                    break;
+                if let Some(mode) = f.on_steal(id) {
+                    if f.try_die(id, mode) {
+                        announce_death(shared);
+                        break;
+                    }
                 }
             }
         }
@@ -612,10 +614,22 @@ fn park(shared: &Shared<'_>, id: usize) {
                     .any(|&t| shared.partition.allows(t, id))
             })
             || recovery_visible(shared, id);
-    if !visible_work && !shared.all_done() && !shared.ctl.crashed() {
+    if !visible_work && !shared.all_done() && !shared.ctl.stopping() {
         let mut seq = shared.wake_seq.lock().expect("wake lock poisoned");
-        while *seq == seq0 && !shared.all_done() && !shared.ctl.crashed() {
-            seq = shared.wake.wait(seq).expect("wake lock poisoned");
+        while *seq == seq0 && !shared.all_done() && !shared.ctl.stopping() {
+            if shared.ctl.cancel.is_some() {
+                // A cancellation request has no producer to bump the
+                // wake sequence — the canceller is outside the pool —
+                // so a cancellable run polls the flag on a short
+                // timeout instead of sleeping unboundedly.
+                let (s, _) = shared
+                    .wake
+                    .wait_timeout(seq, std::time::Duration::from_millis(5))
+                    .expect("wake lock poisoned");
+                seq = s;
+            } else {
+                seq = shared.wake.wait(seq).expect("wake lock poisoned");
+            }
         }
     }
     shared.sleepers.fetch_sub(1, Ordering::SeqCst);
@@ -682,19 +696,27 @@ fn after_claim(
     epoch: Option<u64>,
 ) -> bool {
     let ctl = shared.ctl;
+    // Cancellation lands at the same boundary as kills: the chunk is
+    // claimed but unexecuted, and the whole run is aborting, so the
+    // chunk can simply be dropped — no lease needed.
+    if ctl.cancel.as_ref().is_some_and(CancelCtl::requested) {
+        return true;
+    }
     if let Some(f) = &ctl.faults {
         if f.crashed() {
             return true;
         }
-        if f.on_claim(id, epoch) && f.try_die(id) {
-            if !f.crash_mode() {
-                ctl.leases
-                    .lock()
-                    .expect("lease lock poisoned")
-                    .push(Lease { op_idx, tasks: tasks() });
+        if let Some(mode) = f.on_claim(id, epoch) {
+            if f.try_die(id, mode) {
+                if mode == KillMode::Lease {
+                    ctl.leases
+                        .lock()
+                        .expect("lease lock poisoned")
+                        .push(Lease { op_idx, tasks: tasks() });
+                }
+                announce_death(shared);
+                return true;
             }
-            announce_death(shared);
-            return true;
         }
     }
     if let Some(ck) = &ctl.ckpt {

@@ -155,7 +155,7 @@ fn check_threaded_lease(
     let opts = ExecutorOptions {
         backend,
         threads: 3,
-        faults: Some(FaultPlan { kills: kill_list.clone(), crash_run: false }),
+        faults: Some(FaultPlan { kills: kill_list.clone(), ..FaultPlan::default() }),
         ..opts
     };
     let label = format!("{backend:?}/{name}/seed={:#x}/kills={kill_list:?}", opts.seed);
@@ -209,7 +209,7 @@ proptest! {
         let (name, g, opts) = chaos_graph(shape);
         let opts = ExecutorOptions {
             drivers: 2,
-            faults: Some(FaultPlan { kills: kill_list.clone(), crash_run: false }),
+            faults: Some(FaultPlan { kills: kill_list.clone(), ..FaultPlan::default() }),
             ..opts
         };
         let label = format!("async/{name}/seed={:#x}/kills={kill_list:?}", opts.seed);
@@ -397,7 +397,7 @@ fn kill_between_commit_and_publish_never_double_publishes() {
                     KillSpec { worker: 0, trigger: FaultTrigger::AfterClaims(1) },
                     KillSpec { worker: 1, trigger: FaultTrigger::AfterClaims(3) },
                 ],
-                crash_run: false,
+                ..FaultPlan::default()
             }),
             ..ExecutorOptions::default()
         };
@@ -558,4 +558,140 @@ fn checkpointing_clean_run_is_invisible_and_monotone() {
         assert!(versions.len() <= 4, "{name}: pruning kept {} versions", versions.len());
         let _ = std::fs::remove_dir_all(&dir);
     }
+}
+
+/// Shared checks for one *combined*-failure case: a lease-mode kill
+/// recovers in-process, and a crash-mode kill aborts the same run —
+/// the way real incidents compound (a worker dies, the survivors
+/// absorb its lease, then the whole process goes down). Resume must
+/// still replay to the bitwise sequential result.
+fn check_combined_failure(
+    backend: ExecutorBackend,
+    shape: usize,
+    lease_victim: usize,
+    lease_claims: u64,
+    crash_victim: usize,
+    crash_claims: u64,
+) -> Result<(), TestCaseError> {
+    let (name, g, opts) = chaos_graph(shape);
+    let dir = scratch_dir("combined");
+    let opts = ExecutorOptions {
+        backend,
+        threads: 3,
+        drivers: 2,
+        faults: Some(FaultPlan::combined(
+            vec![KillSpec {
+                worker: lease_victim,
+                trigger: FaultTrigger::AfterClaims(lease_claims),
+            }],
+            KillSpec { worker: crash_victim, trigger: FaultTrigger::AfterClaims(crash_claims) },
+        )),
+        checkpoint: Some(CheckpointSpec { dir: dir.clone(), every_claims: 2, keep: 4 }),
+        ..opts
+    };
+    let label = format!(
+        "{backend:?}/{name}/seed={:#x}/lease={lease_victim}@{lease_claims}/crash={crash_victim}@{crash_claims}",
+        opts.seed
+    );
+    let k = kernel();
+    let seq = execute_sequential(&g, &opts, &k).expect("sequential reference");
+    let run = execute_graph_resumable(&g, &opts, &k).expect("combined resumable run");
+    // The generic resume invariants (bitwise outputs, restored tasks
+    // never re-executed, monotone snapshot versions) carry over
+    // wholesale; the combined plan has exactly one crash kill, so the
+    // attempt bound of `check_resumable` still holds.
+    let result = check_resumable(&seq.outputs, &seq.op_names, &run, &dir, &label);
+    let _ = std::fs::remove_dir_all(&dir);
+    result
+}
+
+/// Combined cases per backend — each runs a doubly-faulted attempt
+/// plus a restore-and-replay attempt.
+fn combined_cases() -> u32 {
+    if common::chaos_full() {
+        100
+    } else {
+        35
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(combined_cases()))]
+
+    /// Threaded backend: lease kill + later crash in one run.
+    #[test]
+    fn threaded_combined_lease_and_crash_bitwise(
+        shape in 0..SHAPES,
+        lease_victim in 0..3usize,
+        lease_claims in 1..4u64,
+        crash_victim in 0..3usize,
+        crash_claims in 4..10u64,
+    ) {
+        check_combined_failure(
+            ExecutorBackend::Threaded, shape, lease_victim, lease_claims, crash_victim, crash_claims,
+        )?;
+    }
+
+    /// Dist-TAPER backend: the lease recovery adopts the dead home
+    /// queue, then the crash cuts the run at an epoch-tagged claim.
+    #[test]
+    fn dist_combined_lease_and_crash_bitwise(
+        shape in 0..SHAPES,
+        lease_victim in 0..3usize,
+        lease_claims in 1..4u64,
+        crash_victim in 0..3usize,
+        crash_claims in 4..10u64,
+    ) {
+        check_combined_failure(
+            ExecutorBackend::ThreadedDist, shape, lease_victim, lease_claims, crash_victim, crash_claims,
+        )?;
+    }
+
+    /// Async backend: a claimer's orphaned chunk is adopted by a
+    /// sibling, then a crash kill aborts the scheduler.
+    #[test]
+    fn async_combined_lease_and_crash_bitwise(
+        shape in 0..SHAPES,
+        lease_victim in 0..6usize,
+        lease_claims in 1..4u64,
+        crash_victim in 0..6usize,
+        crash_claims in 4..10u64,
+    ) {
+        check_combined_failure(
+            ExecutorBackend::Async, shape, lease_victim, lease_claims, crash_victim, crash_claims,
+        )?;
+    }
+}
+
+/// The non-vacuousness guard for the combined matrix: with both kills
+/// on fixed early triggers, the first attempt really does absorb a
+/// lease *and* crash, and the resume still lands bitwise.
+#[test]
+fn combined_failure_really_fires_both_kills() {
+    let (_, g, opts) = chaos_graph(0);
+    let dir = scratch_dir("combined-pinned");
+    let opts = ExecutorOptions {
+        backend: ExecutorBackend::Threaded,
+        // Two workers make the schedule deterministic: worker 0 dies on
+        // its first claim, so worker 1 is the *only* surviving claimer
+        // and its per-worker claim counter must reach 4. (With a third
+        // worker the one that wins the every-claim snapshot slot blocks
+        // in the fsync while the other drains the queue, and the victim
+        // may never reach its trigger.)
+        threads: 2,
+        policy: orchestra_runtime::PolicyKind::SelfSched,
+        faults: Some(FaultPlan::combined(
+            vec![KillSpec { worker: 0, trigger: FaultTrigger::AfterClaims(1) }],
+            KillSpec { worker: 1, trigger: FaultTrigger::AfterClaims(4) },
+        )),
+        checkpoint: Some(CheckpointSpec { dir: dir.clone(), every_claims: 1, keep: 8 }),
+        ..opts
+    };
+    let k = kernel();
+    let seq = execute_sequential(&g, &opts, &k).unwrap();
+    let run = execute_graph_resumable(&g, &opts, &k).unwrap();
+    assert_eq!(run.attempts, 2, "the crash kill must fire and force a resume");
+    assert!(run.resumed_tasks > 0, "the resume must restore from a snapshot");
+    assert_eq!(seq.outputs, run.outputs, "combined failure diverged from sequential");
+    let _ = std::fs::remove_dir_all(&dir);
 }
